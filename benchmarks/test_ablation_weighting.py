@@ -1,0 +1,37 @@
+"""Ablation — weighted vs. non-weighted classification steering.
+
+Section 2.3 motivates depth-decaying edge weights (base 10 by default;
+base 1 degenerates to plain hop count).  The weighted distance encodes
+"classes deeper in a subtree are more closely related", which matters
+when a homonym's competitors sit at different depths.
+
+Expected shape: weighted steering (base >= 10) is at least as precise as
+the non-weighted hop count, and the choice of base beyond ~10 changes
+little (the ordering of candidates, not the magnitudes, is what counts).
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import run_ablation_weighting
+
+
+def test_weight_base_ablation(bench_corpus, benchmark):
+    result = benchmark.pedantic(
+        run_ablation_weighting,
+        args=(bench_corpus,),
+        kwargs={"bases": (1.0, 2.0, 10.0, 100.0), "sample_size": 10_000},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation: steering weight base (paper default 10)", result.format())
+
+    by_base = {base: report for base, report in result.rows}
+    # Weighted steering resolves the deep-vs-shallow contests (depth
+    # homonyms) that hop count ties on; it must not lose precision and
+    # should win some mislinks back.
+    assert by_base[10.0].precision >= by_base[1.0].precision
+    assert by_base[10.0].mislinks <= by_base[1.0].mislinks
+    # Stability across large bases: same candidate ordering.
+    assert abs(by_base[10.0].precision - by_base[100.0].precision) < 0.02
+    for report in by_base.values():
+        assert report.recall == 1.0

@@ -1,0 +1,33 @@
+"""Extension study — automatic policy suggestion (Section 2.4 future work).
+
+The paper closes Section 2.4 noting work "exploring automatic keyword
+extraction techniques in order to extract those terms that should be or
+should not be linked in an automatic way".  Our
+:class:`~repro.core.suggest.PolicySuggester` detects overlink culprits
+from usage-dispersion statistics and writes the same ``forbid``/
+``permit`` policies a user would.
+
+Expected shape: auto-suggested policies recover most of the precision
+gain of hand-written policies, with high detector precision (no ordinary
+concepts get muzzled) and recall untouched.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import run_auto_policy_study
+
+
+def test_auto_policy_suggestion(bench_corpus, benchmark):
+    result = benchmark.pedantic(
+        run_auto_policy_study, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    emit("Automatic policy suggestion vs hand-written policies", result.format())
+
+    assert result.detector_precision == 1.0  # nothing falsely muzzled
+    assert result.detector_recall >= 0.5
+    assert result.auto_policies.precision > result.baseline.precision
+    # Auto policies recover most of the user-policy gain.
+    user_gain = result.user_policies.precision - result.baseline.precision
+    auto_gain = result.auto_policies.precision - result.baseline.precision
+    assert auto_gain >= 0.6 * user_gain
+    assert result.auto_policies.recall == 1.0

@@ -1,0 +1,38 @@
+"""Extension study — the "fully connected conceptual network" (§1.3).
+
+The paper's design goal is a corpus navigable "almost as naturally as if
+it was interlinked by painstaking manual effort".  This bench quantifies
+the navigational gap between automatic and semiautomatic linking on the
+same corpus: edges created, largest weakly connected component, orphan
+entries (unreachable by navigation) and mean reachability.
+
+Expected shape: automatic linking produces more links, fewer orphans and
+strictly higher reachability than semiautomatic linking at realistic
+author-effort levels; at low effort the semiautomatic network visibly
+fragments.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import run_connectivity_study
+
+
+def test_connectivity_study(bench_corpus, benchmark):
+    result = benchmark.pedantic(
+        run_connectivity_study,
+        args=(bench_corpus,),
+        kwargs={"efforts": (0.4, 0.8)},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Connectivity study (§1.3 design goal, quantified)", result.format())
+
+    reports = {name: report for name, report in result.rows}
+    automatic = reports["NNexus (automatic)"]
+    low_effort = reports["semiautomatic (effort=40%)"]
+    high_effort = reports["semiautomatic (effort=80%)"]
+
+    assert automatic.edges > high_effort.edges > low_effort.edges
+    assert automatic.orphan_count <= high_effort.orphan_count <= low_effort.orphan_count
+    assert automatic.mean_reachability > low_effort.mean_reachability
+    assert automatic.largest_component_fraction >= 0.99

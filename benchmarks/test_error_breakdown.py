@@ -1,0 +1,30 @@
+"""Diagnostic — error attribution per invocation kind.
+
+Not a paper table, but the decomposition that *explains* Table 2: each
+quality mechanism targets one error class.  Plain concept invocations
+never err (unique labels); classification steering repairs in-area
+homonyms; cross-area homonym invocations are irreducible without
+understanding the text; linking policies repair common-English
+overlinks without ever touching genuine mathematical uses.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import run_error_breakdown
+
+
+def test_error_breakdown(bench_corpus, benchmark):
+    result = benchmark.pedantic(
+        run_error_breakdown, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    emit("Error breakdown by invocation kind", result.format())
+
+    by_name = dict(result.rows)
+    lexical = by_name["lexical only"]
+    steered = by_name["+ steering"]
+    full = by_name["+ steering + policies"]
+
+    assert lexical["concept"][0] == 0
+    assert steered["homonym"][0] < lexical["homonym"][0]
+    assert full["common-english"][0] < 0.3 * steered["common-english"][0]
+    assert full["common-math"][0] == 0  # policies never cost recall

@@ -1,0 +1,85 @@
+"""Fig. 9 — automatically linked lecture notes over two corpora.
+
+Paper: probability lecture notes linked against PlanetMath and
+MathWorld, collection priority deciding when both define a concept.
+
+Expected shape: before linking the notes contain zero links; after
+linking, the overwhelming majority of planted concept invocations carry
+a link to the correct target, and duplicated concepts resolve to the
+priority-1 domain.
+"""
+
+from conftest import emit
+
+from repro.core.config import DomainConfig, NNexusConfig
+from repro.core.linker import NNexus
+from repro.core.morphology import canonicalize_phrase
+from repro.corpus.generator import GeneratorParams, load_or_generate
+from repro.corpus.lecture_notes import generate_lecture_notes
+from repro.eval.report import format_percent, format_table
+
+
+def _two_domain_linker(corpus) -> NNexus:
+    config = NNexusConfig(
+        domains={
+            "planetmath": DomainConfig("planetmath", priority=1),
+            "mathworld": DomainConfig("mathworld", priority=2),
+        },
+        default_domain="planetmath",
+    )
+    linker = NNexus(scheme=corpus.scheme, config=config)
+    # Split the synthetic corpus into two "sites": even ids planetmath,
+    # odd ids mathworld — some concepts end up defined by both sites via
+    # the generator's homonym pairs.  (replace(), not mutation: the
+    # corpus fixture is shared across benchmark files.)
+    from dataclasses import replace
+
+    for obj in corpus.objects:
+        domain = "planetmath" if obj.object_id % 2 == 0 else "mathworld"
+        linker.add_object(replace(obj, domain=domain))
+    return linker
+
+
+def _link_notes(corpus):
+    linker = _two_domain_linker(corpus)
+    notes = generate_lecture_notes(corpus, count=30, seed=9)
+    total = correct = linked = 0
+    domain_counts = {"planetmath": 0, "mathworld": 0}
+    for note in notes:
+        document = linker.link_text(note.text, source_classes=note.classes)
+        produced = {
+            canonicalize_phrase(l.source_phrase): l for l in document.links
+        }
+        for invocation in note.ground_truth:
+            total += 1
+            link = produced.get(invocation.canonical)
+            if link is None:
+                continue
+            linked += 1
+            if link.target_id == invocation.target_id:
+                correct += 1
+            domain_counts[link.target_domain] += 1
+    return notes, total, linked, correct, domain_counts
+
+
+def test_fig9_lecture_notes_linking(bench_corpus, benchmark):
+    notes, total, linked, correct, domain_counts = benchmark.pedantic(
+        _link_notes, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    rows = [
+        ("lecture notes linked", len(notes)),
+        ("concept invocations", total),
+        ("invocations linked", f"{linked} ({format_percent(linked / total)})"),
+        ("linked to correct entry", f"{correct} ({format_percent(correct / linked)})"),
+        ("links into planetmath", domain_counts["planetmath"]),
+        ("links into mathworld", domain_counts["mathworld"]),
+    ]
+    emit(
+        "Fig. 9 (lecture notes before/after automatic linking, two domains)",
+        format_table("Fig. 9 reproduction", ("quantity", "value"), rows),
+    )
+    # Shape: near-perfect recall on planted invocations; both domains used.
+    assert linked / total > 0.95
+    assert correct / linked > 0.85
+    assert domain_counts["planetmath"] > 0
+    assert domain_counts["mathworld"] > 0

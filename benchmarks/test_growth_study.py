@@ -1,0 +1,39 @@
+"""Extension study — maintenance cost of a growing corpus (§1.2).
+
+The paper's motivation for automatic linking with invalidation: keeping
+an evolving corpus fully linked manually "would require continuous
+reinspection of the entire corpus by writers or other maintainers, which
+is a O(n^2)-scale problem".  This bench grows a corpus entry by entry
+and counts cumulative re-link work under (a) the invalidation index and
+(b) the naive rescan-everything policy.
+
+Expected shape: the savings factor *grows* with corpus size — naive work
+is quadratic while index-guided work grows far slower.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import run_growth_study
+
+
+def test_growth_study(bench_corpus, benchmark):
+    result = benchmark.pedantic(
+        run_growth_study,
+        args=(bench_corpus,),
+        kwargs={"final_size": min(1000, len(bench_corpus.objects))},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Growth study (the §1.2 O(n^2) maintenance argument)", result.format())
+
+    sizes = [size for size, __, ___ in result.checkpoints]
+    savings = [
+        naive / with_index
+        for __, with_index, naive in result.checkpoints
+        if with_index
+    ]
+    assert len(result.checkpoints) >= 3
+    assert sizes == sorted(sizes)
+    # The savings factor widens as the corpus grows (quadratic vs not).
+    assert savings[-1] > savings[0]
+    assert result.final_savings > 5.0

@@ -1,0 +1,145 @@
+"""Micro-benchmarks for the individual substrates.
+
+Not a paper table — these pin the per-operation costs that Table 3's
+macro behaviour is built from, so a regression in any component is
+visible in isolation.
+"""
+
+from repro.core.concept_map import ConceptMap
+from repro.core.classification import ClassificationGraph
+from repro.core.invalidation import InvalidationIndex
+from repro.core.morphology import canonicalize_phrase
+from repro.core.tokenizer import Tokenizer
+from repro.storage.engine import Column, Database, Schema
+
+
+def test_bench_tokenize_entry(small_corpus, benchmark):
+    tokenizer = Tokenizer()
+    text = small_corpus.objects[0].text
+    result = benchmark(lambda: tokenizer.tokenize(text))
+    assert len(result) > 0
+
+
+def test_bench_morphology(benchmark):
+    phrases = ["Planar Graphs", "Möbius's strips", "connected components",
+               "EIGENVALUES", "abelian groups"]
+
+    def canonicalize_all():
+        return [canonicalize_phrase(p) for p in phrases]
+
+    assert benchmark(canonicalize_all)
+
+
+def test_bench_concept_map_lookup(small_corpus, benchmark):
+    concept_map = ConceptMap()
+    for obj in small_corpus.objects:
+        for phrase in obj.concept_phrases():
+            concept_map.add_phrase(phrase, obj.object_id)
+    words = ["the", "perfect", "lattice", "holds", "graph", "even"]
+
+    def probe():
+        found = 0
+        for index in range(len(words)):
+            if concept_map.longest_match(words, index):
+                found += 1
+        return found
+
+    benchmark(probe)
+
+
+def test_bench_concept_map_build(small_corpus, benchmark):
+    pairs = [
+        (phrase, obj.object_id)
+        for obj in small_corpus.objects
+        for phrase in obj.concept_phrases()
+    ]
+
+    def build():
+        concept_map = ConceptMap()
+        concept_map.bulk_load(pairs)
+        return len(concept_map)
+
+    assert benchmark(build) > 0
+
+
+def test_bench_steering_distance(small_corpus, benchmark):
+    graph = ClassificationGraph.from_scheme(small_corpus.scheme)
+    codes = small_corpus.scheme.leaves()[:20]
+
+    def distances():
+        total = 0.0
+        for a in codes:
+            for b in codes:
+                d = graph.distance(a, b)
+                if d != float("inf"):
+                    total += d
+        return total
+
+    assert benchmark(distances) > 0
+
+
+def test_bench_johnson_all_pairs_small(benchmark):
+    from repro.ontology.msc import build_small_msc
+
+    def run():
+        graph = ClassificationGraph.from_scheme(build_small_msc())
+        return len(graph.johnson_all_pairs())
+
+    assert benchmark(run) > 100
+
+
+def test_bench_invalidation_index_build(small_corpus, benchmark):
+    texts = [(obj.object_id, obj.text) for obj in small_corpus.objects[:100]]
+
+    def build():
+        index = InvalidationIndex()
+        for object_id, text in texts:
+            index.index_object(object_id, text)
+        return index.object_count
+
+    assert benchmark(build) == 100
+
+
+def test_bench_btree_insert_range(benchmark):
+    from repro.storage.btree import BTree
+
+    def run():
+        tree = BTree()
+        for value in range(2000):
+            tree.insert((value * 7919) % 4093)  # scrambled order
+        return sum(1 for __ in tree.range_scan(100, 500))
+
+    assert benchmark(run) > 0
+
+
+def test_bench_range_select_via_ordered_index(benchmark):
+    schema = Schema(
+        (Column("id", "int"), Column("score", "float")),
+        "id",
+    )
+    db = Database()
+    db.create_table("t", schema, ordered_indexes=("score",))
+    for i in range(2000):
+        db.insert("t", {"id": i, "score": float((i * 31) % 997)})
+    table = db.table("t")
+
+    def probe():
+        return len(table.range_select("score", 100.0, 200.0))
+
+    assert benchmark(probe) > 0
+
+
+def test_bench_storage_insert_select(benchmark):
+    schema = Schema(
+        (Column("id", "int"), Column("label", "str"), Column("object_id", "int")),
+        "id",
+    )
+
+    def run():
+        db = Database()
+        db.create_table("concepts", schema, indexes=("label",))
+        for i in range(300):
+            db.insert("concepts", {"id": i, "label": f"l{i % 50}", "object_id": i})
+        return len(db.table("concepts").select(label="l7"))
+
+    assert benchmark(run) == 6

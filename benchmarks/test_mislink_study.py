@@ -1,0 +1,31 @@
+"""The Section 3.2 prose study: corpus-wide mislink/overlink rates.
+
+Paper (June 2006 study on all of PlanetMath, lexical matching +
+classification steering, no policies): ~12% of links were mislinks,
+7.9% were overlinks — i.e. 61.1% of mislinks were overlinks — and the
+2003 study was consistent, suggesting "12 to 15 percent mislinks can be
+expected in a real-world corpus with only lexical matching and
+classification steering".
+
+Expected shape: mislink rate in the 8-16% band, overlinks the majority
+of mislinks.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import run_mislink_study
+
+
+def test_mislink_overlink_study(bench_corpus, benchmark):
+    result = benchmark.pedantic(
+        run_mislink_study, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    emit(
+        "Section 3.2 study (paper: ~12% mislinks, 7.9% overlinks, 61% share)",
+        result.format(),
+    )
+    report = result.report
+    assert 0.06 <= report.mislink_rate <= 0.18
+    assert 0.04 <= report.overlink_rate <= 0.14
+    assert report.overlink_share_of_mislinks > 0.5
+    assert report.recall == 1.0

@@ -1,0 +1,42 @@
+"""Table 2 — linking quality across the three configurations (Section 3.2).
+
+Paper: precision without classification steering or policies, with
+steering, and with steering + 67 user-supplied policies; the last drives
+precision above 92%, with perfect recall throughout (no underlinking by
+construction of the concept-map scan).
+
+Expected shape: precision(lexical) < precision(+steering) <
+precision(+steering+policies), with the final row >= ~90% and recall
+pinned at 100%.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import run_table2
+
+
+def test_table2_linking_quality(bench_corpus, benchmark):
+    result = benchmark.pedantic(
+        run_table2, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    emit("Table 2 (paper: policies drive precision above 92%)", result.format())
+
+    lexical, steered, full = result.rows
+    assert lexical.full.precision <= steered.full.precision
+    assert steered.full.precision < full.full.precision
+    assert full.full.precision > 0.90
+    for row in result.rows:
+        assert row.full.recall == 1.0
+
+
+def test_table2_full_policy_coverage(bench_corpus, benchmark):
+    """With every culprit policied, precision climbs further still."""
+    result = benchmark.pedantic(
+        run_table2,
+        args=(bench_corpus,),
+        kwargs={"policy_coverage": 1.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table 2 variant: full policy coverage", result.format())
+    assert result.rows[-1].full.precision > 0.93

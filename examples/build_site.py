@@ -1,0 +1,33 @@
+"""Build a browsable static encyclopedia from the sample corpus.
+
+Writes one HTML page per entry (body auto-linked, metadata sidebar with
+incoming links), an alphabetical index, a classification browser, and a
+network-statistics page — the Noosphere-style deployment the paper's
+engine powers in production.
+
+Run:  python examples/build_site.py [output_dir]
+"""
+
+import sys
+import tempfile
+
+from repro import NNexus
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+from repro.site import SiteBuilder
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="nnexus-site-")
+    linker = NNexus(scheme=build_small_msc())
+    linker.add_objects(sample_corpus())
+
+    report = SiteBuilder(linker, site_title="PlanetSample").build(output_dir)
+    print(f"site written to {report.output_dir}")
+    print(f"  {report.entry_pages} entry pages, {report.index_pages} index pages")
+    print(f"  {report.links_rendered} invocation links rendered")
+    print(f"open {report.output_dir}/index.html in a browser to explore")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Section 5 extensions: CF link ranking, reputation, auto-policies.
+
+Three future-work threads of the paper, running against the sample
+corpus:
+
+1. the entry-entry link matrix and collaborative-filtering scores
+   (Section 1.2's recommender-system framing);
+2. reputation from user feedback steering tie-breaks;
+3. automatic keyword extraction proposing forgotten concept labels.
+
+Run:  python examples/feedback_ranking.py
+"""
+
+from repro import NNexus
+from repro.core.keywords import KeywordExtractor
+from repro.core.ranking import CompositeRanker, LinkMatrix, ReputationTable
+from repro.corpus.planetmath_sample import GRAPH_ID, SET_GRAPH_ID, sample_corpus
+from repro.ontology.msc import build_small_msc
+
+
+def main() -> None:
+    linker = NNexus(scheme=build_small_msc())
+    linker.add_objects(sample_corpus())
+
+    # Build the entry-entry link matrix from one linking pass.
+    matrix = LinkMatrix()
+    for object_id in linker.object_ids():
+        document = linker.link_object(object_id)
+        matrix.record_document(object_id, document.targets())
+    print(f"link matrix: {len(matrix)} linking entries")
+    print("entries most similar to 'plane graph' (id 1):")
+    for other, similarity in matrix.neighbors(1, k=3):
+        print(f"  {linker.get_object(other).title:24} similarity {similarity:.2f}")
+
+    # Simulated reader feedback: set-theory 'graph' links got downvoted
+    # from graph-theory pages.
+    reputation = ReputationTable()
+    for __ in range(12):
+        reputation.record_feedback(SET_GRAPH_ID, helpful=False)
+        reputation.record_feedback(GRAPH_ID, helpful=True)
+    print(f"\nreputation: graph={reputation.reputation(GRAPH_ID):.2f}, "
+          f"graph(set theory)={reputation.reputation(SET_GRAPH_ID):.2f}")
+
+    ranker = CompositeRanker(
+        steering=linker.steering,
+        link_matrix=matrix,
+        reputation=reputation,
+    )
+    ranked = ranker.rank(1, ["05C10"], {
+        GRAPH_ID: ["05C99"],
+        SET_GRAPH_ID: ["03E20"],
+    })
+    print("\ncomposite ranking for the homonym 'graph' from a 05C10 source:")
+    for candidate in ranked:
+        title = linker.get_object(candidate.object_id).title
+        print(f"  {title:24} score {candidate.score:.3f} "
+              f"(class {candidate.class_score:.2f}, cf {candidate.cf_score:.2f}, "
+              f"rep {candidate.reputation:.2f})")
+
+    # Keyword extraction: labels an author may have forgotten to declare.
+    extractor = KeywordExtractor()
+    extractor.observe_corpus(sample_corpus())
+    markov = linker.get_object(20)
+    print(f"\nsuggested extra labels for {markov.title!r}:")
+    for candidate in extractor.suggest_labels(markov, top_k=4):
+        print(f"  {candidate.text!r} (score {candidate.score:.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Interlinking corpora that use *different* classification schemes.
+
+Section 2.3 notes that steering "presents problems when attempting to
+link across multiple sites, as different knowledge bases may not use the
+same classification hierarchy" and points to ontology mapping as the
+remedy (a Section 5 future-work thread; implemented here in
+:mod:`repro.ontology.mapping`).
+
+This example builds a second corpus classified under a homegrown
+"topics" scheme, maps that scheme onto the MSC by label similarity, adds
+bridge edges to the steering graph, and shows a homonym being resolved
+*across schemes* — impossible with two disconnected hierarchies.
+
+Run:  python examples/multi_corpus_ontology.py
+"""
+
+from repro import CorpusObject, NNexus
+from repro.core.classification import ClassificationGraph, ClassificationSteering
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.mapping import add_scheme_to_graph, map_schemes, merge_into_graph
+from repro.ontology.msc import build_small_msc
+from repro.ontology.scheme import ClassificationScheme
+
+
+def build_topics_scheme() -> ClassificationScheme:
+    """A small e-learning taxonomy with its own codes."""
+    scheme = ClassificationScheme("topics")
+    scheme.add_class("DM", "Discrete mathematics")
+    scheme.add_class("DM-GT", "Graph theory", parent="DM")
+    scheme.add_class("DM-CO", "Enumerative combinatorics", parent="DM")
+    scheme.add_class("FN", "Foundations")
+    scheme.add_class("FN-ST", "Set theory", parent="FN")
+    scheme.add_class("FN-LO", "General logic", parent="FN")
+    scheme.add_class("PR", "Probability theory and stochastic processes")
+    scheme.add_class("PR-MC", "Markov processes", parent="PR")
+    return scheme
+
+
+def main() -> None:
+    msc = build_small_msc()
+    topics = build_topics_scheme()
+
+    mapping = map_schemes(topics, msc)
+    print("ontology mapping (topics -> msc):")
+    for class_mapping in sorted(mapping.mappings.values(), key=lambda m: m.source):
+        print(f"  {class_mapping.source:6} -> {class_mapping.target:6} "
+              f"[{class_mapping.method}, confidence {class_mapping.confidence:.2f}]")
+    print(f"coverage: {mapping.coverage():.0%}\n")
+
+    # One steering graph holding both schemes plus confident bridges.
+    graph = ClassificationGraph.from_scheme(msc)
+    add_scheme_to_graph(graph, topics)
+    bridges = merge_into_graph(graph, mapping, bridge_weight=1.0, min_confidence=0.5)
+    print(f"added {bridges} bridge edges to the steering graph\n")
+
+    linker = NNexus(scheme=msc)
+    linker._steering = ClassificationSteering(graph)  # swap in the merged graph
+    linker.add_objects(sample_corpus())
+    linker.add_object(
+        CorpusObject(2001, "course glossary: graph", defines=["graph"],
+                     classes=["DM-GT"], domain="default",
+                     text="Course definition of a graph as vertices and edges.")
+    )
+
+    # A document classified only under the foreign scheme still steers:
+    # "graph" must resolve toward graph theory, not set theory.
+    document = linker.link_text(
+        "Any connected graph on two vertices contains an edge.",
+        source_classes=["DM-GT"],
+    )
+    for link in document.links:
+        target = linker.get_object(link.target_id)
+        print(f"{link.source_phrase!r:12} -> object {link.target_id} "
+              f"({target.title}, classes {target.classes})")
+
+
+if __name__ == "__main__":
+    main()

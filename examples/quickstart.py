@@ -1,0 +1,43 @@
+"""Quickstart: automatic invocation linking in a dozen lines.
+
+Builds a linker over the bundled PlanetMath-style sample corpus and
+links a fresh paragraph against it, reproducing the paper's Fig. 1
+worked example: "planar graph" resolves to the planar-graph entry, the
+homonym "graph" is steered to the graph-theory definition (object 5)
+rather than the set-theoretic one (object 6) because the source text is
+classified under 05C40 (connectivity).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NNexus
+from repro.core.render import render_html, render_annotations
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+
+
+def main() -> None:
+    linker = NNexus(scheme=build_small_msc())
+    linker.add_objects(sample_corpus())
+    print(f"corpus: {len(linker)} entries, {linker.concept_count()} concept labels\n")
+
+    entry = (
+        "A plane graph is a planar graph drawn so that no two edges "
+        "cross. The faces are the connected components of the "
+        "complement, and when the graph $G$ is even an Euler path visits "
+        "every edge."
+    )
+    document = linker.link_text(entry, source_classes=["05C40"])
+
+    print("annotated (phrase[->target id]):\n")
+    print(render_annotations(document))
+    print("\nhtml:\n")
+    print(render_html(document))
+    print("\nlinks:")
+    for link in document.links:
+        target = linker.get_object(link.target_id)
+        print(f"  {link.source_phrase!r:28} -> {link.target_id:3} ({target.title})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""NNexus reproduction: automatic invocation linking for web corpora.
+
+A from-scratch Python implementation of the system described in
+*NNexus: An Automatic Linker for Collaborative Web-Based Corpora*
+(Gardner, Krowne, Xiong), including the concept map, classification
+steering, linking policies, the invalidation index, a storage engine,
+classification ontologies, an XML socket server, synthetic corpora with
+ground truth, baselines, and the paper's full evaluation harness.
+
+Quickstart::
+
+    from repro import NNexus, CorpusObject
+    from repro.ontology import build_small_msc
+
+    nnexus = NNexus(scheme=build_small_msc())
+    nnexus.add_object(CorpusObject(
+        object_id=1, title="planar graph", defines=["planar graph"],
+        classes=["05C10"], text="A graph that embeds in the plane.",
+    ))
+    doc = nnexus.link_text("Every planar graph is sparse.",
+                           source_classes=["05C10"])
+    print(doc.links)
+"""
+
+from repro.core import (
+    ConceptMap,
+    CorpusObject,
+    DomainConfig,
+    InvalidationIndex,
+    Link,
+    LinkedDocument,
+    NNexus,
+    NNexusConfig,
+    NNexusError,
+    render_html,
+    render_markdown,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NNexus",
+    "NNexusConfig",
+    "DomainConfig",
+    "CorpusObject",
+    "Link",
+    "LinkedDocument",
+    "ConceptMap",
+    "InvalidationIndex",
+    "NNexusError",
+    "render_html",
+    "render_markdown",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Link-graph analysis: measuring the conceptual network NNexus builds."""
+
+from repro.analysis.graph import (
+    ConnectivityReport,
+    LinkGraph,
+    build_link_graph,
+    connectivity_report,
+)
+from repro.analysis.stats import (
+    CorpusProfile,
+    ZipfFit,
+    fit_zipf,
+    gini_coefficient,
+    mean_occurrences_by_length,
+    phrase_length_falloff,
+    profile_corpus,
+    term_frequencies,
+)
+
+__all__ = [
+    "LinkGraph",
+    "ConnectivityReport",
+    "build_link_graph",
+    "connectivity_report",
+    "CorpusProfile",
+    "ZipfFit",
+    "fit_zipf",
+    "term_frequencies",
+    "phrase_length_falloff",
+    "mean_occurrences_by_length",
+    "profile_corpus",
+    "gini_coefficient",
+]

@@ -1,0 +1,16 @@
+"""Comparison linkers: lexical-only, TF-IDF IR, semiautomatic, random."""
+
+from repro.baselines.exact import build_lexical_linker
+from repro.baselines.random_pick import RandomPickLinker
+from repro.baselines.semiauto import DISAMBIGUATION, SemiAutoLinker, SemiAutoOutcome
+from repro.baselines.tfidf import TfIdfIndex, TfIdfLinker
+
+__all__ = [
+    "build_lexical_linker",
+    "TfIdfIndex",
+    "TfIdfLinker",
+    "SemiAutoLinker",
+    "SemiAutoOutcome",
+    "DISAMBIGUATION",
+    "RandomPickLinker",
+]

@@ -1,0 +1,37 @@
+"""Lexical-only linking: the paper's own ablation baseline.
+
+"Without classification-based link steering or link policies" — the
+first row of Table 2.  Implemented as a thin construction helper around
+:class:`~repro.core.linker.NNexus` with both quality mechanisms switched
+off, so the baseline shares the scanner and concept map exactly (the
+comparison isolates steering/policies, not tokenization details).
+Homonym ties fall back to collection priority then lowest object id,
+matching the behaviour of a naive first-match linker.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.config import NNexusConfig
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.ontology.scheme import ClassificationScheme
+
+__all__ = ["build_lexical_linker"]
+
+
+def build_lexical_linker(
+    objects: Iterable[CorpusObject],
+    scheme: ClassificationScheme | None = None,
+    config: NNexusConfig | None = None,
+) -> NNexus:
+    """An NNexus with steering and policies disabled (lexical matching only)."""
+    linker = NNexus(
+        scheme=scheme,
+        config=config,
+        enable_steering=False,
+        enable_policies=False,
+    )
+    linker.add_objects(objects)
+    return linker

@@ -1,0 +1,164 @@
+"""Standoff link export as W3C Web Annotations (JSON-LD).
+
+The paper's Semantic Web thread (OWL configuration, "enhance the
+semantic quality of the web in general") implies links should be
+consumable by tools other than the rendering pipeline.  This module
+exports a :class:`~repro.core.models.LinkedDocument` as standoff
+annotations in the W3C Web Annotation Data Model (JSON-LD): one
+annotation per invocation link, with a ``TextQuoteSelector`` +
+``TextPositionSelector`` pair targeting the source document and the
+linking body pointing at the defining entry's URL.
+
+Round-tripping is supported: annotations can be re-applied to the same
+text to reconstruct the links without re-running the linker (e.g. on a
+front-end that only has the plain text and the annotation feed).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.errors import NNexusError
+from repro.core.models import Link, LinkedDocument
+
+__all__ = [
+    "document_to_annotations",
+    "annotations_to_json",
+    "links_from_annotations",
+]
+
+ANNOTATION_CONTEXT = "http://www.w3.org/ns/anno.jsonld"
+GENERATOR_ID = "urn:nnexus:reproduction"
+
+
+def _selector(document: LinkedDocument, link: Link) -> dict[str, Any]:
+    text = document.source_text
+    prefix_start = max(0, link.char_start - 32)
+    suffix_end = min(len(text), link.char_end + 32)
+    return {
+        "type": "Choice",
+        "items": [
+            {
+                "type": "TextPositionSelector",
+                "start": link.char_start,
+                "end": link.char_end,
+            },
+            {
+                "type": "TextQuoteSelector",
+                "exact": text[link.char_start : link.char_end],
+                "prefix": text[prefix_start : link.char_start],
+                "suffix": text[link.char_end : suffix_end],
+            },
+        ],
+    }
+
+
+def document_to_annotations(
+    document: LinkedDocument,
+    source_iri: str = "urn:nnexus:document",
+) -> list[dict[str, Any]]:
+    """One Web Annotation per link, in source order."""
+    annotations: list[dict[str, Any]] = []
+    for index, link in enumerate(
+        sorted(document.links, key=lambda l: l.char_start), start=1
+    ):
+        annotations.append(
+            {
+                "@context": ANNOTATION_CONTEXT,
+                "id": f"{source_iri}/annotations/{index}",
+                "type": "Annotation",
+                "motivation": "linking",
+                "generator": {"id": GENERATOR_ID, "type": "Software"},
+                "body": {
+                    "id": link.url or f"urn:nnexus:object:{link.target_id}",
+                    "type": "SpecificResource",
+                    "purpose": "identifying",
+                    "nnexus:targetObject": link.target_id,
+                    "nnexus:targetDomain": link.target_domain,
+                },
+                "target": {
+                    "source": source_iri,
+                    "selector": _selector(document, link),
+                },
+            }
+        )
+    return annotations
+
+
+def annotations_to_json(
+    document: LinkedDocument,
+    source_iri: str = "urn:nnexus:document",
+    indent: int | None = 2,
+) -> str:
+    """Serialize the whole annotation set as a JSON-LD collection."""
+    annotations = document_to_annotations(document, source_iri=source_iri)
+    collection = {
+        "@context": ANNOTATION_CONTEXT,
+        "id": f"{source_iri}/annotations",
+        "type": "AnnotationCollection",
+        "total": len(annotations),
+        "items": annotations,
+    }
+    return json.dumps(collection, indent=indent)
+
+
+def links_from_annotations(
+    payload: str | dict[str, Any] | list[dict[str, Any]],
+    text: str,
+) -> list[Link]:
+    """Rebuild :class:`Link` values from an annotation feed.
+
+    Position selectors are validated against ``text`` via the quote
+    selector when present; a mismatch (the text changed since the
+    annotations were produced) raises :class:`NNexusError` rather than
+    silently mis-anchoring.
+    """
+    if isinstance(payload, str):
+        payload = json.loads(payload)
+    if isinstance(payload, dict):
+        items = payload.get("items", [])
+    else:
+        items = payload
+    links: list[Link] = []
+    for item in items:
+        body = item.get("body", {})
+        target = item.get("target", {})
+        selector = target.get("selector", {})
+        position, quote = _split_selectors(selector)
+        if position is None:
+            raise NNexusError("annotation lacks a TextPositionSelector")
+        start = int(position["start"])
+        end = int(position["end"])
+        if not (0 <= start < end <= len(text)):
+            raise NNexusError(f"annotation span ({start}, {end}) outside text")
+        surface = text[start:end]
+        if quote is not None and quote.get("exact") != surface:
+            raise NNexusError(
+                f"annotation quote {quote.get('exact')!r} does not match "
+                f"text {surface!r} — document changed since annotation"
+            )
+        links.append(
+            Link(
+                source_phrase=surface,
+                target_id=int(body.get("nnexus:targetObject", -1)),
+                target_domain=str(body.get("nnexus:targetDomain", "")),
+                char_start=start,
+                char_end=end,
+                url=str(body.get("id", "")),
+            )
+        )
+    return links
+
+
+def _split_selectors(
+    selector: dict[str, Any],
+) -> tuple[dict[str, Any] | None, dict[str, Any] | None]:
+    items = selector.get("items", [selector]) if selector else []
+    position = quote = None
+    for item in items:
+        if item.get("type") == "TextPositionSelector":
+            position = item
+        elif item.get("type") == "TextQuoteSelector":
+            quote = item
+    return position, quote

@@ -1,0 +1,169 @@
+"""Offline batch linking (Section 2.1).
+
+Entries are linked "either at display time or during offline batch
+processing"; this module is the batch path: link every entry of a
+corpus (or a selection), render to a chosen format, optionally write
+one file per entry, and report corpus-level statistics — with a
+progress callback for long runs.
+
+Worker threads share one linker.  Linking is read-only over the concept
+map and steering graph, which are safe for concurrent readers; the
+per-source Dijkstra memo is pre-warmed for the classes present so the
+only mutated structure is filled before fan-out.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.linker import NNexus
+from repro.core.models import LinkedDocument
+from repro.core.render import render_annotations, render_html, render_markdown
+
+__all__ = ["BatchReport", "BatchLinker"]
+
+_RENDERERS: dict[str, Callable[[LinkedDocument], str]] = {
+    "html": render_html,
+    "markdown": render_markdown,
+    "annotations": render_annotations,
+}
+
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batch run."""
+
+    entries: int = 0
+    links: int = 0
+    seconds: float = 0.0
+    rendered: dict[int, str] = field(default_factory=dict)
+    link_counts: dict[int, int] = field(default_factory=dict)
+    files_written: int = 0
+
+    @property
+    def links_per_entry(self) -> float:
+        return self.links / self.entries if self.entries else 0.0
+
+    @property
+    def seconds_per_link(self) -> float:
+        return self.seconds / self.links if self.links else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric summary for logs and JSON output."""
+        return {
+            "entries": float(self.entries),
+            "links": float(self.links),
+            "seconds": self.seconds,
+            "links_per_entry": self.links_per_entry,
+            "seconds_per_link": self.seconds_per_link,
+        }
+
+
+class BatchLinker:
+    """Link a whole corpus offline.
+
+    Parameters
+    ----------
+    linker:
+        The shared :class:`~repro.core.linker.NNexus`.
+    fmt:
+        Render format (``html``, ``markdown``, ``annotations``) or
+        ``None`` to skip rendering (timing/statistics runs).
+    workers:
+        Thread count.  The workload is pure Python (GIL-bound), so the
+        default of 1 is usually right; >1 exists for linkers whose
+        renderers do I/O.
+    """
+
+    def __init__(
+        self,
+        linker: NNexus,
+        fmt: str | None = "html",
+        workers: int = 1,
+    ) -> None:
+        if fmt is not None and fmt not in _RENDERERS:
+            raise ValueError(f"unknown render format {fmt!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._linker = linker
+        self._fmt = fmt
+        self._workers = workers
+
+    def _warm_steering_memo(self, object_ids: Sequence[int]) -> None:
+        """Precompute per-class distances so workers only read."""
+        steering = self._linker.steering
+        if steering is None or not self._linker.enable_steering:
+            return
+        classes: set[str] = set()
+        for object_id in object_ids:
+            classes.update(self._linker.get_object(object_id).classes)
+        for code in classes:
+            if code in steering.graph:
+                steering.graph.distance(code, code)  # populates the memo row
+
+    def run(
+        self,
+        object_ids: Iterable[int] | None = None,
+        progress: ProgressCallback | None = None,
+        output_dir: str | Path | None = None,
+    ) -> BatchReport:
+        """Link (and optionally render/write) the selected entries."""
+        ids = list(object_ids) if object_ids is not None else self._linker.object_ids()
+        self._warm_steering_memo(ids)
+        report = BatchReport()
+        renderer = _RENDERERS.get(self._fmt) if self._fmt else None
+        directory: Path | None = None
+        if output_dir is not None:
+            directory = Path(output_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+
+        def link_one(object_id: int) -> tuple[int, int, str | None]:
+            document = self._linker.link_object(object_id)
+            rendered = renderer(document) if renderer else None
+            return object_id, document.link_count, rendered
+
+        start = time.perf_counter()
+        completed = 0
+        if self._workers == 1:
+            outcomes = map(link_one, ids)
+            for object_id, count, rendered in outcomes:
+                completed += 1
+                self._record(report, object_id, count, rendered, directory)
+                if progress is not None:
+                    progress(completed, len(ids))
+        else:
+            with ThreadPoolExecutor(max_workers=self._workers) as pool:
+                for object_id, count, rendered in pool.map(link_one, ids):
+                    completed += 1
+                    self._record(report, object_id, count, rendered, directory)
+                    if progress is not None:
+                        progress(completed, len(ids))
+        report.entries = len(ids)
+        report.seconds = time.perf_counter() - start
+        return report
+
+    def _record(
+        self,
+        report: BatchReport,
+        object_id: int,
+        count: int,
+        rendered: str | None,
+        directory: Path | None,
+    ) -> None:
+        report.links += count
+        report.link_counts[object_id] = count
+        if rendered is not None:
+            report.rendered[object_id] = rendered
+            if directory is not None:
+                extension = {"html": "html", "markdown": "md", "annotations": "txt"}[
+                    self._fmt or "html"
+                ]
+                path = directory / f"object-{object_id}.{extension}"
+                path.write_text(rendered, encoding="utf-8")
+                report.files_written += 1

@@ -1,0 +1,97 @@
+"""Rendered-entry cache with invalidation marks (Section 2.5).
+
+After the invalidation index identifies which entries may link to a newly
+added concept, those entries are marked dirty in the cache table so they
+are re-linked before being displayed again — linking work is deferred to
+the next view instead of being done eagerly for the whole corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["CacheEntry", "RenderCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached rendering of an entry."""
+
+    object_id: int
+    rendered: str
+    valid: bool = True
+    version: int = 0
+
+
+class RenderCache:
+    """Object-id-keyed cache of rendered (linked) entries.
+
+    The cache never renders by itself; callers supply a ``render``
+    callable to :meth:`get_or_render` so the cache stays independent of
+    the linker.  Hit/miss/invalidation counters support the scalability
+    experiments.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def put(self, object_id: int, rendered: str) -> CacheEntry:
+        """Store a fresh rendering, bumping the entry's version."""
+        previous = self._entries.get(object_id)
+        version = previous.version + 1 if previous else 1
+        entry = CacheEntry(object_id=object_id, rendered=rendered, valid=True, version=version)
+        self._entries[object_id] = entry
+        return entry
+
+    def get(self, object_id: int) -> str | None:
+        """Cached rendering if present *and* still valid."""
+        entry = self._entries.get(object_id)
+        if entry is None or not entry.valid:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.rendered
+
+    def get_or_render(self, object_id: int, render: Callable[[int], str]) -> str:
+        """Serve from cache, re-rendering (and storing) on miss/dirty."""
+        cached = self.get(object_id)
+        if cached is not None:
+            return cached
+        rendered = render(object_id)
+        self.put(object_id, rendered)
+        return rendered
+
+    def invalidate(self, object_ids: Iterable[int]) -> int:
+        """Mark entries dirty; returns how many were actually valid."""
+        flipped = 0
+        for object_id in object_ids:
+            entry = self._entries.get(object_id)
+            if entry is not None and entry.valid:
+                entry.valid = False
+                flipped += 1
+                self.invalidations += 1
+        return flipped
+
+    def drop(self, object_id: int) -> None:
+        """Forget an entry entirely (e.g. after object removal)."""
+        self._entries.pop(object_id, None)
+
+    def invalid_ids(self) -> list[int]:
+        """Entries awaiting re-linking."""
+        return sorted(oid for oid, entry in self._entries.items() if not entry.valid)
+
+    def is_valid(self, object_id: int) -> bool:
+        """True when a clean rendering is cached for this id."""
+        entry = self._entries.get(object_id)
+        return entry is not None and entry.valid
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Empty the cache (counters are preserved)."""
+        self._entries.clear()

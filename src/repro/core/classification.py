@@ -1,0 +1,354 @@
+"""Classification-based link steering (Section 2.3, Algorithm 1).
+
+To disambiguate homonymous concept labels, NNexus compares the subject
+classes of the link *source* entry against the classes of every candidate
+link *target* and keeps the candidates at minimum class distance.
+
+Distances are shortest paths in the classification tree whose edges carry
+the paper's depth-decaying weights::
+
+    w(e) = b ** (height - i - 1)
+
+where ``b`` is the base weight (default 10; ``b = 1`` degenerates to the
+non-weighted hop count), ``height`` is the tree height and ``i`` the
+edge's distance from the root.  Deep edges are therefore cheap and edges
+near the root expensive, encoding "classes deeper in a subtree are more
+closely related than classes higher in the same subtree".
+
+The paper computes all-pairs shortest paths with Johnson's algorithm at
+startup; :class:`ClassificationGraph` implements Johnson (Bellman–Ford
+reweighting + per-node Dijkstra) from scratch, plus an LCA fast path that
+exploits the tree shape for on-demand queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.errors import NNexusError, UnknownClassError
+from repro.ontology.scheme import ClassificationScheme, normalize_code
+
+__all__ = [
+    "INFINITE_DISTANCE",
+    "DEFAULT_BASE_WEIGHT",
+    "ClassificationGraph",
+    "SteeringResult",
+    "ClassificationSteering",
+]
+
+#: Distance reported when two classes are unreachable from one another
+#: (or when an object carries no classification at all).
+INFINITE_DISTANCE = float("inf")
+
+#: The paper's default weight base ("The weights are assigned with base 10").
+DEFAULT_BASE_WEIGHT = 10.0
+
+
+class NegativeCycleError(NNexusError):
+    """Johnson's algorithm detected a negative-weight cycle."""
+
+
+class ClassificationGraph:
+    """A weighted undirected graph over classification codes.
+
+    Usually built from a :class:`ClassificationScheme` via
+    :meth:`from_scheme`, which applies the depth-decaying weight formula.
+    Arbitrary extra edges (e.g. cross-scheme bridges added by ontology
+    mapping) can be attached afterwards with :meth:`add_edge`.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: dict[str, dict[str, float]] = defaultdict(dict)
+        self._pair_cache: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scheme(
+        cls, scheme: ClassificationScheme, base_weight: float = DEFAULT_BASE_WEIGHT
+    ) -> "ClassificationGraph":
+        """Weighted graph for ``scheme`` with ``w(e) = b**(height - i - 1)``."""
+        if base_weight <= 0:
+            raise ValueError("base_weight must be positive")
+        graph = cls()
+        height = max(scheme.height(), 1)
+        for parent, child, edge_depth in scheme.edges():
+            weight = base_weight ** (height - edge_depth - 1)
+            graph.add_edge(parent, child, weight)
+        return graph
+
+    def add_node(self, code: str) -> None:
+        """Ensure a class node exists (no edges)."""
+        self._adjacency.setdefault(normalize_code(code), {})
+        self._pair_cache.clear()
+
+    def add_edge(self, code_a: str, code_b: str, weight: float) -> None:
+        """Add an undirected weighted edge between two classes."""
+        if weight < 0:
+            raise ValueError("edge weights must be non-negative")
+        a = normalize_code(code_a)
+        b = normalize_code(code_b)
+        self._adjacency[a][b] = weight
+        self._adjacency[b][a] = weight
+        self._pair_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Shortest paths
+    # ------------------------------------------------------------------
+    def __contains__(self, code: str) -> bool:
+        return normalize_code(code) in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def nodes(self) -> list[str]:
+        """All class codes present in the graph."""
+        return list(self._adjacency)
+
+    def neighbors(self, code: str) -> Mapping[str, float]:
+        """Adjacent classes and edge weights of ``code``."""
+        return dict(self._adjacency.get(normalize_code(code), {}))
+
+    def dijkstra(self, source: str) -> dict[str, float]:
+        """Single-source shortest-path distances from ``source``."""
+        start = normalize_code(source)
+        if start not in self._adjacency:
+            raise UnknownClassError("graph", start)
+        distances: dict[str, float] = {start: 0.0}
+        frontier: list[tuple[float, str]] = [(0.0, start)]
+        settled: set[str] = set()
+        while frontier:
+            cost, node = heapq.heappop(frontier)
+            if node in settled:
+                continue
+            settled.add(node)
+            for neighbor, weight in self._adjacency[node].items():
+                candidate = cost + weight
+                if candidate < distances.get(neighbor, INFINITE_DISTANCE):
+                    distances[neighbor] = candidate
+                    heapq.heappush(frontier, (candidate, neighbor))
+        return distances
+
+    def bellman_ford(self, source: str) -> dict[str, float]:
+        """Bellman–Ford distances from ``source``; detects negative cycles.
+
+        Needed for the reweighting step of Johnson's algorithm.  On the
+        non-negative tree weights produced by :meth:`from_scheme` this
+        returns the same distances as Dijkstra (slower).
+        """
+        start = normalize_code(source)
+        if start not in self._adjacency:
+            raise UnknownClassError("graph", start)
+        distances = {node: INFINITE_DISTANCE for node in self._adjacency}
+        distances[start] = 0.0
+        edges = [
+            (a, b, w)
+            for a, nbrs in self._adjacency.items()
+            for b, w in nbrs.items()
+        ]
+        for _ in range(len(self._adjacency) - 1):
+            changed = False
+            for a, b, weight in edges:
+                if distances[a] + weight < distances[b]:
+                    distances[b] = distances[a] + weight
+                    changed = True
+            if not changed:
+                break
+        for a, b, weight in edges:
+            if distances[a] + weight < distances[b]:
+                raise NegativeCycleError("negative-weight cycle detected")
+        return distances
+
+    def johnson_all_pairs(self) -> dict[str, dict[str, float]]:
+        """All-pairs shortest paths via Johnson's algorithm.
+
+        A virtual source connected to every node with zero-weight edges is
+        used for the Bellman–Ford potential computation, then every node
+        runs Dijkstra over the reweighted edges.  Potentials are all zero
+        here because our weights are non-negative, but the full algorithm
+        is implemented as the paper specifies it (and exercised by tests
+        against brute-force Floyd–Warshall).
+        """
+        virtual = "__johnson_virtual__"
+        if virtual in self._adjacency:  # pragma: no cover - defensive
+            raise NNexusError("reserved virtual node name in use")
+        # Bellman-Ford from the virtual source; directed zero edges into
+        # every node mean every potential is reachable.
+        potentials = {node: 0.0 for node in self._adjacency}
+        edges = [
+            (a, b, w)
+            for a, nbrs in self._adjacency.items()
+            for b, w in nbrs.items()
+        ]
+        # |V| + 1 nodes including the virtual source -> |V| relaxation
+        # rounds suffice; a change in the extra round means a cycle.
+        for _ in range(len(self._adjacency) + 1):
+            changed = False
+            for a, b, weight in edges:
+                if potentials[a] + weight < potentials[b]:
+                    potentials[b] = potentials[a] + weight
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise NegativeCycleError("negative-weight cycle detected")
+        result: dict[str, dict[str, float]] = {}
+        for node in self._adjacency:
+            reweighted = self._dijkstra_reweighted(node, potentials)
+            result[node] = {
+                other: cost - potentials[node] + potentials[other]
+                for other, cost in reweighted.items()
+            }
+        self._pair_cache = result
+        return result
+
+    def _dijkstra_reweighted(
+        self, source: str, potentials: Mapping[str, float]
+    ) -> dict[str, float]:
+        distances: dict[str, float] = {source: 0.0}
+        frontier: list[tuple[float, str]] = [(0.0, source)]
+        settled: set[str] = set()
+        while frontier:
+            cost, node = heapq.heappop(frontier)
+            if node in settled:
+                continue
+            settled.add(node)
+            for neighbor, weight in self._adjacency[node].items():
+                adjusted = weight + potentials[node] - potentials[neighbor]
+                candidate = cost + adjusted
+                if candidate < distances.get(neighbor, INFINITE_DISTANCE):
+                    distances[neighbor] = candidate
+                    heapq.heappush(frontier, (candidate, neighbor))
+        return distances
+
+    def distance(self, code_a: str, code_b: str) -> float:
+        """Shortest-path distance between two classes.
+
+        Uses the Johnson table when precomputed, otherwise a cached
+        per-source Dijkstra.
+        """
+        a = normalize_code(code_a)
+        b = normalize_code(code_b)
+        if a == b:
+            return 0.0 if a in self._adjacency else INFINITE_DISTANCE
+        if a not in self._adjacency or b not in self._adjacency:
+            return INFINITE_DISTANCE
+        row = self._pair_cache.get(a)
+        if row is None:
+            row = self.dijkstra(a)
+            self._pair_cache[a] = row
+        return row.get(b, INFINITE_DISTANCE)
+
+
+@dataclass
+class SteeringResult:
+    """Outcome of Algorithm 1 for one match.
+
+    ``winners`` are the candidate object ids at minimum distance (ties
+    preserved — the linker applies priority/recency tie-breaks);
+    ``distances`` records the distance computed for every candidate.
+    """
+
+    winners: tuple[int, ...]
+    distances: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def best_distance(self) -> float:
+        if not self.winners:
+            return INFINITE_DISTANCE
+        return self.distances[self.winners[0]]
+
+
+class ClassificationSteering:
+    """Algorithm 1: pick the candidate targets closest in classification.
+
+    Parameters
+    ----------
+    graph:
+        Weighted classification graph (one scheme, or several bridged by
+        ontology-mapping edges).
+    unclassified_distance:
+        Distance charged when the source or a candidate has no classes.
+        The paper leaves such objects undifferentiated; we place them just
+        beyond every real distance (``inf``) so that classified candidates
+        always win over unclassified ones, but ties among unclassified
+        candidates survive for downstream tie-breaking.
+    """
+
+    def __init__(
+        self,
+        graph: ClassificationGraph,
+        unclassified_distance: float = INFINITE_DISTANCE,
+    ) -> None:
+        self._graph = graph
+        self._unclassified_distance = unclassified_distance
+
+    @property
+    def graph(self) -> ClassificationGraph:
+        return self._graph
+
+    def pair_distance(self, source_classes: Sequence[str], target_classes: Sequence[str]) -> float:
+        """Minimum distance over all source/target class pairs (Alg. 1, l.5)."""
+        if not source_classes or not target_classes:
+            return self._unclassified_distance
+        best = INFINITE_DISTANCE
+        for source_class in source_classes:
+            for target_class in target_classes:
+                best = min(best, self._graph.distance(source_class, target_class))
+                if best == 0.0:
+                    return best
+        return best
+
+    def steer(
+        self,
+        source_classes: Sequence[str],
+        candidates: Mapping[int, Sequence[str]],
+    ) -> SteeringResult:
+        """Run Algorithm 1 over ``candidates`` (object id -> class list)."""
+        distances: dict[int, float] = {}
+        for object_id, target_classes in candidates.items():
+            distances[object_id] = self.pair_distance(source_classes, target_classes)
+        if not distances:
+            return SteeringResult(winners=(), distances={})
+        best = min(distances.values())
+        winners = tuple(sorted(oid for oid, d in distances.items() if d == best))
+        return SteeringResult(winners=winners, distances=distances)
+
+
+def brute_force_all_pairs(graph: ClassificationGraph) -> dict[str, dict[str, float]]:
+    """Floyd–Warshall reference implementation for testing Johnson."""
+    nodes = graph.nodes()
+    dist: dict[str, dict[str, float]] = {
+        a: {b: (0.0 if a == b else INFINITE_DISTANCE) for b in nodes} for a in nodes
+    }
+    for a in nodes:
+        for b, weight in graph.neighbors(a).items():
+            dist[a][b] = min(dist[a][b], weight)
+    for k in nodes:
+        row_k = dist[k]
+        for i in nodes:
+            via = dist[i][k]
+            if via == INFINITE_DISTANCE:
+                continue
+            row_i = dist[i]
+            for j in nodes:
+                candidate = via + row_k[j]
+                if candidate < row_i[j]:
+                    row_i[j] = candidate
+    return dist
+
+
+def default_steering(
+    scheme: ClassificationScheme,
+    base_weight: float = DEFAULT_BASE_WEIGHT,
+    precompute: bool = False,
+) -> ClassificationSteering:
+    """Convenience constructor: weighted graph + steering for ``scheme``."""
+    graph = ClassificationGraph.from_scheme(scheme, base_weight=base_weight)
+    if precompute:
+        graph.johnson_all_pairs()
+    return ClassificationSteering(graph)

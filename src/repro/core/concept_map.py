@@ -1,0 +1,189 @@
+"""The concept map: NNexus's chained-hash concept-label index.
+
+Fig. 3 of the paper: a fast-access chained-hash structure filled with all
+the concept labels of all included corpora.  Keys are the *first word* of
+each (canonicalized) concept label; each key chains to the full labels
+starting with that word, so scanning an entry is a single pass over its
+token array with O(1) first-word probes.
+
+For each label the map records every object that defines it — homonymous
+labels therefore chain multiple candidate targets, which classification
+steering later disambiguates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.models import ConceptLabel
+from repro.core.morphology import canonicalize_phrase
+
+__all__ = ["ConceptChain", "ConceptMap"]
+
+
+@dataclass
+class ConceptChain:
+    """All concept labels sharing a first word, longest first.
+
+    ``labels`` maps the canonical word tuple to the set of defining object
+    ids; ``by_length`` caches the distinct label lengths in descending
+    order so the matcher can try the longest phrase first (Section 2.2:
+    "NNexus always performs the longest phrase match").
+    """
+
+    labels: dict[tuple[str, ...], set[int]]
+
+    def lengths_descending(self) -> list[int]:
+        return sorted({len(words) for words in self.labels}, reverse=True)
+
+    def longest(self) -> int:
+        """Length of the longest label in this chain."""
+        return max(len(words) for words in self.labels)
+
+
+class ConceptMap:
+    """Chained-hash index of concept labels -> defining objects.
+
+    The map stores canonical labels only; callers canonicalize through
+    :func:`repro.core.morphology.canonicalize_phrase` (done automatically
+    by :meth:`add_phrase`).
+    """
+
+    def __init__(self) -> None:
+        self._chains: dict[str, dict[tuple[str, ...], set[int]]] = {}
+        # Reverse index: object id -> canonical labels it was checked in
+        # under, so objects can be removed/updated in O(own labels).
+        self._object_labels: dict[int, set[tuple[str, ...]]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_phrase(self, phrase: str, object_id: int) -> tuple[str, ...] | None:
+        """Check a raw concept label into the map for ``object_id``.
+
+        Returns the canonical word tuple actually indexed, or ``None``
+        when the phrase canonicalizes to nothing (e.g. pure punctuation).
+        """
+        words = canonicalize_phrase(phrase)
+        if not words:
+            return None
+        self.add_canonical(words, object_id)
+        return words
+
+    def add_canonical(self, words: tuple[str, ...], object_id: int) -> None:
+        """Index an already-canonical label for ``object_id``."""
+        chain = self._chains.setdefault(words[0], {})
+        chain.setdefault(words, set()).add(object_id)
+        self._object_labels[object_id].add(words)
+
+    def remove_object(self, object_id: int) -> set[tuple[str, ...]]:
+        """Drop every label registered by ``object_id``.
+
+        Returns the canonical labels that no longer have *any* defining
+        object (the set of concepts that vanished from the corpus — the
+        invalidation index needs these).
+        """
+        removed_entirely: set[tuple[str, ...]] = set()
+        for words in self._object_labels.pop(object_id, set()):
+            chain = self._chains.get(words[0])
+            if chain is None:
+                continue
+            owners = chain.get(words)
+            if owners is None:
+                continue
+            owners.discard(object_id)
+            if not owners:
+                del chain[words]
+                removed_entirely.add(words)
+            if not chain:
+                del self._chains[words[0]]
+        return removed_entirely
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def chain_for(self, first_word: str) -> ConceptChain | None:
+        """The chain of labels starting with ``first_word``, if any."""
+        chain = self._chains.get(first_word)
+        if chain is None:
+            return None
+        return ConceptChain(labels=chain)
+
+    def longest_match(
+        self, words: Sequence[str], position: int
+    ) -> tuple[tuple[str, ...], frozenset[int]] | None:
+        """Longest concept label matching ``words`` at ``position``.
+
+        Implements the scan step of Section 2.2: probe the chained hash
+        with the word at ``position``; if it heads any indexed label, try
+        the longest label first, then progressively shorter ones.
+        """
+        chain = self._chains.get(words[position])
+        if chain is None:
+            return None
+        remaining = len(words) - position
+        for length in sorted({len(label) for label in chain}, reverse=True):
+            if length > remaining:
+                continue
+            candidate = tuple(words[position : position + length])
+            owners = chain.get(candidate)
+            if owners:
+                return candidate, frozenset(owners)
+        return None
+
+    def owners(self, phrase: str) -> frozenset[int]:
+        """Objects defining ``phrase`` (canonicalized before lookup)."""
+        words = canonicalize_phrase(phrase)
+        if not words:
+            return frozenset()
+        chain = self._chains.get(words[0], {})
+        return frozenset(chain.get(words, set()))
+
+    def labels_for_object(self, object_id: int) -> frozenset[tuple[str, ...]]:
+        """Canonical labels currently registered by ``object_id``."""
+        return frozenset(self._object_labels.get(object_id, set()))
+
+    def concept_labels(self) -> Iterator[ConceptLabel]:
+        """Iterate every (label, object) pair in the map."""
+        for chain in self._chains.values():
+            for words, owners in chain.items():
+                for object_id in owners:
+                    yield ConceptLabel(words=words, raw=" ".join(words), object_id=object_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, phrase: str) -> bool:
+        return bool(self.owners(phrase))
+
+    def __len__(self) -> int:
+        """Number of distinct canonical labels indexed."""
+        return sum(len(chain) for chain in self._chains.values())
+
+    @property
+    def first_word_count(self) -> int:
+        """Number of hash buckets (distinct first words)."""
+        return len(self._chains)
+
+    @property
+    def object_count(self) -> int:
+        return len(self._object_labels)
+
+    def stats(self) -> dict[str, int | float]:
+        """Index-shape statistics (useful in scalability experiments)."""
+        chain_sizes = [len(chain) for chain in self._chains.values()]
+        label_count = sum(chain_sizes)
+        return {
+            "labels": label_count,
+            "buckets": len(chain_sizes),
+            "objects": len(self._object_labels),
+            "max_chain": max(chain_sizes, default=0),
+            "mean_chain": (label_count / len(chain_sizes)) if chain_sizes else 0.0,
+        }
+
+    def bulk_load(self, phrases: Iterable[tuple[str, int]]) -> None:
+        """Index many ``(phrase, object_id)`` pairs."""
+        for phrase, object_id in phrases:
+            self.add_phrase(phrase, object_id)

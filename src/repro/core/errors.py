@@ -1,0 +1,93 @@
+"""Exception hierarchy for the NNexus reproduction.
+
+Every error raised by this package derives from :class:`NNexusError`, so
+callers embedding the linker can catch a single base class at an API
+boundary while tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class NNexusError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DuplicateObjectError(NNexusError):
+    """An object with the same identifier is already registered."""
+
+    def __init__(self, object_id: int) -> None:
+        super().__init__(f"object {object_id} is already registered")
+        self.object_id = object_id
+
+
+class UnknownObjectError(NNexusError):
+    """The requested object identifier is not registered."""
+
+    def __init__(self, object_id: int) -> None:
+        super().__init__(f"object {object_id} is not registered")
+        self.object_id = object_id
+
+
+class UnknownDomainError(NNexusError):
+    """A domain handle was used that has not been configured."""
+
+    def __init__(self, domain: str) -> None:
+        super().__init__(f"domain {domain!r} is not configured")
+        self.domain = domain
+
+
+class UnknownClassError(NNexusError):
+    """A classification code does not exist in its scheme."""
+
+    def __init__(self, scheme: str, code: str) -> None:
+        super().__init__(f"class {code!r} is not part of scheme {scheme!r}")
+        self.scheme = scheme
+        self.code = code
+
+
+class PolicyParseError(NNexusError):
+    """A linking-policy text chunk could not be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"policy line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+class SchemeParseError(NNexusError):
+    """A classification scheme definition could not be parsed."""
+
+
+class ProtocolError(NNexusError):
+    """An XML request or response violates the NNexus wire protocol."""
+
+
+class StorageError(NNexusError):
+    """Base class for errors raised by the embedded storage engine."""
+
+
+class SchemaError(StorageError):
+    """A row or query does not match the declared table schema."""
+
+
+class DuplicateKeyError(StorageError):
+    """A primary-key or unique-index constraint was violated."""
+
+    def __init__(self, table: str, key: object) -> None:
+        super().__init__(f"duplicate key {key!r} in table {table!r}")
+        self.table = table
+        self.key = key
+
+
+class MissingKeyError(StorageError):
+    """A lookup referenced a primary key that does not exist."""
+
+    def __init__(self, table: str, key: object) -> None:
+        super().__init__(f"key {key!r} not found in table {table!r}")
+        self.table = table
+        self.key = key
+
+
+class TransactionError(StorageError):
+    """A transaction was used incorrectly (e.g. commit without begin)."""

@@ -1,0 +1,202 @@
+"""The invalidation index (Section 2.5, Fig. 6).
+
+When a new concept is defined (or a concept label changes), every entry
+that *might* invoke it must be re-linked.  Rescanning the whole corpus on
+each update is the O(n²) trap the paper warns about; instead NNexus keeps
+an *adaptive inverted index* over entry text:
+
+* keyed on single words **and** phrases (word n-grams);
+* longer phrases are indexed only when they occur frequently enough
+  (occurrence counts follow a Zipf fall-off, so the index stays ~2x the
+  size of a word-only inverted index);
+* **prefix-closure property**: whenever a phrase is indexed, every
+  shorter prefix of it is indexed for every occurrence of the longer
+  phrase, guaranteeing that a lookup by any prefix never misses.
+
+A lookup for a new concept label walks from the full phrase down to the
+longest indexed prefix and returns that postings list — a minimal
+superset of the entries that can contain the phrase (never a false
+negative; few false positives).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.morphology import canonicalize_phrase
+from repro.core.tokenizer import Tokenizer
+
+__all__ = ["InvalidationIndex", "IndexStats"]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Shape of the index, for the size comparison in the paper."""
+
+    word_keys: int
+    phrase_keys: int
+    postings: int
+
+    @property
+    def total_keys(self) -> int:
+        return self.word_keys + self.phrase_keys
+
+    @property
+    def size_ratio_vs_word_index(self) -> float:
+        """Total keys relative to a word-only inverted index."""
+        if self.word_keys == 0:
+            return 0.0
+        return self.total_keys / self.word_keys
+
+
+class InvalidationIndex:
+    """Adaptive word-and-phrase inverted index over entry text.
+
+    Parameters
+    ----------
+    max_phrase_length:
+        Longest n-gram considered for indexing.  The paper notes there is
+        no hard limit but very long phrases are vanishingly rare; 4 keeps
+        the index compact while covering realistic concept labels.
+    phrase_threshold:
+        Minimum corpus-wide occurrence count before an n-gram (n >= 2)
+        earns its own key — the "adaptive" rule.  Single words are always
+        indexed.
+    tokenizer:
+        Scanner used to canonicalize entry text; defaults to the linker's
+        tokenizer so index terms agree with concept-map terms.
+    """
+
+    def __init__(
+        self,
+        max_phrase_length: int = 4,
+        phrase_threshold: int = 2,
+        tokenizer: Tokenizer | None = None,
+    ) -> None:
+        if max_phrase_length < 1:
+            raise ValueError("max_phrase_length must be >= 1")
+        if phrase_threshold < 1:
+            raise ValueError("phrase_threshold must be >= 1")
+        self.max_phrase_length = max_phrase_length
+        self.phrase_threshold = phrase_threshold
+        self._tokenizer = tokenizer or Tokenizer()
+        # postings: phrase tuple -> object ids containing it.
+        self._postings: dict[tuple[str, ...], set[int]] = defaultdict(set)
+        # corpus-wide occurrence counts driving the adaptive rule.
+        self._occurrences: Counter[tuple[str, ...]] = Counter()
+        # per-object phrase sets for O(own text) removal.
+        self._object_phrases: dict[int, Counter[tuple[str, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def index_object(self, object_id: int, text: str) -> None:
+        """(Re-)index the text of ``object_id``."""
+        if object_id in self._object_phrases:
+            self.remove_object(object_id)
+        words = self._tokenizer.tokenize(text).canonical_words()
+        grams = _ngrams(words, self.max_phrase_length)
+        self._object_phrases[object_id] = grams
+        for gram, count in grams.items():
+            self._postings[gram].add(object_id)
+            self._occurrences[gram] += count
+
+    def remove_object(self, object_id: int) -> None:
+        """Drop ``object_id`` from every postings list it appears in."""
+        grams = self._object_phrases.pop(object_id, None)
+        if grams is None:
+            return
+        for gram, count in grams.items():
+            posting = self._postings.get(gram)
+            if posting is not None:
+                posting.discard(object_id)
+                if not posting:
+                    del self._postings[gram]
+            self._occurrences[gram] -= count
+            if self._occurrences[gram] <= 0:
+                del self._occurrences[gram]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _is_indexed(self, gram: tuple[str, ...]) -> bool:
+        """Adaptive rule: words always; phrases once frequent enough."""
+        if len(gram) == 1:
+            return gram in self._postings
+        return self._occurrences.get(gram, 0) >= self.phrase_threshold
+
+    def invalidate(self, phrase: str | Sequence[str]) -> set[int]:
+        """Objects that may invoke ``phrase`` — the minimal superset.
+
+        Walks from the full canonical phrase down through its prefixes
+        until an indexed key is found (the prefix-closure property makes
+        the first hit a superset of all longer-phrase occurrences).
+        """
+        words = _canonical_words(phrase)
+        if not words:
+            return set()
+        probe = words[: self.max_phrase_length]
+        for length in range(len(probe), 0, -1):
+            gram = probe[:length]
+            if self._is_indexed(gram):
+                return set(self._postings.get(gram, set()))
+        return set()
+
+    def invalidate_many(self, phrases: Iterable[str | Sequence[str]]) -> set[int]:
+        """Union of :meth:`invalidate` over several new/changed labels."""
+        invalidated: set[int] = set()
+        for phrase in phrases:
+            invalidated |= self.invalidate(phrase)
+        return invalidated
+
+    def postings_for(self, phrase: str | Sequence[str]) -> set[int]:
+        """Exact postings list for a phrase key (no prefix walk)."""
+        words = _canonical_words(phrase)
+        return set(self._postings.get(words, set()))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def object_count(self) -> int:
+        return len(self._object_phrases)
+
+    def stats(self) -> IndexStats:
+        """Index-shape statistics (key counts, posting totals)."""
+        word_keys = 0
+        phrase_keys = 0
+        postings = 0
+        for gram, posting in self._postings.items():
+            if len(gram) == 1:
+                word_keys += 1
+            elif self._is_indexed(gram):
+                phrase_keys += 1
+            else:
+                continue
+            postings += len(posting)
+        return IndexStats(word_keys=word_keys, phrase_keys=phrase_keys, postings=postings)
+
+
+def _canonical_words(phrase: str | Sequence[str]) -> tuple[str, ...]:
+    if isinstance(phrase, str):
+        return canonicalize_phrase(phrase)
+    return tuple(phrase)
+
+
+def _ngrams(words: list[str], max_length: int) -> Counter[tuple[str, ...]]:
+    """All n-grams of ``words`` up to ``max_length``, with counts.
+
+    Indexing every n-gram (and exposing long ones lazily through the
+    frequency rule) automatically satisfies the prefix-closure property:
+    any occurrence of a long phrase contributes occurrences of all its
+    prefixes as well.
+    """
+    grams: Counter[tuple[str, ...]] = Counter()
+    total = len(words)
+    for start in range(total):
+        limit = min(max_length, total - start)
+        for length in range(1, limit + 1):
+            grams[tuple(words[start : start + length])] += 1
+    return grams

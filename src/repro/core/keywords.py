@@ -1,0 +1,228 @@
+"""Automatic keyword (concept-label) extraction.
+
+Sections 2.4 and 5: "we are exploring automatic keyword extraction
+techniques in order to extract those terms that should be or should not
+be linked in an automatic way" and "to better extract concept labels to
+be linked".
+
+This module implements a corpus-statistics extractor in the RAKE family,
+adapted to the invocation-linking setting:
+
+* candidate phrases are maximal runs of non-stopword tokens (after the
+  linker's own morphological canonicalization, so extracted labels are
+  directly indexable in the concept map);
+* candidates are scored by ``degree/frequency`` co-occurrence statistics
+  within the entry, boosted by corpus-level rarity (a phrase ubiquitous
+  across the corpus is a poor concept label — it behaves like "even");
+* the extractor can run against a single entry (suggest labels for a
+  new submission) or the whole corpus (surface definitions nobody
+  declared in metadata).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.models import CorpusObject
+from repro.core.tokenizer import Tokenizer
+
+__all__ = ["KeywordCandidate", "KeywordExtractor", "DEFAULT_STOPWORDS"]
+
+#: Function words that terminate candidate phrases.  Kept deliberately
+#: small and domain-neutral; callers can extend it per corpus.
+DEFAULT_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an the and or not of in on to for with by from as at is are was
+    were be been being it its this that these those which whose we you
+    they he she i our your their his her then than so if when where
+    how what why who all any both each few more most other some such
+    only own same too very can will just should now let there here
+    also into over under between about above below again once during
+    suppose define denote thus hence since note recall observe clearly
+    show shows shown consider obtain obtains implies follows holds
+    gives yields applying using moreover furthermore therefore because
+    first second next finally one two three give take make makes use
+    call called appear appears always often usually near collect collects
+    solve solves involve involves involving state states describe
+    describes contain contains
+    """.split()
+)
+
+
+@dataclass(frozen=True)
+class KeywordCandidate:
+    """An extracted candidate concept label."""
+
+    words: tuple[str, ...]
+    score: float
+    occurrences: int
+    document_frequency: int
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.words)
+
+
+class KeywordExtractor:
+    """RAKE-style keyword extraction over canonicalized entry text.
+
+    Parameters
+    ----------
+    stopwords:
+        Phrase-breaking words.
+    max_phrase_length:
+        Longest candidate (concept labels are overwhelmingly 1-4 words).
+    min_word_length:
+        Single-character tokens are never keywords.
+    """
+
+    def __init__(
+        self,
+        stopwords: frozenset[str] = DEFAULT_STOPWORDS,
+        max_phrase_length: int = 4,
+        min_word_length: int = 2,
+    ) -> None:
+        self._stopwords = stopwords
+        self._max_phrase_length = max_phrase_length
+        self._min_word_length = min_word_length
+        self._tokenizer = Tokenizer()
+        # Corpus statistics for rarity boosting.
+        self._document_frequency: Counter[tuple[str, ...]] = Counter()
+        self._documents = 0
+
+    # ------------------------------------------------------------------
+    # Corpus statistics
+    # ------------------------------------------------------------------
+    def observe_corpus(self, objects: Iterable[CorpusObject]) -> None:
+        """Accumulate document frequencies for rarity weighting.
+
+        Every sub-n-gram of every stopword-free run is counted, so a
+        candidate phrase's document frequency does not depend on how the
+        extraction chunked the run it came from.
+        """
+        for obj in objects:
+            self._documents += 1
+            seen: set[tuple[str, ...]] = set()
+            for run in self._runs(obj.text):
+                for start in range(len(run)):
+                    limit = min(self._max_phrase_length, len(run) - start)
+                    for length in range(1, limit + 1):
+                        gram = tuple(run[start : start + length])
+                        if gram not in seen:
+                            seen.add(gram)
+                            self._document_frequency[gram] += 1
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def _runs(self, text: str) -> list[list[str]]:
+        """Maximal stopword-free word runs in canonical form."""
+        words = self._tokenizer.tokenize(text).canonical_words()
+        runs: list[list[str]] = []
+        run: list[str] = []
+        for word in words:
+            if word in self._stopwords or len(word) < self._min_word_length:
+                if run:
+                    runs.append(run)
+                run = []
+            else:
+                run.append(word)
+        if run:
+            runs.append(run)
+        return runs
+
+    def _candidate_phrases(self, text: str) -> list[tuple[str, ...]]:
+        """Runs chopped to the length cap — the scoring units."""
+        phrases: list[tuple[str, ...]] = []
+        for run in self._runs(text):
+            self._flush(run, phrases)
+        return phrases
+
+    def _flush(self, run: list[str], phrases: list[tuple[str, ...]]) -> None:
+        if not run:
+            return
+        limit = self._max_phrase_length
+        for start in range(0, len(run), limit):
+            chunk = tuple(run[start : start + limit])
+            if chunk:
+                phrases.append(chunk)
+
+    def extract(self, text: str, top_k: int = 10) -> list[KeywordCandidate]:
+        """Top candidate concept labels for one entry's text.
+
+        RAKE scoring: each word gets ``degree(w) / frequency(w)`` where
+        degree counts co-occurrences inside candidate phrases; a phrase
+        scores the sum of its word scores.  Corpus-level document
+        frequency divides the score: phrases common across the whole
+        corpus behave like stop-concepts and sink.
+        """
+        phrases = self._candidate_phrases(text)
+        if not phrases:
+            return []
+        frequency: Counter[str] = Counter()
+        degree: Counter[str] = Counter()
+        phrase_counts: Counter[tuple[str, ...]] = Counter()
+        for phrase in phrases:
+            phrase_counts[phrase] += 1
+            for word in phrase:
+                frequency[word] += 1
+                degree[word] += len(phrase)
+        candidates: list[KeywordCandidate] = []
+        for phrase, occurrences in phrase_counts.items():
+            base = sum(degree[w] / frequency[w] for w in phrase)
+            df = self._document_frequency.get(phrase, 0)
+            rarity = 1.0
+            if self._documents:
+                rarity = 1.0 / (1.0 + df / max(1, self._documents) * 10.0)
+            candidates.append(
+                KeywordCandidate(
+                    words=phrase,
+                    score=base * rarity,
+                    occurrences=occurrences,
+                    document_frequency=df,
+                )
+            )
+        candidates.sort(key=lambda c: (-c.score, c.words))
+        return candidates[:top_k]
+
+    def suggest_labels(
+        self,
+        obj: CorpusObject,
+        existing: Sequence[str] = (),
+        top_k: int = 5,
+    ) -> list[KeywordCandidate]:
+        """Labels an author may have forgotten to declare for ``obj``.
+
+        Filters out anything already covered by the declared metadata.
+        """
+        from repro.core.morphology import canonicalize_phrase
+
+        declared = {canonicalize_phrase(p) for p in [*obj.concept_phrases(), *existing]}
+        return [
+            candidate
+            for candidate in self.extract(obj.text, top_k=top_k + len(declared))
+            if candidate.words not in declared
+        ][:top_k]
+
+    def corpus_stop_concepts(self, min_document_share: float = 0.2) -> list[tuple[str, ...]]:
+        """Phrases so widespread they should probably never auto-link.
+
+        These are exactly the overlinking culprits Section 2.4's policies
+        target ("even", "order", ...): one-word candidates appearing in a
+        large share of all documents.
+        """
+        if not self._documents:
+            return []
+        threshold = min_document_share * self._documents
+        return sorted(
+            phrase
+            for phrase, df in self._document_frequency.items()
+            if df >= threshold and len(phrase) == 1
+        )
+
+
+def extract_keywords(text: str, top_k: int = 10) -> list[KeywordCandidate]:
+    """One-shot extraction with default settings (no corpus statistics)."""
+    return KeywordExtractor().extract(text, top_k=top_k)

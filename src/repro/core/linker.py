@@ -1,0 +1,535 @@
+"""The NNexus linker façade: the full automatic-linking pipeline.
+
+This module wires the components of Fig. 2 together.  When an entry is
+linked:
+
+1. unlinkable regions are escaped and the text tokenized
+   (:mod:`repro.core.tokenizer`);
+2. the token array is scanned against the concept map for link sources
+   (:mod:`repro.core.matching`);
+3. candidate targets are filtered by the targets' linking policies
+   (:mod:`repro.core.policies`);
+4. survivors are compared by classification proximity and the closest
+   object(s) win (:mod:`repro.core.classification`);
+5. remaining ties fall to collection priority, then lowest object id;
+6. winners are substituted into the original text
+   (:mod:`repro.core.render`).
+
+The façade also maintains the invalidation index and render cache
+(Section 2.5): adding or removing concepts marks exactly the entries that
+may need re-linking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.core.cache import RenderCache
+from repro.core.classification import ClassificationGraph, ClassificationSteering
+from repro.core.concept_map import ConceptMap
+from repro.core.config import NNexusConfig
+from repro.core.errors import DuplicateObjectError, NNexusError, UnknownObjectError
+from repro.core.invalidation import InvalidationIndex
+from repro.core.matching import find_matches
+from repro.core.models import CorpusObject, Link, LinkedDocument, Match
+from repro.core.policies import LinkingPolicyTable
+from repro.core.render import render_annotations, render_html, render_markdown
+from repro.core.tokenizer import Tokenizer
+from repro.ontology.scheme import ClassificationScheme
+
+__all__ = ["NNexus", "LinkerStats", "MatchExplanation"]
+
+
+@dataclass
+class MatchExplanation:
+    """Decision trace for one match (see :meth:`NNexus.explain_text`).
+
+    Reconstructs why each candidate survived or fell at every stage of
+    the Fig. 2 pipeline — the tool to reach for when a link lands on the
+    wrong homonym in production.
+    """
+
+    surface: str
+    canonical: tuple[str, ...]
+    candidates: tuple[int, ...]
+    policy_rejected: tuple[int, ...]
+    distances: dict[int, float]
+    steering_winners: tuple[int, ...]
+    chosen: int | None
+    reason: str
+
+    def format(self) -> str:
+        lines = [f"match {self.surface!r} (canonical: {' '.join(self.canonical)})"]
+        lines.append(f"  candidates: {list(self.candidates)}")
+        if self.policy_rejected:
+            lines.append(f"  rejected by policy: {list(self.policy_rejected)}")
+        if self.distances:
+            ordered = sorted(self.distances.items(), key=lambda kv: kv[1])
+            lines.append(
+                "  class distances: "
+                + ", ".join(f"{oid}={dist:g}" for oid, dist in ordered)
+            )
+        lines.append(f"  chosen: {self.chosen} ({self.reason})")
+        return "\n".join(lines)
+
+
+@dataclass
+class LinkerStats:
+    """Counters accumulated across link operations."""
+
+    entries_linked: int = 0
+    links_created: int = 0
+    matches_found: int = 0
+    candidates_filtered_by_policy: int = 0
+    ties_broken_by_priority: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "entries_linked": self.entries_linked,
+            "links_created": self.links_created,
+            "matches_found": self.matches_found,
+            "candidates_filtered_by_policy": self.candidates_filtered_by_policy,
+            "ties_broken_by_priority": self.ties_broken_by_priority,
+        }
+
+
+class NNexus:
+    """Automatic invocation linker over one or more corpora.
+
+    Parameters
+    ----------
+    scheme:
+        Primary classification scheme (e.g. the MSC).  ``None`` disables
+        classification steering entirely.
+    config:
+        Domain/URL/priority configuration; a permissive default is built
+        when omitted.
+    enable_steering / enable_policies:
+        Ablation switches used by the Table 2 experiment: lexical-only
+        linking is ``enable_steering=False, enable_policies=False``.
+    precompute_distances:
+        Run Johnson's all-pairs shortest paths at startup (the paper's
+        behaviour); otherwise distances are computed lazily per source
+        class and memoized.
+    """
+
+    def __init__(
+        self,
+        scheme: ClassificationScheme | None = None,
+        config: NNexusConfig | None = None,
+        enable_steering: bool = True,
+        enable_policies: bool = True,
+        precompute_distances: bool = False,
+    ) -> None:
+        self.config = config or NNexusConfig()
+        self.scheme = scheme
+        self.enable_steering = enable_steering and scheme is not None
+        self.enable_policies = enable_policies
+        self.stats = LinkerStats()
+        #: Optional composite ranker (see :mod:`repro.core.ranking`);
+        #: when set, it replaces steering + tie-breaks for ambiguous
+        #: matches.  Attach with :meth:`set_ranker`.
+        self.ranker = None
+
+        if self.config.extra_escape_patterns:
+            import re
+
+            from repro.core.tokenizer import DEFAULT_ESCAPE_RULES, EscapeRule
+
+            extra = tuple(
+                EscapeRule(name, re.compile(pattern))
+                for name, pattern in self.config.extra_escape_patterns
+            )
+            self._tokenizer = Tokenizer(escape_rules=extra + DEFAULT_ESCAPE_RULES)
+        else:
+            self._tokenizer = Tokenizer()
+        self._concept_map = ConceptMap()
+        self._objects: dict[int, CorpusObject] = {}
+        self._policies = LinkingPolicyTable(scheme=scheme)
+        self._invalidation = InvalidationIndex(
+            max_phrase_length=self.config.max_phrase_length,
+            phrase_threshold=self.config.phrase_threshold,
+            tokenizer=self._tokenizer,
+        )
+        self._cache = RenderCache()
+        self._steering: ClassificationSteering | None = None
+        if scheme is not None:
+            graph = ClassificationGraph.from_scheme(
+                scheme, base_weight=self.config.base_weight
+            )
+            if precompute_distances:
+                graph.johnson_all_pairs()
+            self._steering = ClassificationSteering(graph)
+
+    # ------------------------------------------------------------------
+    # Corpus maintenance
+    # ------------------------------------------------------------------
+    def add_object(self, obj: CorpusObject) -> set[int]:
+        """Register an entry and index its concept labels and text.
+
+        Returns the ids of previously stored entries that may invoke the
+        newly defined concepts — the minimal superset computed through
+        the invalidation index — after marking them dirty in the render
+        cache.
+        """
+        if obj.object_id in self._objects:
+            raise DuplicateObjectError(obj.object_id)
+        # Store a private copy: the linker mutates its objects (e.g. when
+        # a policy is attached later) and must never write through to the
+        # caller's instances, which may be shared across linkers.
+        obj = replace(
+            obj,
+            defines=list(obj.defines),
+            synonyms=list(obj.synonyms),
+            classes=list(obj.classes),
+        )
+        self._objects[obj.object_id] = obj
+        new_labels: list[tuple[str, ...]] = []
+        for phrase in obj.concept_phrases():
+            words = self._concept_map.add_phrase(phrase, obj.object_id)
+            if words is not None:
+                new_labels.append(words)
+        if obj.linking_policy:
+            self._policies.set_policy(obj.object_id, obj.linking_policy)
+        self._invalidation.index_object(obj.object_id, obj.text)
+        invalidated = self._invalidation.invalidate_many(new_labels)
+        invalidated.discard(obj.object_id)
+        self._cache.invalidate(invalidated)
+        return invalidated
+
+    def add_objects(self, objects: Iterable[CorpusObject]) -> None:
+        """Bulk-load entries (e.g. an initial corpus import)."""
+        for obj in objects:
+            self.add_object(obj)
+
+    def remove_object(self, object_id: int) -> set[int]:
+        """Unregister an entry; invalidate entries that linked to it."""
+        obj = self._objects.pop(object_id, None)
+        if obj is None:
+            raise UnknownObjectError(object_id)
+        vanished = self._concept_map.remove_object(object_id)
+        self._policies.remove(object_id)
+        self._invalidation.remove_object(object_id)
+        self._cache.drop(object_id)
+        invalidated = self._invalidation.invalidate_many(vanished)
+        invalidated.discard(object_id)
+        self._cache.invalidate(invalidated)
+        return invalidated
+
+    def update_object(self, obj: CorpusObject) -> set[int]:
+        """Replace an entry; unions the invalidations of remove + add."""
+        invalidated = self.remove_object(obj.object_id)
+        invalidated |= self.add_object(obj)
+        return invalidated
+
+    def set_linking_policy(self, object_id: int, policy_text: str) -> None:
+        """Attach a linking policy to a stored entry (Section 2.4)."""
+        obj = self.get_object(object_id)
+        obj.linking_policy = policy_text
+        self._policies.set_policy(object_id, policy_text)
+        # Policies change which links are legal corpus-wide; entries that
+        # might link to this object's concepts must be re-examined.
+        invalidated = self._invalidation.invalidate_many(
+            self._concept_map.labels_for_object(object_id)
+        )
+        invalidated.discard(object_id)
+        self._cache.invalidate(invalidated)
+
+    def get_object(self, object_id: int) -> CorpusObject:
+        """Fetch a stored entry; raises UnknownObjectError when absent."""
+        obj = self._objects.get(object_id)
+        if obj is None:
+            raise UnknownObjectError(object_id)
+        return obj
+
+    def has_object(self, object_id: int) -> bool:
+        """True when an entry with this id is registered."""
+        return object_id in self._objects
+
+    def object_ids(self) -> list[int]:
+        """All registered entry ids, ascending."""
+        return sorted(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Linking
+    # ------------------------------------------------------------------
+    def set_ranker(self, ranker: object | None) -> None:
+        """Attach (or detach) a composite candidate ranker.
+
+        The ranker must expose ``best(source_id, source_classes,
+        candidates) -> int | None`` — see
+        :class:`repro.core.ranking.CompositeRanker`.  Rendering caches
+        are cleared since linking decisions may change.
+        """
+        self.ranker = ranker
+        self._cache.clear()
+
+    def link_object(self, object_id: int) -> LinkedDocument:
+        """Link a stored entry (self-links excluded unless configured)."""
+        obj = self.get_object(object_id)
+        exclude = () if self.config.allow_self_links else (object_id,)
+        return self.link_text(
+            obj.text,
+            source_classes=obj.classes,
+            exclude_objects=exclude,
+            source_id=object_id,
+        )
+
+    def link_text(
+        self,
+        text: str,
+        source_classes: Sequence[str] = (),
+        exclude_objects: Iterable[int] = (),
+        source_id: int | None = None,
+    ) -> LinkedDocument:
+        """Link arbitrary text against the corpus (lecture notes, blogs).
+
+        ``source_classes`` carries the document's subject classification
+        when known; without it, steering falls back to tie-breaking by
+        collection priority and object id.  ``source_id`` identifies a
+        stored entry so an attached composite ranker can use its
+        collaborative-filtering profile.
+        """
+        tokenized = self._tokenizer.tokenize(text)
+        matches = find_matches(
+            tokenized,
+            self._concept_map,
+            first_occurrence_only=self.config.link_first_occurrence_only,
+            exclude_objects=exclude_objects,
+        )
+        document = LinkedDocument(
+            source_text=text,
+            matches=matches,
+            escaped_regions=list(tokenized.escaped_regions),
+        )
+        for match in matches:
+            target_id = self._resolve(match, source_classes, source_id)
+            if target_id is None:
+                continue
+            target = self._objects[target_id]
+            domain = self.config.domains.get(target.domain)
+            url = domain.url_for(target_id, target.title) if domain else ""
+            first_token = tokenized.tokens[match.start]
+            last_token = tokenized.tokens[match.end - 1]
+            document.links.append(
+                Link(
+                    source_phrase=match.surface,
+                    target_id=target_id,
+                    target_domain=target.domain,
+                    char_start=first_token.char_start,
+                    char_end=last_token.char_end,
+                    url=url,
+                )
+            )
+        self.stats.entries_linked += 1
+        self.stats.matches_found += len(matches)
+        self.stats.links_created += len(document.links)
+        return document
+
+    def _resolve(
+        self,
+        match: Match,
+        source_classes: Sequence[str],
+        source_id: int | None = None,
+    ) -> int | None:
+        """Candidate filtering + steering + tie-breaking for one match."""
+        candidates: tuple[int, ...] = match.candidates
+        if self.enable_policies:
+            filtered = self._policies.filter_candidates(
+                candidates, match.label.words, source_classes
+            )
+            self.stats.candidates_filtered_by_policy += len(candidates) - len(filtered)
+            candidates = filtered
+        if not candidates:
+            return None
+        if self.ranker is not None and len(candidates) > 1:
+            # Composite ranking (Section 5 extensions) replaces plain
+            # steering when a ranker is attached.
+            return self.ranker.best(
+                source_id,
+                source_classes,
+                {oid: self._objects[oid].classes for oid in candidates},
+            )
+        if self.enable_steering and self._steering is not None:
+            result = self._steering.steer(
+                source_classes,
+                {oid: self._objects[oid].classes for oid in candidates},
+            )
+            winners = result.winners
+        else:
+            winners = candidates
+        if not winners:
+            return None
+        if len(winners) == 1:
+            return winners[0]
+        self.stats.ties_broken_by_priority += 1
+        return min(winners, key=self._tie_break_key)
+
+    def explain_text(
+        self,
+        text: str,
+        source_classes: Sequence[str] = (),
+        exclude_objects: Iterable[int] = (),
+    ) -> list[MatchExplanation]:
+        """Trace every stage of the pipeline for each match in ``text``.
+
+        Runs the same decisions as :meth:`link_text` but records why each
+        candidate survived or fell: policy verdicts, class distances,
+        steering winners, and the final tie-break.
+        """
+        tokenized = self._tokenizer.tokenize(text)
+        matches = find_matches(
+            tokenized,
+            self._concept_map,
+            first_occurrence_only=self.config.link_first_occurrence_only,
+            exclude_objects=exclude_objects,
+        )
+        explanations: list[MatchExplanation] = []
+        for match in matches:
+            candidates = match.candidates
+            rejected: tuple[int, ...] = ()
+            if self.enable_policies:
+                kept = self._policies.filter_candidates(
+                    candidates, match.label.words, source_classes
+                )
+                rejected = tuple(oid for oid in candidates if oid not in kept)
+                candidates = kept
+            distances: dict[int, float] = {}
+            winners: tuple[int, ...] = candidates
+            if candidates and self.enable_steering and self._steering is not None:
+                result = self._steering.steer(
+                    source_classes,
+                    {oid: self._objects[oid].classes for oid in candidates},
+                )
+                distances = result.distances
+                winners = result.winners
+            if not candidates:
+                chosen, reason = None, "all candidates rejected by policy"
+            elif len(winners) == 1:
+                chosen = winners[0]
+                reason = (
+                    "single candidate"
+                    if len(candidates) == 1
+                    else "closest classification"
+                )
+            elif winners:
+                chosen = min(winners, key=self._tie_break_key)
+                reason = "tie broken by collection priority / object id"
+            else:
+                chosen, reason = None, "no steering winner"
+            explanations.append(
+                MatchExplanation(
+                    surface=match.surface,
+                    canonical=match.label.words,
+                    candidates=match.candidates,
+                    policy_rejected=rejected,
+                    distances=distances,
+                    steering_winners=winners,
+                    chosen=chosen,
+                    reason=reason,
+                )
+            )
+        return explanations
+
+    def _tie_break_key(self, object_id: int) -> tuple[int, int]:
+        obj = self._objects[object_id]
+        domain = self.config.domains.get(obj.domain)
+        priority = domain.priority if domain else 1_000_000
+        return (priority, object_id)
+
+    def set_base_weight(self, base_weight: float, precompute: bool = False) -> None:
+        """Rebuild the steering graph with a different weight base.
+
+        Used by the weighting ablation; ``base_weight=1`` degenerates to
+        the non-weighted hop-count distance of Section 2.3.
+        """
+        if self.scheme is None:
+            raise NNexusError("no classification scheme configured")
+        self.config.base_weight = base_weight
+        graph = ClassificationGraph.from_scheme(self.scheme, base_weight=base_weight)
+        if precompute:
+            graph.johnson_all_pairs()
+        self._steering = ClassificationSteering(graph)
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Rendering and caching
+    # ------------------------------------------------------------------
+    def render_object(self, object_id: int, fmt: str = "html") -> str:
+        """Linked rendering of a stored entry, served through the cache."""
+        renderer = _RENDERERS.get(fmt)
+        if renderer is None:
+            raise ValueError(f"unknown render format {fmt!r}")
+
+        def render(oid: int) -> str:
+            return renderer(self.link_object(oid))
+
+        # The cache key must separate formats; fold fmt into a shadow id
+        # space only when non-default to keep plain usage simple.
+        if fmt == "html":
+            return self._cache.get_or_render(object_id, render)
+        return renderer(self.link_object(object_id))
+
+    def invalid_entries(self) -> list[int]:
+        """Entries marked for re-linking by the invalidation machinery."""
+        return self._cache.invalid_ids()
+
+    def relink_invalidated(self) -> dict[int, str]:
+        """Re-render every dirty cache entry; returns id -> fresh HTML."""
+        refreshed: dict[int, str] = {}
+        for object_id in self.invalid_entries():
+            if object_id in self._objects:
+                refreshed[object_id] = render_html(self.link_object(object_id))
+                self._cache.put(object_id, refreshed[object_id])
+            else:
+                self._cache.drop(object_id)
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def concept_map(self) -> ConceptMap:
+        return self._concept_map
+
+    @property
+    def invalidation_index(self) -> InvalidationIndex:
+        return self._invalidation
+
+    @property
+    def policy_table(self) -> LinkingPolicyTable:
+        return self._policies
+
+    @property
+    def cache(self) -> RenderCache:
+        return self._cache
+
+    @property
+    def steering(self) -> ClassificationSteering | None:
+        return self._steering
+
+    def concept_count(self) -> int:
+        """Distinct canonical concept labels across the corpus."""
+        return len(self._concept_map)
+
+    def describe(self) -> dict[str, object]:
+        """One-call status summary (used by the server and examples)."""
+        return {
+            "objects": len(self._objects),
+            "concepts": self.concept_count(),
+            "policies": len(self._policies),
+            "steering": self.enable_steering,
+            "policies_enabled": self.enable_policies,
+            "stats": self.stats.snapshot(),
+        }
+
+
+_RENDERERS = {
+    "html": render_html,
+    "markdown": render_markdown,
+    "annotations": render_annotations,
+}

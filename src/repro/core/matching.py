@@ -1,0 +1,111 @@
+"""Link-source identification: scanning entry text for concept labels.
+
+Section 2.2: the tokenized text is iterated over and probed against the
+concept map.  If a word heads any indexed concept label, the following
+words are checked against the *longest* label first ("longer phrases
+semantically subsume their shorter atoms"), and the match — with every
+object defining that label as a candidate — is appended to the match
+array.  Only the first occurrence of each label is kept when the linker
+is configured that way ("NNexus only links the first occurrence of a term
+or phrase to reduce visual clutter").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.concept_map import ConceptMap
+from repro.core.models import ConceptLabel, Match, normalize_object_ids
+from repro.core.tokenizer import TokenizedText
+
+__all__ = ["find_matches"]
+
+
+def find_matches(
+    tokenized: TokenizedText,
+    concept_map: ConceptMap,
+    first_occurrence_only: bool = True,
+    exclude_objects: Iterable[int] = (),
+) -> list[Match]:
+    """Build the match array for one entry.
+
+    Parameters
+    ----------
+    tokenized:
+        The entry's token array (already escaped + canonicalized).
+    concept_map:
+        The corpus concept map.
+    first_occurrence_only:
+        Keep only the first occurrence of each canonical label.
+    exclude_objects:
+        Candidate ids to drop (the entry being linked must not link to
+        itself).  A match whose only candidates are excluded is dropped
+        entirely, releasing the tokens for shorter or later matches.
+    """
+    excluded = frozenset(exclude_objects)
+    words = tokenized.canonical_words()
+    matches: list[Match] = []
+    seen_labels: set[tuple[str, ...]] = set()
+    position = 0
+    total = len(words)
+    while position < total:
+        found = _match_at(
+            words, position, concept_map, excluded, seen_labels, first_occurrence_only
+        )
+        if found is None:
+            position += 1
+            continue
+        label_words, candidates, length = found
+        token_end = position + length
+        surface = tokenized.surface_between(position, token_end)
+        matches.append(
+            Match(
+                label=ConceptLabel(
+                    words=label_words, raw=surface, object_id=candidates[0]
+                ),
+                start=position,
+                end=token_end,
+                surface=surface,
+                candidates=candidates,
+            )
+        )
+        if first_occurrence_only:
+            seen_labels.add(label_words)
+        # Consume the matched tokens: a token participates in one link.
+        position = token_end
+    return matches
+
+
+def _match_at(
+    words: list[str],
+    position: int,
+    concept_map: ConceptMap,
+    excluded: frozenset[int],
+    seen_labels: set[tuple[str, ...]],
+    first_occurrence_only: bool,
+) -> tuple[tuple[str, ...], tuple[int, ...], int] | None:
+    """Longest usable concept label starting at ``position``.
+
+    "Usable" excludes labels already linked (first-occurrence rule) and
+    labels whose every candidate is excluded; when the longest label is
+    unusable the next-longest is tried, mirroring the paper's
+    longest-first probing.
+    """
+    chain = concept_map.chain_for(words[position])
+    if chain is None:
+        return None
+    remaining = len(words) - position
+    for length in chain.lengths_descending():
+        if length > remaining:
+            continue
+        label_words = tuple(words[position : position + length])
+        owners = chain.labels.get(label_words)
+        if not owners:
+            continue
+        if first_occurrence_only and label_words in seen_labels:
+            continue
+        candidates = normalize_object_ids(sorted(owners - excluded))
+        if not candidates:
+            continue
+        return label_words, candidates, length
+    return None

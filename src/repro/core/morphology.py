@@ -1,0 +1,199 @@
+"""Morphological canonicalization of tokens and concept labels.
+
+Section 2.2 of the paper: when a token is checked into the concept map,
+NNexus ensures it is *singular*, *non-possessive*, and carries a
+*canonicalized encoding*, so that "graphs", "graph's" and "graph" all meet
+at the same index slot.  The same transformation is applied to entry text
+at scan time, making the invariances symmetric.
+
+The singularizer is a rule-based English stemmer restricted to plural
+inflection.  It deliberately does **not** perform full stemming
+("running" must stay distinct from "run"): only number and possession are
+collapsed, exactly the invariances the paper names.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+__all__ = [
+    "canonicalize_encoding",
+    "strip_possessive",
+    "singularize",
+    "canonicalize_token",
+    "canonicalize_phrase",
+]
+
+# Irregular plural -> singular.  Includes mathematical vocabulary that a
+# PlanetMath-like corpus leans on heavily (vertices, matrices, ...).
+_IRREGULAR_PLURALS: dict[str, str] = {
+    "children": "child",
+    "feet": "foot",
+    "geese": "goose",
+    "men": "man",
+    "mice": "mouse",
+    "people": "person",
+    "teeth": "tooth",
+    "women": "woman",
+    # Latin / Greek plurals ubiquitous in mathematics.
+    "axes": "axis",
+    "bases": "basis",
+    "criteria": "criterion",
+    "foci": "focus",
+    "formulae": "formula",
+    "hypotheses": "hypothesis",
+    "indices": "index",
+    "lemmata": "lemma",
+    "loci": "locus",
+    "matrices": "matrix",
+    "maxima": "maximum",
+    "minima": "minimum",
+    "moduli": "modulus",
+    "phenomena": "phenomenon",
+    "polyhedra": "polyhedron",
+    "radii": "radius",
+    "simplices": "simplex",
+    "spectra": "spectrum",
+    "vertices": "vertex",
+    # -ves plurals whose singular ends in -f/-fe.  Handled by table, not
+    # rule: a "-ves -> -f" rule would mangle verbs ("solves" -> "solf").
+    "calves": "calf",
+    "elves": "elf",
+    "halves": "half",
+    "hooves": "hoof",
+    "knives": "knife",
+    "leaves": "leaf",
+    "lives": "life",
+    "loaves": "loaf",
+    "scarves": "scarf",
+    "selves": "self",
+    "shelves": "shelf",
+    "thieves": "thief",
+    "wives": "wife",
+    "wolves": "wolf",
+}
+
+# Words that end in "s" but are singular; never strip these.
+_SINGULAR_S_WORDS: frozenset[str] = frozenset(
+    {
+        "analysis",
+        "basis",
+        "bias",
+        "calculus",
+        "class",
+        "cosmos",
+        "census",
+        "genus",
+        "is",
+        "lens",
+        "locus",
+        "mathematics",
+        "modulus",
+        "physics",
+        "plus",
+        "minus",
+        "radius",
+        "series",
+        "species",
+        "status",
+        "this",
+        "thus",
+        "torus",
+        "chaos",
+        "has",
+        "was",
+        "its",
+        "his",
+        "gauss",
+    }
+)
+
+# -es endings where the stem really ends with the consonant cluster,
+# e.g. "boxes" -> "box", "classes" -> "class".
+_ES_CLUSTER_ENDINGS = ("ches", "shes", "sses", "xes", "zes")
+
+
+def canonicalize_encoding(token: str) -> str:
+    """Fold a token to a canonical Unicode form (NFKD, no combining marks).
+
+    This is the paper's "international characters" invariance: ``Möbius``
+    and ``Mobius`` index (and match) identically.  Case is folded as well
+    since concept-label matching in NNexus is case-insensitive.
+    """
+    decomposed = unicodedata.normalize("NFKD", token)
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    return stripped.casefold()
+
+
+def strip_possessive(token: str) -> str:
+    """Remove a trailing possessive marker: ``euler's`` -> ``euler``.
+
+    Handles both the straight apostrophe and U+2019, and the bare trailing
+    apostrophe of plural possessives (``graphs'`` -> ``graphs``).
+    """
+    while token:
+        for apostrophe in ("'", "’"):
+            if token.endswith(apostrophe + "s"):
+                token = token[: -(len(apostrophe) + 1)]
+                break
+            if token.endswith(apostrophe):
+                token = token[: -len(apostrophe)]
+                break
+        else:
+            break
+    return token
+
+
+def singularize(token: str) -> str:
+    """Reduce an English plural to its singular form.
+
+    Purely rule based.  Unknown or already-singular tokens are returned
+    unchanged; the function is idempotent
+    (``singularize(singularize(t)) == singularize(t)``).
+    """
+    if len(token) < 3 or not token[-1].isalpha():
+        return token
+    if token in _SINGULAR_S_WORDS:
+        return token
+    irregular = _IRREGULAR_PLURALS.get(token)
+    if irregular is not None:
+        return irregular
+    if not token.endswith("s") or token.endswith("ss"):
+        return token
+    # "ies" -> "y" when preceded by a consonant: "theories" -> "theory",
+    # but "series" is protected above and "ties" -> "tie" needs length 4+.
+    if token.endswith("ies") and len(token) > 4:
+        return token[:-3] + "y"
+    for ending in _ES_CLUSTER_ENDINGS:
+        if token.endswith(ending):
+            return token[:-2]
+    # "oes" -> "o" for the classic cases ("heroes"), but keep "shoes".
+    if token.endswith("oes") and len(token) > 4 and not token.endswith("hoes"):
+        return token[:-2]
+    # Default: strip the trailing "s" ("graphs" -> "graph").  Guard "us"
+    # and "as" endings which are usually Latin singulars ("modulus").
+    if token.endswith(("us", "as", "is")):
+        return token
+    return token[:-1]
+
+
+def canonicalize_token(token: str) -> str:
+    """Full canonical form: encoding fold, possessive strip, singularize."""
+    folded = canonicalize_encoding(token)
+    return singularize(strip_possessive(folded))
+
+
+_PHRASE_SEPARATORS = str.maketrans({ch: " " for ch in "-–—()[]{},;:.!?/\\\"“”"})
+
+
+def canonicalize_phrase(phrase: str) -> tuple[str, ...]:
+    """Canonicalize a multi-word concept label into its word tuple.
+
+    Hyphens and punctuation act as word separators — ``graph (set
+    theory)`` indexes as ``("graph", "set", "theory")``, matching how the
+    tokenizer would scan the same words in running text; empty fragments
+    are dropped.
+    """
+    normalized = phrase.translate(_PHRASE_SEPARATORS)
+    canonical = (canonicalize_token(word) for word in normalized.split())
+    return tuple(word for word in canonical if word)

@@ -1,0 +1,226 @@
+"""Entry filtering by linking policies (Section 2.4, Fig. 5).
+
+A *linking policy* is a user-supplied text chunk attached to a link
+*target* object.  It describes, in terms of subject classes, from where
+links to that object's concepts may be made or are prohibited.  The
+paper's canonical example: the entry defining "even number" forbids all
+articles from linking to the concept "even" unless they are in the number
+theory category.
+
+Policy language (one directive per line, ``#`` comments)::
+
+    forbid even                 # nobody may link "even" to this entry
+    permit even 11              # ...except sources classified under 11-XX
+    forbid *    03E             # set-theory sources may link nothing here
+    permit *                    # (default) everything else is allowed
+
+Directives are evaluated in order and the *last* matching directive wins;
+when nothing matches, linking is permitted.  A directive matches a
+``(concept, source classes)`` query when its concept field equals the
+queried concept (or is ``*``) and, if class codes are listed, at least
+one source class lies in the subtree of one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.errors import PolicyParseError
+from repro.core.morphology import canonicalize_phrase
+from repro.ontology.scheme import ClassificationScheme, normalize_code
+
+__all__ = ["PolicyDirective", "LinkingPolicy", "LinkingPolicyTable", "parse_policy"]
+
+_ACTIONS = ("permit", "forbid")
+
+
+@dataclass(frozen=True)
+class PolicyDirective:
+    """One parsed policy line.
+
+    ``concept`` is the canonical word tuple, or ``None`` for the ``*``
+    wildcard.  ``classes`` are normalized class codes scoping the
+    directive to sources classified under those subtrees (empty = all
+    sources).
+    """
+
+    action: str
+    concept: tuple[str, ...] | None
+    classes: tuple[str, ...] = ()
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.concept is None
+
+    def matches(
+        self,
+        concept: Sequence[str],
+        source_classes: Sequence[str],
+        scheme: ClassificationScheme | None,
+    ) -> bool:
+        """Does this directive apply to the queried link?"""
+        if self.concept is not None and tuple(concept) != self.concept:
+            return False
+        if not self.classes:
+            return True
+        return any(
+            _class_within(source_class, policy_class, scheme)
+            for source_class in source_classes
+            for policy_class in self.classes
+        )
+
+
+def _class_within(
+    source_class: str, policy_class: str, scheme: ClassificationScheme | None
+) -> bool:
+    """Is ``source_class`` inside the subtree rooted at ``policy_class``?
+
+    With a scheme we walk real parent pointers; without one we fall back
+    to code-prefix containment (``05C40`` is within ``05C`` and ``05``),
+    which matches MSC-style hierarchical codes.
+    """
+    source = normalize_code(source_class)
+    target = normalize_code(policy_class)
+    if source == target:
+        return True
+    if scheme is not None and source in scheme and target in scheme:
+        return target in scheme.path_to_root(source)
+    return source.startswith(target)
+
+
+def parse_policy(text: str) -> list[PolicyDirective]:
+    """Parse a policy text chunk into ordered directives.
+
+    Raises :class:`~repro.core.errors.PolicyParseError` on malformed
+    lines so bad policies fail loudly at save time, not at link time.
+    """
+    directives: list[PolicyDirective] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        action = parts[0].lower()
+        if action not in _ACTIONS:
+            raise PolicyParseError(line_number, raw_line, "unknown action")
+        if len(parts) < 2:
+            raise PolicyParseError(line_number, raw_line, "missing concept")
+        # The concept may be a quoted multi-word phrase.
+        concept_token, classes_tokens = _split_concept(parts[1:], line_number, raw_line)
+        if concept_token == "*":
+            concept: tuple[str, ...] | None = None
+        else:
+            concept = canonicalize_phrase(concept_token)
+            if not concept:
+                raise PolicyParseError(line_number, raw_line, "empty concept")
+        classes = tuple(normalize_code(code) for code in classes_tokens)
+        directives.append(PolicyDirective(action=action, concept=concept, classes=classes))
+    return directives
+
+
+def _split_concept(
+    tokens: list[str], line_number: int, raw_line: str
+) -> tuple[str, list[str]]:
+    """Separate the (possibly quoted) concept token from class codes."""
+    first = tokens[0]
+    if not first.startswith('"'):
+        return first, tokens[1:]
+    # Re-join quoted phrase: forbid "even number" 11
+    joined: list[str] = []
+    for index, token in enumerate(tokens):
+        joined.append(token)
+        if token.endswith('"') and (index > 0 or len(token) > 1):
+            phrase = " ".join(joined)[1:-1]
+            if not phrase:
+                raise PolicyParseError(line_number, raw_line, "empty quoted concept")
+            return phrase, tokens[index + 1 :]
+    raise PolicyParseError(line_number, raw_line, "unterminated quote")
+
+
+@dataclass
+class LinkingPolicy:
+    """Parsed policy plus the raw text chunk it came from."""
+
+    raw: str
+    directives: list[PolicyDirective] = field(default_factory=list)
+
+    @classmethod
+    def from_text(cls, text: str) -> "LinkingPolicy":
+        return cls(raw=text, directives=parse_policy(text))
+
+    def allows(
+        self,
+        concept: Sequence[str],
+        source_classes: Sequence[str],
+        scheme: ClassificationScheme | None = None,
+    ) -> bool:
+        """Evaluate the directives; last match wins; default permit."""
+        verdict = True
+        for directive in self.directives:
+            if directive.matches(concept, source_classes, scheme):
+                verdict = directive.action == "permit"
+        return verdict
+
+
+class LinkingPolicyTable:
+    """The per-object policy store of Fig. 5 (object id -> text chunk)."""
+
+    def __init__(self, scheme: ClassificationScheme | None = None) -> None:
+        self._policies: dict[int, LinkingPolicy] = {}
+        self._scheme = scheme
+
+    def set_policy(self, object_id: int, text: str) -> None:
+        """Attach (or replace) the policy text for ``object_id``.
+
+        An empty text removes the policy.
+        """
+        if text.strip():
+            self._policies[object_id] = LinkingPolicy.from_text(text)
+        else:
+            self._policies.pop(object_id, None)
+
+    def policy_for(self, object_id: int) -> LinkingPolicy | None:
+        """The parsed policy of an object, or None."""
+        return self._policies.get(object_id)
+
+    def raw_policy(self, object_id: int) -> str:
+        """The stored policy text chunk (empty when none)."""
+        policy = self._policies.get(object_id)
+        return policy.raw if policy else ""
+
+    def remove(self, object_id: int) -> None:
+        """Delete an object's policy if present."""
+        self._policies.pop(object_id, None)
+
+    def allows(
+        self,
+        target_id: int,
+        concept: Sequence[str],
+        source_classes: Sequence[str],
+    ) -> bool:
+        """May a source with ``source_classes`` link ``concept`` to target?"""
+        policy = self._policies.get(target_id)
+        if policy is None:
+            return True
+        return policy.allows(concept, source_classes, self._scheme)
+
+    def filter_candidates(
+        self,
+        candidates: Iterable[int],
+        concept: Sequence[str],
+        source_classes: Sequence[str],
+    ) -> tuple[int, ...]:
+        """Drop candidates whose policies reject this link."""
+        return tuple(
+            target_id
+            for target_id in candidates
+            if self.allows(target_id, concept, source_classes)
+        )
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def object_ids(self) -> list[int]:
+        """Ids of all objects that carry a policy."""
+        return sorted(self._policies)

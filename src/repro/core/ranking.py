@@ -1,0 +1,241 @@
+"""Link ranking beyond classification proximity (Section 5).
+
+The paper's research agenda: "enhance our current link ranking strategy
+by adapting the collaborative filtering technologies ... by
+incorporating entry similarities and user feedback into the linking
+process", plus "integrating multiple factors such as domain class,
+priority, pedagogical level, and reputation of the entries".
+
+Implemented here:
+
+* :class:`LinkMatrix` — the entry-entry link matrix (Section 1.2's
+  recommender-system framing): rows are linking entries, columns linked
+  targets; cosine similarity over rows gives entry-entry similarity.
+* :class:`ReputationTable` — per-entry reputation from user feedback
+  (upvotes/downvotes on links), with Laplace smoothing.
+* :class:`CompositeRanker` — combines classification distance,
+  collaborative-filtering evidence, reputation and collection priority
+  into a single candidate score, replacing the plain min-distance +
+  tie-break rule when richer signals exist.
+
+All components degrade gracefully: with no feedback and no link matrix,
+the composite ranking reduces exactly to classification steering with
+priority tie-breaks, so the default NNexus behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.classification import INFINITE_DISTANCE, ClassificationSteering
+
+__all__ = ["LinkMatrix", "ReputationTable", "CompositeRanker", "RankedCandidate"]
+
+
+class LinkMatrix:
+    """Sparse entry-entry link matrix with row-cosine similarity.
+
+    ``record_link(source, target)`` increments the cell; rows accumulate
+    as linking decisions are made (or are bulk-loaded from an existing
+    corpus pass).
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[int, dict[int, float]] = defaultdict(dict)
+        self._norms: dict[int, float] = {}
+
+    def record_link(self, source_id: int, target_id: int, weight: float = 1.0) -> None:
+        """Count one linking decision from source to target."""
+        row = self._rows[source_id]
+        row[target_id] = row.get(target_id, 0.0) + weight
+        self._norms.pop(source_id, None)
+
+    def record_document(self, source_id: int, target_ids: Sequence[int]) -> None:
+        """Record every link of one linked document."""
+        for target_id in target_ids:
+            self.record_link(source_id, target_id)
+
+    def row(self, source_id: int) -> Mapping[int, float]:
+        """The outgoing link profile of one entry (target -> weight)."""
+        return dict(self._rows.get(source_id, {}))
+
+    def _norm(self, source_id: int) -> float:
+        norm = self._norms.get(source_id)
+        if norm is None:
+            row = self._rows.get(source_id, {})
+            norm = math.sqrt(sum(v * v for v in row.values())) or 1.0
+            self._norms[source_id] = norm
+        return norm
+
+    def similarity(self, a: int, b: int) -> float:
+        """Cosine similarity of two entries' outgoing link profiles."""
+        row_a = self._rows.get(a)
+        row_b = self._rows.get(b)
+        if not row_a or not row_b:
+            return 0.0
+        if len(row_b) < len(row_a):
+            row_a, row_b = row_b, row_a
+        dot = sum(weight * row_b.get(target, 0.0) for target, weight in row_a.items())
+        return dot / (self._norm(a) * self._norm(b))
+
+    def neighbors(self, source_id: int, k: int = 10) -> list[tuple[int, float]]:
+        """The k most similar entries (positive similarity only)."""
+        scored = [
+            (other, self.similarity(source_id, other))
+            for other in self._rows
+            if other != source_id
+        ]
+        scored = [(other, score) for other, score in scored if score > 0.0]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]
+
+    def collaborative_score(self, source_id: int, target_id: int, k: int = 10) -> float:
+        """How strongly entries similar to ``source`` link to ``target``.
+
+        The classic user-based CF prediction, with link counts as
+        ratings: similarity-weighted average of neighbors' link weight
+        to ``target``.
+        """
+        neighbors = self.neighbors(source_id, k=k)
+        if not neighbors:
+            return 0.0
+        numerator = 0.0
+        denominator = 0.0
+        for other, similarity in neighbors:
+            weight = self._rows[other].get(target_id, 0.0)
+            numerator += similarity * weight
+            denominator += similarity
+        return numerator / denominator if denominator else 0.0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class ReputationTable:
+    """Entry reputation from user feedback on links (Section 5).
+
+    Feedback is binary per observed link; reputation is the smoothed
+    positive rate, centred on 0.5 for unrated entries.
+    """
+
+    def __init__(self, smoothing: float = 2.0) -> None:
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self._positive: dict[int, float] = defaultdict(float)
+        self._total: dict[int, float] = defaultdict(float)
+        self._smoothing = smoothing
+
+    def record_feedback(self, target_id: int, helpful: bool, weight: float = 1.0) -> None:
+        """Register one helpful/unhelpful vote for a target."""
+        self._total[target_id] += weight
+        if helpful:
+            self._positive[target_id] += weight
+
+    def reputation(self, target_id: int) -> float:
+        """Smoothed positive-feedback rate (0.5 when unrated)."""
+        total = self._total.get(target_id, 0.0)
+        positive = self._positive.get(target_id, 0.0)
+        return (positive + self._smoothing / 2.0) / (total + self._smoothing)
+
+    def feedback_count(self, target_id: int) -> float:
+        """Total feedback weight received by a target."""
+        return self._total.get(target_id, 0.0)
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate with its decomposed score."""
+
+    object_id: int
+    score: float
+    class_score: float
+    cf_score: float
+    reputation: float
+    priority_score: float
+
+
+@dataclass
+class CompositeRanker:
+    """Combine classification, CF, reputation and priority into one rank.
+
+    Weights are convex-ish mixing knobs; the defaults keep classification
+    dominant (it is the paper's primary signal) with the other factors
+    as refinements.  ``rank`` returns candidates best-first.
+    """
+
+    steering: ClassificationSteering | None = None
+    link_matrix: LinkMatrix | None = None
+    reputation: ReputationTable | None = None
+    class_weight: float = 1.0
+    cf_weight: float = 0.4
+    reputation_weight: float = 0.2
+    priority_weight: float = 0.1
+    priorities: dict[int, int] = field(default_factory=dict)
+
+    def _class_score(
+        self, source_classes: Sequence[str], target_classes: Sequence[str]
+    ) -> float:
+        """Map class distance into (0, 1]: closer is higher."""
+        if self.steering is None:
+            return 0.5
+        distance = self.steering.pair_distance(source_classes, target_classes)
+        if distance == INFINITE_DISTANCE:
+            return 0.0
+        return 1.0 / (1.0 + distance)
+
+    def rank(
+        self,
+        source_id: int | None,
+        source_classes: Sequence[str],
+        candidates: Mapping[int, Sequence[str]],
+    ) -> list[RankedCandidate]:
+        """Score every candidate (object id -> its class list), best first."""
+        cf_raw: dict[int, float] = {}
+        if self.link_matrix is not None and source_id is not None:
+            for object_id in candidates:
+                cf_raw[object_id] = self.link_matrix.collaborative_score(
+                    source_id, object_id
+                )
+        peak = max(cf_raw.values(), default=0.0)
+        ranked: list[RankedCandidate] = []
+        for object_id, target_classes in candidates.items():
+            class_score = self._class_score(source_classes, target_classes)
+            cf_score = (cf_raw.get(object_id, 0.0) / peak) if peak else 0.0
+            rep = (
+                self.reputation.reputation(object_id)
+                if self.reputation is not None
+                else 0.5
+            )
+            priority = self.priorities.get(object_id, 1)
+            priority_score = 1.0 / priority
+            score = (
+                self.class_weight * class_score
+                + self.cf_weight * cf_score
+                + self.reputation_weight * rep
+                + self.priority_weight * priority_score
+            )
+            ranked.append(
+                RankedCandidate(
+                    object_id=object_id,
+                    score=score,
+                    class_score=class_score,
+                    cf_score=cf_score,
+                    reputation=rep,
+                    priority_score=priority_score,
+                )
+            )
+        ranked.sort(key=lambda c: (-c.score, c.object_id))
+        return ranked
+
+    def best(
+        self,
+        source_id: int | None,
+        source_classes: Sequence[str],
+        candidates: Mapping[int, Sequence[str]],
+    ) -> int | None:
+        """The top-ranked candidate id, or None when empty."""
+        ranked = self.rank(source_id, source_classes, candidates)
+        return ranked[0].object_id if ranked else None

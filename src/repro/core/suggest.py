@@ -1,0 +1,128 @@
+"""Automatic linking-policy suggestion.
+
+Section 2.4 closes with: "we are also exploring automatic keyword
+extraction techniques in order to extract those terms that should be or
+should not be linked in an automatic way" — i.e. discovering the
+overlinking culprits without waiting for user reports.
+
+The detector works from corpus statistics alone:
+
+* For every single-word concept label, compare how often the word
+  occurs in entry text (its *usage*) against how concentrated those
+  usages are around the defining entry's subject area.
+* A label whose usages are spread evenly across unrelated areas behaves
+  like ordinary English ("even", "order"); a label whose usages cluster
+  in its home area behaves like terminology ("matroid").
+* Flagged labels get a generated policy: ``forbid <label>`` plus
+  ``permit <label> <home area>`` — exactly the shape users write by
+  hand in Section 2.4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.concept_map import ConceptMap
+from repro.core.models import CorpusObject
+from repro.core.tokenizer import Tokenizer
+
+__all__ = ["PolicySuggestion", "PolicySuggester"]
+
+
+@dataclass(frozen=True)
+class PolicySuggestion:
+    """A proposed linking policy for one overlink-prone target."""
+
+    object_id: int
+    label: str
+    home_area: str
+    usage_count: int
+    home_share: float
+    policy_text: str
+
+
+class PolicySuggester:
+    """Detect overlink-prone single-word concept labels.
+
+    Parameters
+    ----------
+    min_usages:
+        Ignore labels too rare to matter.
+    max_home_share:
+        Flag a label when at most this share of its textual usages come
+        from entries in the defining entry's top-level area — dispersed
+        usage is the signature of a common English word.
+    """
+
+    def __init__(self, min_usages: int = 10, max_home_share: float = 0.5) -> None:
+        self.min_usages = min_usages
+        self.max_home_share = max_home_share
+        self._tokenizer = Tokenizer()
+
+    @staticmethod
+    def _area(classes: Sequence[str]) -> str:
+        return classes[0][:2] if classes else ""
+
+    def suggest(self, objects: Iterable[CorpusObject]) -> list[PolicySuggestion]:
+        """Scan a corpus and propose policies, strongest signal first."""
+        corpus = list(objects)
+        # Single-word labels and their defining entries.
+        concept_map = ConceptMap()
+        definer_of: dict[str, CorpusObject] = {}
+        for obj in corpus:
+            for phrase in obj.concept_phrases():
+                words = concept_map.add_phrase(phrase, obj.object_id)
+                if words is not None and len(words) == 1:
+                    definer_of.setdefault(words[0], obj)
+
+        usage_total: Counter[str] = Counter()
+        usage_home: Counter[str] = Counter()
+        for obj in corpus:
+            source_area = self._area(obj.classes)
+            seen: set[str] = set()
+            for word in self._tokenizer.tokenize(obj.text).canonical_words():
+                if word in seen or word not in definer_of:
+                    continue
+                seen.add(word)
+                definer = definer_of[word]
+                if definer.object_id == obj.object_id:
+                    continue
+                usage_total[word] += 1
+                if self._area(definer.classes) == source_area:
+                    usage_home[word] += 1
+
+        suggestions: list[PolicySuggestion] = []
+        for word, total in usage_total.items():
+            if total < self.min_usages:
+                continue
+            home_share = usage_home[word] / total
+            if home_share > self.max_home_share:
+                continue
+            definer = definer_of[word]
+            home_area = self._area(definer.classes)
+            if not home_area:
+                continue
+            policy_text = f"forbid {word}\npermit {word} {home_area}\n"
+            suggestions.append(
+                PolicySuggestion(
+                    object_id=definer.object_id,
+                    label=word,
+                    home_area=home_area,
+                    usage_count=total,
+                    home_share=home_share,
+                    policy_text=policy_text,
+                )
+            )
+        suggestions.sort(key=lambda s: (s.home_share, -s.usage_count, s.label))
+        return suggestions
+
+    def apply(self, linker, suggestions: Iterable[PolicySuggestion]) -> int:
+        """Install suggested policies on a linker; returns how many."""
+        applied = 0
+        for suggestion in suggestions:
+            if linker.has_object(suggestion.object_id):
+                linker.set_linking_policy(suggestion.object_id, suggestion.policy_text)
+                applied += 1
+        return applied

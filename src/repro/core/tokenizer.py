@@ -1,0 +1,158 @@
+"""Entry-text scanning: escaping unlinkable regions and tokenization.
+
+Section 2.1 of the paper: before link-source identification, NNexus pulls
+out unlinkable portions of text that need to be escaped (equations and the
+like), replaces them with special tokens, and then breaks the remaining
+text into a word/token array to iterate through.
+
+The tokenizer keeps character offsets for every token so that the renderer
+can substitute winning link candidates back into the *original* text
+without a second scan.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.morphology import canonicalize_token
+
+__all__ = ["Token", "TokenizedText", "EscapeRule", "Tokenizer", "DEFAULT_ESCAPE_RULES"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One word occurrence in the source text.
+
+    ``canonical`` is the morphology-folded form used for concept-map
+    lookups; ``surface`` is the exact source spelling between
+    ``char_start`` and ``char_end``.
+    """
+
+    surface: str
+    canonical: str
+    char_start: int
+    char_end: int
+
+    @property
+    def span(self) -> tuple[int, int]:
+        return (self.char_start, self.char_end)
+
+
+@dataclass(frozen=True)
+class EscapeRule:
+    """A named regular expression delimiting an unlinkable text region."""
+
+    name: str
+    pattern: re.Pattern[str]
+
+
+def _rule(name: str, pattern: str, flags: int = 0) -> EscapeRule:
+    return EscapeRule(name, re.compile(pattern, flags))
+
+
+#: Regions NNexus must never link inside: math, verbatim code, raw HTML
+#: anchors (already-linked text) and URLs.  Order matters — earlier rules
+#: claim their spans first.
+DEFAULT_ESCAPE_RULES: tuple[EscapeRule, ...] = (
+    _rule("display_math", r"\$\$.+?\$\$", re.DOTALL),
+    _rule("inline_math", r"\$[^$\n]+\$"),
+    _rule("latex_env", r"\\begin\{(\w+\*?)\}.*?\\end\{\1\}", re.DOTALL),
+    _rule("latex_command", r"\\[A-Za-z]+(?:\{[^{}]*\})?"),
+    _rule("anchor", r"<a\b[^>]*>.*?</a>", re.DOTALL | re.IGNORECASE),
+    _rule("html_tag", r"</?\w+[^>]*>"),
+    _rule("code_fence", r"```.*?```", re.DOTALL),
+    _rule("inline_code", r"`[^`\n]+`"),
+    _rule("url", r"https?://\S+"),
+)
+
+_WORD_RE = re.compile(r"[A-Za-zÀ-ɏ][A-Za-zÀ-ɏ0-9'’-]*")
+
+
+@dataclass
+class TokenizedText:
+    """Result of scanning one entry: token array plus escaped spans."""
+
+    source: str
+    tokens: list[Token] = field(default_factory=list)
+    escaped_regions: list[tuple[int, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self.tokens)
+
+    def canonical_words(self) -> list[str]:
+        """The canonical word array the matcher iterates over."""
+        return [token.canonical for token in self.tokens]
+
+    def surface_between(self, start: int, end: int) -> str:
+        """Original text spanned by tokens ``start``..``end`` (exclusive)."""
+        if start >= end:
+            return ""
+        first = self.tokens[start]
+        last = self.tokens[end - 1]
+        return self.source[first.char_start : last.char_end]
+
+
+class Tokenizer:
+    """Scanner that escapes unlinkable regions and emits word tokens.
+
+    Parameters
+    ----------
+    escape_rules:
+        Ordered rules whose matches are excluded from linking.  Defaults
+        to :data:`DEFAULT_ESCAPE_RULES`.
+    """
+
+    def __init__(self, escape_rules: tuple[EscapeRule, ...] = DEFAULT_ESCAPE_RULES) -> None:
+        self._escape_rules = escape_rules
+
+    def escape_spans(self, text: str) -> list[tuple[int, int]]:
+        """Character spans claimed by escape rules, merged and sorted."""
+        claimed: list[tuple[int, int]] = []
+        for rule in self._escape_rules:
+            for match in rule.pattern.finditer(text):
+                span = match.span()
+                if not any(_contains(existing, span) for existing in claimed):
+                    claimed.append(span)
+        return _merge_spans(claimed)
+
+    def tokenize(self, text: str) -> TokenizedText:
+        """Scan ``text`` into the token array used by the matcher."""
+        escaped = self.escape_spans(text)
+        tokens: list[Token] = []
+        for match in _WORD_RE.finditer(text):
+            span = match.span()
+            if _inside_any(span, escaped):
+                continue
+            surface = match.group()
+            canonical = canonicalize_token(surface)
+            if canonical:
+                tokens.append(Token(surface, canonical, span[0], span[1]))
+        return TokenizedText(source=text, tokens=tokens, escaped_regions=escaped)
+
+
+def _contains(outer: tuple[int, int], inner: tuple[int, int]) -> bool:
+    return outer[0] <= inner[0] and inner[1] <= outer[1]
+
+
+def _inside_any(span: tuple[int, int], regions: list[tuple[int, int]]) -> bool:
+    return any(region[0] < span[1] and span[0] < region[1] for region in regions)
+
+
+def _merge_spans(spans: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping spans into a sorted, disjoint list."""
+    if not spans:
+        return []
+    ordered = sorted(spans)
+    merged = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged

@@ -1,0 +1,41 @@
+"""Corpora: handcrafted sample, synthetic generator, lecture notes, I/O."""
+
+from repro.corpus.generator import (
+    COMMON_WORD_SECTIONS,
+    GeneratorParams,
+    GroundTruthInvocation,
+    SyntheticCorpus,
+    corpus_statistics,
+    generate_corpus,
+    load_or_generate,
+)
+from repro.corpus.lecture_notes import (
+    LectureNote,
+    generate_lecture_notes,
+    pitman_style_excerpt,
+)
+from repro.corpus.loader import (
+    load_corpus,
+    load_synthetic_corpus,
+    save_corpus,
+    save_synthetic_corpus,
+)
+from repro.corpus.planetmath_sample import sample_corpus
+
+__all__ = [
+    "GeneratorParams",
+    "GroundTruthInvocation",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "load_or_generate",
+    "corpus_statistics",
+    "COMMON_WORD_SECTIONS",
+    "sample_corpus",
+    "LectureNote",
+    "pitman_style_excerpt",
+    "generate_lecture_notes",
+    "save_corpus",
+    "load_corpus",
+    "save_synthetic_corpus",
+    "load_synthetic_corpus",
+]

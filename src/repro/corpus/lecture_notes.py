@@ -1,0 +1,145 @@
+"""Lecture-note documents for the Fig. 9 deployment scenario.
+
+The paper demonstrates NNexus linking Jim Pitman's UC Berkeley
+probability lecture notes against *two* corpora at once (PlanetMath and
+MathWorld), with a collection-priority option deciding the winner when
+both sites define a concept.
+
+This module provides (a) a handwritten probability lecture excerpt whose
+terminology overlaps the sample corpus, and (b) a generator producing
+many lecture-note documents against a synthetic corpus, each with ground
+truth, so the multi-corpus experiment can be scored exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.generator import (
+    GroundTruthInvocation,
+    SyntheticCorpus,
+    _FILLER,
+    _sentence_with,
+)
+from repro.core.morphology import canonicalize_phrase
+
+__all__ = ["LectureNote", "pitman_style_excerpt", "generate_lecture_notes"]
+
+
+@dataclass
+class LectureNote:
+    """One external document plus the invocations planted in it."""
+
+    title: str
+    text: str
+    classes: list[str]
+    ground_truth: list[GroundTruthInvocation]
+
+
+def pitman_style_excerpt() -> LectureNote:
+    """A handwritten probability-course excerpt (for the sample corpus)."""
+    text = (
+        "Lecture 3: Conditioning. Recall that a probability space carries "
+        "all the randomness of our model. A random variable $X$ assigns a "
+        "number to each outcome, and its expectation summarizes the "
+        "center of its distribution. When the state evolves step by step "
+        "and the future depends only on the present, we obtain a Markov "
+        "chain; its transition matrix has an eigenvalue equal to one. "
+        "The graph of the transition structure is useful: each state is "
+        "a vertex and each possible move an edge, and the chain is "
+        "irreducible when this graph has a single connected component. "
+        "In order to compute limits we use the fact that expectation is "
+        "linear, even when the random variables are dependent."
+    )
+    return LectureNote(
+        title="Conditioning and Markov chains",
+        text=text,
+        classes=["60J10", "60A05"],
+        ground_truth=[
+            GroundTruthInvocation(
+                "probability space", canonicalize_phrase("probability space"), 21, "concept"
+            ),
+            GroundTruthInvocation(
+                "random variable", canonicalize_phrase("random variable"), 22, "concept"
+            ),
+            GroundTruthInvocation(
+                "expectation", canonicalize_phrase("expectation"), 23, "concept"
+            ),
+            GroundTruthInvocation(
+                "Markov chain", canonicalize_phrase("Markov chain"), 20, "concept"
+            ),
+            GroundTruthInvocation("matrix", canonicalize_phrase("matrix"), 24, "concept"),
+            GroundTruthInvocation(
+                "eigenvalue", canonicalize_phrase("eigenvalue"), 25, "concept"
+            ),
+            GroundTruthInvocation("graph", canonicalize_phrase("graph"), 5, "homonym"),
+            GroundTruthInvocation("vertex", canonicalize_phrase("vertex"), 9, "concept"),
+            GroundTruthInvocation("edge", canonicalize_phrase("edge"), 10, "concept"),
+            GroundTruthInvocation(
+                "connected component",
+                canonicalize_phrase("connected component"),
+                4,
+                "concept",
+            ),
+        ],
+    )
+
+
+def generate_lecture_notes(
+    corpus: SyntheticCorpus,
+    count: int = 25,
+    seed: int = 7,
+    invocations_per_note: int = 8,
+) -> list[LectureNote]:
+    """Lecture notes that invoke concepts of a synthetic corpus.
+
+    Each note is "about" one MSC section: it carries that section's
+    classes and invokes concepts defined by entries of that section (and
+    occasionally elsewhere), mirroring how course notes cite a focused
+    slice of an encyclopedia.
+    """
+    rng = random.Random(seed)
+    by_section: dict[str, list[int]] = {}
+    plans = corpus.object_by_id()
+    for obj in corpus.objects:
+        if obj.classes:
+            by_section.setdefault(obj.classes[0][:3], []).append(obj.object_id)
+    sections = [code for code, ids in by_section.items() if len(ids) >= 5]
+    notes: list[LectureNote] = []
+    for index in range(count):
+        section = rng.choice(sections)
+        pool = by_section[section]
+        ground_truth: list[GroundTruthInvocation] = []
+        sentences: list[str] = []
+        used: set[tuple[str, ...]] = set()
+        attempts = 0
+        while len(ground_truth) < invocations_per_note and attempts < invocations_per_note * 6:
+            attempts += 1
+            if rng.random() < 0.85:
+                target_id = rng.choice(pool)
+            else:
+                target_id = rng.choice(corpus.objects).object_id
+            target = plans[target_id]
+            phrase = rng.choice(target.defines)
+            canonical = canonicalize_phrase(phrase)
+            if canonical in used:
+                continue
+            used.add(canonical)
+            ground_truth.append(
+                GroundTruthInvocation(phrase, canonical, target_id, "concept")
+            )
+            sentences.append(_sentence_with(phrase, rng, corpus.params))
+        while len(sentences) < invocations_per_note + 4:
+            sentences.append(_sentence_with(None, rng, corpus.params))
+        rng.shuffle(sentences)
+        classes = [rng.choice(corpus.scheme.children_of(section))] if section in corpus.scheme else []
+        notes.append(
+            LectureNote(
+                title=f"Lecture {index + 1} on {section}",
+                text=" ".join(sentences),
+                classes=classes,
+                ground_truth=ground_truth,
+            )
+        )
+    return notes

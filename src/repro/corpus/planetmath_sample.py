@@ -1,0 +1,412 @@
+"""A handcrafted PlanetMath-style sample corpus.
+
+Reproduces the worked example of Fig. 1 — the *plane graph* entry whose
+text invokes "planar graph", "graph", "plane" and "connected components",
+with two homonymous definitions of "graph" (graph theory 05C99 vs. set
+theory 03E20) — embedded in a small but realistic neighbourhood of
+related entries, including the "even number" entry whose label "even"
+is the paper's canonical overlinking culprit.
+
+Object ids follow the paper where it names them (2 = planar graph,
+5 = graph, 6 = graph in the set-theory sense).
+"""
+
+from __future__ import annotations
+
+from repro.core.models import CorpusObject
+
+__all__ = ["sample_corpus", "PLANE_GRAPH_ID", "GRAPH_ID", "SET_GRAPH_ID"]
+
+PLANE_GRAPH_ID = 1
+PLANAR_GRAPH_ID = 2
+PLANE_ID = 3
+CONNECTED_COMPONENTS_ID = 4
+GRAPH_ID = 5
+SET_GRAPH_ID = 6
+EVEN_NUMBER_ID = 7
+FUNCTION_ID = 8
+VERTEX_ID = 9
+EDGE_ID = 10
+TREE_ID = 11
+CONNECTIVITY_ID = 12
+EULER_PATH_ID = 13
+PRIME_NUMBER_ID = 14
+SET_ID = 15
+SUBSET_ID = 16
+CARDINALITY_ID = 17
+GROUP_ID = 18
+ABELIAN_GROUP_ID = 19
+MARKOV_CHAIN_ID = 20
+PROBABILITY_SPACE_ID = 21
+RANDOM_VARIABLE_ID = 22
+EXPECTATION_ID = 23
+MATRIX_ID = 24
+EIGENVALUE_ID = 25
+CONTINUOUS_FUNCTION_ID = 26
+LIMIT_ID = 27
+DERIVATIVE_ID = 28
+GRAPH_COLORING_ID = 29
+BIPARTITE_GRAPH_ID = 30
+
+
+def sample_corpus() -> list[CorpusObject]:
+    """Thirty interlinked entries spanning five MSC areas."""
+    return [
+        CorpusObject(
+            object_id=PLANE_GRAPH_ID,
+            title="plane graph",
+            defines=["plane graph"],
+            classes=["05C10"],
+            text=(
+                "A plane graph is a planar graph which is drawn in the plane "
+                "so that no two edges cross. Every graph drawn this way "
+                "divides the plane into connected components called faces. "
+                "If the graph is connected and even, an Euler path may exist."
+            ),
+        ),
+        CorpusObject(
+            object_id=PLANAR_GRAPH_ID,
+            title="planar graph",
+            defines=["planar graph"],
+            synonyms=["planar graphs"],
+            classes=["05C10"],
+            text=(
+                "A graph is planar if it can be embedded in the plane, that "
+                "is, drawn so that its edges intersect only at a vertex. "
+                "Trees are planar, and so is every bipartite graph on four "
+                "or fewer vertices."
+            ),
+        ),
+        CorpusObject(
+            object_id=PLANE_ID,
+            title="plane",
+            defines=["plane"],
+            classes=["51M05"],
+            text=(
+                "The plane is the two dimensional Euclidean space. A point "
+                "in the plane is determined by two coordinates."
+            ),
+        ),
+        CorpusObject(
+            object_id=CONNECTED_COMPONENTS_ID,
+            title="connected components",
+            defines=["connected component", "connected components"],
+            classes=["05C40"],
+            text=(
+                "The connected components of a graph are its maximal "
+                "connected subgraphs. A tree has exactly one connected "
+                "component, and connectivity measures how robustly a graph "
+                "stays in one piece."
+            ),
+        ),
+        CorpusObject(
+            object_id=GRAPH_ID,
+            title="graph",
+            defines=["graph"],
+            synonyms=["graphs", "simple graph"],
+            classes=["05C99"],
+            text=(
+                "A graph consists of a set of vertices together with a set "
+                "of edges joining pairs of vertices. When every vertex has "
+                "an even degree the graph admits an Euler path."
+            ),
+        ),
+        CorpusObject(
+            object_id=SET_GRAPH_ID,
+            title="graph of a function",
+            defines=["graph"],
+            classes=["03E20"],
+            text=(
+                "In set theory the graph of a function is the set of ordered "
+                "pairs relating each argument to its value. The graph is a "
+                "subset of the Cartesian product of domain and codomain."
+            ),
+        ),
+        CorpusObject(
+            object_id=EVEN_NUMBER_ID,
+            title="even number",
+            defines=["even number", "even"],
+            synonyms=["even integer"],
+            classes=["11A05"],
+            text=(
+                "An even number is an integer divisible by two. The sum of "
+                "two even numbers is even, and every prime number except two "
+                "is not even."
+            ),
+            linking_policy="forbid even\npermit even 11\n",
+        ),
+        CorpusObject(
+            object_id=FUNCTION_ID,
+            title="function",
+            defines=["function"],
+            synonyms=["functions", "mapping"],
+            classes=["03E20"],
+            text=(
+                "A function assigns to each element of its domain exactly "
+                "one element of its codomain. The graph of a function "
+                "records this assignment as a set of pairs."
+            ),
+        ),
+        CorpusObject(
+            object_id=VERTEX_ID,
+            title="vertex",
+            defines=["vertex"],
+            synonyms=["vertices", "node"],
+            classes=["05C99"],
+            text=(
+                "A vertex is a fundamental unit out of which a graph is "
+                "built. Each edge of a graph joins two vertices."
+            ),
+        ),
+        CorpusObject(
+            object_id=EDGE_ID,
+            title="edge",
+            defines=["edge"],
+            synonyms=["edges"],
+            classes=["05C99"],
+            text=(
+                "An edge of a graph is an unordered pair of vertices. The "
+                "degree of a vertex counts the edges incident to it."
+            ),
+        ),
+        CorpusObject(
+            object_id=TREE_ID,
+            title="tree",
+            defines=["tree"],
+            synonyms=["trees"],
+            classes=["05C05"],
+            text=(
+                "A tree is a connected graph containing no cycle. Every "
+                "tree on n vertices has exactly n minus one edges, and "
+                "removing any edge disconnects it into two connected "
+                "components."
+            ),
+        ),
+        CorpusObject(
+            object_id=CONNECTIVITY_ID,
+            title="connectivity",
+            defines=["connectivity", "connected"],
+            classes=["05C40"],
+            text=(
+                "Connectivity of a graph is the minimum number of vertices "
+                "whose removal disconnects it. A graph with connectivity at "
+                "least one is called connected."
+            ),
+        ),
+        CorpusObject(
+            object_id=EULER_PATH_ID,
+            title="Euler path",
+            defines=["Euler path", "Eulerian path"],
+            classes=["05C45"],
+            text=(
+                "An Euler path traverses every edge of a graph exactly "
+                "once. A connected graph has an Euler path precisely when "
+                "at most two vertices have odd degree; the rest must be of "
+                "even degree."
+            ),
+        ),
+        CorpusObject(
+            object_id=PRIME_NUMBER_ID,
+            title="prime number",
+            defines=["prime number", "prime"],
+            synonyms=["primes"],
+            classes=["11A41"],
+            text=(
+                "A prime number is an integer greater than one whose only "
+                "positive divisors are one and itself. Two is the only even "
+                "prime number."
+            ),
+            linking_policy="forbid prime\npermit prime 11\n",
+        ),
+        CorpusObject(
+            object_id=SET_ID,
+            title="set",
+            defines=["set"],
+            synonyms=["sets"],
+            classes=["03E20"],
+            text=(
+                "A set is a collection of distinct objects considered as a "
+                "whole. The cardinality of a set measures how many elements "
+                "it contains."
+            ),
+            linking_policy="forbid set\npermit set 03\npermit set 05\n",
+        ),
+        CorpusObject(
+            object_id=SUBSET_ID,
+            title="subset",
+            defines=["subset"],
+            synonyms=["subsets"],
+            classes=["03E20"],
+            text=(
+                "A subset of a set contains only elements of that set. "
+                "Every set is a subset of itself, and the empty set is a "
+                "subset of every set."
+            ),
+        ),
+        CorpusObject(
+            object_id=CARDINALITY_ID,
+            title="cardinality",
+            defines=["cardinality"],
+            classes=["03E10"],
+            text=(
+                "The cardinality of a set counts its elements. Two sets "
+                "have the same cardinality when a bijective function exists "
+                "between them."
+            ),
+        ),
+        CorpusObject(
+            object_id=GROUP_ID,
+            title="group",
+            defines=["group"],
+            synonyms=["groups"],
+            classes=["20A05"],
+            text=(
+                "A group is a set with an associative operation, an "
+                "identity element, and inverses. The integers under "
+                "addition form a group."
+            ),
+            linking_policy="forbid group\npermit group 20\npermit group 05\n",
+        ),
+        CorpusObject(
+            object_id=ABELIAN_GROUP_ID,
+            title="abelian group",
+            defines=["abelian group", "commutative group"],
+            classes=["20K01"],
+            text=(
+                "An abelian group is a group whose operation is "
+                "commutative. Every subgroup of an abelian group is normal."
+            ),
+        ),
+        CorpusObject(
+            object_id=MARKOV_CHAIN_ID,
+            title="Markov chain",
+            defines=["Markov chain"],
+            synonyms=["Markov chains"],
+            classes=["60J10"],
+            text=(
+                "A Markov chain is a stochastic process whose next state "
+                "depends only on the present state. Its transition "
+                "probabilities form a matrix whose rows sum to one, and a "
+                "random variable records the state at each step."
+            ),
+        ),
+        CorpusObject(
+            object_id=PROBABILITY_SPACE_ID,
+            title="probability space",
+            defines=["probability space"],
+            classes=["60A05"],
+            text=(
+                "A probability space consists of a sample space, a family "
+                "of events, and a measure assigning each event a number "
+                "between zero and one. Every random variable is a function "
+                "on a probability space."
+            ),
+        ),
+        CorpusObject(
+            object_id=RANDOM_VARIABLE_ID,
+            title="random variable",
+            defines=["random variable"],
+            synonyms=["random variables"],
+            classes=["60A05"],
+            text=(
+                "A random variable is a measurable function from a "
+                "probability space to the real numbers. The expectation of "
+                "a random variable is its average value."
+            ),
+        ),
+        CorpusObject(
+            object_id=EXPECTATION_ID,
+            title="expectation",
+            defines=["expectation", "expected value"],
+            classes=["60A05"],
+            text=(
+                "The expectation of a random variable is the integral of "
+                "the variable with respect to the underlying probability "
+                "measure. Expectation is linear."
+            ),
+        ),
+        CorpusObject(
+            object_id=MATRIX_ID,
+            title="matrix",
+            defines=["matrix"],
+            synonyms=["matrices"],
+            classes=["15A03"],
+            text=(
+                "A matrix is a rectangular array of numbers. Matrices "
+                "represent linear maps, and an eigenvalue of a square "
+                "matrix measures how it stretches a direction."
+            ),
+        ),
+        CorpusObject(
+            object_id=EIGENVALUE_ID,
+            title="eigenvalue",
+            defines=["eigenvalue"],
+            synonyms=["eigenvalues"],
+            classes=["15A18"],
+            text=(
+                "An eigenvalue of a matrix is a scalar lambda for which "
+                "some nonzero vector is scaled by lambda. The set of "
+                "eigenvalues is the spectrum."
+            ),
+        ),
+        CorpusObject(
+            object_id=CONTINUOUS_FUNCTION_ID,
+            title="continuous function",
+            defines=["continuous function", "continuity"],
+            classes=["26A15"],
+            text=(
+                "A continuous function is a function for which small "
+                "changes of the argument yield small changes of the value. "
+                "The limit of a continuous function agrees with its value."
+            ),
+        ),
+        CorpusObject(
+            object_id=LIMIT_ID,
+            title="limit",
+            defines=["limit"],
+            synonyms=["limits"],
+            classes=["26A03"],
+            text=(
+                "The limit of a function at a point describes the value the "
+                "function approaches. Limits underlie the derivative and "
+                "the integral."
+            ),
+            linking_policy="forbid limit\npermit limit 26\npermit limit 40\n",
+        ),
+        CorpusObject(
+            object_id=DERIVATIVE_ID,
+            title="derivative",
+            defines=["derivative"],
+            classes=["26A24"],
+            text=(
+                "The derivative of a function measures its instantaneous "
+                "rate of change, defined as a limit of difference "
+                "quotients. A differentiable function is a continuous "
+                "function."
+            ),
+        ),
+        CorpusObject(
+            object_id=GRAPH_COLORING_ID,
+            title="graph coloring",
+            defines=["graph coloring", "coloring"],
+            classes=["05C15"],
+            text=(
+                "A graph coloring assigns colors to the vertices of a graph "
+                "so that adjacent vertices receive different colors. Every "
+                "planar graph admits a coloring with four colors."
+            ),
+        ),
+        CorpusObject(
+            object_id=BIPARTITE_GRAPH_ID,
+            title="bipartite graph",
+            defines=["bipartite graph"],
+            synonyms=["bipartite graphs"],
+            classes=["05C99"],
+            text=(
+                "A bipartite graph is a graph whose vertices split into two "
+                "classes with every edge joining the classes. A graph is "
+                "bipartite precisely when it contains no odd cycle; a tree "
+                "is always bipartite."
+            ),
+        ),
+    ]

@@ -1,0 +1,187 @@
+"""Linking-quality metrics against synthetic ground truth.
+
+Definitions follow Section 3.2 verbatim:
+
+* **recall** — created links / concept invocations that are actually
+  defined in the corpus;
+* **precision** — correct links / created links;
+* **mislink** — a link to an incorrect target (includes all overlinks);
+* **overlink** — a link created where there should be none at all;
+* **underlink** — a defined invocation left unlinked.
+
+The paper measures these by manual survey; with a synthetic corpus every
+invocation carries its correct resolution, so the same quantities are
+computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+from repro.core.models import CorpusObject, LinkedDocument
+from repro.core.morphology import canonicalize_phrase
+from repro.corpus.generator import GroundTruthInvocation
+
+__all__ = ["EntryQuality", "QualityReport", "score_entry", "score_corpus"]
+
+
+class LinksObjects(Protocol):
+    """Anything that can link a stored entry (NNexus or a baseline)."""
+
+    def link_object(self, object_id: int) -> LinkedDocument: ...
+
+
+@dataclass
+class EntryQuality:
+    """Per-entry tallies."""
+
+    object_id: int
+    links_created: int = 0
+    correct: int = 0
+    mislinks: int = 0
+    overlinks: int = 0
+    underlinks: int = 0
+    defined_invocations: int = 0
+    spurious: int = 0
+    overlink_details: list[tuple[str, int]] = field(default_factory=list)
+    mislink_details: list[tuple[str, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class QualityReport:
+    """Corpus-level aggregation with the paper's derived percentages."""
+
+    entries: int = 0
+    links_created: int = 0
+    correct: int = 0
+    mislinks: int = 0
+    overlinks: int = 0
+    underlinks: int = 0
+    defined_invocations: int = 0
+    spurious: int = 0
+    per_entry: list[EntryQuality] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        if self.links_created == 0:
+            return 1.0
+        return self.correct / self.links_created
+
+    @property
+    def recall(self) -> float:
+        if self.defined_invocations == 0:
+            return 1.0
+        return (self.defined_invocations - self.underlinks) / self.defined_invocations
+
+    @property
+    def mislink_rate(self) -> float:
+        if self.links_created == 0:
+            return 0.0
+        return self.mislinks / self.links_created
+
+    @property
+    def overlink_rate(self) -> float:
+        if self.links_created == 0:
+            return 0.0
+        return self.overlinks / self.links_created
+
+    @property
+    def overlink_share_of_mislinks(self) -> float:
+        """"61.1 percent of the mislinks were overlinks" — that number."""
+        if self.mislinks == 0:
+            return 0.0
+        return self.overlinks / self.mislinks
+
+    def add(self, entry: EntryQuality) -> None:
+        """Fold one entry's tallies into the corpus totals."""
+        self.entries += 1
+        self.links_created += entry.links_created
+        self.correct += entry.correct
+        self.mislinks += entry.mislinks
+        self.overlinks += entry.overlinks
+        self.underlinks += entry.underlinks
+        self.defined_invocations += entry.defined_invocations
+        self.spurious += entry.spurious
+        self.per_entry.append(entry)
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric summary of the report."""
+        return {
+            "entries": float(self.entries),
+            "links": float(self.links_created),
+            "precision": self.precision,
+            "recall": self.recall,
+            "mislink_rate": self.mislink_rate,
+            "overlink_rate": self.overlink_rate,
+            "overlink_share_of_mislinks": self.overlink_share_of_mislinks,
+            "underlinks": float(self.underlinks),
+        }
+
+
+def score_entry(
+    document: LinkedDocument,
+    ground_truth: Sequence[GroundTruthInvocation],
+    object_id: int,
+) -> EntryQuality:
+    """Score one linked entry against its planted invocations.
+
+    Matching is by canonical phrase: the generator plants each canonical
+    phrase at most once per entry and the linker links at most the first
+    occurrence, so phrase identity is unambiguous.
+    """
+    expected: dict[tuple[str, ...], GroundTruthInvocation] = {
+        invocation.canonical: invocation for invocation in ground_truth
+    }
+    quality = EntryQuality(object_id=object_id)
+    quality.defined_invocations = sum(
+        1 for invocation in ground_truth if invocation.target_id is not None
+    )
+    produced: set[tuple[str, ...]] = set()
+    for link in document.links:
+        canonical = canonicalize_phrase(link.source_phrase)
+        produced.add(canonical)
+        quality.links_created += 1
+        truth = expected.get(canonical)
+        if truth is None:
+            # A phrase we never planted was linked (possible only if an
+            # author-supplied corpus contains unplanted label uses).
+            quality.spurious += 1
+            quality.mislinks += 1
+            quality.overlinks += 1
+            quality.overlink_details.append((link.source_phrase, link.target_id))
+        elif truth.target_id is None:
+            quality.mislinks += 1
+            quality.overlinks += 1
+            quality.overlink_details.append((link.source_phrase, link.target_id))
+        elif truth.target_id != link.target_id:
+            quality.mislinks += 1
+            quality.mislink_details.append(
+                (link.source_phrase, link.target_id, truth.target_id)
+            )
+        else:
+            quality.correct += 1
+    for invocation in ground_truth:
+        if invocation.target_id is not None and invocation.canonical not in produced:
+            quality.underlinks += 1
+    return quality
+
+
+def score_corpus(
+    linker: LinksObjects,
+    objects: Sequence[CorpusObject],
+    ground_truth: Mapping[int, Sequence[GroundTruthInvocation]],
+    sample_ids: Sequence[int] | None = None,
+) -> QualityReport:
+    """Link and score a corpus (or a sample of entry ids within it)."""
+    report = QualityReport()
+    ids = list(sample_ids) if sample_ids is not None else [o.object_id for o in objects]
+    wanted = set(ids)
+    for obj in objects:
+        if obj.object_id not in wanted:
+            continue
+        document = linker.link_object(obj.object_id)
+        report.add(
+            score_entry(document, ground_truth.get(obj.object_id, []), obj.object_id)
+        )
+    return report

@@ -1,0 +1,44 @@
+"""Paper-style ASCII table formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_percent", "format_seconds"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_seconds(value: float, digits: int = 3) -> str:
+    """Format a duration in seconds."""
+    return f"{value:.{digits}f}s"
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render a fixed-width table with a title rule, like the paper's tables."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "+".join("-" * (width + 2) for width in widths)
+    line = f"+{line}+"
+
+    def render_row(values: Sequence[str]) -> str:
+        padded = [f" {value:<{widths[i]}} " for i, value in enumerate(values)]
+        return f"|{'|'.join(padded)}|"
+
+    parts = [title, line, render_row(list(headers)), line]
+    parts.extend(render_row(row) for row in cells)
+    parts.append(line)
+    if note:
+        parts.append(note)
+    return "\n".join(parts)

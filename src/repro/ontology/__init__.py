@@ -1,0 +1,29 @@
+"""Classification-scheme substrate: schemes, MSC, OWL I/O, mapping."""
+
+from repro.ontology.mapping import (
+    ClassMapping,
+    OntologyMapping,
+    add_scheme_to_graph,
+    map_schemes,
+    merge_into_graph,
+)
+from repro.ontology.mathworld import build_mathworld
+from repro.ontology.msc import build_msc, build_small_msc
+from repro.ontology.owl import scheme_from_owl, scheme_to_owl
+from repro.ontology.scheme import ClassificationScheme, ClassNode, normalize_code
+
+__all__ = [
+    "ClassificationScheme",
+    "ClassNode",
+    "normalize_code",
+    "build_msc",
+    "build_small_msc",
+    "build_mathworld",
+    "scheme_to_owl",
+    "scheme_from_owl",
+    "ClassMapping",
+    "OntologyMapping",
+    "map_schemes",
+    "merge_into_graph",
+    "add_scheme_to_graph",
+]

@@ -1,0 +1,184 @@
+"""Ontology mapping: bridging classification schemes across corpora.
+
+Interlinking multiple corpora "presents problems ... as different
+knowledge bases may not use the same classification hierarchy"
+(Section 2.3); the paper cites PROMPT-style label alignment and
+background-knowledge mapping as the techniques under investigation.
+
+We implement a pragmatic label-and-structure mapper:
+
+1. **Exact title match** — classes whose normalized titles coincide map
+   with confidence 1.0.
+2. **Token-overlap match** — remaining classes map to the candidate with
+   the highest Jaccard similarity between title token sets (above a
+   configurable threshold).
+3. **Structural propagation** — still-unmapped classes inherit their
+   nearest mapped ancestor's image, at reduced confidence.
+
+The resulting :class:`OntologyMapping` can emit *bridge edges* that,
+added to a :class:`~repro.core.classification.ClassificationGraph`
+holding both schemes, let classification steering compare classes across
+corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.morphology import canonicalize_phrase
+from repro.ontology.scheme import ROOT_CODE, ClassificationScheme
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.core.classification import ClassificationGraph
+
+__all__ = ["ClassMapping", "OntologyMapping", "map_schemes", "merge_into_graph"]
+
+_STOPWORDS = frozenset(
+    {"and", "of", "the", "a", "an", "in", "on", "to", "for", "with", "general", "theory"}
+)
+
+
+@dataclass(frozen=True)
+class ClassMapping:
+    """One source-class -> target-class correspondence."""
+
+    source: str
+    target: str
+    confidence: float
+    method: str  # "exact" | "jaccard" | "structural"
+
+
+@dataclass
+class OntologyMapping:
+    """All correspondences from one scheme into another."""
+
+    source_scheme: str
+    target_scheme: str
+    mappings: dict[str, ClassMapping]
+
+    def target_for(self, source_class: str) -> str | None:
+        """Mapped target-class code for a source class, or None."""
+        mapping = self.mappings.get(source_class)
+        return mapping.target if mapping else None
+
+    def coverage(self) -> float:
+        """Fraction of source classes with a mapping (set on creation)."""
+        return self._coverage
+
+    _coverage: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+
+def _title_tokens(title: str) -> frozenset[str]:
+    return frozenset(
+        token for token in canonicalize_phrase(title) if token not in _STOPWORDS
+    )
+
+
+def _jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def map_schemes(
+    source: ClassificationScheme,
+    target: ClassificationScheme,
+    jaccard_threshold: float = 0.5,
+) -> OntologyMapping:
+    """Compute a mapping of every mappable class in ``source`` into ``target``."""
+    target_by_title: dict[frozenset[str], str] = {}
+    target_tokens: list[tuple[str, frozenset[str]]] = []
+    for node in target:
+        tokens = _title_tokens(node.title or node.code)
+        target_tokens.append((node.code, tokens))
+        target_by_title.setdefault(tokens, node.code)
+
+    mappings: dict[str, ClassMapping] = {}
+    unmapped: list[str] = []
+    for node in source:
+        tokens = _title_tokens(node.title or node.code)
+        exact = target_by_title.get(tokens)
+        if exact is not None and tokens:
+            mappings[node.code] = ClassMapping(node.code, exact, 1.0, "exact")
+            continue
+        best_code: str | None = None
+        best_score = 0.0
+        for code, candidate_tokens in target_tokens:
+            score = _jaccard(tokens, candidate_tokens)
+            if score > best_score:
+                best_score = score
+                best_code = code
+        if best_code is not None and best_score >= jaccard_threshold:
+            mappings[node.code] = ClassMapping(node.code, best_code, best_score, "jaccard")
+        else:
+            unmapped.append(node.code)
+
+    # Structural propagation: walk up until a mapped ancestor is found.
+    for code in unmapped:
+        for ancestor in source.path_to_root(code)[1:]:
+            if ancestor == ROOT_CODE:
+                break
+            parent_mapping = mappings.get(ancestor)
+            if parent_mapping is not None:
+                mappings[code] = ClassMapping(
+                    code,
+                    parent_mapping.target,
+                    parent_mapping.confidence * 0.5,
+                    "structural",
+                )
+                break
+
+    mapping = OntologyMapping(
+        source_scheme=source.name, target_scheme=target.name, mappings=mappings
+    )
+    mapping._coverage = len(mappings) / len(source) if len(source) else 0.0
+    return mapping
+
+
+def merge_into_graph(
+    graph: "ClassificationGraph",
+    mapping: OntologyMapping,
+    bridge_weight: float = 1.0,
+    min_confidence: float = 0.5,
+    methods: Iterable[str] = ("exact", "jaccard", "structural"),
+) -> int:
+    """Add bridge edges for confident correspondences; returns edges added.
+
+    The graph must already contain the nodes of both schemes (build it
+    from one scheme, then :meth:`add_edge` the other scheme's weighted
+    tree into it, or use two graphs merged upstream).
+    """
+    allowed = frozenset(methods)
+    added = 0
+    for class_mapping in mapping.mappings.values():
+        if class_mapping.confidence < min_confidence:
+            continue
+        if class_mapping.method not in allowed:
+            continue
+        if class_mapping.source not in graph or class_mapping.target not in graph:
+            continue
+        graph.add_edge(class_mapping.source, class_mapping.target, bridge_weight)
+        added += 1
+    return added
+
+
+def add_scheme_to_graph(
+    graph: "ClassificationGraph",
+    scheme: ClassificationScheme,
+    base_weight: float = 10.0,
+) -> None:
+    """Overlay a scheme's weighted tree edges onto an existing graph.
+
+    Class codes are assumed globally unique across schemes (true for MSC
+    vs. any differently-coded scheme); colliding codes simply merge,
+    which is occasionally what multi-corpus deployments want (both sites
+    using MSC).
+    """
+    height = max(scheme.height(), 1)
+    for parent, child, edge_depth in scheme.edges():
+        weight = base_weight ** (height - edge_depth - 1)
+        graph.add_edge(parent, child, weight)

@@ -1,0 +1,72 @@
+"""A MathWorld-style topic taxonomy.
+
+The Fig. 9 deployment links lecture notes against PlanetMath *and*
+MathWorld.  MathWorld does not use the MSC; it has its own topic tree
+(Algebra > Group Theory > ..., Discrete Mathematics > Graph Theory >
+...).  This module embeds a realistic slice of that taxonomy so the
+multi-corpus experiments exercise genuine cross-scheme steering through
+:mod:`repro.ontology.mapping` rather than two copies of the MSC.
+
+Codes are synthetic (``MW-DM-GT``-style) — MathWorld's own URLs carry no
+codes — but titles are real MathWorld topic names, which is what the
+label-based mapper keys on.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.scheme import ClassificationScheme
+
+__all__ = ["MATHWORLD_TOPICS", "build_mathworld"]
+
+#: (parent code or None, code, title) — parents precede children.
+MATHWORLD_TOPICS: tuple[tuple[str | None, str, str], ...] = (
+    (None, "MW-AL", "Algebra"),
+    ("MW-AL", "MW-AL-GT", "Group theory"),
+    ("MW-AL", "MW-AL-RT", "Ring theory"),
+    ("MW-AL", "MW-AL-FT", "Field theory and polynomials"),
+    ("MW-AL", "MW-AL-LA", "Linear algebra"),
+    ("MW-AL-GT", "MW-AL-GT-FG", "Finite groups"),
+    ("MW-AL-GT", "MW-AL-GT-AB", "Abelian groups"),
+    ("MW-AL-LA", "MW-AL-LA-MX", "Matrices and matrix theory"),
+    ("MW-AL-LA", "MW-AL-LA-EV", "Eigenvalues and eigenvectors"),
+    (None, "MW-DM", "Discrete mathematics"),
+    ("MW-DM", "MW-DM-GT", "Graph theory"),
+    ("MW-DM", "MW-DM-CO", "Combinatorics"),
+    ("MW-DM-GT", "MW-DM-GT-TR", "Trees"),
+    ("MW-DM-GT", "MW-DM-GT-CN", "Connectivity"),
+    ("MW-DM-GT", "MW-DM-GT-CL", "Graph coloring"),
+    ("MW-DM-CO", "MW-DM-CO-EN", "Enumerative combinatorics"),
+    (None, "MW-FO", "Foundations of mathematics"),
+    ("MW-FO", "MW-FO-ST", "Set theory"),
+    ("MW-FO", "MW-FO-LO", "General logic"),
+    ("MW-FO-ST", "MW-FO-ST-CA", "Ordinal and cardinal numbers"),
+    (None, "MW-NT", "Number theory"),
+    ("MW-NT", "MW-NT-EL", "Elementary number theory"),
+    ("MW-NT", "MW-NT-PR", "Primes"),
+    ("MW-NT", "MW-NT-CO", "Congruences"),
+    ("MW-NT", "MW-NT-SQ", "Sequences and sets"),
+    (None, "MW-CA", "Calculus and analysis"),
+    ("MW-CA", "MW-CA-DE", "Differentiation of one real variable"),
+    ("MW-CA", "MW-CA-IN", "Integrals of Riemann, Stieltjes and Lebesgue type"),
+    ("MW-CA", "MW-CA-LI", "Convergence and divergence of infinite limiting processes"),
+    ("MW-CA", "MW-CA-FN", "Functions of one variable"),
+    (None, "MW-PR", "Probability and statistics"),
+    ("MW-PR", "MW-PR-PT", "Probability theory and stochastic processes"),
+    ("MW-PR", "MW-PR-ST", "Statistics"),
+    ("MW-PR-PT", "MW-PR-PT-MC", "Markov processes"),
+    ("MW-PR-PT", "MW-PR-PT-DI", "Distribution theory"),
+    (None, "MW-GE", "Geometry"),
+    ("MW-GE", "MW-GE-EU", "Euclidean geometries, general and generalizations"),
+    ("MW-GE", "MW-GE-CV", "General convexity"),
+    (None, "MW-TO", "Topology"),
+    ("MW-TO", "MW-TO-GN", "Generalities in topology"),
+    ("MW-TO", "MW-TO-CP", "Compactness"),
+)
+
+
+def build_mathworld() -> ClassificationScheme:
+    """The embedded MathWorld-style topic taxonomy (~40 topics)."""
+    scheme = ClassificationScheme("mathworld")
+    for parent, code, title in MATHWORLD_TOPICS:
+        scheme.add_class(code, title=title, parent=parent)
+    return scheme

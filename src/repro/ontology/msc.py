@@ -1,0 +1,248 @@
+"""An MSC-style classification hierarchy.
+
+PlanetMath classifies entries with the Mathematical Subject
+Classification (MSC 2000): top-level two-digit areas (``05`` Combinatorics),
+second-level letter sections (``05C`` Graph theory) and five-character
+leaves (``05C40`` Connectivity).
+
+This module embeds the real MSC top-level areas and a curated set of real
+second-level sections and leaves for the areas the paper's examples touch
+(graph theory, set theory, number theory, probability, ...), then — for
+scalability experiments that need thousands of classes — can densify each
+section with generated leaf codes.  Structure (3-level tree, fan-out
+shape, code syntax) is what steering depends on, not the leaf titles.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.scheme import ClassificationScheme
+
+__all__ = ["MSC_TOP_LEVEL", "MSC_SECTIONS", "MSC_LEAVES", "build_msc", "build_small_msc"]
+
+#: Real MSC 2000 top-level areas (code, title).
+MSC_TOP_LEVEL: tuple[tuple[str, str], ...] = (
+    ("00", "General"),
+    ("01", "History and biography"),
+    ("03", "Mathematical logic and foundations"),
+    ("05", "Combinatorics"),
+    ("06", "Order, lattices, ordered algebraic structures"),
+    ("08", "General algebraic systems"),
+    ("11", "Number theory"),
+    ("12", "Field theory and polynomials"),
+    ("13", "Commutative rings and algebras"),
+    ("14", "Algebraic geometry"),
+    ("15", "Linear and multilinear algebra; matrix theory"),
+    ("16", "Associative rings and algebras"),
+    ("17", "Nonassociative rings and algebras"),
+    ("18", "Category theory; homological algebra"),
+    ("19", "K-theory"),
+    ("20", "Group theory and generalizations"),
+    ("22", "Topological groups, Lie groups"),
+    ("26", "Real functions"),
+    ("28", "Measure and integration"),
+    ("30", "Functions of a complex variable"),
+    ("31", "Potential theory"),
+    ("32", "Several complex variables and analytic spaces"),
+    ("33", "Special functions"),
+    ("34", "Ordinary differential equations"),
+    ("35", "Partial differential equations"),
+    ("37", "Dynamical systems and ergodic theory"),
+    ("39", "Difference and functional equations"),
+    ("40", "Sequences, series, summability"),
+    ("41", "Approximations and expansions"),
+    ("42", "Fourier analysis"),
+    ("43", "Abstract harmonic analysis"),
+    ("44", "Integral transforms, operational calculus"),
+    ("45", "Integral equations"),
+    ("46", "Functional analysis"),
+    ("47", "Operator theory"),
+    ("49", "Calculus of variations and optimal control"),
+    ("51", "Geometry"),
+    ("52", "Convex and discrete geometry"),
+    ("53", "Differential geometry"),
+    ("54", "General topology"),
+    ("55", "Algebraic topology"),
+    ("57", "Manifolds and cell complexes"),
+    ("58", "Global analysis, analysis on manifolds"),
+    ("60", "Probability theory and stochastic processes"),
+    ("62", "Statistics"),
+    ("65", "Numerical analysis"),
+    ("68", "Computer science"),
+    ("70", "Mechanics of particles and systems"),
+    ("74", "Mechanics of deformable solids"),
+    ("76", "Fluid mechanics"),
+    ("78", "Optics, electromagnetic theory"),
+    ("80", "Classical thermodynamics, heat transfer"),
+    ("81", "Quantum theory"),
+    ("82", "Statistical mechanics, structure of matter"),
+    ("83", "Relativity and gravitational theory"),
+    ("90", "Operations research, mathematical programming"),
+    ("91", "Game theory, economics, social and behavioral sciences"),
+    ("92", "Biology and other natural sciences"),
+    ("93", "Systems theory; control"),
+    ("94", "Information and communication, circuits"),
+)
+
+#: Real second-level sections: (top-level, code, title).
+MSC_SECTIONS: tuple[tuple[str, str, str], ...] = (
+    ("03", "03B", "General logic"),
+    ("03", "03C", "Model theory"),
+    ("03", "03D", "Computability and recursion theory"),
+    ("03", "03E", "Set theory"),
+    ("03", "03F", "Proof theory and constructive mathematics"),
+    ("05", "05A", "Enumerative combinatorics"),
+    ("05", "05B", "Designs and configurations"),
+    ("05", "05C", "Graph theory"),
+    ("05", "05D", "Extremal combinatorics"),
+    ("05", "05E", "Algebraic combinatorics"),
+    ("11", "11A", "Elementary number theory"),
+    ("11", "11B", "Sequences and sets"),
+    ("11", "11M", "Zeta and L-functions"),
+    ("11", "11N", "Multiplicative number theory"),
+    ("11", "11P", "Additive number theory; partitions"),
+    ("11", "11R", "Algebraic number theory: global fields"),
+    ("12", "12D", "Real and complex fields"),
+    ("12", "12E", "General field theory"),
+    ("13", "13A", "General commutative ring theory"),
+    ("13", "13B", "Ring extensions and related topics"),
+    ("15", "15A", "Basic linear algebra"),
+    ("20", "20A", "Foundations of group theory"),
+    ("20", "20B", "Permutation groups"),
+    ("20", "20D", "Abstract finite groups"),
+    ("20", "20E", "Structure and classification of groups"),
+    ("20", "20F", "Special aspects of infinite or finite groups"),
+    ("20", "20K", "Abelian groups"),
+    ("26", "26A", "Functions of one variable"),
+    ("26", "26B", "Functions of several variables"),
+    ("28", "28A", "Classical measure theory"),
+    ("30", "30A", "General properties of functions of a complex variable"),
+    ("33", "33B", "Elementary classical functions"),
+    ("34", "34A", "General theory of ordinary differential equations"),
+    ("40", "40A", "Convergence and divergence of infinite limiting processes"),
+    ("42", "42A", "Harmonic analysis in one variable"),
+    ("46", "46B", "Normed linear spaces and Banach spaces"),
+    ("46", "46C", "Inner product spaces and their generalizations"),
+    ("51", "51M", "Real and complex geometry"),
+    ("52", "52A", "General convexity"),
+    ("54", "54A", "Generalities in topology"),
+    ("54", "54D", "Fairly general properties of topological spaces"),
+    ("55", "55P", "Homotopy theory"),
+    ("60", "60A", "Foundations of probability theory"),
+    ("60", "60E", "Distribution theory"),
+    ("60", "60F", "Limit theorems"),
+    ("60", "60G", "Stochastic processes"),
+    ("60", "60J", "Markov processes"),
+    ("62", "62E", "Distribution theory in statistics"),
+    ("65", "65F", "Numerical linear algebra"),
+    ("68", "68P", "Theory of data"),
+    ("68", "68Q", "Theory of computing"),
+    ("68", "68R", "Discrete mathematics in relation to computer science"),
+    ("68", "68T", "Artificial intelligence"),
+    ("68", "68U", "Computing methodologies and applications"),
+    ("94", "94A", "Communication, information"),
+    ("94", "94B", "Theory of error-correcting codes"),
+)
+
+#: Real leaves for the sections the paper's examples live in:
+#: (section, code, title).
+MSC_LEAVES: tuple[tuple[str, str, str], ...] = (
+    ("05C", "05C05", "Trees"),
+    ("05C", "05C10", "Topological graph theory, imbedding"),
+    ("05C", "05C15", "Coloring of graphs and hypergraphs"),
+    ("05C", "05C20", "Directed graphs, tournaments"),
+    ("05C", "05C25", "Graphs and groups"),
+    ("05C", "05C38", "Paths and cycles"),
+    ("05C", "05C40", "Connectivity"),
+    ("05C", "05C45", "Eulerian and Hamiltonian graphs"),
+    ("05C", "05C60", "Isomorphism problems"),
+    ("05C", "05C65", "Hypergraphs"),
+    ("05C", "05C69", "Dominating sets, independent sets, cliques"),
+    ("05C", "05C70", "Factorization, matching, covering and packing"),
+    ("05C", "05C80", "Random graphs"),
+    ("05C", "05C90", "Applications of graph theory"),
+    ("05C", "05C99", "Graph theory, miscellaneous"),
+    ("03E", "03E04", "Ordered sets and their cofinalities"),
+    ("03E", "03E10", "Ordinal and cardinal numbers"),
+    ("03E", "03E15", "Descriptive set theory"),
+    ("03E", "03E20", "Other classical set theory"),
+    ("03E", "03E25", "Axiom of choice and related propositions"),
+    ("03E", "03E30", "Axiomatics of classical set theory"),
+    ("03E", "03E50", "Continuum hypothesis and Martin's axiom"),
+    ("03E", "03E75", "Applications of set theory"),
+    ("11A", "11A05", "Multiplicative structure; Euclidean algorithm; GCDs"),
+    ("11A", "11A07", "Congruences; primitive roots; residue systems"),
+    ("11A", "11A25", "Arithmetic functions"),
+    ("11A", "11A41", "Primes"),
+    ("11A", "11A51", "Factorization; primality"),
+    ("11B", "11B25", "Arithmetic progressions"),
+    ("11B", "11B39", "Fibonacci and Lucas numbers"),
+    ("11B", "11B68", "Bernoulli and Euler numbers and polynomials"),
+    ("20A", "20A05", "Axiomatics and elementary properties of groups"),
+    ("20D", "20D06", "Simple groups"),
+    ("20D", "20D15", "Nilpotent groups, p-groups"),
+    ("20K", "20K01", "Finite abelian groups"),
+    ("26A", "26A03", "Elementary topology of the real line"),
+    ("26A", "26A06", "Elementary calculus"),
+    ("26A", "26A09", "Elementary functions of one real variable"),
+    ("26A", "26A15", "Continuity and related questions"),
+    ("26A", "26A24", "Differentiation of one real variable"),
+    ("26A", "26A42", "Integrals of Riemann, Stieltjes and Lebesgue type"),
+    ("51M", "51M05", "Euclidean geometries, general and generalizations"),
+    ("51M", "51M15", "Geometric constructions"),
+    ("54A", "54A05", "Topological spaces and generalizations"),
+    ("54D", "54D05", "Connected and locally connected spaces"),
+    ("54D", "54D30", "Compactness"),
+    ("60A", "60A05", "Axioms; other general questions in probability"),
+    ("60A", "60A10", "Probabilistic measure theory"),
+    ("60E", "60E05", "General theory of probability distributions"),
+    ("60F", "60F05", "Central limit and other weak theorems"),
+    ("60G", "60G05", "Foundations of stochastic processes"),
+    ("60J", "60J10", "Markov chains with discrete parameter"),
+    ("15A", "15A03", "Vector spaces, linear dependence, rank"),
+    ("15A", "15A06", "Linear equations"),
+    ("15A", "15A15", "Determinants, permanents"),
+    ("15A", "15A18", "Eigenvalues, singular values, and eigenvectors"),
+    ("68Q", "68Q25", "Analysis of algorithms and problem complexity"),
+    ("68R", "68R10", "Graph theory in computer science"),
+    ("68P", "68P05", "Data structures"),
+    ("68P", "68P20", "Information storage and retrieval"),
+)
+
+
+def build_small_msc() -> ClassificationScheme:
+    """The curated MSC subset: real areas, sections and leaves only.
+
+    About 60 top-level areas, ~57 sections and ~59 leaves — the scheme
+    used by unit tests and the paper's worked examples (Fig. 4).
+    """
+    scheme = ClassificationScheme("msc")
+    for code, title in MSC_TOP_LEVEL:
+        scheme.add_class(code, title=title)
+    for parent, code, title in MSC_SECTIONS:
+        scheme.add_class(code, title=title, parent=parent)
+    for parent, code, title in MSC_LEAVES:
+        scheme.add_class(code, title=title, parent=parent)
+    return scheme
+
+
+def build_msc(leaves_per_section: int = 20) -> ClassificationScheme:
+    """A densified MSC for corpus-scale experiments.
+
+    Starts from :func:`build_small_msc` and generates additional leaf
+    codes (``05C02``, ``05C04``, ...) under every section until each has
+    at least ``leaves_per_section`` leaves.  Generated codes follow MSC
+    syntax and never collide with the curated real leaves.
+    """
+    scheme = build_small_msc()
+    if leaves_per_section <= 0:
+        return scheme
+    for __, section, ___ in MSC_SECTIONS:
+        existing = len(scheme.children_of(section))
+        number = 1
+        while existing < leaves_per_section and number < 100:
+            code = f"{section}{number:02d}"
+            if code not in scheme:
+                scheme.add_class(code, title=f"Generated topic {code}", parent=section)
+                existing += 1
+            number += 1
+    return scheme

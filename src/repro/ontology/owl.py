@@ -1,0 +1,83 @@
+"""Minimal OWL (RDF/XML) serialization of classification schemes.
+
+The paper's design goal ("NNexus utilizes OWL") is interoperability with
+Semantic Web tooling: classification hierarchies travel as OWL class
+trees where each class is an ``owl:Class`` and parent/child structure is
+``rdfs:subClassOf``.  This module writes and reads that dialect — enough
+to round-trip any :class:`~repro.ontology.scheme.ClassificationScheme`
+and to ingest simple external ontologies.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.errors import SchemeParseError
+from repro.ontology.scheme import ROOT_CODE, ClassificationScheme
+
+__all__ = ["scheme_to_owl", "scheme_from_owl", "OWL_NS", "RDF_NS", "RDFS_NS"]
+
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDFS_NS = "http://www.w3.org/2000/01/rdf-schema#"
+OWL_NS = "http://www.w3.org/2002/07/owl#"
+
+_ABOUT = f"{{{RDF_NS}}}about"
+_RESOURCE = f"{{{RDF_NS}}}resource"
+
+
+def _class_uri(scheme_name: str, code: str) -> str:
+    return f"urn:nnexus:{scheme_name}#{code}"
+
+
+def scheme_to_owl(scheme: ClassificationScheme) -> str:
+    """Serialize a scheme as RDF/XML OWL classes."""
+    ET.register_namespace("rdf", RDF_NS)
+    ET.register_namespace("rdfs", RDFS_NS)
+    ET.register_namespace("owl", OWL_NS)
+    root = ET.Element(f"{{{RDF_NS}}}RDF")
+    ontology = ET.SubElement(root, f"{{{OWL_NS}}}Ontology")
+    ontology.set(_ABOUT, f"urn:nnexus:{scheme.name}")
+    label = ET.SubElement(ontology, f"{{{RDFS_NS}}}label")
+    label.text = scheme.name
+    for node in scheme:
+        owl_class = ET.SubElement(root, f"{{{OWL_NS}}}Class")
+        owl_class.set(_ABOUT, _class_uri(scheme.name, node.code))
+        class_label = ET.SubElement(owl_class, f"{{{RDFS_NS}}}label")
+        class_label.text = node.title or node.code
+        if node.parent is not None and node.parent != ROOT_CODE:
+            parent = ET.SubElement(owl_class, f"{{{RDFS_NS}}}subClassOf")
+            parent.set(_RESOURCE, _class_uri(scheme.name, node.parent))
+    return ET.tostring(root, encoding="unicode")
+
+
+def scheme_from_owl(xml_text: str) -> ClassificationScheme:
+    """Parse the OWL dialect written by :func:`scheme_to_owl`."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SchemeParseError(f"bad OWL XML: {exc}") from exc
+    ontology = root.find(f"{{{OWL_NS}}}Ontology")
+    name = "scheme"
+    if ontology is not None:
+        label = ontology.find(f"{{{RDFS_NS}}}label")
+        if label is not None and label.text:
+            name = label.text
+        else:
+            about = ontology.get(_ABOUT, "")
+            if about.startswith("urn:nnexus:"):
+                name = about[len("urn:nnexus:") :]
+    entries: list[dict[str, object]] = []
+    for owl_class in root.findall(f"{{{OWL_NS}}}Class"):
+        about = owl_class.get(_ABOUT, "")
+        code = about.rsplit("#", 1)[-1]
+        if not code:
+            raise SchemeParseError(f"owl:Class without usable rdf:about: {about!r}")
+        label_el = owl_class.find(f"{{{RDFS_NS}}}label")
+        title = label_el.text if label_el is not None and label_el.text else ""
+        parent_el = owl_class.find(f"{{{RDFS_NS}}}subClassOf")
+        parent: str | None = None
+        if parent_el is not None:
+            resource = parent_el.get(_RESOURCE, "")
+            parent = resource.rsplit("#", 1)[-1] or None
+        entries.append({"code": code, "title": title, "parent": parent})
+    return ClassificationScheme.from_dict({"name": name, "classes": entries})

@@ -1,0 +1,229 @@
+"""Classification schemes: the subject-ontology substrate.
+
+Online encyclopedias organize entries into a classification hierarchy
+(Section 2.3).  PlanetMath uses the Mathematical Subject Classification
+(MSC), whose codes look like ``05C40``: top level ``05``, second level
+``05C`` (written ``05Cxx`` in MSC), leaf ``05C40``.
+
+A :class:`ClassificationScheme` is a rooted tree of :class:`ClassNode`
+objects.  It is deliberately ignorant of linking: distance computation and
+steering live in :mod:`repro.core.classification`, ontology *mapping*
+between schemes in :mod:`repro.ontology.mapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.errors import SchemeParseError, UnknownClassError
+
+__all__ = ["ClassNode", "ClassificationScheme", "normalize_code"]
+
+ROOT_CODE = "__root__"
+
+
+def normalize_code(code: str) -> str:
+    """Canonical spelling of a class code.
+
+    MSC habitually writes interior nodes with ``xx`` suffixes (``05Cxx``,
+    ``05-XX``); we strip those and uppercase, so ``05cxx`` == ``05C``.
+    """
+    cleaned = code.strip().upper()
+    for suffix in ("-XX", "XX"):
+        if cleaned.endswith(suffix) and len(cleaned) > len(suffix):
+            cleaned = cleaned[: -len(suffix)]
+    return cleaned
+
+
+@dataclass
+class ClassNode:
+    """One class in the hierarchy."""
+
+    code: str
+    title: str = ""
+    parent: str | None = None
+    children: list[str] = field(default_factory=list)
+    depth: int = 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+class ClassificationScheme:
+    """A rooted classification tree addressed by class code.
+
+    The scheme always contains a synthetic root (``__root__``) so that
+    top-level categories are siblings under a single tree, matching the
+    "designated root node" of the paper's weight formula.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        root = ClassNode(code=ROOT_CODE, title=f"{name} root", parent=None, depth=0)
+        self._nodes: dict[str, ClassNode] = {ROOT_CODE: root}
+        self._height_cache: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_class(self, code: str, title: str = "", parent: str | None = None) -> ClassNode:
+        """Insert a class under ``parent`` (default: the synthetic root)."""
+        normalized = normalize_code(code)
+        if not normalized:
+            raise SchemeParseError(f"empty class code in scheme {self.name!r}")
+        if normalized in self._nodes:
+            raise SchemeParseError(
+                f"class {normalized!r} already exists in scheme {self.name!r}"
+            )
+        parent_code = ROOT_CODE if parent is None else normalize_code(parent)
+        parent_node = self._nodes.get(parent_code)
+        if parent_node is None:
+            raise UnknownClassError(self.name, parent_code)
+        node = ClassNode(
+            code=normalized,
+            title=title,
+            parent=parent_code,
+            depth=parent_node.depth + 1,
+        )
+        self._nodes[normalized] = node
+        parent_node.children.append(normalized)
+        self._height_cache = None
+        return node
+
+    @classmethod
+    def from_edges(
+        cls, name: str, edges: Iterable[tuple[str | None, str, str]]
+    ) -> "ClassificationScheme":
+        """Build a scheme from ``(parent_or_None, code, title)`` triples.
+
+        Parents must appear before their children.
+        """
+        scheme = cls(name)
+        for parent, code, title in edges:
+            scheme.add_class(code, title=title, parent=parent)
+        return scheme
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node(self, code: str) -> ClassNode:
+        """Look up a class node; raises UnknownClassError."""
+        normalized = normalize_code(code)
+        found = self._nodes.get(normalized)
+        if found is None:
+            raise UnknownClassError(self.name, normalized)
+        return found
+
+    def __contains__(self, code: str) -> bool:
+        return normalize_code(code) in self._nodes
+
+    def __len__(self) -> int:
+        """Number of classes, excluding the synthetic root."""
+        return len(self._nodes) - 1
+
+    def __iter__(self) -> Iterator[ClassNode]:
+        return (node for code, node in self._nodes.items() if code != ROOT_CODE)
+
+    @property
+    def root(self) -> ClassNode:
+        return self._nodes[ROOT_CODE]
+
+    def codes(self) -> list[str]:
+        """Every class code in the scheme (root excluded)."""
+        return [node.code for node in self]
+
+    def children_of(self, code: str) -> list[str]:
+        """Child codes of a class, in insertion order."""
+        return list(self.node(code).children)
+
+    def parent_of(self, code: str) -> str | None:
+        """Parent code of a class (the synthetic root for top levels)."""
+        return self.node(code).parent
+
+    def path_to_root(self, code: str) -> list[str]:
+        """Codes from ``code`` up to and including the synthetic root."""
+        path = [normalize_code(code)]
+        node = self.node(code)
+        while node.parent is not None:
+            path.append(node.parent)
+            node = self._nodes[node.parent]
+        return path
+
+    def height(self) -> int:
+        """Distance of the longest root-to-leaf path (edges)."""
+        if self._height_cache is None:
+            self._height_cache = max((node.depth for node in self._nodes.values()), default=0)
+        return self._height_cache
+
+    def leaves(self) -> list[str]:
+        """Codes of classes without children."""
+        return [node.code for node in self if not node.children]
+
+    # ------------------------------------------------------------------
+    # Tree relations used by steering and mapping
+    # ------------------------------------------------------------------
+    def lowest_common_ancestor(self, code_a: str, code_b: str) -> str:
+        """LCA of two classes (possibly the synthetic root)."""
+        ancestors_a = self.path_to_root(code_a)
+        ancestors_b = set(self.path_to_root(code_b))
+        for ancestor in ancestors_a:
+            if ancestor in ancestors_b:
+                return ancestor
+        return ROOT_CODE
+
+    def edges(self) -> Iterator[tuple[str, str, int]]:
+        """All parent->child edges as ``(parent, child, edge_depth)``.
+
+        ``edge_depth`` is the edge's distance from the root — the ``i`` of
+        the paper's weight formula ``w(e) = b**(height - i - 1)``: the
+        edge from the root to a top-level class has ``i = 0``.
+        """
+        for node in self._nodes.values():
+            for child in node.children:
+                yield node.code, child, node.depth
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (used by OWL export and corpus saves)."""
+        return {
+            "name": self.name,
+            "classes": [
+                {
+                    "code": node.code,
+                    "title": node.title,
+                    "parent": node.parent,
+                }
+                for node in self
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ClassificationScheme":
+        name = str(payload.get("name", "scheme"))
+        entries = payload.get("classes", [])
+        if not isinstance(entries, list):
+            raise SchemeParseError("'classes' must be a list")
+        scheme = cls(name)
+        pending: list[dict[str, object]] = [e for e in entries if isinstance(e, dict)]
+        # Insert in dependency order: parents before children.
+        inserted_guard = len(pending) + 1
+        while pending and inserted_guard > 0:
+            inserted_guard -= 1
+            remaining: list[dict[str, object]] = []
+            for entry in pending:
+                parent = entry.get("parent")
+                parent_code = None if parent in (None, ROOT_CODE) else str(parent)
+                if parent_code is None or parent_code in scheme:
+                    scheme.add_class(
+                        str(entry["code"]),
+                        title=str(entry.get("title", "")),
+                        parent=parent_code,
+                    )
+                else:
+                    remaining.append(entry)
+            if len(remaining) == len(pending):
+                missing = sorted(str(e.get("parent")) for e in remaining)
+                raise SchemeParseError(f"unresolvable parents: {missing}")
+            pending = remaining
+        return scheme

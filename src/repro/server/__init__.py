@@ -1,0 +1,17 @@
+"""XML-over-socket API: protocol codec, threaded server, Python client."""
+
+from repro.server.client import NNexusClient, RemoteError
+from repro.server.http_gateway import NNexusHttpGateway, serve_http
+from repro.server.protocol import Request, Response
+from repro.server.server import NNexusServer, serve_forever
+
+__all__ = [
+    "NNexusServer",
+    "serve_forever",
+    "NNexusClient",
+    "RemoteError",
+    "Request",
+    "Response",
+    "NNexusHttpGateway",
+    "serve_http",
+]

@@ -1,0 +1,57 @@
+"""Run an NNexus server from the command line.
+
+::
+
+    python -m repro.server --port 7070 --sample     # serve the sample corpus
+    python -m repro.server --port 7070 --corpus corpus.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.linker import NNexus
+from repro.corpus.loader import load_corpus
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+from repro.server.server import NNexusServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7070)
+    parser.add_argument("--corpus", type=str, default="",
+                        help="path to a JSON corpus (see repro.corpus.loader)")
+    parser.add_argument("--sample", action="store_true",
+                        help="serve the built-in PlanetMath-style sample corpus")
+    parser.add_argument("--http-port", type=int, default=0,
+                        help="also expose the read-only HTTP/JSON gateway")
+    args = parser.parse_args(argv)
+
+    linker = NNexus(scheme=build_small_msc())
+    if args.corpus:
+        linker.add_objects(load_corpus(args.corpus))
+    elif args.sample:
+        linker.add_objects(sample_corpus())
+    server = NNexusServer(linker, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"nnexus server listening on {host}:{port} "
+          f"({len(linker)} objects, {linker.concept_count()} concepts)")
+    if args.http_port:
+        from repro.server.http_gateway import serve_http
+
+        gateway = serve_http(linker, host=args.host, port=args.http_port)
+        print(f"http gateway on {gateway.address[0]}:{gateway.address[1]}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Python client for the NNexus XML socket protocol."""
+
+from __future__ import annotations
+
+import socket
+from types import TracebackType
+from typing import Sequence
+
+from repro.core.errors import NNexusError, ProtocolError
+from repro.core.models import CorpusObject
+from repro.server import protocol
+
+__all__ = ["NNexusClient", "RemoteError"]
+
+
+class RemoteError(NNexusError):
+    """The server reported an error for a request."""
+
+
+class NNexusClient:
+    """Blocking client; usable as a context manager.
+
+    >>> with NNexusClient(host, port) as client:          # doctest: +SKIP
+    ...     client.link_entry("every planar graph ...", classes=["05C10"])
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _call(self, request: protocol.Request) -> protocol.Response:
+        self._sock.sendall(protocol.frame(protocol.encode_request(request)))
+        message = protocol.read_frame(self._sock.recv)
+        if message is None:
+            raise ProtocolError("server closed the connection")
+        response = protocol.decode_response(message)
+        if not response.ok:
+            raise RemoteError(response.error or "unknown server error")
+        return response
+
+    def close(self) -> None:
+        """Close the socket."""
+        self._sock.close()
+
+    def __enter__(self) -> "NNexusClient":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # API methods
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness check; True when the server answers."""
+        return self._call(protocol.Request("ping")).fields.get("pong") == "1"
+
+    def describe(self) -> dict[str, int]:
+        """Corpus statistics as integers."""
+        response = self._call(protocol.Request("describe"))
+        return {key: int(value) for key, value in response.fields.items()}
+
+    def link_entry(
+        self,
+        text: str,
+        classes: Sequence[str] = (),
+        fmt: str = "html",
+    ) -> tuple[str, list[dict[str, str]]]:
+        """Link arbitrary text; returns (rendered body, link descriptors)."""
+        response = self._call(
+            protocol.Request(
+                "linkEntry",
+                fields={"text": text, "classes": ",".join(classes), "format": fmt},
+            )
+        )
+        return response.fields.get("body", ""), response.links
+
+    def add_object(self, obj: CorpusObject) -> list[int]:
+        """Register an entry; returns the invalidated object ids."""
+        response = self._call(protocol.Request("addObject", obj=obj))
+        raw = response.fields.get("invalidated", "")
+        return [int(part) for part in raw.split(",") if part]
+
+    def update_object(self, obj: CorpusObject) -> list[int]:
+        """Replace an entry; returns invalidated ids."""
+        response = self._call(protocol.Request("updateObject", obj=obj))
+        raw = response.fields.get("invalidated", "")
+        return [int(part) for part in raw.split(",") if part]
+
+    def remove_object(self, object_id: int) -> list[int]:
+        """Unregister an entry; returns invalidated ids."""
+        response = self._call(
+            protocol.Request("removeObject", fields={"objectid": str(object_id)})
+        )
+        raw = response.fields.get("invalidated", "")
+        return [int(part) for part in raw.split(",") if part]
+
+    def set_policy(self, object_id: int, policy: str) -> None:
+        """Install a linking policy on a stored entry."""
+        self._call(
+            protocol.Request(
+                "setPolicy", fields={"objectid": str(object_id), "policy": policy}
+            )
+        )

@@ -1,0 +1,203 @@
+"""HTTP/JSON gateway: NNexus as a web service (§3.4).
+
+"NNexus could be deployed as a web service to allow third parties to
+link arbitrary documents to particular corpora" — this module is that
+deployment: a small HTTP server (stdlib ``http.server``) exposing the
+linker as JSON endpoints, suitable as a drop-in backend for a blog
+plugin or an on-demand text-linking bookmarklet.
+
+Endpoints
+---------
+``GET  /health``                       -> {"status": "ok"}
+``GET  /describe``                     -> corpus statistics
+``POST /link``    {"text", "classes": [...], "format"} -> rendered body + links
+``POST /annotations`` {"text", "classes": [...]}        -> W3C Web Annotations
+``GET  /entry/<id>``                   -> entry metadata + rendered HTML
+
+Errors come back as ``{"error": ...}`` with a 4xx status.  The gateway
+shares the linker with whatever else holds it; mutations stay on the XML
+socket API (the write path), keeping this surface read-only.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.core.annotations import document_to_annotations
+from repro.core.errors import NNexusError, UnknownObjectError
+from repro.core.linker import NNexus
+from repro.core.render import render_annotations, render_html, render_markdown
+
+__all__ = ["NNexusHttpGateway", "serve_http"]
+
+_RENDERERS = {
+    "html": render_html,
+    "markdown": render_markdown,
+    "annotations": render_annotations,
+}
+
+_ENTRY_PATH = re.compile(r"^/entry/(\d+)$")
+_MAX_BODY = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "NNexusHttpGateway"
+    protocol_version = "HTTP/1.1"
+
+    # Silence per-request stderr logging.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length <= 0 or length > _MAX_BODY:
+            raise ValueError("request body required (and under 8 MiB)")
+        raw = self.rfile.read(length)
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/health":
+                self._send_json({"status": "ok"})
+            elif self.path == "/describe":
+                self._send_json(self.server.describe())
+            else:
+                match = _ENTRY_PATH.match(self.path)
+                if match:
+                    self._send_json(self.server.entry(int(match.group(1))))
+                else:
+                    self._send_json({"error": f"no route {self.path}"}, status=404)
+        except UnknownObjectError as exc:
+            self._send_json({"error": str(exc)}, status=404)
+        except (NNexusError, ValueError) as exc:
+            self._send_json({"error": str(exc)}, status=400)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            payload = self._read_json()
+            if self.path == "/link":
+                self._send_json(self.server.link(payload))
+            elif self.path == "/annotations":
+                self._send_json(self.server.annotations(payload))
+            else:
+                self._send_json({"error": f"no route {self.path}"}, status=404)
+        except (json.JSONDecodeError, ValueError) as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except (NNexusError, KeyError) as exc:
+            self._send_json({"error": str(exc)}, status=400)
+
+
+class NNexusHttpGateway(ThreadingHTTPServer):
+    """Read-only HTTP facade over a shared linker."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, linker: NNexus, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__((host, port), _Handler)
+        self.linker = linker
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    # ------------------------------------------------------------------
+    # Operations (locked against concurrent corpus mutation)
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Corpus statistics payload."""
+        with self._lock:
+            info = self.linker.describe()
+        return {
+            "objects": info["objects"],
+            "concepts": info["concepts"],
+            "policies": info["policies"],
+        }
+
+    def link(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Link text from a JSON request payload."""
+        text = str(payload.get("text", ""))
+        classes = [str(c) for c in payload.get("classes", [])]
+        fmt = str(payload.get("format", "html"))
+        renderer = _RENDERERS.get(fmt)
+        if renderer is None:
+            raise ValueError(f"unknown format {fmt!r}")
+        with self._lock:
+            document = self.linker.link_text(text, source_classes=classes)
+            body = renderer(document)
+        return {
+            "body": body,
+            "linkcount": document.link_count,
+            "links": [
+                {
+                    "phrase": link.source_phrase,
+                    "target": link.target_id,
+                    "domain": link.target_domain,
+                    "url": link.url,
+                    "start": link.char_start,
+                    "end": link.char_end,
+                }
+                for link in document.links
+            ],
+        }
+
+    def annotations(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Link text and return W3C Web Annotations."""
+        text = str(payload.get("text", ""))
+        classes = [str(c) for c in payload.get("classes", [])]
+        source_iri = str(payload.get("source", "urn:nnexus:document"))
+        with self._lock:
+            document = self.linker.link_text(text, source_classes=classes)
+        items = document_to_annotations(document, source_iri=source_iri)
+        return {
+            "@context": "http://www.w3.org/ns/anno.jsonld",
+            "type": "AnnotationCollection",
+            "total": len(items),
+            "items": items,
+        }
+
+    def entry(self, object_id: int) -> dict[str, Any]:
+        """Entry metadata plus its linked HTML rendering."""
+        with self._lock:
+            obj = self.linker.get_object(object_id)
+            html = self.linker.render_object(object_id)
+        return {
+            "object_id": obj.object_id,
+            "title": obj.title,
+            "defines": list(obj.defines),
+            "synonyms": list(obj.synonyms),
+            "classes": list(obj.classes),
+            "domain": obj.domain,
+            "html": html,
+        }
+
+
+def serve_http(linker: NNexus, host: str = "127.0.0.1", port: int = 0) -> NNexusHttpGateway:
+    """Start the gateway on a daemon thread; returns the bound server."""
+    gateway = NNexusHttpGateway(linker, host=host, port=port)
+    thread = threading.Thread(target=gateway.serve_forever, daemon=True)
+    thread.start()
+    return gateway

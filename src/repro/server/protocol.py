@@ -1,0 +1,272 @@
+"""The NNexus wire protocol: XML requests/responses over sockets.
+
+Section 3.1: "All communications with NNexus are over socket
+connections, and all requests and responses with the NNexus server are
+in XML format."  We implement the same shape:
+
+Request::
+
+    <request method="linkEntry">
+      <text>...entry body...</text>
+      <classes>05C10,05C40</classes>
+      <format>html</format>
+    </request>
+
+Response::
+
+    <response status="ok" method="linkEntry">
+      <body>...linked html...</body>
+      <links><link phrase="planar graph" target="2" domain="planetmath"
+                   url="..."/>...</links>
+    </response>
+
+Messages are newline-free XML documents framed by a 10-digit length
+prefix, so arbitrary text payloads survive the socket unambiguously.
+
+Supported methods: ``linkEntry``, ``addObject``, ``updateObject``,
+``removeObject``, ``setPolicy``, ``describe``, ``ping``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import ProtocolError
+from repro.core.models import CorpusObject, LinkedDocument
+
+__all__ = [
+    "Request",
+    "Response",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "frame",
+    "read_frame",
+    "object_to_xml",
+    "object_from_xml",
+    "METHODS",
+]
+
+METHODS = (
+    "linkEntry",
+    "addObject",
+    "updateObject",
+    "removeObject",
+    "setPolicy",
+    "describe",
+    "ping",
+)
+
+FRAME_HEADER_BYTES = 10
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class Request:
+    method: str
+    fields: dict[str, str] = field(default_factory=dict)
+    obj: CorpusObject | None = None
+
+
+@dataclass
+class Response:
+    status: str
+    method: str
+    fields: dict[str, str] = field(default_factory=dict)
+    links: list[dict[str, str]] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+# ---------------------------------------------------------------------------
+# CorpusObject <-> XML
+# ---------------------------------------------------------------------------
+
+
+def object_to_xml(obj: CorpusObject) -> ET.Element:
+    element = ET.Element("object", {"id": str(obj.object_id), "domain": obj.domain})
+    ET.SubElement(element, "title").text = obj.title
+    for phrase in obj.defines:
+        ET.SubElement(element, "concept").text = phrase
+    for phrase in obj.synonyms:
+        ET.SubElement(element, "synonym").text = phrase
+    for code in obj.classes:
+        ET.SubElement(element, "class").text = code
+    ET.SubElement(element, "body").text = obj.text
+    if obj.linking_policy:
+        ET.SubElement(element, "policy").text = obj.linking_policy
+    return element
+
+
+def object_from_xml(element: ET.Element) -> CorpusObject:
+    raw_id = element.get("id")
+    if raw_id is None:
+        raise ProtocolError("<object> requires an id attribute")
+    try:
+        object_id = int(raw_id)
+    except ValueError as exc:
+        raise ProtocolError(f"bad object id {raw_id!r}") from exc
+    return CorpusObject(
+        object_id=object_id,
+        title=_text_of(element, "title"),
+        defines=[el.text or "" for el in element.findall("concept")],
+        synonyms=[el.text or "" for el in element.findall("synonym")],
+        classes=[el.text or "" for el in element.findall("class")],
+        text=_text_of(element, "body"),
+        domain=element.get("domain", "default"),
+        linking_policy=_text_of(element, "policy"),
+    )
+
+
+def _text_of(element: ET.Element, tag: str) -> str:
+    child = element.find(tag)
+    return child.text or "" if child is not None else ""
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+def encode_request(request: Request) -> str:
+    if request.method not in METHODS:
+        raise ProtocolError(f"unknown method {request.method!r}")
+    root = ET.Element("request", {"method": request.method})
+    for key, value in request.fields.items():
+        ET.SubElement(root, key).text = value
+    if request.obj is not None:
+        root.append(object_to_xml(request.obj))
+    return ET.tostring(root, encoding="unicode")
+
+
+def decode_request(xml_text: str) -> Request:
+    root = _parse(xml_text)
+    if root.tag != "request":
+        raise ProtocolError(f"expected <request>, got <{root.tag}>")
+    method = root.get("method", "")
+    if method not in METHODS:
+        raise ProtocolError(f"unknown method {method!r}")
+    fields: dict[str, str] = {}
+    obj: CorpusObject | None = None
+    for child in root:
+        if child.tag == "object":
+            obj = object_from_xml(child)
+        else:
+            fields[child.tag] = child.text or ""
+    return Request(method=method, fields=fields, obj=obj)
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+def encode_response(response: Response) -> str:
+    root = ET.Element("response", {"status": response.status, "method": response.method})
+    if response.error:
+        ET.SubElement(root, "error").text = response.error
+    for key, value in response.fields.items():
+        ET.SubElement(root, key).text = value
+    if response.links:
+        links = ET.SubElement(root, "links")
+        for link in response.links:
+            ET.SubElement(links, "link", {k: str(v) for k, v in link.items()})
+    return ET.tostring(root, encoding="unicode")
+
+
+def decode_response(xml_text: str) -> Response:
+    root = _parse(xml_text)
+    if root.tag != "response":
+        raise ProtocolError(f"expected <response>, got <{root.tag}>")
+    fields: dict[str, str] = {}
+    links: list[dict[str, str]] = []
+    error = ""
+    for child in root:
+        if child.tag == "links":
+            links = [dict(link.attrib) for link in child.findall("link")]
+        elif child.tag == "error":
+            error = child.text or ""
+        else:
+            fields[child.tag] = child.text or ""
+    return Response(
+        status=root.get("status", "error"),
+        method=root.get("method", ""),
+        fields=fields,
+        links=links,
+        error=error,
+    )
+
+
+def links_payload(document: LinkedDocument) -> list[dict[str, Any]]:
+    """Serialize a linked document's links for the response."""
+    return [
+        {
+            "phrase": link.source_phrase,
+            "target": str(link.target_id),
+            "domain": link.target_domain,
+            "url": link.url,
+            "start": str(link.char_start),
+            "end": str(link.char_end),
+        }
+        for link in document.links
+    ]
+
+
+def _parse(xml_text: str) -> ET.Element:
+    try:
+        return ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise ProtocolError(f"bad XML: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Socket framing
+# ---------------------------------------------------------------------------
+
+
+def frame(message: str) -> bytes:
+    """Length-prefix a message for the wire."""
+    payload = message.encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(payload)} bytes")
+    return f"{len(payload):0{FRAME_HEADER_BYTES}d}".encode("ascii") + payload
+
+
+def read_frame(recv: Any) -> str | None:
+    """Read one framed message from a socket-like ``recv(n)`` callable.
+
+    Returns ``None`` on clean EOF before a header is read.
+    """
+    header = _read_exact(recv, FRAME_HEADER_BYTES)
+    if header is None:
+        return None
+    try:
+        length = int(header.decode("ascii"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"bad frame header {header!r}") from exc
+    if length < 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"bad frame length {length}")
+    payload = _read_exact(recv, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return payload.decode("utf-8")
+
+
+def _read_exact(recv: Any, count: int) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None  # clean EOF between messages
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,177 @@
+"""The NNexus socket server (Fig. 7 deployment).
+
+A threaded TCP server exposing a shared :class:`~repro.core.linker.NNexus`
+over the XML protocol of :mod:`repro.server.protocol`.  Clients in any
+language can add objects and request linked renderings — the paper's
+"API so that it can be used with any document corpus and with client
+software written in any programming language".
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from repro.core.errors import NNexusError, ProtocolError
+from repro.core.linker import NNexus
+from repro.core.render import render_annotations, render_html, render_markdown
+from repro.server import protocol
+
+__all__ = ["NNexusServer", "serve_forever"]
+
+_RENDERERS = {
+    "html": render_html,
+    "markdown": render_markdown,
+    "annotations": render_annotations,
+}
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection; handles a stream of framed requests."""
+
+    server: "NNexusServer"
+
+    def handle(self) -> None:
+        sock: socket.socket = self.request
+        while True:
+            try:
+                message = protocol.read_frame(sock.recv)
+            except (ProtocolError, ConnectionError, OSError):
+                return
+            if message is None:
+                return
+            reply = self.server.dispatch_message(message)
+            try:
+                sock.sendall(protocol.frame(reply))
+            except OSError:
+                return
+
+
+class NNexusServer(socketserver.ThreadingTCPServer):
+    """Serve a linker instance over XML/TCP.
+
+    Parameters
+    ----------
+    linker:
+        The shared NNexus instance (mutations are serialized by a lock).
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, linker: NNexus, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__((host, port), _Handler)
+        self.linker = linker
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def dispatch_message(self, message: str) -> str:
+        """Decode, execute and encode one request (errors become XML)."""
+        method = "unknown"
+        try:
+            request = protocol.decode_request(message)
+            method = request.method
+            response = self._execute(request)
+        except (NNexusError, ValueError) as exc:
+            response = protocol.Response(status="error", method=method, error=str(exc))
+        return protocol.encode_response(response)
+
+    def _execute(self, request: protocol.Request) -> protocol.Response:
+        handler = {
+            "ping": self._ping,
+            "describe": self._describe,
+            "linkEntry": self._link_entry,
+            "addObject": self._add_object,
+            "updateObject": self._update_object,
+            "removeObject": self._remove_object,
+            "setPolicy": self._set_policy,
+        }[request.method]
+        with self._lock:
+            return handler(request)
+
+    def _ping(self, request: protocol.Request) -> protocol.Response:
+        return protocol.Response(status="ok", method="ping", fields={"pong": "1"})
+
+    def _describe(self, request: protocol.Request) -> protocol.Response:
+        info = self.linker.describe()
+        fields = {
+            "objects": str(info["objects"]),
+            "concepts": str(info["concepts"]),
+            "policies": str(info["policies"]),
+        }
+        return protocol.Response(status="ok", method="describe", fields=fields)
+
+    def _link_entry(self, request: protocol.Request) -> protocol.Response:
+        text = request.fields.get("text", "")
+        classes = [
+            code.strip()
+            for code in request.fields.get("classes", "").split(",")
+            if code.strip()
+        ]
+        fmt = request.fields.get("format", "html")
+        renderer = _RENDERERS.get(fmt)
+        if renderer is None:
+            raise ProtocolError(f"unknown format {fmt!r}")
+        document = self.linker.link_text(text, source_classes=classes)
+        return protocol.Response(
+            status="ok",
+            method="linkEntry",
+            fields={"body": renderer(document), "linkcount": str(document.link_count)},
+            links=protocol.links_payload(document),
+        )
+
+    def _add_object(self, request: protocol.Request) -> protocol.Response:
+        if request.obj is None:
+            raise ProtocolError("addObject requires an <object> element")
+        invalidated = self.linker.add_object(request.obj)
+        return protocol.Response(
+            status="ok",
+            method="addObject",
+            fields={
+                "invalidated": ",".join(str(i) for i in sorted(invalidated)),
+                "objects": str(len(self.linker)),
+            },
+        )
+
+    def _update_object(self, request: protocol.Request) -> protocol.Response:
+        if request.obj is None:
+            raise ProtocolError("updateObject requires an <object> element")
+        invalidated = self.linker.update_object(request.obj)
+        return protocol.Response(
+            status="ok",
+            method="updateObject",
+            fields={"invalidated": ",".join(str(i) for i in sorted(invalidated))},
+        )
+
+    def _remove_object(self, request: protocol.Request) -> protocol.Response:
+        object_id = int(request.fields.get("objectid", "-1"))
+        invalidated = self.linker.remove_object(object_id)
+        return protocol.Response(
+            status="ok",
+            method="removeObject",
+            fields={"invalidated": ",".join(str(i) for i in sorted(invalidated))},
+        )
+
+    def _set_policy(self, request: protocol.Request) -> protocol.Response:
+        object_id = int(request.fields.get("objectid", "-1"))
+        policy = request.fields.get("policy", "")
+        self.linker.set_linking_policy(object_id, policy)
+        return protocol.Response(status="ok", method="setPolicy")
+
+
+def serve_forever(linker: NNexus, host: str = "127.0.0.1", port: int = 0) -> NNexusServer:
+    """Start a server on a background thread; returns it (bound, running)."""
+    server = NNexusServer(linker, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server

@@ -1,0 +1,5 @@
+"""Static-site generation: serve a corpus as a browsable encyclopedia."""
+
+from repro.site.builder import SiteBuilder, SiteReport
+
+__all__ = ["SiteBuilder", "SiteReport"]

@@ -1,0 +1,230 @@
+"""Static-site generation: a browsable encyclopedia from a corpus.
+
+Section 3.4 positions NNexus as infrastructure for "expanding
+collections and growing ensembles of interlinked collections on the
+web".  This module renders a corpus the way a Noosphere-style site
+would serve it: one HTML page per entry with the automatically linked
+body and a metadata sidebar (concepts defined, classifications,
+incoming links), an alphabetical index, a classification browser, and a
+network statistics page built on :mod:`repro.analysis`.
+
+No template engine — small, explicit HTML builders.
+"""
+
+from __future__ import annotations
+
+import html
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.graph import build_link_graph, connectivity_report
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+
+__all__ = ["SiteBuilder", "SiteReport"]
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: Georgia, serif; margin: 2rem auto; max-width: 52rem; }}
+a.nnexus-link {{ color: #1a5276; }}
+nav {{ font-size: 0.9rem; margin-bottom: 1rem; }}
+aside {{ background: #f6f6f6; padding: 0.8rem 1rem; border-left: 3px solid #1a5276;
+        font-size: 0.9rem; }}
+h1 {{ margin-bottom: 0.2rem; }}
+.meta {{ color: #666; font-size: 0.85rem; }}
+</style>
+</head>
+<body>
+<nav><a href="index.html">index</a> · <a href="classes.html">classification</a>
+ · <a href="network.html">network</a></nav>
+{body}
+</body>
+</html>
+"""
+
+
+@dataclass
+class SiteReport:
+    """What the builder wrote."""
+
+    entry_pages: int = 0
+    index_pages: int = 0
+    links_rendered: int = 0
+    output_dir: str = ""
+    files: list[str] = field(default_factory=list)
+
+
+def _entry_filename(object_id: int) -> str:
+    return f"entry-{object_id}.html"
+
+
+class SiteBuilder:
+    """Render a linker's corpus into a static HTML site."""
+
+    def __init__(self, linker: NNexus, site_title: str = "Encyclopedia") -> None:
+        self._linker = linker
+        self._site_title = site_title
+
+    # ------------------------------------------------------------------
+    # Page rendering
+    # ------------------------------------------------------------------
+    def _linked_body(self, object_id: int) -> tuple[str, list[int]]:
+        document = self._linker.link_object(object_id)
+
+        def substitute(link, surface: str) -> str:
+            href = _entry_filename(link.target_id)
+            return f'<a class="nnexus-link" href="{href}">{html.escape(surface)}</a>'
+
+        # Escape the non-link text while substituting: simplest correct
+        # order is substitute on escaped offsets — instead escape link-
+        # free segments manually.
+        pieces: list[str] = []
+        cursor = 0
+        for link in sorted(document.links, key=lambda l: l.char_start):
+            pieces.append(html.escape(document.source_text[cursor : link.char_start]))
+            pieces.append(substitute(link, document.source_text[link.char_start : link.char_end]))
+            cursor = link.char_end
+        pieces.append(html.escape(document.source_text[cursor:]))
+        return "".join(pieces), document.targets()
+
+    def entry_page(self, obj: CorpusObject, incoming: list[int]) -> str:
+        """Render one entry's HTML page (linked body + sidebar)."""
+        body_html, __ = self._linked_body(obj.object_id)
+        defines = ", ".join(html.escape(p) for p in obj.defines) or "—"
+        synonyms = ", ".join(html.escape(p) for p in obj.synonyms) or "—"
+        classes = ", ".join(html.escape(c) for c in obj.classes) or "unclassified"
+        incoming_html = (
+            ", ".join(
+                f'<a href="{_entry_filename(i)}">'
+                f"{html.escape(self._linker.get_object(i).title)}</a>"
+                for i in incoming[:25]
+            )
+            or "none yet"
+        )
+        body = (
+            f"<h1>{html.escape(obj.title)}</h1>"
+            f'<p class="meta">object {obj.object_id} · {classes} · domain '
+            f"{html.escape(obj.domain)}</p>"
+            f"<p>{body_html}</p>"
+            f"<aside><b>defines:</b> {defines}<br>"
+            f"<b>synonyms:</b> {synonyms}<br>"
+            f"<b>linked from:</b> {incoming_html}</aside>"
+        )
+        return _PAGE_TEMPLATE.format(
+            title=f"{html.escape(obj.title)} — {html.escape(self._site_title)}",
+            body=body,
+        )
+
+    def index_page(self) -> str:
+        """Render the alphabetical index page."""
+        items = sorted(
+            (self._linker.get_object(oid) for oid in self._linker.object_ids()),
+            key=lambda obj: obj.title.casefold(),
+        )
+        listing = "\n".join(
+            f'<li><a href="{_entry_filename(obj.object_id)}">'
+            f"{html.escape(obj.title)}</a></li>"
+            for obj in items
+        )
+        body = (
+            f"<h1>{html.escape(self._site_title)}</h1>"
+            f"<p class=\"meta\">{len(items)} entries, "
+            f"{self._linker.concept_count()} concepts</p>"
+            f"<ul>{listing}</ul>"
+        )
+        return _PAGE_TEMPLATE.format(title=html.escape(self._site_title), body=body)
+
+    def classes_page(self) -> str:
+        """Render the classification browser page."""
+        by_class: dict[str, list[CorpusObject]] = defaultdict(list)
+        for object_id in self._linker.object_ids():
+            obj = self._linker.get_object(object_id)
+            for code in obj.classes or ["unclassified"]:
+                by_class[code].append(obj)
+        sections = []
+        scheme = self._linker.scheme
+        for code in sorted(by_class):
+            title = ""
+            if scheme is not None and code in scheme:
+                title = scheme.node(code).title
+            heading = html.escape(f"{code} {title}".strip())
+            links = " · ".join(
+                f'<a href="{_entry_filename(obj.object_id)}">'
+                f"{html.escape(obj.title)}</a>"
+                for obj in sorted(by_class[code], key=lambda o: o.title.casefold())
+            )
+            sections.append(f"<h2>{heading}</h2><p>{links}</p>")
+        body = "<h1>Classification browser</h1>" + "".join(sections)
+        return _PAGE_TEMPLATE.format(
+            title=f"Classification — {html.escape(self._site_title)}", body=body
+        )
+
+    def network_page(self) -> str:
+        """Render the link-network statistics page."""
+        targets = {
+            object_id: self._linker.link_object(object_id).targets()
+            for object_id in self._linker.object_ids()
+        }
+        graph = build_link_graph(targets, all_nodes=self._linker.object_ids())
+        report = connectivity_report(graph)
+        rank = graph.pagerank()
+        top = sorted(rank, key=rank.get, reverse=True)[:10]
+        hub_list = "".join(
+            f'<li><a href="{_entry_filename(oid)}">'
+            f"{html.escape(self._linker.get_object(oid).title)}</a> "
+            f"(pagerank {rank[oid]:.4f}, {graph.in_degree(oid)} incoming)</li>"
+            for oid in top
+        )
+        body = (
+            "<h1>Conceptual network</h1>"
+            f"<p>{report.nodes} entries · {report.edges} invocation links · "
+            f"largest component {report.largest_component_fraction:.1%} · "
+            f"{report.orphan_count} orphans · mean out-degree "
+            f"{report.mean_out_degree:.1f}</p>"
+            f"<h2>Hub concepts</h2><ol>{hub_list}</ol>"
+        )
+        return _PAGE_TEMPLATE.format(
+            title=f"Network — {html.escape(self._site_title)}", body=body
+        )
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self, output_dir: str | Path) -> SiteReport:
+        """Write the whole site; returns what was produced."""
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        report = SiteReport(output_dir=str(directory))
+
+        # One linking pass to collect incoming links for the sidebars.
+        incoming: dict[int, list[int]] = defaultdict(list)
+        links_rendered = 0
+        for object_id in self._linker.object_ids():
+            document = self._linker.link_object(object_id)
+            links_rendered += document.link_count
+            for target in document.targets():
+                incoming[target].append(object_id)
+
+        for object_id in self._linker.object_ids():
+            obj = self._linker.get_object(object_id)
+            page = self.entry_page(obj, incoming.get(object_id, []))
+            path = directory / _entry_filename(object_id)
+            path.write_text(page, encoding="utf-8")
+            report.files.append(path.name)
+            report.entry_pages += 1
+
+        for name, content in (
+            ("index.html", self.index_page()),
+            ("classes.html", self.classes_page()),
+            ("network.html", self.network_page()),
+        ):
+            (directory / name).write_text(content, encoding="utf-8")
+            report.files.append(name)
+            report.index_pages += 1
+        report.links_rendered = links_rendered
+        return report

@@ -1,0 +1,20 @@
+"""Embedded storage engine (the MySQL substitution) and NNexus tables."""
+
+from repro.storage.btree import BTree
+from repro.storage.engine import Column, Database, Schema, Table
+from repro.storage.sql_executor import ResultSet, SqlSession, execute
+from repro.storage.sql_lexer import SqlSyntaxError
+from repro.storage.tables import NNexusStore
+
+__all__ = [
+    "BTree",
+    "Column",
+    "Schema",
+    "Table",
+    "Database",
+    "NNexusStore",
+    "execute",
+    "SqlSession",
+    "ResultSet",
+    "SqlSyntaxError",
+]

@@ -1,0 +1,273 @@
+"""A from-scratch in-memory B-tree for ordered secondary indexes.
+
+The hash indexes of :mod:`repro.storage.engine` serve equality probes;
+range predicates (``WHERE score >= 0.8``, ``ORDER BY`` prefixes) need an
+*ordered* index.  This is a classic CLRS B-tree over opaque comparable
+keys — for the engine, ``(column value, primary key)`` pairs — with full
+insert, delete (borrow/merge rebalancing) and iterator-based range
+scans.
+
+Keys must be mutually comparable; the engine guarantees this by typing
+columns and excluding NULLs from ordered indexes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+__all__ = ["BTree"]
+
+Key = Any
+
+
+class _Node:
+    __slots__ = ("keys", "children")
+
+    def __init__(self, leaf: bool = True) -> None:
+        self.keys: list[Key] = []
+        self.children: list[_Node] = [] if leaf else []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """B-tree with minimum degree ``t`` (each node holds t-1..2t-1 keys)."""
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise ValueError("min_degree must be >= 2")
+        self._t = min_degree
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Key) -> bool:
+        node = self._root
+        while True:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return True
+            if node.leaf:
+                return False
+            node = node.children[index]
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: Key) -> bool:
+        """Insert ``key``; returns False if it was already present."""
+        if key in self:
+            return False
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key)
+        self._size += 1
+        return True
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        sibling.keys = child.keys[t:]
+        median = child.keys[t - 1]
+        child.keys = child.keys[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.children.insert(index + 1, sibling)
+        parent.keys.insert(index, median)
+
+    def _insert_nonfull(self, node: _Node, key: Key) -> None:
+        while not node.leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if len(node.children[index].keys) == 2 * self._t - 1:
+                self._split_child(node, index)
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+        bisect.insort(node.keys, key)
+
+    # ------------------------------------------------------------------
+    # Delete (CLRS full algorithm)
+    # ------------------------------------------------------------------
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; returns False when absent."""
+        if key not in self:
+            return False
+        self._delete(self._root, key)
+        if not self._root.keys and not self._root.leaf:
+            self._root = self._root.children[0]
+        self._size -= 1
+        return True
+
+    def _delete(self, node: _Node, key: Key) -> None:
+        t = self._t
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                return
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                predecessor = self._max_key(left)
+                node.keys[index] = predecessor
+                self._delete(left, predecessor)
+            elif len(right.keys) >= t:
+                successor = self._min_key(right)
+                node.keys[index] = successor
+                self._delete(right, successor)
+            else:
+                self._merge(node, index)
+                self._delete(left, key)
+            return
+        if node.leaf:
+            return  # key absent (guarded by caller)
+        child = node.children[index]
+        if len(child.keys) == t - 1:
+            index = self._grow_child(node, index)
+            child = node.children[index]
+        self._delete(child, key)
+
+    def _grow_child(self, node: _Node, index: int) -> int:
+        """Ensure child ``index`` has >= t keys; returns its (new) index."""
+        t = self._t
+        child = node.children[index]
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            left = node.children[index - 1]
+            child.keys.insert(0, node.keys[index - 1])
+            node.keys[index - 1] = left.keys.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            return index
+        if index < len(node.children) - 1 and len(node.children[index + 1].keys) >= t:
+            right = node.children[index + 1]
+            child.keys.append(node.keys[index])
+            node.keys[index] = right.keys.pop(0)
+            if not right.leaf:
+                child.children.append(right.children.pop(0))
+            return index
+        if index > 0:
+            self._merge(node, index - 1)
+            return index - 1
+        self._merge(node, index)
+        return index
+
+    def _merge(self, node: _Node, index: int) -> None:
+        """Merge child ``index``, separator, child ``index+1``."""
+        left = node.children[index]
+        right = node.children.pop(index + 1)
+        left.keys.append(node.keys.pop(index))
+        left.keys.extend(right.keys)
+        left.children.extend(right.children)
+
+    def _min_key(self, node: _Node) -> Key:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def _max_key(self, node: _Node) -> Key:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # ------------------------------------------------------------------
+    # Iteration and range scans
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Key]:
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[Key]:
+        if node.leaf:
+            yield from node.keys
+            return
+        for index, key in enumerate(node.keys):
+            yield from self._walk(node.children[index])
+            yield key
+        yield from self._walk(node.children[-1])
+
+    def range_scan(
+        self,
+        low: Key | None = None,
+        high: Key | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Key]:
+        """Keys within [low, high] (bounds optional, inclusive by default)."""
+        yield from self._range(self._root, low, high, include_low, include_high)
+
+    def _range(
+        self,
+        node: _Node,
+        low: Key | None,
+        high: Key | None,
+        include_low: bool,
+        include_high: bool,
+    ) -> Iterator[Key]:
+        start = 0
+        if low is not None:
+            start = (
+                bisect.bisect_left(node.keys, low)
+                if include_low
+                else bisect.bisect_right(node.keys, low)
+            )
+        for index in range(start, len(node.keys) + 1):
+            if not node.leaf:
+                child = node.children[index]
+                yield from self._range(child, low, high, include_low, include_high)
+            if index < len(node.keys):
+                key = node.keys[index]
+                if low is not None:
+                    if key < low or (not include_low and key == low):
+                        continue
+                if high is not None:
+                    if key > high or (not include_high and key == high):
+                        return
+                yield key
+
+    def min(self) -> Key | None:
+        """Smallest key, or None when empty."""
+        if not self._size:
+            return None
+        return self._min_key(self._root)
+
+    def max(self) -> Key | None:
+        """Largest key, or None when empty."""
+        if not self._size:
+            return None
+        return self._max_key(self._root)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert B-tree structural invariants (used by tests)."""
+        keys = list(self)
+        assert keys == sorted(keys), "in-order traversal not sorted"
+        assert len(keys) == self._size, "size counter drifted"
+        self._check_node(self._root, is_root=True)
+
+    def _check_node(self, node: _Node, is_root: bool = False) -> int:
+        t = self._t
+        if not is_root:
+            assert t - 1 <= len(node.keys) <= 2 * t - 1, "key-count bounds"
+        else:
+            assert len(node.keys) <= 2 * t - 1
+        if node.leaf:
+            return 1
+        assert len(node.children) == len(node.keys) + 1, "fanout mismatch"
+        depths = {self._check_node(child) for child in node.children}
+        assert len(depths) == 1, "leaves at different depths"
+        return depths.pop() + 1

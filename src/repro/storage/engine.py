@@ -1,0 +1,700 @@
+"""An embeddable relational storage engine.
+
+The production NNexus persists its concept map, classification table,
+linking policies and invalidation index in MySQL (Section 3.1).  This
+module provides the equivalent substrate without external dependencies:
+
+* typed table schemas with primary keys,
+* secondary hash indexes maintained on every mutation,
+* equality and predicate queries,
+* write-ahead logging to JSON lines with snapshot compaction, and
+* coarse-grained thread safety (one RLock per database, mirroring a
+  single-writer deployment).
+
+The engine is deliberately small but honest: constraints are enforced,
+the WAL replays to the identical state, and the index structures are the
+ones the linker's operations actually need (point lookups and equality
+scans).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.core.errors import (
+    DuplicateKeyError,
+    MissingKeyError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+)
+
+__all__ = ["Column", "Schema", "Table", "Database"]
+
+Row = dict[str, Any]
+
+_TYPE_CHECKS: dict[str, Callable[[Any], bool]] = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "json": lambda v: _json_safe(v),
+}
+
+
+def _json_safe(value: Any) -> bool:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, declared type and nullability."""
+
+    name: str
+    type: str = "str"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPE_CHECKS:
+            raise SchemaError(f"unknown column type {self.type!r}")
+
+    def validate(self, value: Any) -> None:
+        """Type/nullability check for one value of this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if not _TYPE_CHECKS[self.type](value):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type}, got {type(value).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Table schema: ordered columns plus the primary-key column name."""
+
+    columns: tuple[Column, ...]
+    primary_key: str
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate column names")
+        if self.primary_key not in names:
+            raise SchemaError(f"primary key {self.primary_key!r} is not a column")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column definition by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"no column named {name!r}")
+
+    def validate_row(self, row: Mapping[str, Any]) -> Row:
+        """Check and normalize a row (missing nullable columns -> None)."""
+        extra = set(row) - set(self.column_names)
+        if extra:
+            raise SchemaError(f"unknown columns: {sorted(extra)}")
+        validated: Row = {}
+        for column in self.columns:
+            value = row.get(column.name)
+            column.validate(value)
+            validated[column.name] = value
+        return validated
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form of the schema."""
+        return {
+            "primary_key": self.primary_key,
+            "columns": [
+                {"name": c.name, "type": c.type, "nullable": c.nullable}
+                for c in self.columns
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Schema":
+        columns = tuple(
+            Column(entry["name"], entry.get("type", "str"), entry.get("nullable", False))
+            for entry in payload["columns"]
+        )
+        return cls(columns=columns, primary_key=payload["primary_key"])
+
+
+class Table:
+    """Row store with a primary key and secondary hash indexes."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: dict[Any, Row] = {}
+        # index column -> {value -> set of primary keys}
+        self._indexes: dict[str, dict[Any, set[Any]]] = {}
+        # ordered (B-tree) index column -> tree of (value, pk) keys
+        self._ordered: dict[str, "BTree"] = {}
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        """Build (or no-op if present) a hash index on a column."""
+        self.schema.column(column)  # raises on unknown column
+        if column in self._indexes:
+            return
+        index: dict[Any, set[Any]] = {}
+        for pk, row in self._rows.items():
+            index.setdefault(_index_key(row[column]), set()).add(pk)
+        self._indexes[column] = index
+
+    def create_ordered_index(self, column: str) -> None:
+        """Build a B-tree over ``column`` for range scans (NULLs excluded)."""
+        from repro.storage.btree import BTree
+
+        self.schema.column(column)
+        if column in self._ordered:
+            return
+        tree = BTree()
+        for pk, row in self._rows.items():
+            value = row[column]
+            if value is not None:
+                tree.insert((value, pk))
+        self._ordered[column] = tree
+
+    def indexes(self) -> list[str]:
+        """Names of hash-indexed columns."""
+        return sorted(self._indexes)
+
+    def ordered_indexes(self) -> list[str]:
+        """Names of B-tree-indexed columns."""
+        return sorted(self._ordered)
+
+    def _index_insert(self, row: Row) -> None:
+        pk = row[self.schema.primary_key]
+        for column, index in self._indexes.items():
+            index.setdefault(_index_key(row[column]), set()).add(pk)
+        for column, tree in self._ordered.items():
+            value = row[column]
+            if value is not None:
+                tree.insert((value, pk))
+
+    def _index_remove(self, row: Row) -> None:
+        pk = row[self.schema.primary_key]
+        for column, index in self._indexes.items():
+            key = _index_key(row[column])
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(pk)
+                if not bucket:
+                    del index[key]
+        for column, tree in self._ordered.items():
+            value = row[column]
+            if value is not None:
+                tree.delete((value, pk))
+
+    # ------------------------------------------------------------------
+    # Mutations (used via Database for locking/WAL)
+    # ------------------------------------------------------------------
+    def _insert(self, row: Mapping[str, Any]) -> Row:
+        validated = self.schema.validate_row(row)
+        pk = validated[self.schema.primary_key]
+        if pk is None:
+            raise SchemaError("primary key may not be NULL")
+        if pk in self._rows:
+            raise DuplicateKeyError(self.name, pk)
+        self._rows[pk] = validated
+        self._index_insert(validated)
+        return dict(validated)
+
+    def _update(self, pk: Any, changes: Mapping[str, Any]) -> Row:
+        existing = self._rows.get(pk)
+        if existing is None:
+            raise MissingKeyError(self.name, pk)
+        merged = dict(existing)
+        merged.update(changes)
+        validated = self.schema.validate_row(merged)
+        new_pk = validated[self.schema.primary_key]
+        if new_pk != pk and new_pk in self._rows:
+            raise DuplicateKeyError(self.name, new_pk)
+        self._index_remove(existing)
+        del self._rows[pk]
+        self._rows[new_pk] = validated
+        self._index_insert(validated)
+        return dict(validated)
+
+    def _delete(self, pk: Any) -> Row:
+        existing = self._rows.get(pk)
+        if existing is None:
+            raise MissingKeyError(self.name, pk)
+        self._index_remove(existing)
+        del self._rows[pk]
+        return existing
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, pk: Any) -> Row | None:
+        """Fetch a row copy by primary key, or None."""
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def __contains__(self, pk: Any) -> bool:
+        return pk in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def scan(self, predicate: Callable[[Row], bool] | None = None) -> Iterator[Row]:
+        """Full scan, optionally filtered; rows are copies."""
+        for row in list(self._rows.values()):
+            if predicate is None or predicate(row):
+                yield dict(row)
+
+    def select(self, **equalities: Any) -> list[Row]:
+        """Equality query; uses secondary indexes when available."""
+        indexed = [col for col in equalities if col in self._indexes]
+        if indexed:
+            # Probe the most selective index bucket first.
+            buckets = [
+                self._indexes[col].get(_index_key(equalities[col]), set())
+                for col in indexed
+            ]
+            candidate_pks = set.intersection(*buckets) if buckets else set()
+            rows = (self._rows[pk] for pk in candidate_pks)
+        else:
+            rows = iter(self._rows.values())
+        results = []
+        for row in rows:
+            if all(row.get(col) == value for col, value in equalities.items()):
+                results.append(dict(row))
+        return results
+
+    def range_select(
+        self,
+        column: str,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[Row]:
+        """Rows with ``low <= row[column] <= high`` via the ordered index.
+
+        Results come back in column order (ties by primary key).  The
+        column must have an ordered index (``create_ordered_index``).
+        """
+        tree = self._ordered.get(column)
+        if tree is None:
+            raise StorageError(f"no ordered index on {self.name}.{column}")
+        low_key = (low, _NEG_SENTINEL) if low is not None else None
+        high_key = (high, _POS_SENTINEL) if high is not None else None
+        rows: list[Row] = []
+        for value, pk in tree.range_scan(low_key, high_key):
+            if low is not None and (value < low or (not include_low and value == low)):
+                continue
+            if high is not None and (value > high or (not include_high and value == high)):
+                continue
+            row = self._rows.get(pk)
+            if row is not None:
+                rows.append(dict(row))
+        return rows
+
+    def keys(self) -> list[Any]:
+        """All primary keys currently stored."""
+        return list(self._rows)
+
+
+def _index_key(value: Any) -> Any:
+    """Hashable projection of a column value for index buckets."""
+    if isinstance(value, (list, dict)):
+        return json.dumps(value, sort_keys=True)
+    return value
+
+
+class _Sentinel:
+    """Compares below (negative) or above (positive) every other value.
+
+    Used to build half-open bounds over ``(value, pk)`` B-tree keys: a
+    bound of ``(v, NEG)`` sorts before every real key with value ``v``.
+    """
+
+    __slots__ = ("_positive",)
+
+    def __init__(self, positive: bool) -> None:
+        self._positive = positive
+
+    def __lt__(self, other: Any) -> bool:
+        return not self._positive
+
+    def __gt__(self, other: Any) -> bool:
+        return self._positive
+
+    def __le__(self, other: Any) -> bool:
+        return not self._positive or self is other
+
+    def __ge__(self, other: Any) -> bool:
+        return self._positive or self is other
+
+    def __eq__(self, other: Any) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+_NEG_SENTINEL = _Sentinel(positive=False)
+_POS_SENTINEL = _Sentinel(positive=True)
+
+
+@dataclass
+class _WalRecord:
+    op: str
+    table: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({"op": self.op, "table": self.table, **self.payload})
+
+
+class Database:
+    """A collection of tables with WAL persistence and transactions.
+
+    Parameters
+    ----------
+    path:
+        Directory for the snapshot (``snapshot.json``) and write-ahead
+        log (``wal.jsonl``).  ``None`` keeps the database memory-only.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._tables: dict[str, Table] = {}
+        self._lock = threading.RLock()
+        self._path = Path(path) if path is not None else None
+        self._wal_file = None
+        self._in_transaction = False
+        self._undo_log: list[tuple[str, str, Any]] = []
+        self._txn_wal_buffer: list[_WalRecord] = []
+        if self._path is not None:
+            self._path.mkdir(parents=True, exist_ok=True)
+            self._recover()
+            self._wal_file = open(self._wal_path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Schema operations
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        indexes: Sequence[str] = (),
+        ordered_indexes: Sequence[str] = (),
+    ) -> Table:
+        """Create a table with optional secondary indexes (WAL-logged)."""
+        with self._lock:
+            if name in self._tables:
+                raise StorageError(f"table {name!r} already exists")
+            table = Table(name, schema)
+            for column in indexes:
+                table.create_index(column)
+            for column in ordered_indexes:
+                table.create_ordered_index(column)
+            self._tables[name] = table
+            self._log(
+                _WalRecord(
+                    "create_table",
+                    name,
+                    {
+                        "schema": schema.to_dict(),
+                        "indexes": list(indexes),
+                        "ordered_indexes": list(ordered_indexes),
+                    },
+                )
+            )
+            return table
+
+    def create_index(self, table: str, column: str) -> None:
+        """Create (and WAL-log) a hash index on an existing table."""
+        with self._lock:
+            self.table(table).create_index(column)
+            self._log(_WalRecord("create_index", table, {"column": column}))
+
+    def create_ordered_index(self, table: str, column: str) -> None:
+        """Create (and WAL-log) a B-tree index on an existing table."""
+        with self._lock:
+            self.table(table).create_ordered_index(column)
+            self._log(_WalRecord("create_ordered_index", table, {"column": column}))
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its rows (WAL-logged)."""
+        with self._lock:
+            if name not in self._tables:
+                raise StorageError(f"no table named {name!r}")
+            if self._in_transaction:
+                raise TransactionError("cannot drop a table inside a transaction")
+            del self._tables[name]
+            self._log(_WalRecord("drop_table", name))
+
+    def table(self, name: str) -> Table:
+        """Look up a table; raises StorageError when absent."""
+        found = self._tables.get(name)
+        if found is None:
+            raise StorageError(f"no table named {name!r}")
+        return found
+
+    def has_table(self, name: str) -> bool:
+        """True when a table with this name exists."""
+        return name in self._tables
+
+    def tables(self) -> list[str]:
+        """Sorted names of all tables."""
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Row operations (locked, WAL-logged, transaction-aware)
+    # ------------------------------------------------------------------
+    def insert(self, table: str, row: Mapping[str, Any]) -> Row:
+        """Insert one validated row (WAL-logged, transactional)."""
+        with self._lock:
+            inserted = self.table(table)._insert(row)
+            pk = inserted[self.table(table).schema.primary_key]
+            if self._in_transaction:
+                self._undo_log.append(("delete", table, pk))
+            self._log(_WalRecord("insert", table, {"row": inserted}))
+            return inserted
+
+    def update(self, table: str, pk: Any, changes: Mapping[str, Any]) -> Row:
+        """Apply column changes to the row with this primary key."""
+        with self._lock:
+            target = self.table(table)
+            before = target.get(pk)
+            updated = target._update(pk, changes)
+            if self._in_transaction and before is not None:
+                self._undo_log.append(("restore", table, before))
+                new_pk = updated[target.schema.primary_key]
+                if new_pk != pk:
+                    self._undo_log.append(("delete", table, new_pk))
+            self._log(_WalRecord("update", table, {"pk": _jsonable(pk), "changes": updated}))
+            return updated
+
+    def delete(self, table: str, pk: Any) -> Row:
+        """Remove the row with this primary key; returns it."""
+        with self._lock:
+            removed = self.table(table)._delete(pk)
+            if self._in_transaction:
+                self._undo_log.append(("insert", table, removed))
+            self._log(_WalRecord("delete", table, {"pk": _jsonable(pk)}))
+            return removed
+
+    def upsert(self, table: str, row: Mapping[str, Any]) -> Row:
+        """Insert, or update in place when the primary key exists."""
+        with self._lock:
+            target = self.table(table)
+            pk = row.get(target.schema.primary_key)
+            if pk is not None and pk in target:
+                return self.update(table, pk, row)
+            return self.insert(table, row)
+
+    # ------------------------------------------------------------------
+    # Transactions (single-connection semantics)
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Start a transaction (no nesting)."""
+        with self._lock:
+            if self._in_transaction:
+                raise TransactionError("transaction already in progress")
+            self._in_transaction = True
+            self._undo_log = []
+            self._txn_wal_buffer = []
+
+    def commit(self) -> None:
+        """Make the transaction's changes durable."""
+        with self._lock:
+            if not self._in_transaction:
+                raise TransactionError("commit without begin")
+            self._in_transaction = False
+            for record in self._txn_wal_buffer:
+                self._write_wal(record)
+            self._txn_wal_buffer = []
+            self._undo_log = []
+            self._flush_wal()
+
+    def rollback(self) -> None:
+        """Undo every change made since begin()."""
+        with self._lock:
+            if not self._in_transaction:
+                raise TransactionError("rollback without begin")
+            for action, table, payload in reversed(self._undo_log):
+                target = self.table(table)
+                if action == "delete":
+                    if payload in target:
+                        target._delete(payload)
+                elif action == "insert":
+                    target._insert(payload)
+                elif action == "restore":
+                    pk = payload[target.schema.primary_key]
+                    if pk in target:
+                        target._update(pk, payload)
+                    else:
+                        target._insert(payload)
+            self._in_transaction = False
+            self._undo_log = []
+            self._txn_wal_buffer = []
+
+    def transaction(self) -> "_TransactionContext":
+        """``with db.transaction(): ...`` — commit on success, rollback on error."""
+        return _TransactionContext(self)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @property
+    def _wal_path(self) -> Path:
+        assert self._path is not None
+        return self._path / "wal.jsonl"
+
+    @property
+    def _snapshot_path(self) -> Path:
+        assert self._path is not None
+        return self._path / "snapshot.json"
+
+    def _log(self, record: _WalRecord) -> None:
+        if self._path is None:
+            return
+        if self._in_transaction:
+            self._txn_wal_buffer.append(record)
+        else:
+            self._write_wal(record)
+            self._flush_wal()
+
+    def _write_wal(self, record: _WalRecord) -> None:
+        assert self._wal_file is not None
+        self._wal_file.write(record.to_json() + "\n")
+
+    def _flush_wal(self) -> None:
+        if self._wal_file is not None:
+            self._wal_file.flush()
+
+    def checkpoint(self) -> None:
+        """Write a full snapshot and truncate the WAL."""
+        if self._path is None:
+            return
+        with self._lock:
+            snapshot = {
+                name: {
+                    "schema": table.schema.to_dict(),
+                    "indexes": table.indexes(),
+                    "ordered_indexes": table.ordered_indexes(),
+                    "rows": list(table.scan()),
+                }
+                for name, table in self._tables.items()
+            }
+            tmp = self._snapshot_path.with_suffix(".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle)
+            tmp.replace(self._snapshot_path)
+            if self._wal_file is not None:
+                self._wal_file.close()
+            self._wal_file = open(self._wal_path, "w", encoding="utf-8")
+
+    def close(self) -> None:
+        """Flush and close the WAL file handle."""
+        with self._lock:
+            if self._wal_file is not None:
+                self._wal_file.close()
+                self._wal_file = None
+
+    def _recover(self) -> None:
+        """Rebuild state from snapshot + WAL replay."""
+        if self._snapshot_path.exists():
+            with open(self._snapshot_path, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+            for name, payload in snapshot.items():
+                table = Table(name, Schema.from_dict(payload["schema"]))
+                for row in payload["rows"]:
+                    table._insert(row)
+                for column in payload.get("indexes", []):
+                    table.create_index(column)
+                for column in payload.get("ordered_indexes", []):
+                    table.create_ordered_index(column)
+                self._tables[name] = table
+        if not self._wal_path.exists():
+            return
+        with open(self._wal_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail write: stop replay at the tear
+                self._apply_wal(record)
+
+    def _apply_wal(self, record: Mapping[str, Any]) -> None:
+        op = record.get("op")
+        table_name = record.get("table", "")
+        if op == "create_table":
+            if table_name not in self._tables:
+                table = Table(table_name, Schema.from_dict(record["schema"]))
+                for column in record.get("indexes", []):
+                    table.create_index(column)
+                for column in record.get("ordered_indexes", []):
+                    table.create_ordered_index(column)
+                self._tables[table_name] = table
+            return
+        if op == "drop_table":
+            self._tables.pop(table_name, None)
+            return
+        if op in ("create_index", "create_ordered_index"):
+            existing = self._tables.get(table_name)
+            if existing is not None:
+                if op == "create_index":
+                    existing.create_index(record["column"])
+                else:
+                    existing.create_ordered_index(record["column"])
+            return
+        table = self._tables.get(table_name)
+        if table is None:
+            return
+        try:
+            if op == "insert":
+                table._insert(record["row"])
+            elif op == "update":
+                table._update(record["pk"], record["changes"])
+            elif op == "delete":
+                table._delete(record["pk"])
+        except StorageError:
+            # Replay is best-effort idempotent: a record already reflected
+            # in the snapshot may legitimately fail.
+            pass
+
+
+class _TransactionContext:
+    def __init__(self, database: Database) -> None:
+        self._database = database
+
+    def __enter__(self) -> Database:
+        self._database.begin()
+        return self._database
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if exc_type is None:
+            self._database.commit()
+        else:
+            self._database.rollback()
+        return False
+
+
+def _jsonable(value: Any) -> Any:
+    return value if _json_safe(value) else str(value)

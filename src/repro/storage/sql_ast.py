@@ -1,0 +1,126 @@
+"""AST node definitions for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Comparison",
+    "BooleanOp",
+    "NotOp",
+    "Statement",
+    "CreateTable",
+    "CreateIndex",
+    "DropTable",
+    "Insert",
+    "Select",
+    "Update",
+    "Delete",
+    "ColumnDef",
+    "OrderBy",
+]
+
+
+class Expression:
+    """Base class for WHERE-clause expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    operator: str  # = != < <= > >=
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    operator: str  # AND | OR
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class NotOp(Expression):
+    operand: Expression
+
+
+class Statement:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type: str  # int | float | str | bool | json
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: str
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    table: str
+    column: str
+    ordered: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    table: str
+    columns: tuple[str, ...]  # empty = all columns (*)
+    where: Expression | None = None
+    order_by: OrderBy | None = None
+    limit: int | None = None
+    count: bool = False  # SELECT COUNT(*)
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Any], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Expression | None = None

@@ -1,0 +1,352 @@
+"""Executor: run parsed SQL statements against a Database.
+
+Point lookups and simple conjunctive equality predicates use secondary
+indexes when available; everything else falls back to a predicate scan.
+Results come back as a :class:`ResultSet` with rows as dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import SchemaError, StorageError
+from repro.storage.engine import Column, Database, Row, Schema
+from repro.storage.sql_ast import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropTable,
+    Expression,
+    Insert,
+    Literal,
+    NotOp,
+    Select,
+    Statement,
+    Update,
+)
+from repro.storage.sql_parser import parse
+
+__all__ = ["ResultSet", "execute", "SqlSession"]
+
+
+@dataclass
+class ResultSet:
+    """Outcome of one statement."""
+
+    rows: list[Row] = field(default_factory=list)
+    affected: int = 0
+    scalar: Any = None  # COUNT(*) results
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def first(self) -> Row | None:
+        """The first result row, or None."""
+        return self.rows[0] if self.rows else None
+
+
+def execute(database: Database, sql: str) -> ResultSet:
+    """Parse and execute one SQL statement against ``database``."""
+    return _dispatch(database, parse(sql))
+
+
+class SqlSession:
+    """A tiny convenience wrapper bundling a database and ``execute``."""
+
+    def __init__(self, database: Database | None = None) -> None:
+        self.database = database or Database()
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and run one SQL statement against the session's database."""
+        return execute(self.database, sql)
+
+    def query(self, sql: str) -> list[Row]:
+        """Run a SELECT and return its rows."""
+        return execute(self.database, sql).rows
+
+
+def _dispatch(database: Database, statement: Statement) -> ResultSet:
+    if isinstance(statement, CreateTable):
+        return _create_table(database, statement)
+    if isinstance(statement, CreateIndex):
+        if statement.ordered:
+            database.create_ordered_index(statement.table, statement.column)
+        else:
+            database.create_index(statement.table, statement.column)
+        return ResultSet()
+    if isinstance(statement, DropTable):
+        return _drop_table(database, statement)
+    if isinstance(statement, Insert):
+        return _insert(database, statement)
+    if isinstance(statement, Select):
+        return _select(database, statement)
+    if isinstance(statement, Update):
+        return _update(database, statement)
+    if isinstance(statement, Delete):
+        return _delete(database, statement)
+    raise StorageError(f"unsupported statement {type(statement).__name__}")
+
+
+def _create_table(database: Database, statement: CreateTable) -> ResultSet:
+    if statement.if_not_exists and database.has_table(statement.table):
+        return ResultSet()
+    columns = []
+    for definition in statement.columns:
+        nullable = definition.nullable and definition.name != statement.primary_key
+        columns.append(Column(definition.name, definition.type, nullable))
+    schema = Schema(columns=tuple(columns), primary_key=statement.primary_key)
+    database.create_table(statement.table, schema)
+    return ResultSet()
+
+
+def _drop_table(database: Database, statement: DropTable) -> ResultSet:
+    if not database.has_table(statement.table):
+        if statement.if_exists:
+            return ResultSet()
+        raise StorageError(f"no table named {statement.table!r}")
+    database.drop_table(statement.table)
+    return ResultSet()
+
+
+def _insert(database: Database, statement: Insert) -> ResultSet:
+    inserted = 0
+    for values in statement.rows:
+        row = dict(zip(statement.columns, values))
+        database.insert(statement.table, row)
+        inserted += 1
+    return ResultSet(affected=inserted)
+
+
+def _select(database: Database, statement: Select) -> ResultSet:
+    table = database.table(statement.table)
+    ordered_by_index = False
+    if (
+        statement.order_by is not None
+        and statement.where is None
+        and statement.order_by.column in table.ordered_indexes()
+        and not table.schema.column(statement.order_by.column).nullable
+    ):
+        # Fast path: the B-tree already yields rows in column order and
+        # (being NOT NULL) covers every row — no sort needed.
+        rows = table.range_select(statement.order_by.column)
+        if statement.order_by.descending:
+            rows.reverse()
+        ordered_by_index = True
+    else:
+        rows = _candidate_rows(database, statement.table, statement.where)
+    if statement.where is not None:
+        predicate = _compile(statement.where, table.schema)
+        rows = [row for row in rows if predicate(row)]
+    if statement.count:
+        return ResultSet(scalar=len(rows))
+    if statement.order_by is not None and not ordered_by_index:
+        column = statement.order_by.column
+        if column not in table.schema.column_names:
+            raise SchemaError(f"no column named {column!r}")
+        # None sorts first ascending (stable, SQL-ish enough).
+        rows.sort(
+            key=lambda row: (row[column] is not None, row[column]),
+            reverse=statement.order_by.descending,
+        )
+    if statement.limit is not None:
+        rows = rows[: statement.limit]
+    if statement.columns:
+        missing = [c for c in statement.columns if c not in table.schema.column_names]
+        if missing:
+            raise SchemaError(f"no column named {missing[0]!r}")
+        rows = [{column: row[column] for column in statement.columns} for row in rows]
+    return ResultSet(rows=rows)
+
+
+def _update(database: Database, statement: Update) -> ResultSet:
+    table = database.table(statement.table)
+    rows = _candidate_rows(database, statement.table, statement.where)
+    if statement.where is not None:
+        predicate = _compile(statement.where, table.schema)
+        rows = [row for row in rows if predicate(row)]
+    changes = dict(statement.assignments)
+    affected = 0
+    for row in rows:
+        database.update(statement.table, row[table.schema.primary_key], changes)
+        affected += 1
+    return ResultSet(affected=affected)
+
+
+def _delete(database: Database, statement: Delete) -> ResultSet:
+    table = database.table(statement.table)
+    rows = _candidate_rows(database, statement.table, statement.where)
+    if statement.where is not None:
+        predicate = _compile(statement.where, table.schema)
+        rows = [row for row in rows if predicate(row)]
+    affected = 0
+    for row in rows:
+        database.delete(statement.table, row[table.schema.primary_key])
+        affected += 1
+    return ResultSet(affected=affected)
+
+
+# ---------------------------------------------------------------------------
+# Index-assisted candidate selection
+# ---------------------------------------------------------------------------
+
+
+def _candidate_rows(
+    database: Database, table_name: str, where: Expression | None
+) -> list[Row]:
+    """Rows to evaluate: narrowed by an index when the WHERE allows it.
+
+    A top-level conjunction contributes ``column = literal`` terms; if
+    any term's column is indexed (or is the primary key), the candidate
+    set starts from that index bucket instead of a full scan.  The full
+    predicate is still applied afterwards, so this is purely an access-
+    path optimization.
+    """
+    table = database.table(table_name)
+    equalities = _conjunctive_equalities(where)
+    primary_key = table.schema.primary_key
+    for column, value in equalities:
+        if column == primary_key:
+            row = table.get(value)
+            return [row] if row is not None else []
+    for column, value in equalities:
+        if column in table.indexes():
+            return table.select(**{column: value})
+    for column, bounds in _conjunctive_ranges(where).items():
+        if column in table.ordered_indexes():
+            low, high, include_low, include_high = bounds
+            return table.range_select(
+                column, low, high, include_low=include_low, include_high=include_high
+            )
+    return list(table.scan())
+
+
+def _conjunctive_equalities(where: Expression | None) -> list[tuple[str, Any]]:
+    """``column = literal`` terms reachable through top-level ANDs."""
+    if where is None:
+        return []
+    if isinstance(where, BooleanOp) and where.operator == "AND":
+        return _conjunctive_equalities(where.left) + _conjunctive_equalities(where.right)
+    if isinstance(where, Comparison) and where.operator == "=":
+        left, right = where.left, where.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            return [(left.name, right.value)]
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            return [(right.name, left.value)]
+    return []
+
+
+_RANGE_OPS = {"<", "<=", ">", ">="}
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _conjunctive_ranges(
+    where: Expression | None,
+) -> dict[str, tuple[Any, Any, bool, bool]]:
+    """Range bounds per column from top-level AND'ed comparisons.
+
+    Returns ``column -> (low, high, include_low, include_high)``; bounds
+    missing on one side stay ``None``.  NULL literals never form bounds.
+    """
+    bounds: dict[str, tuple[Any, Any, bool, bool]] = {}
+
+    def visit(expression: Expression | None) -> None:
+        if expression is None:
+            return
+        if isinstance(expression, BooleanOp) and expression.operator == "AND":
+            visit(expression.left)
+            visit(expression.right)
+            return
+        if not isinstance(expression, Comparison):
+            return
+        operator = expression.operator
+        left, right = expression.left, expression.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            column, value = left.name, right.value
+        elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+            column, value = right.name, left.value
+            operator = _FLIPPED.get(operator, operator)
+        else:
+            return
+        if operator not in _RANGE_OPS or value is None:
+            return
+        low, high, include_low, include_high = bounds.get(
+            column, (None, None, True, True)
+        )
+        if operator in ("<", "<="):
+            if high is None or value < high:
+                high, include_high = value, operator == "<="
+        else:
+            if low is None or value > low:
+                low, include_low = value, operator == ">="
+        bounds[column] = (low, high, include_low, include_high)
+
+    visit(where)
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# Predicate compilation
+# ---------------------------------------------------------------------------
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compile(expression: Expression, schema: Schema) -> Callable[[Row], bool]:
+    if isinstance(expression, BooleanOp):
+        left = _compile(expression.left, schema)
+        right = _compile(expression.right, schema)
+        if expression.operator == "AND":
+            return lambda row: left(row) and right(row)
+        return lambda row: left(row) or right(row)
+    if isinstance(expression, NotOp):
+        inner = _compile(expression.operand, schema)
+        return lambda row: not inner(row)
+    if isinstance(expression, Comparison):
+        evaluate_left = _compile_operand(expression.left, schema)
+        evaluate_right = _compile_operand(expression.right, schema)
+        comparator = _COMPARATORS[expression.operator]
+
+        def predicate(row: Row) -> bool:
+            left = evaluate_left(row)
+            right = evaluate_right(row)
+            if left is None or right is None:
+                # SQL NULL semantics: only "= NULL"/"!= NULL" spelled as
+                # literals compare; anything else involving NULL is false.
+                if expression.operator == "=":
+                    return left is None and right is None
+                if expression.operator == "!=":
+                    return (left is None) != (right is None)
+                return False
+            try:
+                return comparator(left, right)
+            except TypeError:
+                return False
+
+        return predicate
+    raise StorageError(f"cannot evaluate expression {expression!r}")
+
+
+def _compile_operand(operand: Expression, schema: Schema) -> Callable[[Row], Any]:
+    if isinstance(operand, ColumnRef):
+        if operand.name not in schema.column_names:
+            raise SchemaError(f"no column named {operand.name!r}")
+        name = operand.name
+        return lambda row: row.get(name)
+    if isinstance(operand, Literal):
+        value = operand.value
+        return lambda row: value
+    raise StorageError(f"cannot evaluate operand {operand!r}")

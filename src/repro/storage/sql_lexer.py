@@ -1,0 +1,146 @@
+"""Lexer for the storage engine's SQL dialect.
+
+The engine's native API is programmatic (:class:`repro.storage.Database`),
+but the production NNexus talks SQL to MySQL; this lexer feeds the parser
+in :mod:`repro.storage.sql_parser` so deployments can use the same idiom.
+
+Token kinds: keywords (case-insensitive), identifiers, integer/float
+literals, single-quoted strings (with ``''`` escaping), operators and
+punctuation.  Comments: ``-- to end of line``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import StorageError
+
+__all__ = ["SqlSyntaxError", "Token", "tokenize"]
+
+
+class SqlSyntaxError(StorageError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE",
+        "SET", "DELETE", "CREATE", "TABLE", "INDEX", "ON", "PRIMARY",
+        "KEY", "NOT", "NULL", "AND", "OR", "ORDER", "BY", "ASC", "DESC",
+        "LIMIT", "TRUE", "FALSE", "INT", "FLOAT", "TEXT", "BOOL", "JSON",
+        "COUNT", "DROP", "IF", "EXISTS", "ORDERED",
+    }
+)
+
+_PUNCTUATION = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "*": "STAR",
+    ";": "SEMI",
+}
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | INT | FLOAT | STRING | OP | punctuation
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in names
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_scan(sql))
+
+
+def _scan(sql: str) -> Iterator[Token]:
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if char in _PUNCTUATION:
+            yield Token(_PUNCTUATION[char], char, index)
+            index += 1
+            continue
+        operator = _match_operator(sql, index)
+        if operator is not None:
+            yield Token("OP", "!=" if operator == "<>" else operator, index)
+            index += len(operator)
+            continue
+        if char == "'":
+            value, index = _scan_string(sql, index)
+            yield Token("STRING", value, index)
+            continue
+        if char.isdigit() or (char == "-" and index + 1 < length and sql[index + 1].isdigit()):
+            token, index = _scan_number(sql, index)
+            yield token
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (sql[index].isalnum() or sql[index] == "_"):
+                index += 1
+            word = sql[start:index]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, start)
+            else:
+                yield Token("IDENT", word, start)
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r}", index)
+
+
+def _match_operator(sql: str, index: int) -> str | None:
+    for operator in _OPERATORS:
+        if sql.startswith(operator, index):
+            return operator
+    return None
+
+
+def _scan_string(sql: str, index: int) -> tuple[str, int]:
+    start = index
+    index += 1  # opening quote
+    parts: list[str] = []
+    while index < len(sql):
+        char = sql[index]
+        if char == "'":
+            if sql.startswith("''", index):
+                parts.append("'")
+                index += 2
+                continue
+            return "".join(parts), index + 1
+        parts.append(char)
+        index += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _scan_number(sql: str, index: int) -> tuple[Token, int]:
+    start = index
+    if sql[index] == "-":
+        index += 1
+    while index < len(sql) and sql[index].isdigit():
+        index += 1
+    is_float = False
+    if index < len(sql) and sql[index] == "." and index + 1 < len(sql) and sql[index + 1].isdigit():
+        is_float = True
+        index += 1
+        while index < len(sql) and sql[index].isdigit():
+            index += 1
+    text = sql[start:index]
+    return Token("FLOAT" if is_float else "INT", text, start), index

@@ -1,0 +1,365 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Grammar (informal)::
+
+    statement   := create_table | create_index | drop_table
+                 | insert | select | update | delete
+    create_table:= CREATE TABLE [IF NOT EXISTS] ident
+                   '(' column_def (',' column_def)* ',' PRIMARY KEY '(' ident ')' ')'
+    column_def  := ident type [NOT NULL]
+    type        := INT | FLOAT | TEXT | BOOL | JSON
+    create_index:= CREATE INDEX ON ident '(' ident ')'
+    drop_table  := DROP TABLE [IF EXISTS] ident
+    insert      := INSERT INTO ident '(' ident_list ')' VALUES tuple (',' tuple)*
+    select      := SELECT (STAR | COUNT '(' STAR ')' | ident_list) FROM ident
+                   [WHERE expr] [ORDER BY ident [ASC|DESC]] [LIMIT int]
+    update      := UPDATE ident SET ident '=' literal (',' ...)* [WHERE expr]
+    delete      := DELETE FROM ident [WHERE expr]
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | primary
+    primary     := '(' expr ')' | operand comparator operand
+    operand     := ident | literal
+    literal     := INT | FLOAT | STRING | TRUE | FALSE | NULL
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.storage.sql_ast import (
+    BooleanOp,
+    ColumnDef,
+    ColumnRef,
+    Comparison,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropTable,
+    Expression,
+    Insert,
+    Literal,
+    NotOp,
+    OrderBy,
+    Select,
+    Statement,
+    Update,
+)
+from repro.storage.sql_lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse"]
+
+_TYPE_MAP = {"INT": "int", "FLOAT": "float", "TEXT": "str", "BOOL": "bool", "JSON": "json"}
+
+
+def parse(sql: str) -> Statement:
+    """Parse one statement (an optional trailing ``;`` is accepted)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.accept("SEMI")
+    parser.expect_end()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("unexpected end of statement", self._position())
+        self._index += 1
+        return token
+
+    def _position(self) -> int:
+        if self._tokens and self._index < len(self._tokens):
+            return self._tokens[self._index].position
+        return self._tokens[-1].position if self._tokens else 0
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        return self._advance()
+
+    def accept_keyword(self, *names: str) -> Token | None:
+        token = self._peek()
+        if token is not None and token.is_keyword(*names):
+            return self._advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            expected = value or kind
+            raise SqlSyntaxError(f"expected {expected}", self._position())
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.accept_keyword(*names)
+        if token is None:
+            raise SqlSyntaxError(f"expected {' or '.join(names)}", self._position())
+        return token
+
+    def expect_end(self) -> None:
+        if self._peek() is not None:
+            raise SqlSyntaxError("trailing input after statement", self._position())
+
+    def _identifier(self) -> str:
+        token = self._peek()
+        # Permit keywords that double as column names in practice (e.g.
+        # a column called "text" clashes with the TEXT type keyword).
+        if token is not None and token.kind == "IDENT":
+            return self._advance().value
+        if token is not None and token.kind == "KEYWORD" and token.value in _TYPE_MAP:
+            return self._advance().value.lower()
+        raise SqlSyntaxError("expected identifier", self._position())
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("empty statement", 0)
+        if token.is_keyword("CREATE"):
+            return self._create()
+        if token.is_keyword("DROP"):
+            return self._drop()
+        if token.is_keyword("INSERT"):
+            return self._insert()
+        if token.is_keyword("SELECT"):
+            return self._select()
+        if token.is_keyword("UPDATE"):
+            return self._update()
+        if token.is_keyword("DELETE"):
+            return self._delete()
+        raise SqlSyntaxError(f"unknown statement {token.value!r}", token.position)
+
+    def _create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        ordered = bool(self.accept_keyword("ORDERED"))
+        if self.accept_keyword("INDEX"):
+            self.expect_keyword("ON")
+            table = self._identifier()
+            self.expect("LPAREN")
+            column = self._identifier()
+            self.expect("RPAREN")
+            return CreateIndex(table=table, column=column, ordered=ordered)
+        if ordered:
+            raise SqlSyntaxError("ORDERED is only valid before INDEX",
+                                 self._position())
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        table = self._identifier()
+        self.expect("LPAREN")
+        columns: list[ColumnDef] = []
+        primary_key: str | None = None
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                self.expect("LPAREN")
+                primary_key = self._identifier()
+                self.expect("RPAREN")
+            else:
+                name = self._identifier()
+                type_token = self.expect_keyword(*_TYPE_MAP)
+                nullable = True
+                if self.accept_keyword("NOT"):
+                    self.expect_keyword("NULL")
+                    nullable = False
+                columns.append(
+                    ColumnDef(name=name, type=_TYPE_MAP[type_token.value], nullable=nullable)
+                )
+            if not self.accept("COMMA"):
+                break
+        self.expect("RPAREN")
+        if primary_key is None:
+            raise SqlSyntaxError("CREATE TABLE requires a PRIMARY KEY clause",
+                                 self._position())
+        return CreateTable(
+            table=table,
+            columns=tuple(columns),
+            primary_key=primary_key,
+            if_not_exists=if_not_exists,
+        )
+
+    def _drop(self) -> Statement:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return DropTable(table=self._identifier(), if_exists=if_exists)
+
+    def _insert(self) -> Statement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self._identifier()
+        self.expect("LPAREN")
+        columns = [self._identifier()]
+        while self.accept("COMMA"):
+            columns.append(self._identifier())
+        self.expect("RPAREN")
+        self.expect_keyword("VALUES")
+        rows: list[tuple[Any, ...]] = [self._value_tuple(len(columns))]
+        while self.accept("COMMA"):
+            rows.append(self._value_tuple(len(columns)))
+        return Insert(table=table, columns=tuple(columns), rows=tuple(rows))
+
+    def _value_tuple(self, arity: int) -> tuple[Any, ...]:
+        self.expect("LPAREN")
+        values = [self._literal_value()]
+        while self.accept("COMMA"):
+            values.append(self._literal_value())
+        self.expect("RPAREN")
+        if len(values) != arity:
+            raise SqlSyntaxError(
+                f"VALUES tuple has {len(values)} items, expected {arity}",
+                self._position(),
+            )
+        return tuple(values)
+
+    def _select(self) -> Statement:
+        self.expect_keyword("SELECT")
+        count = False
+        columns: tuple[str, ...] = ()
+        if self.accept_keyword("COUNT"):
+            self.expect("LPAREN")
+            self.expect("STAR")
+            self.expect("RPAREN")
+            count = True
+        elif self.accept("STAR"):
+            pass
+        else:
+            names = [self._identifier()]
+            while self.accept("COMMA"):
+                names.append(self._identifier())
+            columns = tuple(names)
+        self.expect_keyword("FROM")
+        table = self._identifier()
+        where = self._optional_where()
+        order_by: OrderBy | None = None
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            column = self._identifier()
+            descending = False
+            if self.accept_keyword("DESC"):
+                descending = True
+            else:
+                self.accept_keyword("ASC")
+            order_by = OrderBy(column=column, descending=descending)
+        limit: int | None = None
+        if self.accept_keyword("LIMIT"):
+            token = self.expect("INT")
+            limit = int(token.value)
+            if limit < 0:
+                raise SqlSyntaxError("LIMIT must be non-negative", token.position)
+        return Select(
+            table=table,
+            columns=columns,
+            where=where,
+            order_by=order_by,
+            limit=limit,
+            count=count,
+        )
+
+    def _update(self) -> Statement:
+        self.expect_keyword("UPDATE")
+        table = self._identifier()
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.accept("COMMA"):
+            assignments.append(self._assignment())
+        return Update(table=table, assignments=tuple(assignments),
+                      where=self._optional_where())
+
+    def _assignment(self) -> tuple[str, Any]:
+        column = self._identifier()
+        self.expect("OP", "=")
+        return column, self._literal_value()
+
+    def _delete(self) -> Statement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        return Delete(table=self._identifier(), where=self._optional_where())
+
+    def _optional_where(self) -> Expression | None:
+        if self.accept_keyword("WHERE"):
+            return self._expression()
+        return None
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = BooleanOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = BooleanOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return NotOp(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        if self.accept("LPAREN"):
+            inner = self._expression()
+            self.expect("RPAREN")
+            return inner
+        left = self._operand()
+        operator = self.expect("OP")
+        right = self._operand()
+        return Comparison(operator.value, left, right)
+
+    def _operand(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("expected operand", self._position())
+        if token.kind == "IDENT":
+            return ColumnRef(self._advance().value)
+        return Literal(self._literal_value())
+
+    def _literal_value(self) -> Any:
+        token = self._advance()
+        if token.kind == "INT":
+            return int(token.value)
+        if token.kind == "FLOAT":
+            return float(token.value)
+        if token.kind == "STRING":
+            return token.value
+        if token.is_keyword("TRUE"):
+            return True
+        if token.is_keyword("FALSE"):
+            return False
+        if token.is_keyword("NULL"):
+            return None
+        raise SqlSyntaxError(f"expected literal, got {token.value!r}", token.position)

@@ -1,0 +1,252 @@
+"""NNexus's database layout on the storage engine.
+
+Mirrors the tables the Perl implementation keeps in MySQL: the object
+metadata table, the concept (label) table backing the concept map, the
+classification table (object id -> class list, Fig. 4's companion), the
+linking-policy table (Fig. 5) and the cache table (Section 2.5).
+
+:class:`NNexusStore` gives typed access plus full round-tripping: a
+corpus persisted here can rebuild an equivalent in-memory
+:class:`~repro.core.linker.NNexus`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.config import NNexusConfig
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.ontology.scheme import ClassificationScheme
+from repro.storage.engine import Column, Database, Schema
+
+__all__ = ["NNexusStore", "OBJECTS_SCHEMA", "POLICIES_SCHEMA", "CACHE_SCHEMA"]
+
+OBJECTS_SCHEMA = Schema(
+    columns=(
+        Column("object_id", "int"),
+        Column("title", "str"),
+        Column("defines", "json"),
+        Column("synonyms", "json"),
+        Column("classes", "json"),
+        Column("text", "str"),
+        Column("domain", "str"),
+    ),
+    primary_key="object_id",
+)
+
+CONCEPTS_SCHEMA = Schema(
+    columns=(
+        Column("concept_id", "int"),
+        Column("label", "str"),
+        Column("first_word", "str"),
+        Column("object_id", "int"),
+    ),
+    primary_key="concept_id",
+)
+
+POLICIES_SCHEMA = Schema(
+    columns=(
+        Column("object_id", "int"),
+        Column("policy", "str"),
+    ),
+    primary_key="object_id",
+)
+
+CLASSIFICATION_SCHEMA = Schema(
+    columns=(
+        Column("row_id", "int"),
+        Column("object_id", "int"),
+        Column("class_code", "str"),
+    ),
+    primary_key="row_id",
+)
+
+CACHE_SCHEMA = Schema(
+    columns=(
+        Column("object_id", "int"),
+        Column("rendered", "str"),
+        Column("valid", "bool"),
+    ),
+    primary_key="object_id",
+)
+
+
+class NNexusStore:
+    """Persistent corpus store with NNexus-shaped tables."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.database = Database(path)
+        self._ensure_tables()
+        self._next_concept_id = self._max_pk("concepts") + 1
+        self._next_class_row = self._max_pk("classification") + 1
+
+    def _ensure_tables(self) -> None:
+        db = self.database
+        if not db.has_table("objects"):
+            db.create_table("objects", OBJECTS_SCHEMA, indexes=("domain",))
+        if not db.has_table("concepts"):
+            db.create_table("concepts", CONCEPTS_SCHEMA, indexes=("first_word", "object_id"))
+        if not db.has_table("policies"):
+            db.create_table("policies", POLICIES_SCHEMA)
+        if not db.has_table("classification"):
+            db.create_table("classification", CLASSIFICATION_SCHEMA, indexes=("object_id",))
+        if not db.has_table("cache"):
+            db.create_table("cache", CACHE_SCHEMA)
+
+    def _max_pk(self, table: str) -> int:
+        keys = self.database.table(table).keys()
+        return max(keys, default=0)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def save_object(self, obj: CorpusObject) -> None:
+        """Insert or replace an object and its dependent rows atomically."""
+        with self.database.transaction():
+            self._delete_dependents(obj.object_id)
+            self.database.upsert(
+                "objects",
+                {
+                    "object_id": obj.object_id,
+                    "title": obj.title,
+                    "defines": list(obj.defines),
+                    "synonyms": list(obj.synonyms),
+                    "classes": list(obj.classes),
+                    "text": obj.text,
+                    "domain": obj.domain,
+                },
+            )
+            for phrase in obj.concept_phrases():
+                self.database.insert(
+                    "concepts",
+                    {
+                        "concept_id": self._next_concept_id,
+                        "label": phrase,
+                        "first_word": phrase.split()[0].lower() if phrase.split() else "",
+                        "object_id": obj.object_id,
+                    },
+                )
+                self._next_concept_id += 1
+            for class_code in obj.classes:
+                self.database.insert(
+                    "classification",
+                    {
+                        "row_id": self._next_class_row,
+                        "object_id": obj.object_id,
+                        "class_code": class_code,
+                    },
+                )
+                self._next_class_row += 1
+            if obj.linking_policy:
+                self.database.upsert(
+                    "policies",
+                    {"object_id": obj.object_id, "policy": obj.linking_policy},
+                )
+
+    def save_corpus(self, objects: Iterable[CorpusObject]) -> int:
+        """Persist many objects; returns how many."""
+        count = 0
+        for obj in objects:
+            self.save_object(obj)
+            count += 1
+        return count
+
+    def delete_object(self, object_id: int) -> None:
+        """Remove an object and all dependent rows atomically."""
+        with self.database.transaction():
+            self._delete_dependents(object_id)
+            if object_id in self.database.table("objects"):
+                self.database.delete("objects", object_id)
+
+    def _delete_dependents(self, object_id: int) -> None:
+        for row in self.database.table("concepts").select(object_id=object_id):
+            self.database.delete("concepts", row["concept_id"])
+        for row in self.database.table("classification").select(object_id=object_id):
+            self.database.delete("classification", row["row_id"])
+        if object_id in self.database.table("policies"):
+            self.database.delete("policies", object_id)
+        if object_id in self.database.table("cache"):
+            self.database.delete("cache", object_id)
+
+    def set_policy(self, object_id: int, policy: str) -> None:
+        """Store, replace or (with empty text) delete a policy row."""
+        if policy.strip():
+            self.database.upsert("policies", {"object_id": object_id, "policy": policy})
+        elif object_id in self.database.table("policies"):
+            self.database.delete("policies", object_id)
+
+    def put_cache(self, object_id: int, rendered: str, valid: bool = True) -> None:
+        """Store a rendered entry in the cache table."""
+        self.database.upsert(
+            "cache", {"object_id": object_id, "rendered": rendered, "valid": valid}
+        )
+
+    def invalidate_cache(self, object_ids: Iterable[int]) -> None:
+        """Mark cached renderings of the given ids dirty."""
+        cache = self.database.table("cache")
+        for object_id in object_ids:
+            if object_id in cache:
+                self.database.update("cache", object_id, {"valid": False})
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def load_object(self, object_id: int) -> CorpusObject | None:
+        """Load one object (with policy), or None."""
+        row = self.database.table("objects").get(object_id)
+        if row is None:
+            return None
+        policy_row = self.database.table("policies").get(object_id)
+        return CorpusObject(
+            object_id=row["object_id"],
+            title=row["title"],
+            defines=list(row["defines"]),
+            synonyms=list(row["synonyms"]),
+            classes=list(row["classes"]),
+            text=row["text"],
+            domain=row["domain"],
+            linking_policy=policy_row["policy"] if policy_row else "",
+        )
+
+    def load_corpus(self) -> list[CorpusObject]:
+        """Load every stored object, ordered by id."""
+        objects = []
+        for row in self.database.table("objects").scan():
+            loaded = self.load_object(row["object_id"])
+            if loaded is not None:
+                objects.append(loaded)
+        objects.sort(key=lambda obj: obj.object_id)
+        return objects
+
+    def object_count(self) -> int:
+        """Number of stored objects."""
+        return len(self.database.table("objects"))
+
+    def concepts_defining(self, label: str) -> list[int]:
+        """Object ids defining a (raw) label — the SQL view of the map."""
+        rows = self.database.table("concepts").select(label=label)
+        return sorted({row["object_id"] for row in rows})
+
+    # ------------------------------------------------------------------
+    # Linker round trip
+    # ------------------------------------------------------------------
+    def build_linker(
+        self,
+        scheme: ClassificationScheme | None = None,
+        config: NNexusConfig | None = None,
+        **linker_kwargs: object,
+    ) -> NNexus:
+        """Instantiate an :class:`NNexus` from the persisted corpus."""
+        nnexus = NNexus(scheme=scheme, config=config, **linker_kwargs)  # type: ignore[arg-type]
+        nnexus.add_objects(self.load_corpus())
+        return nnexus
+
+    def checkpoint(self) -> None:
+        """Snapshot the database and truncate its WAL."""
+        self.database.checkpoint()
+
+    def close(self) -> None:
+        """Close the underlying database."""
+        self.database.close()

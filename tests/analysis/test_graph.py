@@ -1,0 +1,204 @@
+"""Tests for the link-graph analysis module."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.graph import (
+    LinkGraph,
+    build_link_graph,
+    connectivity_report,
+)
+
+
+def chain_graph() -> LinkGraph:
+    graph = LinkGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(3, 4)
+    return graph
+
+
+class TestBasics:
+    def test_degrees(self) -> None:
+        graph = LinkGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)  # multigraph: repeated invocation
+        graph.add_edge(3, 2)
+        assert graph.out_degree(1) == 2
+        assert graph.in_degree(2) == 3
+        assert graph.edge_count() == 3
+
+    def test_successors_predecessors(self) -> None:
+        graph = chain_graph()
+        assert graph.successors(2) == [3]
+        assert graph.predecessors(2) == [1]
+
+    def test_isolated_nodes_counted(self) -> None:
+        graph = build_link_graph({1: [2]}, all_nodes=[1, 2, 3])
+        assert len(graph) == 3
+        assert 3 in graph
+        assert graph.out_degree(3) == 0
+
+
+class TestConnectivity:
+    def test_single_component(self) -> None:
+        graph = chain_graph()
+        components = graph.weakly_connected_components()
+        assert len(components) == 1
+        assert components[0] == {1, 2, 3, 4}
+        assert graph.largest_component_fraction() == 1.0
+
+    def test_two_components_sorted_by_size(self) -> None:
+        graph = chain_graph()
+        graph.add_edge(10, 11)
+        components = graph.weakly_connected_components()
+        assert [len(c) for c in components] == [4, 2]
+
+    def test_orphans_and_sinks(self) -> None:
+        graph = chain_graph()
+        assert graph.orphans() == [1]
+        assert graph.sinks() == [4]
+
+    def test_reachability(self) -> None:
+        graph = chain_graph()
+        assert graph.reachable_from(1) == {1, 2, 3, 4}
+        assert graph.reachable_from(3) == {3, 4}
+        assert graph.reachable_from(99) == set()
+
+    def test_mean_reachability_bounds(self) -> None:
+        graph = chain_graph()
+        value = graph.mean_reachability()
+        assert 0.0 < value <= 1.0
+
+    def test_empty_graph(self) -> None:
+        graph = LinkGraph()
+        assert graph.largest_component_fraction() == 0.0
+        assert graph.mean_reachability() == 0.0
+        assert graph.pagerank() == {}
+
+
+class TestPageRank:
+    def test_sums_to_one(self) -> None:
+        graph = chain_graph()
+        graph.add_edge(4, 1)
+        rank = graph.pagerank()
+        assert sum(rank.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_hub_ranks_highest(self) -> None:
+        graph = LinkGraph()
+        for source in (1, 2, 3, 4, 5):
+            graph.add_edge(source, 99)
+        graph.add_edge(99, 1)
+        rank = graph.pagerank()
+        assert max(rank, key=rank.get) == 99
+
+    def test_dangling_nodes_handled(self) -> None:
+        graph = LinkGraph()
+        graph.add_edge(1, 2)  # 2 is a sink (dangling)
+        rank = graph.pagerank()
+        assert sum(rank.values()) == pytest.approx(1.0, abs=1e-6)
+        assert rank[2] > rank[1]
+
+    def test_top_by_in_degree(self) -> None:
+        graph = LinkGraph()
+        for source in (1, 2, 3):
+            graph.add_edge(source, 50)
+        graph.add_edge(1, 60)
+        top = graph.top_by_in_degree(2)
+        assert top[0] == (50, 3)
+
+
+class TestConnectivityReport:
+    def test_report_fields(self) -> None:
+        graph = chain_graph()
+        report = connectivity_report(graph)
+        assert report.nodes == 4
+        assert report.edges == 3
+        assert report.largest_component_fraction == 1.0
+        assert report.orphan_count == 1
+        assert report.sink_count == 1
+        assert report.mean_out_degree == pytest.approx(0.75)
+        assert report.top_hubs[0][0] in {2, 3, 4}
+        assert set(report.summary()) >= {"nodes", "edges", "orphans"}
+
+
+class TestDotExport:
+    def test_dot_structure(self) -> None:
+        from repro.analysis.graph import to_dot
+
+        graph = chain_graph()
+        dot = to_dot(graph, labels={1: "plane graph", 2: 'say "graph"'})
+        assert dot.startswith("digraph nnexus {")
+        assert 'n1 [label="plane graph"];' in dot
+        assert "say 'graph'" in dot  # quotes sanitized
+        assert "n1 -> n2;" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_max_nodes_elides(self) -> None:
+        from repro.analysis.graph import to_dot
+
+        graph = LinkGraph()
+        for i in range(50):
+            graph.add_edge(0, i + 1)
+        dot = to_dot(graph, max_nodes=10)
+        assert dot.count("[label=") == 10
+        # Hub node 0 survives the degree ranking.
+        assert 'n0 [label="0"];' in dot
+
+    def test_edge_weights_thicken(self) -> None:
+        from repro.analysis.graph import to_dot
+
+        graph = LinkGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        assert "penwidth=2" in to_dot(graph)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+    )
+)
+def test_component_partition_property(edges: list[tuple[int, int]]) -> None:
+    """Components partition the node set."""
+    graph = LinkGraph()
+    for source, target in edges:
+        graph.add_edge(source, target)
+    components = graph.weakly_connected_components()
+    union: set[int] = set()
+    for component in components:
+        assert not (union & component)  # disjoint
+        union |= component
+    assert union == graph.nodes()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=30
+    )
+)
+def test_pagerank_is_distribution(edges: list[tuple[int, int]]) -> None:
+    graph = LinkGraph()
+    for source, target in edges:
+        graph.add_edge(source, target)
+    rank = graph.pagerank()
+    assert sum(rank.values()) == pytest.approx(1.0, abs=1e-6)
+    assert all(value > 0 for value in rank.values())
+
+
+class TestConnectivityStudy:
+    def test_automatic_more_connected_than_semiauto(self) -> None:
+        from repro.corpus.generator import GeneratorParams, generate_corpus
+        from repro.eval.experiments import run_connectivity_study
+
+        corpus = generate_corpus(GeneratorParams(n_entries=250, seed=44))
+        result = run_connectivity_study(corpus, efforts=(0.5,))
+        by_name = {name.split(" (")[0]: report for name, report in result.rows}
+        automatic = by_name["NNexus"]
+        semiauto = by_name["semiautomatic"]
+        assert automatic.edges > semiauto.edges
+        assert automatic.orphan_count <= semiauto.orphan_count
+        assert automatic.mean_reachability >= semiauto.mean_reachability
+        assert "Connectivity study" in result.format()

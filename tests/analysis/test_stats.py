@@ -1,0 +1,176 @@
+"""Tests for corpus statistics (Zipf fits, falloff, Gini)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    _gini_reference,
+    expected_index_blowup,
+    fit_zipf,
+    gini_coefficient,
+    phrase_length_falloff,
+    profile_corpus,
+    term_frequencies,
+)
+from repro.core.models import CorpusObject
+
+
+class TestZipfFit:
+    def test_perfect_zipf_recovered(self) -> None:
+        counts = [int(1000 / rank) for rank in range(1, 200)]
+        fit = fit_zipf(counts)
+        assert fit.exponent == pytest.approx(1.0, abs=0.1)
+        assert fit.r_squared > 0.95
+        assert fit.is_zipf_like
+
+    def test_uniform_distribution_not_zipf(self) -> None:
+        fit = fit_zipf([10] * 100)
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+        assert not fit.is_zipf_like
+
+    def test_steeper_law_higher_exponent(self) -> None:
+        shallow = fit_zipf([int(1000 / rank**0.8) + 1 for rank in range(1, 100)])
+        steep = fit_zipf([int(1000 / rank**1.5) + 1 for rank in range(1, 100)])
+        assert steep.exponent > shallow.exponent
+
+    def test_too_few_points_degenerate(self) -> None:
+        fit = fit_zipf([5, 3])
+        assert fit.points == 2
+        assert fit.exponent == 0.0
+
+    def test_zero_counts_ignored(self) -> None:
+        fit = fit_zipf([100, 50, 0, 25, 0, 12, 6, 3])
+        assert fit.points == 6
+
+
+class TestTermFrequencies:
+    def test_counts_canonical_tokens(self) -> None:
+        counts = term_frequencies(["Graphs and graph", "a graph"])
+        assert counts["graph"] == 3
+        assert counts["and"] == 1
+
+    def test_math_excluded(self) -> None:
+        counts = term_frequencies(["word $hidden$ word"])
+        assert counts == {"word": 2}
+
+
+class TestPhraseLengthFalloff:
+    def test_falloff_monotone_on_natural_text(self) -> None:
+        rng = random.Random(5)
+        vocabulary = [f"w{i}" for i in range(300)]
+        weights = [1.0 / (i + 1) for i in range(300)]
+        texts = [
+            " ".join(rng.choices(vocabulary, weights=weights, k=120))
+            for __ in range(30)
+        ]
+        falloff = phrase_length_falloff(texts, max_length=4)
+        # The §2.5 falloff: repeated phrases die out fast as length
+        # grows (1-grams are bounded by the vocabulary, so the monotone
+        # claim starts at length 2).
+        assert falloff[2] > falloff[3] > falloff[4]
+        assert falloff[4] < falloff[1]
+
+    def test_repeated_phrase_counted(self) -> None:
+        falloff = phrase_length_falloff(["alpha beta gamma alpha beta"], max_length=3)
+        assert falloff[2] == 1  # "alpha beta" repeats
+        assert falloff[3] == 0
+
+
+class TestMeanOccurrences:
+    def test_decreasing_in_length(self) -> None:
+        from repro.analysis.stats import mean_occurrences_by_length
+
+        rng = random.Random(11)
+        vocabulary = [f"w{i}" for i in range(80)]
+        texts = [" ".join(rng.choices(vocabulary, k=150)) for __ in range(15)]
+        means = mean_occurrences_by_length(texts, max_length=4)
+        assert means[1] > means[2] > means[3] > means[4]
+        assert means[4] >= 1.0
+
+    def test_scale_robust(self) -> None:
+        """The decreasing property holds at both small and large scale.
+
+        (The distinct-repeated-count proxy peaks near the length whose
+        n-gram space matches the corpus; the mean-occurrence series must
+        not.)
+        """
+        from repro.analysis.stats import mean_occurrences_by_length
+
+        rng = random.Random(12)
+        vocabulary = [f"w{i}" for i in range(30)]
+        for document_count in (3, 60):
+            texts = [" ".join(rng.choices(vocabulary, k=100))
+                     for __ in range(document_count)]
+            means = mean_occurrences_by_length(texts, max_length=3)
+            assert means[1] > means[2] > means[3]
+
+    def test_empty(self) -> None:
+        from repro.analysis.stats import mean_occurrences_by_length
+
+        assert mean_occurrences_by_length([], max_length=2) == {1: 0.0, 2: 0.0}
+
+
+class TestProfileCorpus:
+    def build(self) -> list[CorpusObject]:
+        rng = random.Random(9)
+        vocabulary = [f"term{i}" for i in range(150)]
+        weights = [1.0 / (i + 1) for i in range(150)]
+        objects = []
+        for object_id in range(1, 21):
+            text = " ".join(rng.choices(vocabulary, weights=weights, k=80))
+            objects.append(
+                CorpusObject(object_id, f"concept {object_id}",
+                             defines=[f"concept {object_id}"],
+                             classes=["05C99"], text=text)
+            )
+        objects.append(
+            CorpusObject(99, "concept 1", defines=["concept 1"],
+                         classes=["03E20"], text="homonym entry")
+        )
+        return objects
+
+    def test_profile_fields(self) -> None:
+        profile = profile_corpus(self.build())
+        assert profile.entries == 21
+        assert profile.tokens > 1000
+        assert profile.vocabulary > 100
+        assert profile.zipf.exponent > 0.4
+        assert profile.label_length_distribution[2] >= 20
+        assert profile.homonym_labels == 1
+        assert profile.max_homonym_group == 2
+        assert set(profile.summary()) >= {"zipf_exponent", "vocabulary"}
+
+    def test_expected_index_blowup_positive(self) -> None:
+        blowup = expected_index_blowup(profile_corpus(self.build()))
+        assert blowup >= 1.0
+
+    def test_empty_corpus(self) -> None:
+        profile = profile_corpus([])
+        assert profile.entries == 0
+        assert expected_index_blowup(profile) == 0.0
+
+
+class TestGini:
+    def test_uniform_is_zero(self) -> None:
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self) -> None:
+        assert gini_coefficient([0, 0, 0, 100]) > 0.7
+
+    def test_empty_and_zero(self) -> None:
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    def test_matches_textbook_definition(self, values: list[int]) -> None:
+        assert gini_coefficient(values) == pytest.approx(
+            _gini_reference(values), abs=1e-9
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    def test_bounded(self, values: list[int]) -> None:
+        assert -1e-9 <= gini_coefficient(values) <= 1.0

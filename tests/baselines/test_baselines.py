@@ -1,0 +1,111 @@
+"""Tests for the comparison linkers."""
+
+import pytest
+
+from repro.baselines.exact import build_lexical_linker
+from repro.baselines.random_pick import RandomPickLinker
+from repro.baselines.semiauto import SemiAutoLinker
+from repro.baselines.tfidf import TfIdfIndex, TfIdfLinker
+from repro.corpus.planetmath_sample import GRAPH_ID, SET_GRAPH_ID, sample_corpus
+from repro.ontology.msc import build_small_msc
+
+
+class TestLexical:
+    def test_no_steering_no_policies(self) -> None:
+        linker = build_lexical_linker(sample_corpus(), scheme=build_small_msc())
+        assert not linker.enable_steering
+        assert not linker.enable_policies
+        doc = linker.link_text("the graph", source_classes=["03E20"])
+        # Ignores classes entirely; lowest id wins the homonym.
+        assert [l.target_id for l in doc.links] == [min(GRAPH_ID, SET_GRAPH_ID)]
+
+    def test_policy_ignored(self) -> None:
+        linker = build_lexical_linker(sample_corpus(), scheme=build_small_msc())
+        doc = linker.link_text("even so", source_classes=["05C99"])
+        assert any(l.source_phrase == "even" for l in doc.links)
+
+
+class TestTfIdf:
+    def test_index_similarity_orders_related_texts(self) -> None:
+        index = TfIdfIndex()
+        index.add_document(1, "graph vertex edge graph connected")
+        index.add_document(2, "graph vertex edge cycle")
+        index.add_document(3, "measure integral lebesgue")
+        assert index.similarity(1, 2) > index.similarity(1, 3)
+
+    def test_self_similarity_maximal(self) -> None:
+        index = TfIdfIndex()
+        index.add_document(1, "alpha beta gamma")
+        index.add_document(2, "alpha delta")
+        assert index.similarity(1, 1) == pytest.approx(1.0)
+
+    def test_remove_document(self) -> None:
+        index = TfIdfIndex()
+        index.add_document(1, "alpha beta")
+        index.remove_document(1)
+        assert index.similarity(1, 1) == 0.0
+        assert len(index) == 0
+
+    def test_linker_produces_links(self) -> None:
+        linker = TfIdfLinker(sample_corpus())
+        doc = linker.link_object(1)  # plane graph entry
+        assert doc.link_count >= 3
+
+    def test_homonym_resolved_by_text_similarity(self) -> None:
+        linker = TfIdfLinker(sample_corpus())
+        # The 'connected components' entry talks about graphs/subgraphs,
+        # so similarity should pick the graph-theory homonym.
+        doc = linker.link_object(4)
+        graph_links = [l for l in doc.links if l.source_phrase.lower().startswith("graph")]
+        if graph_links:
+            assert graph_links[0].target_id in (GRAPH_ID, SET_GRAPH_ID)
+
+    def test_external_text_without_source_uses_first_candidate(self) -> None:
+        linker = TfIdfLinker(sample_corpus())
+        doc = linker.link_text("the graph here")
+        assert doc.link_count == 1
+
+
+class TestRandomPick:
+    def test_deterministic_for_seed(self) -> None:
+        a = RandomPickLinker(sample_corpus(), seed=3).link_object(1)
+        b = RandomPickLinker(sample_corpus(), seed=3).link_object(1)
+        assert [l.target_id for l in a.links] == [l.target_id for l in b.links]
+
+    def test_picks_only_candidates(self) -> None:
+        linker = RandomPickLinker(sample_corpus(), seed=1)
+        doc = linker.link_text("the graph")
+        assert doc.links[0].target_id in (GRAPH_ID, SET_GRAPH_ID)
+
+
+class TestSemiAuto:
+    def test_unique_label_resolves(self) -> None:
+        linker = SemiAutoLinker(sample_corpus(), author_effort=1.0)
+        outcome = linker.link_entry(["planar graph"])
+        assert outcome.resolved == {("planar", "graph"): 2}
+
+    def test_homonym_becomes_disambiguation(self) -> None:
+        linker = SemiAutoLinker(sample_corpus(), author_effort=1.0)
+        outcome = linker.link_entry(["graph"])
+        assert outcome.disambiguation == [("graph",)]
+        assert outcome.resolved == {}
+
+    def test_unknown_phrase_is_broken_link(self) -> None:
+        linker = SemiAutoLinker(sample_corpus(), author_effort=1.0)
+        outcome = linker.link_entry(["nonexistent concept"])
+        assert outcome.broken == [("nonexistent", "concept")]
+
+    def test_author_effort_limits_recall(self) -> None:
+        linker = SemiAutoLinker(sample_corpus(), author_effort=0.0, seed=1)
+        outcome = linker.link_entry(["planar graph", "tree"])
+        assert outcome.link_count == 0
+        assert len(outcome.unmarked) == 2
+
+    def test_exclusion(self) -> None:
+        linker = SemiAutoLinker(sample_corpus(), author_effort=1.0)
+        outcome = linker.link_entry(["planar graph"], exclude=2)
+        assert outcome.broken == [("planar", "graph")]
+
+    def test_invalid_effort_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            SemiAutoLinker(sample_corpus(), author_effort=1.5)

@@ -1,0 +1,92 @@
+"""Tests for Web Annotation (JSON-LD) export/import."""
+
+import json
+
+import pytest
+
+from repro.core.annotations import (
+    annotations_to_json,
+    document_to_annotations,
+    links_from_annotations,
+)
+from repro.core.errors import NNexusError
+from repro.core.linker import NNexus
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+
+
+@pytest.fixture(scope="module")
+def document():
+    linker = NNexus(scheme=build_small_msc())
+    linker.add_objects(sample_corpus())
+    return linker.link_text(
+        "Every planar graph has connected components and a tree inside.",
+        source_classes=["05C10"],
+    )
+
+
+class TestExport:
+    def test_one_annotation_per_link(self, document) -> None:
+        annotations = document_to_annotations(document)
+        assert len(annotations) == document.link_count
+        for annotation in annotations:
+            assert annotation["type"] == "Annotation"
+            assert annotation["motivation"] == "linking"
+
+    def test_selectors_anchor_correctly(self, document) -> None:
+        for annotation in document_to_annotations(document):
+            items = annotation["target"]["selector"]["items"]
+            position = next(i for i in items if i["type"] == "TextPositionSelector")
+            quote = next(i for i in items if i["type"] == "TextQuoteSelector")
+            exact = document.source_text[position["start"] : position["end"]]
+            assert exact == quote["exact"]
+
+    def test_body_carries_target_metadata(self, document) -> None:
+        annotation = document_to_annotations(document)[0]
+        assert annotation["body"]["nnexus:targetObject"] == document.links[0].target_id
+
+    def test_collection_json(self, document) -> None:
+        payload = json.loads(annotations_to_json(document, source_iri="urn:x:doc"))
+        assert payload["type"] == "AnnotationCollection"
+        assert payload["total"] == document.link_count
+        assert payload["items"][0]["id"].startswith("urn:x:doc/annotations/")
+
+    def test_empty_document(self) -> None:
+        from repro.core.models import LinkedDocument
+
+        payload = json.loads(annotations_to_json(LinkedDocument(source_text="x")))
+        assert payload["total"] == 0
+
+
+class TestRoundTrip:
+    def test_links_reconstructed(self, document) -> None:
+        payload = annotations_to_json(document)
+        rebuilt = links_from_annotations(payload, document.source_text)
+        original = sorted(document.links, key=lambda l: l.char_start)
+        assert [(l.char_start, l.char_end, l.target_id) for l in rebuilt] == [
+            (l.char_start, l.char_end, l.target_id) for l in original
+        ]
+        assert [l.source_phrase for l in rebuilt] == [
+            l.source_phrase for l in original
+        ]
+
+    def test_changed_text_detected(self, document) -> None:
+        payload = annotations_to_json(document)
+        tampered = document.source_text.replace("planar", "triangular")
+        with pytest.raises(NNexusError):
+            links_from_annotations(payload, tampered)
+
+    def test_out_of_range_span_rejected(self, document) -> None:
+        payload = json.loads(annotations_to_json(document))
+        items = payload["items"]
+        selector = items[0]["target"]["selector"]["items"][0]
+        selector["end"] = 10_000
+        with pytest.raises(NNexusError):
+            links_from_annotations(items, document.source_text)
+
+    def test_missing_position_selector_rejected(self, document) -> None:
+        payload = json.loads(annotations_to_json(document))
+        items = payload["items"]
+        items[0]["target"]["selector"] = {}
+        with pytest.raises(NNexusError):
+            links_from_annotations(items, document.source_text)

@@ -1,0 +1,63 @@
+"""Tests for offline batch linking."""
+
+import pytest
+
+from repro.core.batch import BatchLinker
+from repro.core.linker import NNexus
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+
+
+@pytest.fixture()
+def linker() -> NNexus:
+    instance = NNexus(scheme=build_small_msc())
+    instance.add_objects(sample_corpus())
+    return instance
+
+
+class TestRun:
+    def test_links_whole_corpus(self, linker) -> None:
+        report = BatchLinker(linker, fmt="html").run()
+        assert report.entries == 30
+        assert report.links > 50
+        assert set(report.rendered) == set(linker.object_ids())
+        assert report.links_per_entry > 1.0
+        assert report.seconds > 0
+
+    def test_selection(self, linker) -> None:
+        report = BatchLinker(linker, fmt=None).run(object_ids=[1, 5, 11])
+        assert report.entries == 3
+        assert report.rendered == {}
+        assert set(report.link_counts) == {1, 5, 11}
+
+    def test_progress_callback(self, linker) -> None:
+        seen: list[tuple[int, int]] = []
+        BatchLinker(linker, fmt=None).run(
+            object_ids=[1, 2, 3], progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_output_files(self, linker, tmp_path) -> None:
+        out = tmp_path / "rendered"
+        report = BatchLinker(linker, fmt="markdown").run(
+            object_ids=[1, 2], output_dir=out
+        )
+        assert report.files_written == 2
+        assert (out / "object-1.md").exists()
+        assert "](" in (out / "object-1.md").read_text()
+
+    def test_multithreaded_matches_single(self, linker) -> None:
+        single = BatchLinker(linker, fmt="annotations", workers=1).run()
+        multi = BatchLinker(linker, fmt="annotations", workers=4).run()
+        assert single.rendered == multi.rendered
+        assert single.links == multi.links
+
+    def test_invalid_parameters(self, linker) -> None:
+        with pytest.raises(ValueError):
+            BatchLinker(linker, fmt="docx")
+        with pytest.raises(ValueError):
+            BatchLinker(linker, workers=0)
+
+    def test_summary_keys(self, linker) -> None:
+        summary = BatchLinker(linker, fmt=None).run(object_ids=[1]).summary()
+        assert {"entries", "links", "seconds", "links_per_entry"} <= set(summary)

@@ -1,0 +1,94 @@
+"""Tests for the rendered-entry cache."""
+
+from repro.core.cache import RenderCache
+
+
+class TestBasics:
+    def test_put_get(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "<p>x</p>")
+        assert cache.get(1) == "<p>x</p>"
+        assert cache.hits == 1
+
+    def test_miss_on_absent(self) -> None:
+        cache = RenderCache()
+        assert cache.get(1) is None
+        assert cache.misses == 1
+
+    def test_version_increments(self) -> None:
+        cache = RenderCache()
+        first = cache.put(1, "a")
+        second = cache.put(1, "b")
+        assert first.version == 1
+        assert second.version == 2
+
+    def test_len_and_clear(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "a")
+        cache.put(2, "b")
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestInvalidation:
+    def test_invalidate_marks_dirty(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "a")
+        flipped = cache.invalidate([1])
+        assert flipped == 1
+        assert cache.get(1) is None
+        assert cache.invalid_ids() == [1]
+        assert not cache.is_valid(1)
+
+    def test_invalidate_absent_id_ignored(self) -> None:
+        cache = RenderCache()
+        assert cache.invalidate([42]) == 0
+
+    def test_invalidate_already_dirty_not_double_counted(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "a")
+        cache.invalidate([1])
+        assert cache.invalidate([1]) == 0
+        assert cache.invalidations == 1
+
+    def test_put_revalidates(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "a")
+        cache.invalidate([1])
+        cache.put(1, "b")
+        assert cache.get(1) == "b"
+        assert cache.invalid_ids() == []
+
+
+class TestGetOrRender:
+    def test_renders_on_miss_then_serves_cached(self) -> None:
+        cache = RenderCache()
+        calls: list[int] = []
+
+        def render(object_id: int) -> str:
+            calls.append(object_id)
+            return f"render-{object_id}"
+
+        assert cache.get_or_render(1, render) == "render-1"
+        assert cache.get_or_render(1, render) == "render-1"
+        assert calls == [1]
+
+    def test_rerenders_after_invalidation(self) -> None:
+        cache = RenderCache()
+        counter = {"n": 0}
+
+        def render(object_id: int) -> str:
+            counter["n"] += 1
+            return f"v{counter['n']}"
+
+        assert cache.get_or_render(1, render) == "v1"
+        cache.invalidate([1])
+        assert cache.get_or_render(1, render) == "v2"
+
+    def test_drop(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "a")
+        cache.drop(1)
+        assert cache.get(1) is None
+        assert len(cache) == 0

@@ -1,0 +1,135 @@
+"""Tests for the chained-hash concept map (Fig. 3)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.concept_map import ConceptMap
+
+
+def build_map(entries: list[tuple[str, int]]) -> ConceptMap:
+    concept_map = ConceptMap()
+    concept_map.bulk_load(entries)
+    return concept_map
+
+
+class TestAddAndLookup:
+    def test_owner_lookup(self) -> None:
+        cmap = build_map([("planar graph", 2), ("graph", 5), ("graph", 6)])
+        assert cmap.owners("graph") == frozenset({5, 6})
+        assert cmap.owners("planar graph") == frozenset({2})
+
+    def test_canonicalization_applied(self) -> None:
+        cmap = build_map([("Planar Graphs", 2)])
+        assert cmap.owners("planar graph") == frozenset({2})
+        assert "planar graphs" in cmap
+
+    def test_empty_phrase_rejected(self) -> None:
+        cmap = ConceptMap()
+        assert cmap.add_phrase("  ", 1) is None
+        assert len(cmap) == 0
+
+    def test_len_counts_distinct_labels(self) -> None:
+        cmap = build_map([("graph", 5), ("graph", 6), ("tree", 7)])
+        assert len(cmap) == 2
+        assert cmap.first_word_count == 2
+
+    def test_labels_for_object(self) -> None:
+        cmap = build_map([("graph", 5), ("simple graph", 5)])
+        assert cmap.labels_for_object(5) == frozenset({("graph",), ("simple", "graph")})
+
+    def test_concept_labels_iteration(self) -> None:
+        cmap = build_map([("graph", 5), ("graph", 6)])
+        pairs = {(label.text, label.object_id) for label in cmap.concept_labels()}
+        assert pairs == {("graph", 5), ("graph", 6)}
+
+
+class TestLongestMatch:
+    def test_prefers_longest(self) -> None:
+        cmap = build_map(
+            [("orthogonal", 1), ("function", 2), ("orthogonal function", 3)]
+        )
+        words = ["an", "orthogonal", "function", "here"]
+        match = cmap.longest_match(words, 1)
+        assert match is not None
+        label, owners = match
+        assert label == ("orthogonal", "function")
+        assert owners == frozenset({3})
+
+    def test_falls_back_to_shorter(self) -> None:
+        cmap = build_map([("orthogonal", 1), ("orthogonal function", 3)])
+        words = ["orthogonal", "basis"]
+        match = cmap.longest_match(words, 0)
+        assert match is not None
+        assert match[0] == ("orthogonal",)
+
+    def test_no_match(self) -> None:
+        cmap = build_map([("graph", 5)])
+        assert cmap.longest_match(["tree"], 0) is None
+
+    def test_match_at_end_of_text(self) -> None:
+        cmap = build_map([("planar graph", 2)])
+        assert cmap.longest_match(["planar"], 0) is None
+        match = cmap.longest_match(["planar", "graph"], 0)
+        assert match is not None
+
+
+class TestRemoval:
+    def test_remove_reports_vanished_labels(self) -> None:
+        cmap = build_map([("graph", 5), ("graph", 6), ("tree", 5)])
+        vanished = cmap.remove_object(5)
+        assert vanished == {("tree",)}
+        assert cmap.owners("graph") == frozenset({6})
+        assert cmap.owners("tree") == frozenset()
+
+    def test_remove_unknown_object_is_noop(self) -> None:
+        cmap = build_map([("graph", 5)])
+        assert cmap.remove_object(99) == set()
+        assert cmap.owners("graph") == frozenset({5})
+
+    def test_bucket_cleaned_up(self) -> None:
+        cmap = build_map([("graph", 5)])
+        cmap.remove_object(5)
+        assert cmap.first_word_count == 0
+        assert len(cmap) == 0
+
+
+class TestStats:
+    def test_stats_shape(self) -> None:
+        cmap = build_map([("graph", 5), ("graph theory", 5), ("tree", 7)])
+        stats = cmap.stats()
+        assert stats["labels"] == 3
+        assert stats["buckets"] == 2
+        assert stats["objects"] == 2
+        assert stats["max_chain"] == 2
+
+
+phrases = st.lists(
+    st.tuples(
+        st.text(alphabet="abcdefg ", min_size=1, max_size=12).filter(str.strip),
+        st.integers(min_value=1, max_value=50),
+    ),
+    max_size=30,
+)
+
+
+@given(phrases)
+def test_every_added_phrase_is_findable(entries: list[tuple[str, int]]) -> None:
+    cmap = ConceptMap()
+    indexed = []
+    for phrase, object_id in entries:
+        words = cmap.add_phrase(phrase, object_id)
+        if words is not None:
+            indexed.append((phrase, object_id))
+    for phrase, object_id in indexed:
+        assert object_id in cmap.owners(phrase)
+
+
+@given(phrases)
+def test_remove_object_removes_all_its_labels(entries: list[tuple[str, int]]) -> None:
+    cmap = ConceptMap()
+    for phrase, object_id in entries:
+        cmap.add_phrase(phrase, object_id)
+    object_ids = {object_id for __, object_id in entries}
+    for object_id in object_ids:
+        cmap.remove_object(object_id)
+    assert len(cmap) == 0
+    assert cmap.object_count == 0

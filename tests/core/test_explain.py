@@ -1,0 +1,59 @@
+"""Tests for the linker's explain mode."""
+
+import pytest
+
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+
+
+@pytest.fixture(scope="module")
+def linker() -> NNexus:
+    instance = NNexus(scheme=build_small_msc())
+    instance.add_objects(sample_corpus())
+    return instance
+
+
+class TestExplain:
+    def test_explanations_match_links(self, linker) -> None:
+        text = "every planar graph has connected components"
+        document = linker.link_text(text, source_classes=["05C10"])
+        explanations = linker.explain_text(text, source_classes=["05C10"])
+        assert [e.chosen for e in explanations] == [l.target_id for l in document.links]
+
+    def test_homonym_explanation_shows_distances(self, linker) -> None:
+        explanations = linker.explain_text("the graph", source_classes=["05C40"])
+        explanation = explanations[0]
+        assert set(explanation.candidates) == {5, 6}
+        assert explanation.chosen == 5
+        assert explanation.distances[5] < explanation.distances[6]
+        assert explanation.reason == "closest classification"
+
+    def test_policy_rejection_traced(self, linker) -> None:
+        explanations = linker.explain_text("even so", source_classes=["05C99"])
+        explanation = next(e for e in explanations if e.surface == "even")
+        assert explanation.chosen is None
+        assert 7 in explanation.policy_rejected
+        assert "policy" in explanation.reason
+
+    def test_single_candidate_reason(self, linker) -> None:
+        explanations = linker.explain_text("a tree", source_classes=["05C05"])
+        assert explanations[0].reason == "single candidate"
+
+    def test_tie_break_reason(self) -> None:
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_object(CorpusObject(10, "tree", defines=["tree"],
+                                       classes=["05C05"], text=""))
+        linker.add_object(CorpusObject(20, "tree", defines=["tree"],
+                                       classes=["05C05"], text=""))
+        explanation = linker.explain_text("a tree", source_classes=["05C05"])[0]
+        assert explanation.chosen == 10
+        assert "tie broken" in explanation.reason
+
+    def test_format_readable(self, linker) -> None:
+        explanation = linker.explain_text("the graph", source_classes=["05C40"])[0]
+        formatted = explanation.format()
+        assert "match 'graph'" in formatted
+        assert "class distances" in formatted
+        assert "chosen: 5" in formatted

@@ -1,0 +1,166 @@
+"""Tests for the adaptive invalidation index (Section 2.5, Fig. 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.invalidation import InvalidationIndex
+
+
+class TestFig6Example:
+    """The paper's worked example: 'conjugacy class formula'."""
+
+    def build(self) -> InvalidationIndex:
+        index = InvalidationIndex(max_phrase_length=4, phrase_threshold=2)
+        # Objects 123 and 456 mention 'conjugacy' in other contexts;
+        # object 789 contains the full phrase.  The phrase bigram/trigram
+        # appears twice (789 uses it twice) so it clears the threshold.
+        index.index_object(123, "the conjugacy relation holds here")
+        index.index_object(456, "a conjugacy argument shows the result")
+        index.index_object(
+            789,
+            "the conjugacy class formula states much; this conjugacy "
+            "class formula is central",
+        )
+        return index
+
+    def test_phrase_lookup_hits_only_true_container(self) -> None:
+        index = self.build()
+        assert index.invalidate("conjugacy class formula") == {789}
+
+    def test_word_lookup_would_overinvalidate(self) -> None:
+        index = self.build()
+        assert index.invalidate("conjugacy") == {123, 456, 789}
+
+    def test_unknown_phrase_falls_back_to_prefix(self) -> None:
+        index = self.build()
+        # 4-gram never indexed; falls back to the indexed 3-gram.
+        assert index.invalidate("conjugacy class formula theorem") == {789}
+
+
+class TestAdaptiveRule:
+    def test_rare_phrase_not_promoted(self) -> None:
+        index = InvalidationIndex(phrase_threshold=3)
+        index.index_object(1, "rare phrase here")
+        # Bigram count 1 < 3: lookup falls back to the single word.
+        index.index_object(2, "rare stuff elsewhere")
+        assert index.invalidate("rare phrase") == {1, 2}
+
+    def test_frequent_phrase_promoted(self) -> None:
+        index = InvalidationIndex(phrase_threshold=2)
+        index.index_object(1, "magic lattice magic lattice")
+        index.index_object(2, "magic elsewhere")
+        assert index.invalidate("magic lattice") == {1}
+
+    def test_single_words_always_indexed(self) -> None:
+        index = InvalidationIndex(phrase_threshold=100)
+        index.index_object(1, "unique token")
+        assert index.invalidate("unique") == {1}
+
+    def test_max_phrase_length_caps_probe(self) -> None:
+        index = InvalidationIndex(max_phrase_length=2, phrase_threshold=1)
+        index.index_object(1, "alpha beta gamma delta")
+        assert index.invalidate("alpha beta gamma") == {1}
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            InvalidationIndex(max_phrase_length=0)
+        with pytest.raises(ValueError):
+            InvalidationIndex(phrase_threshold=0)
+
+
+class TestMaintenance:
+    def test_reindex_replaces_old_text(self) -> None:
+        index = InvalidationIndex()
+        index.index_object(1, "old words here")
+        index.index_object(1, "completely different now")
+        assert index.invalidate("old") == set()
+        assert index.invalidate("different") == {1}
+
+    def test_remove_object(self) -> None:
+        index = InvalidationIndex()
+        index.index_object(1, "shared words")
+        index.index_object(2, "shared other")
+        index.remove_object(1)
+        assert index.invalidate("shared") == {2}
+        assert index.object_count == 1
+
+    def test_remove_unknown_is_noop(self) -> None:
+        index = InvalidationIndex()
+        index.remove_object(99)
+        assert index.object_count == 0
+
+    def test_invalidate_many_unions(self) -> None:
+        index = InvalidationIndex()
+        index.index_object(1, "alpha things")
+        index.index_object(2, "beta things")
+        assert index.invalidate_many(["alpha", "beta"]) == {1, 2}
+
+    def test_morphology_applied_to_text_and_query(self) -> None:
+        index = InvalidationIndex()
+        index.index_object(1, "planar graphs are nice")
+        assert index.invalidate("Planar Graph") == {1}
+
+    def test_escaped_math_not_indexed(self) -> None:
+        index = InvalidationIndex()
+        index.index_object(1, "see $hidden token$ outside")
+        assert index.invalidate("hidden") == set()
+        assert index.invalidate("outside") == {1}
+
+
+class TestStats:
+    def test_size_ratio_bounded(self) -> None:
+        index = InvalidationIndex(phrase_threshold=2)
+        texts = [
+            "planar graph theory is fun",
+            "planar graph coloring is fun",
+            "planar graph theory again",
+        ]
+        for object_id, text in enumerate(texts):
+            index.index_object(object_id, text)
+        stats = index.stats()
+        assert stats.word_keys > 0
+        assert stats.total_keys >= stats.word_keys
+        # The Zipf fall-off claim: phrase keys stay within a small factor.
+        assert stats.size_ratio_vs_word_index < 4.0
+
+    def test_empty_index_stats(self) -> None:
+        stats = InvalidationIndex().stats()
+        assert stats.total_keys == 0
+        assert stats.size_ratio_vs_word_index == 0.0
+
+
+words = st.lists(st.sampled_from("alpha beta gamma delta epsilon".split()), min_size=1, max_size=30)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.integers(0, 8), words, min_size=1, max_size=8))
+def test_prefix_closure_never_misses(texts: dict[int, list[str]]) -> None:
+    """The index's guarantee: every object containing a phrase is returned.
+
+    For any n-gram actually present in some object's text, `invalidate`
+    must return a superset of the objects containing that n-gram.
+    """
+    index = InvalidationIndex(max_phrase_length=3, phrase_threshold=2)
+    for object_id, tokens in texts.items():
+        index.index_object(object_id, " ".join(tokens))
+    for object_id, tokens in texts.items():
+        for start in range(len(tokens)):
+            for length in (1, 2, 3):
+                if start + length > len(tokens):
+                    continue
+                gram = tokens[start : start + length]
+                result = index.invalidate(" ".join(gram))
+                assert object_id in result
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(st.integers(0, 5), words, min_size=2, max_size=6))
+def test_remove_then_lookup_excludes_object(texts: dict[int, list[str]]) -> None:
+    index = InvalidationIndex(max_phrase_length=3)
+    for object_id, tokens in texts.items():
+        index.index_object(object_id, " ".join(tokens))
+    victim = next(iter(texts))
+    index.remove_object(victim)
+    for tokens in texts.values():
+        for token in tokens:
+            assert victim not in index.invalidate(token)

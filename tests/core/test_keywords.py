@@ -1,0 +1,109 @@
+"""Tests for automatic keyword (concept-label) extraction."""
+
+from repro.core.keywords import KeywordExtractor, extract_keywords
+from repro.core.models import CorpusObject
+from repro.corpus.planetmath_sample import sample_corpus
+
+
+MARKOV_TEXT = (
+    "A Markov chain is a stochastic process with the Markov property. "
+    "The transition matrix of a Markov chain collects the transition "
+    "probabilities, and the stationary distribution of the chain solves "
+    "a fixed point equation involving the transition matrix."
+)
+
+
+class TestExtract:
+    def test_multiword_terms_beat_stopwords(self) -> None:
+        candidates = extract_keywords(MARKOV_TEXT, top_k=8)
+        texts = [c.text for c in candidates]
+        assert any("markov chain" in t for t in texts)
+        assert any("transition matrix" in t for t in texts)
+        for text in texts:
+            assert "the" not in text.split()
+
+    def test_scores_descending(self) -> None:
+        candidates = extract_keywords(MARKOV_TEXT)
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_occurrences_counted(self) -> None:
+        candidates = extract_keywords(MARKOV_TEXT, top_k=20)
+        by_text = {c.text: c for c in candidates}
+        assert by_text["markov chain"].occurrences >= 2
+
+    def test_canonicalized_output(self) -> None:
+        candidates = extract_keywords("Planar Graphs and planar graphs", top_k=3)
+        assert candidates[0].words == ("planar", "graph")
+
+    def test_empty_text(self) -> None:
+        assert extract_keywords("") == []
+        assert extract_keywords("the of and") == []
+
+    def test_math_not_extracted(self) -> None:
+        candidates = extract_keywords("compute $secret formula$ openly", top_k=10)
+        assert all("secret" not in c.text for c in candidates)
+
+    def test_phrase_length_capped(self) -> None:
+        extractor = KeywordExtractor(max_phrase_length=2)
+        text = "alpha beta gamma delta epsilon"
+        for candidate in extractor.extract(text, top_k=10):
+            assert len(candidate.words) <= 2
+
+
+class TestCorpusStatistics:
+    def test_rarity_demotes_ubiquitous_phrases(self) -> None:
+        extractor = KeywordExtractor()
+        corpus = [
+            CorpusObject(i, f"t{i}", text="filler common phrase everywhere graph")
+            for i in range(20)
+        ]
+        corpus.append(CorpusObject(99, "rare", text="unique matroid duality appears"))
+        extractor.observe_corpus(corpus)
+        candidates = extractor.extract(
+            "unique matroid duality appears near common phrase everywhere",
+            top_k=4,
+        )
+        texts = [c.text for c in candidates]
+        assert texts.index(next(t for t in texts if "matroid" in t)) < len(texts)
+        # The corpus-wide phrase is scored below the rare one.
+        rare_score = max(c.score for c in candidates if "matroid" in c.text)
+        common = [c for c in candidates if "common" in c.text]
+        if common:
+            assert common[0].score < rare_score
+
+    def test_stop_concepts_detected(self) -> None:
+        extractor = KeywordExtractor()
+        corpus = [
+            CorpusObject(i, f"t{i}", text=f"graph appears always with topic{i}")
+            for i in range(10)
+        ]
+        extractor.observe_corpus(corpus)
+        stop_concepts = extractor.corpus_stop_concepts(min_document_share=0.5)
+        assert ("graph",) in stop_concepts
+        assert all(len(phrase) == 1 for phrase in stop_concepts)
+
+    def test_stop_concepts_empty_without_corpus(self) -> None:
+        assert KeywordExtractor().corpus_stop_concepts() == []
+
+
+class TestSuggestLabels:
+    def test_declared_labels_filtered(self) -> None:
+        extractor = KeywordExtractor()
+        obj = CorpusObject(
+            1,
+            "Markov chain",
+            defines=["Markov chain"],
+            text=MARKOV_TEXT,
+        )
+        suggestions = extractor.suggest_labels(obj, top_k=5)
+        assert all(c.words != ("markov", "chain") for c in suggestions)
+        assert any("transition matrix" in c.text for c in suggestions)
+
+    def test_suggestions_on_sample_corpus(self) -> None:
+        extractor = KeywordExtractor()
+        corpus = sample_corpus()
+        extractor.observe_corpus(corpus)
+        by_id = {obj.object_id: obj for obj in corpus}
+        suggestions = extractor.suggest_labels(by_id[20], top_k=5)  # Markov chain
+        assert suggestions

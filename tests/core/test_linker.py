@@ -1,0 +1,335 @@
+"""Tests for the NNexus façade: the full pipeline of Fig. 2."""
+
+import pytest
+
+from repro.core.config import DomainConfig, NNexusConfig
+from repro.core.errors import DuplicateObjectError, NNexusError, UnknownObjectError
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.ontology.msc import build_small_msc
+
+
+def fig1_linker(**kwargs) -> NNexus:
+    linker = NNexus(scheme=build_small_msc(), **kwargs)
+    linker.add_objects(
+        [
+            CorpusObject(2, "planar graph", defines=["planar graph"],
+                         classes=["05C10"], text="Embeds in the plane."),
+            CorpusObject(5, "graph", defines=["graph"], synonyms=["graphs"],
+                         classes=["05C99"], text="Vertices and edges."),
+            CorpusObject(6, "graph (set theory)", defines=["graph"],
+                         classes=["03E20"], text="Set of ordered pairs."),
+            CorpusObject(9, "connected components", defines=["connected component"],
+                         classes=["05C40"], text="Maximal connected subgraphs."),
+        ]
+    )
+    return linker
+
+
+class TestCorpusMaintenance:
+    def test_duplicate_object_rejected(self) -> None:
+        linker = fig1_linker()
+        with pytest.raises(DuplicateObjectError):
+            linker.add_object(CorpusObject(5, "dup", defines=["dup"]))
+
+    def test_unknown_object_raises(self) -> None:
+        with pytest.raises(UnknownObjectError):
+            fig1_linker().get_object(404)
+        with pytest.raises(UnknownObjectError):
+            fig1_linker().remove_object(404)
+
+    def test_remove_unindexes_labels(self) -> None:
+        linker = fig1_linker()
+        linker.remove_object(2)
+        doc = linker.link_text("a planar graph here", source_classes=["05C10"])
+        # "planar graph" gone; bare "graph" still matches.
+        assert [l.target_id for l in doc.links] == [5]
+
+    def test_update_object_replaces(self) -> None:
+        linker = fig1_linker()
+        linker.update_object(
+            CorpusObject(2, "planar graph", defines=["outerplanar graph"],
+                         classes=["05C10"], text="changed")
+        )
+        doc = linker.link_text("an outerplanar graph", source_classes=["05C10"])
+        assert [l.target_id for l in doc.links] == [2]
+
+    def test_object_ids_and_len(self) -> None:
+        linker = fig1_linker()
+        assert linker.object_ids() == [2, 5, 6, 9]
+        assert len(linker) == 4
+        assert linker.has_object(5)
+        assert not linker.has_object(50)
+
+
+class TestLinking:
+    def test_steering_resolves_homonym(self) -> None:
+        linker = fig1_linker()
+        doc = linker.link_text("the graph is connected", source_classes=["05C40"])
+        assert [l.target_id for l in doc.links] == [5]
+        doc = linker.link_text("the graph of a pairing", source_classes=["03E20"])
+        assert [l.target_id for l in doc.links] == [6]
+
+    def test_self_link_excluded(self) -> None:
+        linker = fig1_linker()
+        linker.update_object(
+            CorpusObject(5, "graph", defines=["graph"], classes=["05C99"],
+                         text="A graph is a pair of vertex sets.")
+        )
+        doc = linker.link_object(5)
+        # 'graph' may only link to the set-theory homonym, never itself.
+        assert all(link.target_id != 5 for link in doc.links)
+
+    def test_self_link_allowed_when_configured(self) -> None:
+        config = NNexusConfig(allow_self_links=True)
+        linker = NNexus(scheme=build_small_msc(), config=config)
+        linker.add_object(
+            CorpusObject(5, "graph", defines=["graph"], classes=["05C99"],
+                         text="A graph is a graph.")
+        )
+        doc = linker.link_object(5)
+        assert [l.target_id for l in doc.links] == [5]
+
+    def test_first_occurrence_only(self) -> None:
+        linker = fig1_linker()
+        doc = linker.link_text("graph graph graph", source_classes=["05C99"])
+        assert doc.link_count == 1
+
+    def test_every_occurrence_when_configured(self) -> None:
+        config = NNexusConfig(link_first_occurrence_only=False)
+        linker = NNexus(scheme=build_small_msc(), config=config)
+        linker.add_object(CorpusObject(5, "graph", defines=["graph"],
+                                       classes=["05C99"], text=""))
+        doc = linker.link_text("graph then graph", source_classes=["05C99"])
+        assert doc.link_count == 2
+
+    def test_link_spans_match_source_text(self) -> None:
+        linker = fig1_linker()
+        text = "every planar graph has connected components"
+        doc = linker.link_text(text, source_classes=["05C10"])
+        for link in doc.links:
+            assert text[link.char_start : link.char_end] == link.source_phrase
+
+    def test_no_steering_falls_back_to_lowest_id(self) -> None:
+        linker = fig1_linker(enable_steering=False)
+        doc = linker.link_text("the graph", source_classes=["03E20"])
+        assert [l.target_id for l in doc.links] == [5]  # min id, not steered
+
+    def test_unclassified_source_still_links(self) -> None:
+        linker = fig1_linker()
+        doc = linker.link_text("a planar graph")
+        assert doc.link_count == 1
+
+    def test_stats_accumulate(self) -> None:
+        linker = fig1_linker()
+        linker.link_text("a planar graph", source_classes=["05C10"])
+        snapshot = linker.stats.snapshot()
+        assert snapshot["entries_linked"] == 1
+        assert snapshot["links_created"] == 1
+
+
+class TestPolicies:
+    def test_policy_blocks_link(self) -> None:
+        linker = fig1_linker()
+        linker.add_object(
+            CorpusObject(7, "even number", defines=["even number", "even"],
+                         classes=["11A05"], text="Divisible by two.",
+                         linking_policy="forbid even\npermit even 11\n")
+        )
+        outside = linker.link_text("an even split", source_classes=["05C99"])
+        assert outside.link_count == 0
+        inside = linker.link_text("an even integer", source_classes=["11A41"])
+        assert [l.target_id for l in inside.links] == [7]
+
+    def test_policy_ignored_when_disabled(self) -> None:
+        linker = fig1_linker(enable_policies=False)
+        linker.add_object(
+            CorpusObject(7, "even number", defines=["even"], classes=["11A05"],
+                         text="", linking_policy="forbid even\n")
+        )
+        doc = linker.link_text("even here", source_classes=["05C99"])
+        assert doc.link_count == 1
+
+    def test_policy_never_written_through_to_caller_objects(self) -> None:
+        """Two linkers sharing CorpusObject instances must not leak state."""
+        shared = CorpusObject(7, "even number", defines=["even"],
+                              classes=["11A05"], text="")
+        first = fig1_linker()
+        first.add_object(shared)
+        first.set_linking_policy(7, "forbid even\n")
+        assert shared.linking_policy == ""  # caller's object untouched
+        second = fig1_linker()
+        second.add_object(shared)
+        doc = second.link_text("even", source_classes=["05C99"])
+        assert doc.link_count == 1  # no policy leaked into the new linker
+
+    def test_set_linking_policy_after_add(self) -> None:
+        linker = fig1_linker()
+        linker.add_object(CorpusObject(7, "even number", defines=["even"],
+                                       classes=["11A05"], text=""))
+        assert linker.link_text("even", source_classes=["05C99"]).link_count == 1
+        linker.set_linking_policy(7, "forbid even\n")
+        assert linker.link_text("even", source_classes=["05C99"]).link_count == 0
+        assert linker.get_object(7).linking_policy == "forbid even\n"
+
+
+class TestTieBreaking:
+    def test_priority_breaks_ties(self) -> None:
+        config = NNexusConfig(
+            domains={
+                "pm": DomainConfig("pm", priority=1),
+                "mw": DomainConfig("mw", priority=2),
+            },
+            default_domain="pm",
+        )
+        linker = NNexus(scheme=build_small_msc(), config=config)
+        linker.add_object(CorpusObject(10, "tree", defines=["tree"],
+                                       classes=["05C05"], domain="mw", text=""))
+        linker.add_object(CorpusObject(20, "tree", defines=["tree"],
+                                       classes=["05C05"], domain="pm", text=""))
+        doc = linker.link_text("a tree", source_classes=["05C05"])
+        # Same class distance; pm (priority 1) wins despite higher id.
+        assert [l.target_id for l in doc.links] == [20]
+        assert linker.stats.ties_broken_by_priority == 1
+
+    def test_id_breaks_remaining_ties(self) -> None:
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_object(CorpusObject(30, "tree", defines=["tree"],
+                                       classes=["05C05"], text=""))
+        linker.add_object(CorpusObject(10, "tree", defines=["tree"],
+                                       classes=["05C05"], text=""))
+        doc = linker.link_text("a tree", source_classes=["05C05"])
+        assert [l.target_id for l in doc.links] == [10]
+
+
+class TestRankerIntegration:
+    def test_ranker_overrides_steering(self) -> None:
+        from repro.core.ranking import CompositeRanker, ReputationTable
+
+        linker = fig1_linker()
+        reputation = ReputationTable()
+        for __ in range(50):
+            reputation.record_feedback(6, helpful=True)
+            reputation.record_feedback(5, helpful=False)
+        # Heavy reputation weight flips the homonym away from steering.
+        linker.set_ranker(
+            CompositeRanker(
+                steering=linker.steering,
+                reputation=reputation,
+                class_weight=0.0,
+                reputation_weight=10.0,
+            )
+        )
+        doc = linker.link_text("the graph", source_classes=["05C40"])
+        assert [l.target_id for l in doc.links] == [6]
+
+    def test_detaching_ranker_restores_steering(self) -> None:
+        from repro.core.ranking import CompositeRanker
+
+        linker = fig1_linker()
+        linker.set_ranker(CompositeRanker(steering=linker.steering))
+        linker.set_ranker(None)
+        doc = linker.link_text("the graph", source_classes=["05C40"])
+        assert [l.target_id for l in doc.links] == [5]
+
+    def test_default_composite_ranker_agrees_with_steering(self) -> None:
+        from repro.core.ranking import CompositeRanker
+
+        plain = fig1_linker()
+        ranked = fig1_linker()
+        ranked.set_ranker(CompositeRanker(steering=ranked.steering))
+        for classes in (["05C40"], ["03E20"], ["11A41"]):
+            text = "the graph and a planar graph"
+            a = plain.link_text(text, source_classes=classes)
+            b = ranked.link_text(text, source_classes=classes)
+            assert [l.target_id for l in a.links] == [l.target_id for l in b.links]
+
+    def test_policies_still_apply_with_ranker(self) -> None:
+        from repro.core.ranking import CompositeRanker
+
+        linker = fig1_linker()
+        linker.add_object(
+            CorpusObject(7, "even number", defines=["even"], classes=["11A05"],
+                         text="", linking_policy="forbid even\n")
+        )
+        linker.set_ranker(CompositeRanker(steering=linker.steering))
+        doc = linker.link_text("even now", source_classes=["05C99"])
+        assert doc.link_count == 0
+
+
+class TestInvalidationFlow:
+    def test_new_concept_invalidates_probable_invokers(self) -> None:
+        linker = fig1_linker()
+        for object_id in linker.object_ids():
+            linker.render_object(object_id)
+        invalidated = linker.add_object(
+            CorpusObject(42, "vertex", defines=["vertex", "vertices"],
+                         classes=["05C99"], text="Unit of a graph.")
+        )
+        assert 5 in invalidated  # object 5's text mentions "vertices"
+        assert 2 not in invalidated
+        assert 5 in linker.invalid_entries()
+
+    def test_relink_invalidated_refreshes(self) -> None:
+        linker = fig1_linker()
+        for object_id in linker.object_ids():
+            linker.render_object(object_id)
+        linker.add_object(
+            CorpusObject(42, "vertex", defines=["vertex", "vertices"],
+                         classes=["05C99"], text="Unit of a graph.")
+        )
+        refreshed = linker.relink_invalidated()
+        assert 5 in refreshed
+        assert "#object-42" in refreshed[5]
+        assert linker.invalid_entries() == []
+
+    def test_remove_object_invalidates_linkers_to_it(self) -> None:
+        linker = fig1_linker()
+        linker.render_object(9)  # links "connected" etc.
+        invalidated = linker.remove_object(2)
+        assert isinstance(invalidated, set)
+
+
+class TestRendering:
+    def test_render_formats(self) -> None:
+        linker = fig1_linker()
+        linker.update_object(
+            CorpusObject(9, "connected components", defines=["connected component"],
+                         classes=["05C40"], text="Pieces of a graph.")
+        )
+        html = linker.render_object(9, fmt="html")
+        assert "<a " in html
+        markdown = linker.render_object(9, fmt="markdown")
+        assert "](" in markdown
+        annotated = linker.render_object(9, fmt="annotations")
+        assert "[->" in annotated
+
+    def test_unknown_format_raises(self) -> None:
+        with pytest.raises(ValueError):
+            fig1_linker().render_object(9, fmt="docx")
+
+    def test_html_render_served_from_cache(self) -> None:
+        linker = fig1_linker()
+        linker.render_object(9)
+        hits_before = linker.cache.hits
+        linker.render_object(9)
+        assert linker.cache.hits == hits_before + 1
+
+
+class TestBaseWeight:
+    def test_set_base_weight_changes_distances(self) -> None:
+        linker = fig1_linker()
+        linker.set_base_weight(1.0)
+        doc = linker.link_text("the graph", source_classes=["05C40"])
+        assert doc.link_count == 1  # still resolves
+
+    def test_set_base_weight_without_scheme_raises(self) -> None:
+        linker = NNexus(scheme=None)
+        with pytest.raises(NNexusError):
+            linker.set_base_weight(2.0)
+
+    def test_describe(self) -> None:
+        info = fig1_linker().describe()
+        assert info["objects"] == 4
+        # planar graph, graph, graph set theory (title), connected component
+        assert info["concepts"] == 4

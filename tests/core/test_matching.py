@@ -1,0 +1,107 @@
+"""Tests for link-source identification (the scan of Section 2.2)."""
+
+from repro.core.concept_map import ConceptMap
+from repro.core.matching import find_matches
+from repro.core.tokenizer import Tokenizer
+
+
+def scan(text: str, labels: list[tuple[str, int]], **kwargs):
+    concept_map = ConceptMap()
+    concept_map.bulk_load(labels)
+    tokenized = Tokenizer().tokenize(text)
+    return find_matches(tokenized, concept_map, **kwargs)
+
+
+class TestLongestMatch:
+    def test_longest_phrase_wins(self) -> None:
+        matches = scan(
+            "an orthogonal function appears",
+            [("orthogonal", 1), ("function", 2), ("orthogonal function", 3)],
+        )
+        assert [m.surface for m in matches] == ["orthogonal function"]
+        assert matches[0].candidates == (3,)
+
+    def test_tokens_consumed_by_match(self) -> None:
+        # "function" inside the longer match must not also match alone.
+        matches = scan(
+            "orthogonal function and function",
+            [("function", 2), ("orthogonal function", 3)],
+        )
+        surfaces = [m.surface for m in matches]
+        assert surfaces == ["orthogonal function", "function"]
+
+    def test_overlapping_starts(self) -> None:
+        matches = scan(
+            "planar graph theory",
+            [("planar graph", 1), ("graph theory", 2)],
+        )
+        # Longest match at position 0 consumes "planar graph"; "theory"
+        # alone matches nothing.
+        assert [m.surface for m in matches] == ["planar graph"]
+
+
+class TestFirstOccurrence:
+    def test_only_first_occurrence_linked(self) -> None:
+        matches = scan("a graph and another graph", [("graph", 5)])
+        assert len(matches) == 1
+        assert matches[0].start == 1
+
+    def test_all_occurrences_when_disabled(self) -> None:
+        matches = scan(
+            "a graph and another graph",
+            [("graph", 5)],
+            first_occurrence_only=False,
+        )
+        assert len(matches) == 2
+
+    def test_morphological_variants_count_as_same(self) -> None:
+        matches = scan("graphs here and a graph there", [("graph", 5)])
+        assert len(matches) == 1
+        assert matches[0].surface == "graphs"
+
+
+class TestExclusion:
+    def test_excluded_candidate_dropped(self) -> None:
+        matches = scan("the graph here", [("graph", 5), ("graph", 6)],
+                       exclude_objects=(5,))
+        assert matches[0].candidates == (6,)
+
+    def test_match_dropped_when_all_candidates_excluded(self) -> None:
+        matches = scan("the graph here", [("graph", 5)], exclude_objects=(5,))
+        assert matches == []
+
+    def test_exclusion_releases_tokens_for_shorter_match(self) -> None:
+        # The 2-word label is excluded; the 1-word label inside it should
+        # then be found (longest-first probing falls through).
+        matches = scan(
+            "planar graph here",
+            [("planar graph", 9), ("graph", 5)],
+            exclude_objects=(9,),
+        )
+        assert [m.surface for m in matches] == ["graph"]
+
+
+class TestMatchStructure:
+    def test_match_records_span_and_surface(self) -> None:
+        text = "see the Planar Graphs now"
+        matches = scan(text, [("planar graph", 2)])
+        match = matches[0]
+        assert match.surface == "Planar Graphs"
+        assert match.start == 2 and match.end == 4
+
+    def test_candidates_sorted(self) -> None:
+        matches = scan("a graph", [("graph", 9), ("graph", 3), ("graph", 5)])
+        assert matches[0].candidates == (3, 5, 9)
+
+    def test_no_matches_in_escaped_math(self) -> None:
+        matches = scan("consider $a graph$ only", [("graph", 5)])
+        assert matches == []
+
+    def test_empty_text(self) -> None:
+        assert scan("", [("graph", 5)]) == []
+
+    def test_label_spanning_sentence_boundary_is_matched(self) -> None:
+        # Tokenization ignores punctuation: this mirrors the generator's
+        # guarantee that planted phrases sit inside one sentence.
+        matches = scan("we use planar. graph follows", [("planar graph", 2)])
+        assert len(matches) == 1

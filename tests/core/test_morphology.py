@@ -1,0 +1,122 @@
+"""Unit and property tests for morphological canonicalization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.morphology import (
+    canonicalize_encoding,
+    canonicalize_phrase,
+    canonicalize_token,
+    singularize,
+    strip_possessive,
+)
+
+
+class TestSingularize:
+    @pytest.mark.parametrize(
+        ("plural", "singular"),
+        [
+            ("graphs", "graph"),
+            ("vertices", "vertex"),
+            ("matrices", "matrix"),
+            ("theories", "theory"),
+            ("classes", "class"),
+            ("boxes", "box"),
+            ("branches", "branch"),
+            ("wishes", "wish"),
+            ("halves", "half"),
+            ("knives", "knife"),
+            ("children", "child"),
+            ("lemmata", "lemma"),
+            ("radii", "radius"),
+            ("heroes", "hero"),
+            ("foci", "focus"),
+            ("bases", "basis"),
+            ("indices", "index"),
+        ],
+    )
+    def test_plural_to_singular(self, plural: str, singular: str) -> None:
+        assert singularize(plural) == singular
+
+    @pytest.mark.parametrize(
+        "word",
+        ["series", "analysis", "calculus", "modulus", "torus", "class",
+         "locus", "basis", "lens", "this", "gauss", "genus"],
+    )
+    def test_protected_singulars_unchanged(self, word: str) -> None:
+        assert singularize(word) == word
+
+    def test_short_tokens_unchanged(self) -> None:
+        assert singularize("is") == "is"
+        assert singularize("as") == "as"
+        assert singularize("xs") == "xs"
+
+    def test_non_alpha_tail_unchanged(self) -> None:
+        assert singularize("x2s1") == "x2s1"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12))
+    def test_idempotent(self, word: str) -> None:
+        once = singularize(word)
+        assert singularize(once) == once
+
+
+class TestPossessive:
+    def test_apostrophe_s(self) -> None:
+        assert strip_possessive("euler's") == "euler"
+
+    def test_unicode_apostrophe(self) -> None:
+        assert strip_possessive("euler’s") == "euler"
+
+    def test_trailing_apostrophe(self) -> None:
+        assert strip_possessive("graphs'") == "graphs"
+
+    def test_plain_word_unchanged(self) -> None:
+        assert strip_possessive("euler") == "euler"
+
+
+class TestEncoding:
+    def test_diacritics_folded(self) -> None:
+        assert canonicalize_encoding("Möbius") == "mobius"
+        assert canonicalize_encoding("Erdős") == "erdos"
+        assert canonicalize_encoding("Poincaré") == "poincare"
+
+    def test_casefold(self) -> None:
+        assert canonicalize_encoding("ABELIAN") == "abelian"
+
+    @given(st.text(max_size=20))
+    def test_idempotent(self, text: str) -> None:
+        once = canonicalize_encoding(text)
+        assert canonicalize_encoding(once) == once
+
+
+class TestCanonicalToken:
+    def test_combined_transformations(self) -> None:
+        assert canonicalize_token("Möbius's") == "mobius"
+        assert canonicalize_token("Graphs") == "graph"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyzÀÁÖöüé'", min_size=1, max_size=15))
+    def test_idempotent(self, token: str) -> None:
+        once = canonicalize_token(token)
+        assert canonicalize_token(once) == once
+
+
+class TestCanonicalPhrase:
+    def test_multiword(self) -> None:
+        assert canonicalize_phrase("Planar Graphs") == ("planar", "graph")
+
+    def test_hyphen_splits(self) -> None:
+        assert canonicalize_phrase("three-colorable") == ("three", "colorable")
+
+    def test_empty(self) -> None:
+        assert canonicalize_phrase("") == ()
+        assert canonicalize_phrase("   ") == ()
+
+    def test_plural_possessive_unicode_together(self) -> None:
+        assert canonicalize_phrase("Möbius's graphs") == ("mobius", "graph")
+
+    def test_name_endings_symmetric(self) -> None:
+        # Names ending in -os are treated like plurals; what matters for
+        # linking is that label and text canonicalize identically.
+        assert canonicalize_phrase("Erdős's graphs") == canonicalize_phrase(
+            "erdos graph"
+        )

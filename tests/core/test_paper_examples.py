@@ -1,0 +1,108 @@
+"""The paper's worked examples, end to end on the handcrafted corpus.
+
+Fig. 1: the plane-graph entry whose "graph" must steer to the
+graph-theory homonym; Fig. 3: the concept map shape; Fig. 4: the MSC
+distance comparison; Section 2.4: the "even" policy.
+"""
+
+from repro.core.linker import NNexus
+from repro.core.render import render_annotations
+from repro.corpus.planetmath_sample import (
+    GRAPH_ID,
+    PLANE_GRAPH_ID,
+    SET_GRAPH_ID,
+    sample_corpus,
+)
+from repro.ontology.msc import build_small_msc
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def linker() -> NNexus:
+    instance = NNexus(scheme=build_small_msc())
+    instance.add_objects(sample_corpus())
+    return instance
+
+
+class TestFig1:
+    def test_plane_graph_entry_links(self, linker: NNexus) -> None:
+        document = linker.link_object(PLANE_GRAPH_ID)
+        targets = {link.source_phrase.lower(): link.target_id for link in document.links}
+        assert targets["planar graph"] == 2
+        assert targets["plane"] == 3
+        assert targets["connected components"] == 4
+        # The homonym: source is 05C10, so graph steers to 05C99 not 03E20.
+        assert targets["graph"] == GRAPH_ID
+
+    def test_set_theory_context_steers_to_set_graph(self, linker: NNexus) -> None:
+        document = linker.link_text(
+            "the graph records the pairs of the mapping",
+            source_classes=["03E20"],
+        )
+        by_phrase = {l.source_phrase: l.target_id for l in document.links}
+        assert by_phrase["graph"] == SET_GRAPH_ID
+
+    def test_annotated_rendering_readable(self, linker: NNexus) -> None:
+        document = linker.link_object(PLANE_GRAPH_ID)
+        annotated = render_annotations(document)
+        assert f"planar graph[->2]" in annotated
+
+
+class TestFig3ConceptMapShape:
+    def test_chained_hash_structure(self, linker: NNexus) -> None:
+        chain = linker.concept_map.chain_for("graph")
+        assert chain is not None
+        assert ("graph",) in chain.labels
+        # Both homonymous definers share the chain entry.
+        assert chain.labels[("graph",)] >= {GRAPH_ID, SET_GRAPH_ID}
+
+    def test_multiword_labels_keyed_by_first_word(self, linker: NNexus) -> None:
+        chain = linker.concept_map.chain_for("connected")
+        assert chain is not None
+        assert ("connected", "component") in chain.labels
+
+
+class TestFig4Distances:
+    def test_paper_distance_ordering(self, linker: NNexus) -> None:
+        steering = linker.steering
+        assert steering is not None
+        d_within = steering.graph.distance("05C40", "05C99")
+        d_across = steering.graph.distance("05C40", "03E20")
+        assert d_within < d_across
+
+    def test_connectivity_and_topological_closer_than_sections(self, linker: NNexus) -> None:
+        graph = linker.steering.graph
+        assert graph.distance("05C10", "05C40") < graph.distance("05C", "05B")
+
+
+class TestSection24Policies:
+    def test_even_not_linked_from_graph_theory(self, linker: NNexus) -> None:
+        document = linker.link_text(
+            "an even number of vertices", source_classes=["05C99"]
+        )
+        phrases = [l.source_phrase for l in document.links]
+        # "even number" as a full phrase is a legitimate concept label;
+        # but the bare word "even" from a non-number-theory source is not.
+        bare_even = linker.link_text("even so, the result holds",
+                                     source_classes=["05C99"])
+        assert all(l.source_phrase.lower() != "even" for l in bare_even.links)
+        del phrases
+
+    def test_even_linked_from_number_theory(self, linker: NNexus) -> None:
+        document = linker.link_text("when n is even", source_classes=["11A41"])
+        assert any(l.source_phrase == "even" for l in document.links)
+
+
+class TestCorpusWideRecall:
+    def test_every_entry_produces_links(self, linker: NNexus) -> None:
+        """The sample corpus is densely interlinked; most entries link out."""
+        linked_entries = sum(
+            1 for oid in linker.object_ids() if linker.link_object(oid).link_count > 0
+        )
+        assert linked_entries >= 25
+
+    def test_no_link_ever_targets_its_own_source(self, linker: NNexus) -> None:
+        for object_id in linker.object_ids():
+            document = linker.link_object(object_id)
+            assert all(link.target_id != object_id for link in document.links)

@@ -1,0 +1,139 @@
+"""Tests for link-matrix CF, reputation and composite ranking."""
+
+import pytest
+
+from repro.core.classification import ClassificationSteering, ClassificationGraph
+from repro.core.ranking import CompositeRanker, LinkMatrix, ReputationTable
+from repro.ontology.msc import build_small_msc
+
+
+class TestLinkMatrix:
+    def test_record_and_row(self) -> None:
+        matrix = LinkMatrix()
+        matrix.record_document(1, [5, 9, 5])
+        assert matrix.row(1) == {5: 2.0, 9: 1.0}
+
+    def test_similarity_of_identical_profiles(self) -> None:
+        matrix = LinkMatrix()
+        matrix.record_document(1, [5, 9])
+        matrix.record_document(2, [5, 9])
+        assert matrix.similarity(1, 2) == pytest.approx(1.0)
+
+    def test_similarity_disjoint_profiles(self) -> None:
+        matrix = LinkMatrix()
+        matrix.record_document(1, [5])
+        matrix.record_document(2, [9])
+        assert matrix.similarity(1, 2) == 0.0
+
+    def test_similarity_unknown_entry(self) -> None:
+        matrix = LinkMatrix()
+        matrix.record_document(1, [5])
+        assert matrix.similarity(1, 42) == 0.0
+
+    def test_neighbors_sorted_positive_only(self) -> None:
+        matrix = LinkMatrix()
+        matrix.record_document(1, [5, 9])
+        matrix.record_document(2, [5, 9])
+        matrix.record_document(3, [5])
+        matrix.record_document(4, [77])
+        neighbors = matrix.neighbors(1, k=5)
+        assert neighbors[0][0] == 2
+        assert all(score > 0 for __, score in neighbors)
+        assert 4 not in [other for other, __ in neighbors]
+
+    def test_collaborative_score(self) -> None:
+        matrix = LinkMatrix()
+        # Entries 2 and 3 behave like entry 1 and both link target 9.
+        matrix.record_document(1, [5])
+        matrix.record_document(2, [5, 9])
+        matrix.record_document(3, [5, 9])
+        matrix.record_document(4, [70, 71])
+        assert matrix.collaborative_score(1, 9) > 0.0
+        assert matrix.collaborative_score(1, 70) == 0.0
+
+    def test_len(self) -> None:
+        matrix = LinkMatrix()
+        matrix.record_link(1, 5)
+        assert len(matrix) == 1
+
+
+class TestReputation:
+    def test_unrated_is_half(self) -> None:
+        assert ReputationTable().reputation(5) == pytest.approx(0.5)
+
+    def test_positive_feedback_raises(self) -> None:
+        table = ReputationTable()
+        for __ in range(10):
+            table.record_feedback(5, helpful=True)
+        assert table.reputation(5) > 0.8
+
+    def test_negative_feedback_lowers(self) -> None:
+        table = ReputationTable()
+        for __ in range(10):
+            table.record_feedback(5, helpful=False)
+        assert table.reputation(5) < 0.2
+
+    def test_smoothing_keeps_single_vote_moderate(self) -> None:
+        table = ReputationTable(smoothing=2.0)
+        table.record_feedback(5, helpful=False)
+        assert 0.2 < table.reputation(5) < 0.5
+
+    def test_invalid_smoothing(self) -> None:
+        with pytest.raises(ValueError):
+            ReputationTable(smoothing=0.0)
+
+
+class TestCompositeRanker:
+    def steering(self) -> ClassificationSteering:
+        return ClassificationSteering(
+            ClassificationGraph.from_scheme(build_small_msc())
+        )
+
+    def test_reduces_to_steering_without_extras(self) -> None:
+        ranker = CompositeRanker(steering=self.steering())
+        best = ranker.best(None, ["05C40"], {5: ["05C99"], 6: ["03E20"]})
+        assert best == 5  # the Fig. 4 answer
+
+    def test_reputation_breaks_class_ties(self) -> None:
+        reputation = ReputationTable()
+        for __ in range(20):
+            reputation.record_feedback(9, helpful=True)
+            reputation.record_feedback(4, helpful=False)
+        ranker = CompositeRanker(steering=self.steering(), reputation=reputation)
+        best = ranker.best(None, ["05C40"], {4: ["05C10"], 9: ["05C10"]})
+        assert best == 9
+
+    def test_cf_evidence_shifts_choice(self) -> None:
+        matrix = LinkMatrix()
+        # Sources similar to 1 always link to 6, never 5.
+        matrix.record_document(1, [30, 31])
+        matrix.record_document(2, [30, 31, 6])
+        matrix.record_document(3, [30, 31, 6])
+        ranker = CompositeRanker(
+            steering=self.steering(), link_matrix=matrix, cf_weight=5.0
+        )
+        best = ranker.best(1, ["05C40"], {5: ["05C99"], 6: ["03E20"]})
+        assert best == 6  # CF overwhelms the class signal at this weight
+
+    def test_priority_component(self) -> None:
+        ranker = CompositeRanker(
+            steering=self.steering(), priorities={10: 2, 20: 1}
+        )
+        best = ranker.best(None, ["05C05"], {10: ["05C05"], 20: ["05C05"]})
+        assert best == 20
+
+    def test_rank_exposes_score_decomposition(self) -> None:
+        ranker = CompositeRanker(steering=self.steering())
+        ranked = ranker.rank(None, ["05C40"], {5: ["05C99"], 6: ["03E20"]})
+        assert len(ranked) == 2
+        assert ranked[0].class_score > ranked[1].class_score
+        assert ranked[0].score >= ranked[1].score
+
+    def test_unreachable_classes_score_zero(self) -> None:
+        ranker = CompositeRanker(steering=self.steering())
+        ranked = ranker.rank(None, ["05C40"], {5: ["NOPE99"]})
+        assert ranked[0].class_score == 0.0
+
+    def test_empty_candidates(self) -> None:
+        ranker = CompositeRanker(steering=self.steering())
+        assert ranker.best(None, ["05C40"], {}) is None

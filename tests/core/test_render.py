@@ -1,0 +1,99 @@
+"""Tests for link substitution/rendering."""
+
+import pytest
+
+from repro.core.models import Link, LinkedDocument
+from repro.core.render import (
+    link_table,
+    render_annotations,
+    render_html,
+    render_markdown,
+    validate_spans,
+)
+
+
+def make_document() -> LinkedDocument:
+    text = "a planar graph has connected components"
+    return LinkedDocument(
+        source_text=text,
+        links=[
+            Link("planar graph", 2, "pm", 2, 14, url="https://x/2"),
+            Link("connected components", 4, "pm", 19, 39, url="https://x/4"),
+        ],
+    )
+
+
+class TestHtml:
+    def test_anchors_substituted(self) -> None:
+        html = render_html(make_document())
+        assert '<a class="nnexus-link" href="https://x/2">planar graph</a>' in html
+        assert html.startswith("a ")
+        assert html.count("<a ") == 2
+
+    def test_offsets_preserved_for_unlinked_text(self) -> None:
+        html = render_html(make_document())
+        assert " has " in html
+
+    def test_html_escaping(self) -> None:
+        doc = LinkedDocument(
+            source_text="x <b>graph</b>",
+            links=[Link("graph", 5, "pm", 5, 10, url='u"&<>')],
+        )
+        html = render_html(doc)
+        assert "&quot;" in html  # escaped quote in href
+        assert ">graph</a>" in html
+
+    def test_missing_url_falls_back_to_fragment(self) -> None:
+        doc = LinkedDocument(
+            source_text="a graph", links=[Link("graph", 5, "pm", 2, 7)]
+        )
+        assert 'href="#object-5"' in render_html(doc)
+
+    def test_custom_css_class(self) -> None:
+        assert 'class="mylink"' in render_html(make_document(), css_class="mylink")
+
+
+class TestOtherFormats:
+    def test_markdown(self) -> None:
+        md = render_markdown(make_document())
+        assert "[planar graph](https://x/2)" in md
+
+    def test_annotations(self) -> None:
+        annotated = render_annotations(make_document())
+        assert "planar graph[->2]" in annotated
+        assert "connected components[->4]" in annotated
+
+    def test_link_table_in_text_order(self) -> None:
+        table = link_table(make_document())
+        assert table == [
+            ("planar graph", 2, "https://x/2"),
+            ("connected components", 4, "https://x/4"),
+        ]
+
+    def test_no_links_identity(self) -> None:
+        doc = LinkedDocument(source_text="plain text")
+        assert render_html(doc) == "plain text"
+        assert render_markdown(doc) == "plain text"
+
+
+class TestValidateSpans:
+    def test_valid_document_passes(self) -> None:
+        validate_spans(make_document())
+
+    def test_out_of_range_span(self) -> None:
+        doc = LinkedDocument(source_text="ab", links=[Link("x", 1, "d", 0, 5)])
+        with pytest.raises(ValueError):
+            validate_spans(doc)
+
+    def test_overlapping_spans(self) -> None:
+        doc = LinkedDocument(
+            source_text="abcdefgh",
+            links=[Link("x", 1, "d", 0, 4), Link("y", 2, "d", 2, 6)],
+        )
+        with pytest.raises(ValueError):
+            validate_spans(doc)
+
+    def test_empty_span_rejected(self) -> None:
+        doc = LinkedDocument(source_text="abc", links=[Link("x", 1, "d", 1, 1)])
+        with pytest.raises(ValueError):
+            validate_spans(doc)

@@ -1,0 +1,67 @@
+"""Tests for automatic linking-policy suggestion."""
+
+import pytest
+
+from repro.core.suggest import PolicySuggester
+from repro.corpus.generator import GeneratorParams, generate_corpus
+from repro.eval.experiments import build_linker
+from repro.eval.metrics import score_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(GeneratorParams(n_entries=500, seed=31))
+
+
+class TestDetection:
+    def test_flags_common_word_culprits(self, corpus) -> None:
+        suggester = PolicySuggester(min_usages=6, max_home_share=0.5)
+        suggestions = suggester.suggest(corpus.objects)
+        flagged_ids = {s.object_id for s in suggestions}
+        culprit_ids = set(corpus.common_word_objects.values())
+        # High detector precision: no ordinary concepts flagged.
+        assert flagged_ids <= culprit_ids
+        # Substantial recall: most culprits found.
+        assert len(flagged_ids) >= len(culprit_ids) // 2
+
+    def test_policy_text_shape(self, corpus) -> None:
+        from repro.core.policies import parse_policy
+
+        suggester = PolicySuggester(min_usages=6, max_home_share=0.5)
+        for suggestion in suggester.suggest(corpus.objects):
+            directives = parse_policy(suggestion.policy_text)
+            assert directives[0].action == "forbid"
+            assert directives[1].action == "permit"
+            assert directives[1].classes == (suggestion.home_area,)
+
+    def test_sorted_by_dispersion(self, corpus) -> None:
+        suggester = PolicySuggester(min_usages=6, max_home_share=0.5)
+        suggestions = suggester.suggest(corpus.objects)
+        shares = [s.home_share for s in suggestions]
+        assert shares == sorted(shares)
+
+    def test_min_usages_filters(self, corpus) -> None:
+        strict = PolicySuggester(min_usages=10_000)
+        assert strict.suggest(corpus.objects) == []
+
+    def test_empty_corpus(self) -> None:
+        assert PolicySuggester().suggest([]) == []
+
+
+class TestApplication:
+    def test_auto_policies_raise_precision_keep_recall(self, corpus) -> None:
+        linker = build_linker(corpus, with_policies=False)
+        before = score_corpus(linker, corpus.objects, corpus.ground_truth)
+        suggester = PolicySuggester(min_usages=6, max_home_share=0.5)
+        applied = suggester.apply(linker, suggester.suggest(corpus.objects))
+        assert applied > 0
+        after = score_corpus(linker, corpus.objects, corpus.ground_truth)
+        assert after.precision > before.precision
+        assert after.recall == 1.0
+
+    def test_apply_skips_unknown_objects(self, corpus) -> None:
+        linker = build_linker(corpus.subset(50, seed=1))
+        suggester = PolicySuggester(min_usages=6, max_home_share=0.5)
+        suggestions = suggester.suggest(corpus.objects)
+        applied = suggester.apply(linker, suggestions)
+        assert applied <= len(suggestions)

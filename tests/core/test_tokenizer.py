@@ -1,0 +1,109 @@
+"""Tests for text scanning: escaping and tokenization."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.tokenizer import Tokenizer
+
+
+def tokenize(text: str):
+    return Tokenizer().tokenize(text)
+
+
+class TestEscaping:
+    def test_inline_math_not_tokenized(self) -> None:
+        result = tokenize("the graph $G = (V, E)$ is planar")
+        assert "g" not in result.canonical_words()
+        assert result.canonical_words() == ["the", "graph", "is", "planar"]
+
+    def test_display_math(self) -> None:
+        result = tokenize("before $$x graphs y$$ after")
+        assert result.canonical_words() == ["before", "after"]
+
+    def test_latex_environment(self) -> None:
+        text = "intro \\begin{align} graphs \\end{align} outro"
+        assert tokenize(text).canonical_words() == ["intro", "outro"]
+
+    def test_existing_anchor_escaped(self) -> None:
+        text = 'see <a href="x">planar graph</a> here'
+        assert tokenize(text).canonical_words() == ["see", "here"]
+
+    def test_html_tag_escaped_but_content_kept(self) -> None:
+        text = "<em>planar graph</em>"
+        assert tokenize(text).canonical_words() == ["planar", "graph"]
+
+    def test_code_fence(self) -> None:
+        text = "code ```graph = {}``` end"
+        assert tokenize(text).canonical_words() == ["code", "end"]
+
+    def test_inline_code(self) -> None:
+        assert tokenize("use `graph` here").canonical_words() == ["use", "here"]
+
+    def test_url_escaped(self) -> None:
+        result = tokenize("visit https://planetmath.org/graphs today")
+        assert result.canonical_words() == ["visit", "today"]
+
+    def test_escaped_regions_recorded(self) -> None:
+        result = tokenize("a $x$ b $y$ c")
+        assert len(result.escaped_regions) == 2
+
+    def test_adjacent_math_merged_regions_ordered(self) -> None:
+        result = tokenize("$a$$b$ word")
+        spans = result.escaped_regions
+        assert spans == sorted(spans)
+
+
+class TestTokens:
+    def test_offsets_recover_surface(self) -> None:
+        text = "The Planar Graphs are nice."
+        result = tokenize(text)
+        for token in result.tokens:
+            assert text[token.char_start : token.char_end] == token.surface
+
+    def test_canonical_forms(self) -> None:
+        result = tokenize("Graphs vertices Möbius's")
+        assert result.canonical_words() == ["graph", "vertex", "mobius"]
+
+    def test_surface_between(self) -> None:
+        text = "a planar graph here"
+        result = tokenize(text)
+        assert result.surface_between(1, 3) == "planar graph"
+        assert result.surface_between(2, 2) == ""
+
+    def test_len_and_iter(self) -> None:
+        result = tokenize("one two three")
+        assert len(result) == 3
+        assert [t.surface for t in result] == ["one", "two", "three"]
+
+    def test_apostrophes_inside_words(self) -> None:
+        result = tokenize("euler's formula")
+        assert result.canonical_words() == ["euler", "formula"]
+
+    def test_empty_text(self) -> None:
+        result = tokenize("")
+        assert len(result) == 0
+        assert result.escaped_regions == []
+
+
+@given(st.text(max_size=300))
+def test_token_spans_ordered_and_disjoint(text: str) -> None:
+    result = tokenize(text)
+    previous_end = -1
+    for token in result.tokens:
+        assert 0 <= token.char_start < token.char_end <= len(text)
+        assert token.char_start >= previous_end
+        previous_end = token.char_end
+
+
+@given(st.text(max_size=300))
+def test_tokens_never_inside_escaped_regions(text: str) -> None:
+    result = tokenize(text)
+    for token in result.tokens:
+        for start, end in result.escaped_regions:
+            assert token.char_end <= start or token.char_start >= end
+
+
+@given(st.lists(st.sampled_from(["graph", "planar", "$x$", "the", "`c`"]), max_size=20))
+def test_word_count_stable_under_spacing(parts: list[str]) -> None:
+    single = Tokenizer().tokenize(" ".join(parts))
+    double = Tokenizer().tokenize("  ".join(parts))
+    assert single.canonical_words() == double.canonical_words()

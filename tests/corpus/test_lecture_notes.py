@@ -1,0 +1,63 @@
+"""Tests for the lecture-notes scenario (Fig. 9)."""
+
+from repro.core.linker import NNexus
+from repro.core.morphology import canonicalize_phrase
+from repro.corpus.generator import GeneratorParams, generate_corpus
+from repro.corpus.lecture_notes import generate_lecture_notes, pitman_style_excerpt
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+
+
+class TestPitmanExcerpt:
+    def test_ground_truth_phrases_in_text(self) -> None:
+        note = pitman_style_excerpt()
+        for invocation in note.ground_truth:
+            assert invocation.phrase.lower() in note.text.lower()
+
+    def test_links_resolve_against_sample_corpus(self) -> None:
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_objects(sample_corpus())
+        note = pitman_style_excerpt()
+        document = linker.link_text(note.text, source_classes=note.classes)
+        produced = {
+            canonicalize_phrase(l.source_phrase): l.target_id for l in document.links
+        }
+        correct = sum(
+            1
+            for invocation in note.ground_truth
+            if produced.get(invocation.canonical) == invocation.target_id
+        )
+        # The probability-classified note steers 'graph' to graph theory
+        # etc.; expect the overwhelming majority correct.
+        assert correct >= len(note.ground_truth) - 1
+
+    def test_homonym_steered_by_note_classes(self) -> None:
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_objects(sample_corpus())
+        note = pitman_style_excerpt()
+        document = linker.link_text(note.text, source_classes=note.classes)
+        graph_links = [l for l in document.links if l.source_phrase.lower() == "graph"]
+        assert graph_links and graph_links[0].target_id == 5
+
+
+class TestGeneratedNotes:
+    def test_generation_shape(self) -> None:
+        corpus = generate_corpus(GeneratorParams(n_entries=200, seed=5))
+        notes = generate_lecture_notes(corpus, count=10, seed=1)
+        assert len(notes) == 10
+        for note in notes:
+            assert note.text
+            assert note.ground_truth
+            for invocation in note.ground_truth:
+                assert invocation.phrase in note.text
+
+    def test_notes_link_with_high_recall(self) -> None:
+        corpus = generate_corpus(GeneratorParams(n_entries=200, seed=5))
+        linker = NNexus(scheme=corpus.scheme)
+        linker.add_objects(corpus.objects)
+        notes = generate_lecture_notes(corpus, count=5, seed=2)
+        for note in notes:
+            document = linker.link_text(note.text, source_classes=note.classes)
+            produced = {canonicalize_phrase(l.source_phrase) for l in document.links}
+            found = sum(1 for inv in note.ground_truth if inv.canonical in produced)
+            assert found == len(note.ground_truth)

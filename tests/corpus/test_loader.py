@@ -1,0 +1,51 @@
+"""Tests for corpus serialization."""
+
+from repro.corpus.generator import GeneratorParams, generate_corpus
+from repro.corpus.loader import (
+    load_corpus,
+    load_synthetic_corpus,
+    save_corpus,
+    save_synthetic_corpus,
+)
+from repro.corpus.planetmath_sample import sample_corpus
+
+
+class TestPlainCorpusRoundTrip:
+    def test_round_trip(self, tmp_path) -> None:
+        path = tmp_path / "corpus.json"
+        original = sample_corpus()
+        save_corpus(original, path)
+        loaded = load_corpus(path)
+        assert loaded == original
+
+    def test_defaults_filled(self, tmp_path) -> None:
+        path = tmp_path / "c.json"
+        path.write_text('{"objects": [{"object_id": 1}]}')
+        loaded = load_corpus(path)
+        assert loaded[0].domain == "default"
+        assert loaded[0].defines == []
+
+
+class TestSyntheticRoundTrip:
+    def test_round_trip(self, tmp_path) -> None:
+        corpus = generate_corpus(GeneratorParams(n_entries=40, seed=3))
+        path = tmp_path / "syn.json"
+        save_synthetic_corpus(corpus, path)
+        loaded = load_synthetic_corpus(path)
+        assert loaded.objects == corpus.objects
+        assert loaded.ground_truth == corpus.ground_truth
+        assert loaded.common_word_objects == corpus.common_word_objects
+        assert loaded.params == corpus.params
+        assert sorted(loaded.scheme.codes()) == sorted(corpus.scheme.codes())
+
+    def test_loaded_corpus_usable_for_scoring(self, tmp_path) -> None:
+        from repro.eval.experiments import build_linker
+        from repro.eval.metrics import score_corpus
+
+        corpus = generate_corpus(GeneratorParams(n_entries=40, seed=3))
+        path = tmp_path / "syn.json"
+        save_synthetic_corpus(corpus, path)
+        loaded = load_synthetic_corpus(path)
+        linker = build_linker(loaded)
+        report = score_corpus(linker, loaded.objects, loaded.ground_truth)
+        assert report.recall == 1.0

@@ -1,0 +1,129 @@
+"""Tests for the MediaWiki dump importer."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.linker import NNexus
+from repro.corpus.mediawiki import (
+    pages_to_corpus,
+    parse_dump,
+    strip_wiki_markup,
+)
+from repro.ontology.msc import build_small_msc
+
+
+SAMPLE_DUMP = """<mediawiki xmlns="http://www.mediawiki.org/xml/export-0.10/">
+  <siteinfo><sitename>TestWiki</sitename></siteinfo>
+  <page>
+    <title>Planar graph</title>
+    <revision><text>{{Infobox|type=graph}}
+A '''planar graph''' is a [[graph (discrete mathematics)|graph]] that can be
+embedded in the [[plane]].&lt;!-- hidden --&gt;
+== Properties ==
+Every planar graph is [[four color theorem|four-colorable]].<ref>K. Appel</ref>
+[[Category:Graph theory]]
+</text></revision>
+  </page>
+  <page>
+    <title>Plane</title>
+    <revision><text>The '''plane''' is flat two dimensional space.
+[[Category:Geometry]]</text></revision>
+  </page>
+  <page>
+    <title>Planar graphs</title>
+    <revision><text>#REDIRECT [[Planar graph]]</text></revision>
+  </page>
+  <page>
+    <title>Talk:Planar graph</title>
+    <revision><text>discussion page, must be skipped</text></revision>
+  </page>
+  <page>
+    <title>Graph (discrete mathematics)</title>
+    <revision><text>A '''graph''' is a set of [[vertex (graph theory)|vertices]]
+and edges. [[Category:Graph theory]]</text></revision>
+  </page>
+</mediawiki>
+"""
+
+CATEGORY_MAP = {"Graph theory": "05C", "Geometry": "51M"}
+
+
+class TestMarkupStripping:
+    def test_templates_removed(self) -> None:
+        assert strip_wiki_markup("{{Infobox|x={{nested}}}} text") == "text"
+
+    def test_links_become_display_text(self) -> None:
+        assert strip_wiki_markup("[[target|shown]] and [[plain]]") == "shown and plain"
+
+    def test_section_anchor_dropped(self) -> None:
+        assert strip_wiki_markup("[[Page#Section|label]]") == "label"
+
+    def test_headings_flattened(self) -> None:
+        assert "Properties." in strip_wiki_markup("== Properties ==\nbody")
+
+    def test_refs_and_comments_removed(self) -> None:
+        text = "fact<ref>cite</ref> more<!-- note --> done"
+        assert strip_wiki_markup(text) == "fact more done"
+
+    def test_bold_italic_markers_removed(self) -> None:
+        assert strip_wiki_markup("'''bold''' ''italic''") == "bold italic"
+
+    def test_category_and_file_links_removed(self) -> None:
+        text = "body [[Category:Math]] [[File:pic.png|thumb]]"
+        assert strip_wiki_markup(text) == "body"
+
+
+class TestParseDump:
+    def test_pages_parsed(self) -> None:
+        pages = parse_dump(SAMPLE_DUMP)
+        titles = [page.title for page in pages]
+        assert "Planar graph" in titles
+        assert "Talk:Planar graph" not in titles
+
+    def test_redirect_detected(self) -> None:
+        pages = {page.title: page for page in parse_dump(SAMPLE_DUMP)}
+        assert pages["Planar graphs"].redirect_to == "Planar graph"
+        assert not pages["Planar graph"].is_redirect
+
+    def test_categories_extracted(self) -> None:
+        pages = {page.title: page for page in parse_dump(SAMPLE_DUMP)}
+        assert pages["Planar graph"].categories == ["Graph theory"]
+
+    def test_existing_links_recorded(self) -> None:
+        pages = {page.title: page for page in parse_dump(SAMPLE_DUMP)}
+        assert "plane" in [l.lower() for l in pages["Planar graph"].links]
+
+    def test_bad_xml_raises(self) -> None:
+        with pytest.raises(ProtocolError):
+            parse_dump("<mediawiki")
+
+
+class TestPagesToCorpus:
+    def test_objects_built(self) -> None:
+        objects = pages_to_corpus(parse_dump(SAMPLE_DUMP), CATEGORY_MAP)
+        by_title = {obj.title: obj for obj in objects}
+        assert by_title["Planar graph"].classes == ["05C"]
+        assert by_title["Plane"].classes == ["51M"]
+        # Redirect became a synonym, not an object.
+        assert "Planar graphs" not in by_title
+        assert by_title["Planar graph"].synonyms == ["Planar graphs"]
+
+    def test_unmapped_categories_dropped(self) -> None:
+        objects = pages_to_corpus(parse_dump(SAMPLE_DUMP), category_map={})
+        assert all(obj.classes == [] for obj in objects)
+
+    def test_ids_sequential(self) -> None:
+        objects = pages_to_corpus(parse_dump(SAMPLE_DUMP), CATEGORY_MAP, first_id=100)
+        assert [obj.object_id for obj in objects] == [100, 101, 102]
+
+    def test_imported_corpus_links(self) -> None:
+        """End to end: dump -> corpus -> automatic linking."""
+        objects = pages_to_corpus(parse_dump(SAMPLE_DUMP), CATEGORY_MAP)
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_objects(objects)
+        document = linker.link_text(
+            "Drawing planar graphs in the plane.", source_classes=["05C10"]
+        )
+        phrases = {l.source_phrase.lower() for l in document.links}
+        assert "planar graphs" in phrases
+        assert "plane" in phrases

@@ -1,0 +1,38 @@
+"""Tests for the handcrafted PlanetMath-style sample corpus."""
+
+from repro.corpus.planetmath_sample import GRAPH_ID, SET_GRAPH_ID, sample_corpus
+from repro.ontology.msc import build_small_msc
+
+
+class TestSampleCorpus:
+    def test_thirty_entries(self) -> None:
+        assert len(sample_corpus()) == 30
+
+    def test_unique_ids(self) -> None:
+        ids = [obj.object_id for obj in sample_corpus()]
+        assert len(set(ids)) == len(ids)
+
+    def test_graph_homonym_pair(self) -> None:
+        by_id = {obj.object_id: obj for obj in sample_corpus()}
+        assert "graph" in by_id[GRAPH_ID].defines
+        assert "graph" in by_id[SET_GRAPH_ID].defines
+        assert by_id[GRAPH_ID].classes == ["05C99"]
+        assert by_id[SET_GRAPH_ID].classes == ["03E20"]
+
+    def test_all_classes_in_small_msc(self) -> None:
+        scheme = build_small_msc()
+        for obj in sample_corpus():
+            for code in obj.classes:
+                assert code in scheme, (obj.object_id, code)
+
+    def test_policies_parse(self) -> None:
+        from repro.core.policies import parse_policy
+
+        for obj in sample_corpus():
+            if obj.linking_policy:
+                assert parse_policy(obj.linking_policy)
+
+    def test_entries_have_text_and_title(self) -> None:
+        for obj in sample_corpus():
+            assert obj.title
+            assert len(obj.text) > 40

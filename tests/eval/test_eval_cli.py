@@ -1,0 +1,41 @@
+"""The eval CLI: every experiment target runs end to end (tiny corpus)."""
+
+import pytest
+
+from repro.eval.__main__ import main
+
+
+@pytest.mark.parametrize(
+    ("name", "marker"),
+    [
+        ("table1", "Table 1"),
+        ("table2", "Table 2"),
+        ("table3", "Table 3"),
+        ("fig8", "Fig. 8"),
+        ("mislink", "Mislink/overlink"),
+        ("baselines", "Baseline comparison"),
+        ("ablation-weighting", "weight base"),
+        ("ablation-invalidation", "invalidation index"),
+        ("ablation-conceptmap", "concept map"),
+        ("auto-policies", "policy suggestion"),
+        ("connectivity", "Connectivity study"),
+        ("growth", "Growth study"),
+        ("error-breakdown", "Error breakdown"),
+    ],
+)
+def test_every_experiment_runs(name: str, marker: str, capsys) -> None:
+    assert main([name, "--entries", "150"]) == 0
+    assert marker in capsys.readouterr().out
+
+
+def test_custom_sizes_for_table3(capsys) -> None:
+    assert main(["table3", "--entries", "150", "--sizes", "40,80"]) == 0
+    out = capsys.readouterr().out
+    assert "| 40" in out
+    assert "| 80" in out
+
+
+def test_corpus_banner_printed(capsys) -> None:
+    main(["table1", "--entries", "150"])
+    out = capsys.readouterr().out
+    assert "150 entries" in out

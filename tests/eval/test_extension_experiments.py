@@ -1,0 +1,92 @@
+"""Tests for the extension experiments (growth, connectivity, auto-policies)."""
+
+import pytest
+
+from repro.corpus.generator import GeneratorParams, generate_corpus
+from repro.eval.experiments import (
+    run_auto_policy_study,
+    run_connectivity_study,
+    run_growth_study,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(GeneratorParams(n_entries=300, seed=21))
+
+
+class TestGrowthStudy:
+    def test_checkpoints_monotone(self, corpus) -> None:
+        result = run_growth_study(corpus, final_size=200, checkpoints=4)
+        sizes = [size for size, __, ___ in result.checkpoints]
+        with_index = [w for __, w, ___ in result.checkpoints]
+        naive = [n for __, ___, n in result.checkpoints]
+        assert sizes == sorted(sizes)
+        assert with_index == sorted(with_index)
+        assert naive == sorted(naive)
+
+    def test_naive_is_exact_quadratic_sum(self, corpus) -> None:
+        result = run_growth_study(corpus, final_size=100, checkpoints=1)
+        size, __, naive = result.checkpoints[-1]
+        assert naive == size * (size - 1) // 2
+
+    def test_index_beats_naive(self, corpus) -> None:
+        result = run_growth_study(corpus, final_size=250)
+        assert result.final_savings > 1.5
+        assert "Growth study" in result.format()
+
+
+class TestAutoPolicyStudy:
+    def test_study_shape(self, corpus) -> None:
+        result = run_auto_policy_study(corpus, min_usages=5)
+        assert result.auto_policies.precision >= result.baseline.precision
+        assert result.auto_policies.recall == 1.0
+        assert 0.0 <= result.detector_precision <= 1.0
+        assert 0.0 <= result.detector_recall <= 1.0
+        assert "Automatic policy suggestion" in result.format()
+
+    def test_detector_counts_consistent(self, corpus) -> None:
+        result = run_auto_policy_study(corpus, min_usages=5)
+        assert result.correctly_flagged <= result.suggested
+        assert result.correctly_flagged <= result.true_culprits
+
+
+class TestErrorBreakdown:
+    def test_mechanism_attribution(self, corpus) -> None:
+        from repro.eval.experiments import run_error_breakdown
+
+        result = run_error_breakdown(corpus)
+        by_name = dict(result.rows)
+        lexical = by_name["lexical only"]
+        steered = by_name["+ steering"]
+        full = by_name["+ steering + policies"]
+
+        # Plain concepts never err: unique labels, single candidates.
+        assert lexical["concept"][0] == 0
+        # Steering fixes in-area homonyms...
+        assert steered["homonym"][0] < lexical["homonym"][0]
+        # ...and policies fix common-English overlinks.
+        assert full["common-english"][0] < steered["common-english"][0]
+        # Policies never break genuine mathematical uses (recall!).
+        assert full["common-math"][0] == 0
+        assert "Error breakdown" in result.format()
+
+    def test_totals_consistent_across_configs(self, corpus) -> None:
+        from repro.eval.experiments import run_error_breakdown
+
+        result = run_error_breakdown(corpus)
+        totals = [
+            {kind: total for kind, (__, total) in by_kind.items()}
+            for __, by_kind in result.rows
+        ]
+        assert totals[0] == totals[1] == totals[2]
+
+
+class TestConnectivityStudy:
+    def test_rows_and_format(self, corpus) -> None:
+        result = run_connectivity_study(corpus, efforts=(0.6,))
+        assert len(result.rows) == 2
+        names = [name for name, __ in result.rows]
+        assert names[0] == "NNexus (automatic)"
+        formatted = result.format()
+        assert "largest WCC" in formatted

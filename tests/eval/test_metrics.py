@@ -1,0 +1,102 @@
+"""Tests for the quality metrics."""
+
+from repro.core.models import Link, LinkedDocument
+from repro.corpus.generator import GroundTruthInvocation
+from repro.eval.metrics import QualityReport, score_entry
+
+
+def gt(phrase: str, target: int | None, kind: str = "concept") -> GroundTruthInvocation:
+    from repro.core.morphology import canonicalize_phrase
+
+    return GroundTruthInvocation(phrase, canonicalize_phrase(phrase), target, kind)
+
+
+def doc(*links: tuple[str, int]) -> LinkedDocument:
+    return LinkedDocument(
+        source_text="",
+        links=[Link(phrase, target, "d", 0, 1) for phrase, target in links],
+    )
+
+
+class TestScoreEntry:
+    def test_all_correct(self) -> None:
+        quality = score_entry(
+            doc(("planar graph", 2), ("tree", 11)),
+            [gt("planar graph", 2), gt("tree", 11)],
+            object_id=1,
+        )
+        assert quality.correct == 2
+        assert quality.mislinks == 0
+        assert quality.underlinks == 0
+        assert quality.defined_invocations == 2
+
+    def test_mislink_counted(self) -> None:
+        quality = score_entry(doc(("graph", 6)), [gt("graph", 5)], 1)
+        assert quality.mislinks == 1
+        assert quality.overlinks == 0
+        assert quality.mislink_details == [("graph", 6, 5)]
+
+    def test_overlink_is_also_mislink(self) -> None:
+        quality = score_entry(doc(("even", 7)), [gt("even", None, "common-english")], 1)
+        assert quality.overlinks == 1
+        assert quality.mislinks == 1
+        assert quality.overlink_details == [("even", 7)]
+
+    def test_underlink_counted(self) -> None:
+        quality = score_entry(doc(), [gt("tree", 11)], 1)
+        assert quality.underlinks == 1
+        assert quality.links_created == 0
+
+    def test_unplanted_link_is_spurious_overlink(self) -> None:
+        quality = score_entry(doc(("mystery", 9)), [], 1)
+        assert quality.spurious == 1
+        assert quality.overlinks == 1
+
+    def test_morphological_variant_matches_ground_truth(self) -> None:
+        quality = score_entry(doc(("Planar Graphs", 2)), [gt("planar graph", 2)], 1)
+        assert quality.correct == 1
+
+    def test_suppressed_overlink_not_underlink(self) -> None:
+        # A common-english invocation that was (correctly) not linked
+        # must not count as an underlink.
+        quality = score_entry(doc(), [gt("even", None, "common-english")], 1)
+        assert quality.underlinks == 0
+        assert quality.defined_invocations == 0
+
+
+class TestQualityReport:
+    def build(self) -> QualityReport:
+        report = QualityReport()
+        report.add(score_entry(doc(("a", 1), ("b", 2)), [gt("a", 1), gt("b", 9)], 1))
+        report.add(score_entry(doc(("c", 3)), [gt("c", None)], 2))
+        return report
+
+    def test_aggregation(self) -> None:
+        report = self.build()
+        assert report.entries == 2
+        assert report.links_created == 3
+        assert report.correct == 1
+        assert report.mislinks == 2
+        assert report.overlinks == 1
+
+    def test_precision_recall(self) -> None:
+        report = self.build()
+        assert report.precision == 1 / 3
+        assert report.recall == 1.0  # both defined invocations got links
+
+    def test_rates(self) -> None:
+        report = self.build()
+        assert report.mislink_rate == 2 / 3
+        assert report.overlink_rate == 1 / 3
+        assert report.overlink_share_of_mislinks == 1 / 2
+
+    def test_empty_report_degenerate_values(self) -> None:
+        report = QualityReport()
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.mislink_rate == 0.0
+        assert report.overlink_share_of_mislinks == 0.0
+
+    def test_summary_keys(self) -> None:
+        summary = self.build().summary()
+        assert {"precision", "recall", "mislink_rate", "overlink_rate"} <= set(summary)

@@ -1,0 +1,131 @@
+"""Integration tests exercising several subsystems together."""
+
+from repro.core.linker import NNexus
+from repro.core.morphology import canonicalize_phrase
+from repro.core.render import validate_spans
+from repro.corpus.generator import GeneratorParams, generate_corpus
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.eval.experiments import build_linker
+from repro.eval.metrics import score_corpus
+from repro.ontology.msc import build_small_msc
+from repro.ontology.owl import scheme_from_owl, scheme_to_owl
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(GeneratorParams(n_entries=250, seed=77))
+
+
+class TestEndToEndQuality:
+    def test_full_configuration_quality(self, corpus) -> None:
+        linker = build_linker(corpus, with_policies=True)
+        report = score_corpus(linker, corpus.objects, corpus.ground_truth)
+        assert report.recall == 1.0
+        assert report.precision > 0.85
+
+    def test_all_rendered_documents_have_valid_spans(self, corpus) -> None:
+        linker = build_linker(corpus)
+        for obj in corpus.objects[:50]:
+            validate_spans(linker.link_object(obj.object_id))
+
+
+class TestDynamicCorpusLifecycle:
+    """Grow, shrink and policy-tune a corpus while linking stays correct."""
+
+    def test_incremental_build_equals_bulk_build(self) -> None:
+        objects = sample_corpus()
+        bulk = NNexus(scheme=build_small_msc())
+        bulk.add_objects(objects)
+        incremental = NNexus(scheme=build_small_msc())
+        for obj in objects:
+            incremental.add_object(obj)
+            incremental.relink_invalidated()
+        for object_id in bulk.object_ids():
+            a = bulk.link_object(object_id)
+            b = incremental.link_object(object_id)
+            assert [l.target_id for l in a.links] == [l.target_id for l in b.links]
+
+    def test_remove_then_re_add_restores_linking(self) -> None:
+        linker = NNexus(scheme=build_small_msc())
+        objects = {obj.object_id: obj for obj in sample_corpus()}
+        linker.add_objects(objects.values())
+        before = [l.target_id for l in linker.link_object(1).links]
+        removed = objects[2]
+        linker.remove_object(2)
+        linker.add_object(removed)
+        after = [l.target_id for l in linker.link_object(1).links]
+        assert before == after
+
+    def test_growing_corpus_reaches_old_entries(self) -> None:
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_objects(sample_corpus())
+        rendered = {oid: linker.render_object(oid) for oid in linker.object_ids()}
+        from repro.core.models import CorpusObject
+
+        invalidated = linker.add_object(
+            CorpusObject(999, "subgraph", defines=["subgraph", "subgraphs"],
+                         classes=["05C99"], text="A graph inside a graph.")
+        )
+        # Entries whose text says "subgraphs" must be invalidated...
+        assert any("subgraph" in linker.get_object(i).text for i in invalidated)
+        refreshed = linker.relink_invalidated()
+        assert any("#object-999" in html for html in refreshed.values())
+        del rendered
+
+
+class TestSchemeInterchange:
+    def test_owl_round_tripped_scheme_steers_identically(self, corpus) -> None:
+        rebuilt_scheme = scheme_from_owl(scheme_to_owl(corpus.scheme))
+        original = NNexus(scheme=corpus.scheme)
+        round_tripped = NNexus(scheme=rebuilt_scheme)
+        sample = corpus.objects[:30]
+        original.add_objects(sample)
+        round_tripped.add_objects(sample)
+        for obj in sample:
+            a = original.link_object(obj.object_id)
+            b = round_tripped.link_object(obj.object_id)
+            assert [l.target_id for l in a.links] == [l.target_id for l in b.links]
+
+
+class TestScoreConsistency:
+    def test_perfect_linker_scores_perfectly(self, corpus) -> None:
+        """Score the ground truth against itself via a synthetic 'oracle'."""
+
+        class Oracle:
+            def link_object(self, object_id: int):
+                from repro.core.models import Link, LinkedDocument
+
+                links = [
+                    Link(inv.phrase, inv.target_id, "d", 0, 1)
+                    for inv in corpus.ground_truth[object_id]
+                    if inv.target_id is not None
+                ]
+                return LinkedDocument(source_text="", links=links)
+
+        report = score_corpus(Oracle(), corpus.objects, corpus.ground_truth)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.mislinks == 0
+
+    def test_linker_errors_only_on_hard_cases(self, corpus) -> None:
+        linker = build_linker(corpus, with_policies=True)
+        report = score_corpus(linker, corpus.objects, corpus.ground_truth)
+        hard_kinds = {"homonym", "homonym-cross", "common-english", "common-math"}
+        by_entry = {q.object_id: q for q in report.per_entry}
+        for object_id, quality in by_entry.items():
+            if quality.mislinks == 0:
+                continue
+            kinds = {inv.kind for inv in corpus.ground_truth[object_id]}
+            assert kinds & hard_kinds, (
+                f"entry {object_id} mislinked without any hard invocation"
+            )
+
+    def test_canonical_phrases_consistent_between_gt_and_linker(self, corpus) -> None:
+        linker = build_linker(corpus)
+        for obj in corpus.objects[:40]:
+            document = linker.link_object(obj.object_id)
+            expected = {inv.canonical for inv in corpus.ground_truth[obj.object_id]}
+            for link in document.links:
+                assert canonicalize_phrase(link.source_phrase) in expected

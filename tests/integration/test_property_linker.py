@@ -1,0 +1,123 @@
+"""Property-based tests of linker-level invariants on random corpora."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.core.morphology import canonicalize_phrase
+from repro.core.render import validate_spans
+from repro.ontology.msc import build_small_msc
+
+_LABEL_WORDS = ["alpha", "beta", "gamma", "delta", "omega", "sigma"]
+_FILLER = ["we", "show", "that", "the", "holds", "now"]
+_CLASSES = ["05C10", "05C40", "05C99", "03E20", "11A05", "60A05"]
+
+label_st = st.lists(
+    st.sampled_from(_LABEL_WORDS), min_size=1, max_size=3
+).map(" ".join)
+
+object_st = st.builds(
+    lambda oid, labels, classes: CorpusObject(
+        object_id=oid,
+        title=labels[0],
+        defines=labels,
+        classes=classes,
+        text="",
+    ),
+    oid=st.integers(1, 10_000),
+    labels=st.lists(label_st, min_size=1, max_size=3, unique=True),
+    classes=st.lists(st.sampled_from(_CLASSES), min_size=0, max_size=2),
+)
+
+corpus_st = st.lists(
+    object_st, min_size=1, max_size=8, unique_by=lambda o: o.object_id
+)
+
+text_st = st.lists(
+    st.one_of(st.sampled_from(_FILLER), label_st), min_size=0, max_size=25
+).map(" ".join)
+
+
+def build(objects: list[CorpusObject]) -> NNexus:
+    linker = NNexus(scheme=build_small_msc())
+    linker.add_objects(objects)
+    return linker
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus_st, text_st, st.sampled_from(_CLASSES))
+def test_every_link_target_defines_its_phrase(objects, text, source_class) -> None:
+    linker = build(objects)
+    document = linker.link_text(text, source_classes=[source_class])
+    for link in document.links:
+        canonical = canonicalize_phrase(link.source_phrase)
+        owners = linker.concept_map.owners(" ".join(canonical))
+        assert link.target_id in owners
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus_st, text_st)
+def test_spans_always_valid_and_disjoint(objects, text) -> None:
+    linker = build(objects)
+    document = linker.link_text(text)
+    validate_spans(document)
+    for link in document.links:
+        assert document.source_text[link.char_start : link.char_end] == (
+            link.source_phrase
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus_st, text_st)
+def test_first_occurrence_rule_gives_unique_canonicals(objects, text) -> None:
+    linker = build(objects)
+    document = linker.link_text(text)
+    canonicals = [canonicalize_phrase(l.source_phrase) for l in document.links]
+    assert len(set(canonicals)) == len(canonicals)
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus_st)
+def test_stored_entries_never_self_link(objects) -> None:
+    linker = build(objects)
+    # Give each object a text that mentions every label in the corpus.
+    all_labels = " . ".join(
+        " ".join(words)
+        for obj in objects
+        for words in [canonicalize_phrase(p) for p in obj.concept_phrases()]
+    )
+    for obj in objects:
+        linker.update_object(
+            CorpusObject(
+                object_id=obj.object_id,
+                title=obj.title,
+                defines=list(obj.defines),
+                classes=list(obj.classes),
+                text=all_labels,
+            )
+        )
+    for obj in objects:
+        document = linker.link_object(obj.object_id)
+        assert all(link.target_id != obj.object_id for link in document.links)
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus_st, text_st)
+def test_forbid_all_policy_silences_target(objects, text) -> None:
+    linker = build(objects)
+    victim = objects[0].object_id
+    linker.set_linking_policy(victim, "forbid *\n")
+    document = linker.link_text(text, source_classes=["05C10"])
+    assert all(link.target_id != victim for link in document.links)
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus_st, text_st)
+def test_removal_is_complete(objects, text) -> None:
+    linker = build(objects)
+    for obj in objects:
+        linker.remove_object(obj.object_id)
+    assert len(linker) == 0
+    assert linker.concept_count() == 0
+    document = linker.link_text(text)
+    assert document.links == []

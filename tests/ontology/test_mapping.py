@@ -1,0 +1,86 @@
+"""Tests for cross-scheme ontology mapping."""
+
+from repro.core.classification import ClassificationGraph
+from repro.ontology.mapping import add_scheme_to_graph, map_schemes, merge_into_graph
+from repro.ontology.msc import build_small_msc
+from repro.ontology.scheme import ClassificationScheme
+
+
+def topics_scheme() -> ClassificationScheme:
+    scheme = ClassificationScheme("topics")
+    scheme.add_class("DM", "Discrete mathematics")
+    scheme.add_class("DM-GT", "Graph theory", parent="DM")
+    scheme.add_class("FN", "Foundations")
+    scheme.add_class("FN-ST", "Set theory", parent="FN")
+    scheme.add_class("FN-XY", "Something entirely novel", parent="FN")
+    return scheme
+
+
+class TestMapSchemes:
+    def test_exact_title_match(self) -> None:
+        mapping = map_schemes(topics_scheme(), build_small_msc())
+        graph_theory = mapping.mappings["DM-GT"]
+        assert graph_theory.target == "05C"
+        assert graph_theory.method == "exact"
+        assert graph_theory.confidence == 1.0
+
+    def test_set_theory_matches(self) -> None:
+        mapping = map_schemes(topics_scheme(), build_small_msc())
+        assert mapping.target_for("FN-ST") == "03E"
+
+    def test_structural_fallback(self) -> None:
+        mapping = map_schemes(topics_scheme(), build_small_msc())
+        novel = mapping.mappings.get("FN-XY")
+        # "Something entirely novel" has no lexical match; it inherits its
+        # parent's mapping at reduced confidence (if the parent mapped).
+        if novel is not None:
+            assert novel.method == "structural"
+            assert novel.confidence < 1.0
+
+    def test_coverage_between_zero_and_one(self) -> None:
+        mapping = map_schemes(topics_scheme(), build_small_msc())
+        assert 0.0 <= mapping.coverage() <= 1.0
+        assert len(mapping) >= 2
+
+    def test_unknown_source_class(self) -> None:
+        mapping = map_schemes(topics_scheme(), build_small_msc())
+        assert mapping.target_for("NOPE") is None
+
+    def test_empty_source_scheme(self) -> None:
+        mapping = map_schemes(ClassificationScheme("empty"), build_small_msc())
+        assert len(mapping) == 0
+        assert mapping.coverage() == 0.0
+
+
+class TestGraphMerge:
+    def test_bridges_connect_schemes(self) -> None:
+        msc = build_small_msc()
+        topics = topics_scheme()
+        graph = ClassificationGraph.from_scheme(msc)
+        add_scheme_to_graph(graph, topics)
+        assert "DM-GT" in graph
+
+        mapping = map_schemes(topics, msc)
+        added = merge_into_graph(graph, mapping, bridge_weight=1.0)
+        assert added >= 1
+        # Cross-scheme distance is now finite.
+        assert graph.distance("DM-GT", "05C40") < float("inf")
+
+    def test_min_confidence_filters(self) -> None:
+        msc = build_small_msc()
+        topics = topics_scheme()
+        graph = ClassificationGraph.from_scheme(msc)
+        add_scheme_to_graph(graph, topics)
+        mapping = map_schemes(topics, msc)
+        strict = merge_into_graph(graph, mapping, min_confidence=1.01)
+        assert strict == 0
+
+    def test_method_filter(self) -> None:
+        msc = build_small_msc()
+        topics = topics_scheme()
+        graph = ClassificationGraph.from_scheme(msc)
+        add_scheme_to_graph(graph, topics)
+        mapping = map_schemes(topics, msc)
+        exact_only = merge_into_graph(graph, mapping, methods=("exact",))
+        all_methods = merge_into_graph(graph, mapping)
+        assert exact_only <= all_methods

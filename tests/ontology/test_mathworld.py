@@ -1,0 +1,52 @@
+"""Tests for the MathWorld-style taxonomy and its mapping onto the MSC."""
+
+from repro.core.classification import ClassificationGraph
+from repro.ontology.mapping import add_scheme_to_graph, map_schemes, merge_into_graph
+from repro.ontology.mathworld import build_mathworld
+from repro.ontology.msc import build_small_msc
+
+
+class TestScheme:
+    def test_builds(self) -> None:
+        scheme = build_mathworld()
+        assert len(scheme) >= 40
+        assert "MW-DM-GT" in scheme
+        assert scheme.node("MW-DM-GT").title == "Graph theory"
+
+    def test_three_levels(self) -> None:
+        scheme = build_mathworld()
+        assert scheme.node("MW-DM-GT-TR").depth == 3
+        assert scheme.parent_of("MW-DM-GT") == "MW-DM"
+
+    def test_no_code_collision_with_msc(self) -> None:
+        msc_codes = set(build_small_msc().codes())
+        mw_codes = set(build_mathworld().codes())
+        assert not (msc_codes & mw_codes)
+
+
+class TestMappingOntoMsc:
+    def test_high_coverage(self) -> None:
+        mapping = map_schemes(build_mathworld(), build_small_msc())
+        assert mapping.coverage() > 0.8
+
+    def test_key_exact_matches(self) -> None:
+        mapping = map_schemes(build_mathworld(), build_small_msc())
+        assert mapping.target_for("MW-DM-GT") == "05C"
+        assert mapping.target_for("MW-FO-ST") == "03E"
+        assert mapping.target_for("MW-DM-GT-CN") == "05C40"
+        assert mapping.target_for("MW-NT-PR") == "11A41"
+
+    def test_cross_scheme_steering(self) -> None:
+        """A MathWorld-classified source steers among MSC candidates."""
+        msc = build_small_msc()
+        mathworld = build_mathworld()
+        graph = ClassificationGraph.from_scheme(msc)
+        add_scheme_to_graph(graph, mathworld)
+        mapping = map_schemes(mathworld, msc)
+        assert merge_into_graph(graph, mapping, bridge_weight=1.0) > 10
+        # Source: MathWorld graph-theory topic; candidates: the MSC
+        # graph-theory vs set-theory homonyms.  The bridge must make the
+        # graph-theory candidate closer.
+        to_graph_theory = graph.distance("MW-DM-GT", "05C99")
+        to_set_theory = graph.distance("MW-DM-GT", "03E20")
+        assert to_graph_theory < to_set_theory

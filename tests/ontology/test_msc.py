@@ -1,0 +1,50 @@
+"""Tests for the embedded MSC hierarchy."""
+
+from repro.ontology.msc import MSC_SECTIONS, MSC_TOP_LEVEL, build_msc, build_small_msc
+
+
+class TestSmallMsc:
+    def test_paper_example_codes_present(self) -> None:
+        scheme = build_small_msc()
+        for code in ("05C40", "05C99", "03E20", "05C10", "11A05", "51M05"):
+            assert code in scheme
+
+    def test_structure_three_levels(self) -> None:
+        scheme = build_small_msc()
+        assert scheme.node("05C40").parent == "05C"
+        assert scheme.node("05C").parent == "05"
+        assert scheme.node("05").parent == "__root__"
+        assert scheme.height() == 3
+
+    def test_all_top_levels_present(self) -> None:
+        scheme = build_small_msc()
+        for code, __ in MSC_TOP_LEVEL:
+            assert code in scheme
+
+    def test_titles_attached(self) -> None:
+        scheme = build_small_msc()
+        assert scheme.node("05C").title == "Graph theory"
+        assert scheme.node("05C40").title == "Connectivity"
+
+
+class TestDensifiedMsc:
+    def test_leaves_per_section_honored(self) -> None:
+        scheme = build_msc(leaves_per_section=10)
+        for __, section, ___ in MSC_SECTIONS:
+            assert len(scheme.children_of(section)) >= 10
+
+    def test_generated_codes_follow_msc_syntax(self) -> None:
+        scheme = build_msc(leaves_per_section=5)
+        for leaf in scheme.children_of("60G"):
+            assert leaf.startswith("60G")
+            assert len(leaf) == 5
+
+    def test_zero_densification_is_small_msc(self) -> None:
+        assert len(build_msc(leaves_per_section=0)) == len(build_small_msc())
+
+    def test_curated_leaves_not_clobbered(self) -> None:
+        scheme = build_msc(leaves_per_section=25)
+        assert scheme.node("05C40").title == "Connectivity"
+
+    def test_deterministic(self) -> None:
+        assert sorted(build_msc(8).codes()) == sorted(build_msc(8).codes())

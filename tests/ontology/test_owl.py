@@ -1,0 +1,53 @@
+"""Tests for OWL (RDF/XML) serialization of schemes."""
+
+import pytest
+
+from repro.core.errors import SchemeParseError
+from repro.ontology.msc import build_small_msc
+from repro.ontology.owl import scheme_from_owl, scheme_to_owl
+from repro.ontology.scheme import ClassificationScheme
+
+
+class TestRoundTrip:
+    def test_small_scheme(self) -> None:
+        scheme = ClassificationScheme("demo")
+        scheme.add_class("A", "Alpha")
+        scheme.add_class("A1", "Alpha one", parent="A")
+        rebuilt = scheme_from_owl(scheme_to_owl(scheme))
+        assert rebuilt.name == "demo"
+        assert rebuilt.parent_of("A1") == "A"
+        assert rebuilt.node("A").title == "Alpha"
+
+    def test_full_msc_round_trip(self) -> None:
+        scheme = build_small_msc()
+        rebuilt = scheme_from_owl(scheme_to_owl(scheme))
+        assert sorted(rebuilt.codes()) == sorted(scheme.codes())
+        assert rebuilt.path_to_root("05C40") == scheme.path_to_root("05C40")
+
+    def test_owl_vocabulary_used(self) -> None:
+        owl = scheme_to_owl(build_small_msc())
+        assert "Ontology" in owl
+        assert "Class" in owl
+        assert "subClassOf" in owl
+
+
+class TestErrors:
+    def test_bad_xml(self) -> None:
+        with pytest.raises(SchemeParseError):
+            scheme_from_owl("<rdf:RDF")
+
+    def test_class_without_about(self) -> None:
+        xml = (
+            '<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" '
+            'xmlns:owl="http://www.w3.org/2002/07/owl#">'
+            "<owl:Class/></rdf:RDF>"
+        )
+        with pytest.raises(SchemeParseError):
+            scheme_from_owl(xml)
+
+    def test_unknown_ontology_name_defaults(self) -> None:
+        xml = (
+            '<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" '
+            'xmlns:owl="http://www.w3.org/2002/07/owl#"></rdf:RDF>'
+        )
+        assert scheme_from_owl(xml).name == "scheme"

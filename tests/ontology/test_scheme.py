@@ -1,0 +1,128 @@
+"""Tests for classification schemes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SchemeParseError, UnknownClassError
+from repro.ontology.scheme import ROOT_CODE, ClassificationScheme, normalize_code
+
+
+def tiny() -> ClassificationScheme:
+    scheme = ClassificationScheme("t")
+    scheme.add_class("05", "Combinatorics")
+    scheme.add_class("05C", "Graph theory", parent="05")
+    scheme.add_class("05C40", "Connectivity", parent="05C")
+    scheme.add_class("03", "Logic")
+    return scheme
+
+
+class TestNormalizeCode:
+    def test_upper_and_strip(self) -> None:
+        assert normalize_code(" 05c40 ") == "05C40"
+
+    def test_xx_suffixes_stripped(self) -> None:
+        assert normalize_code("05Cxx") == "05C"
+        assert normalize_code("05-XX") == "05"
+
+    def test_pure_xx_not_emptied(self) -> None:
+        assert normalize_code("XX") == "XX"
+
+
+class TestConstruction:
+    def test_depths(self) -> None:
+        scheme = tiny()
+        assert scheme.node("05").depth == 1
+        assert scheme.node("05C").depth == 2
+        assert scheme.node("05C40").depth == 3
+        assert scheme.height() == 3
+
+    def test_duplicate_code_rejected(self) -> None:
+        scheme = tiny()
+        with pytest.raises(SchemeParseError):
+            scheme.add_class("05")
+
+    def test_unknown_parent_rejected(self) -> None:
+        with pytest.raises(UnknownClassError):
+            tiny().add_class("99Z", parent="99")
+
+    def test_empty_code_rejected(self) -> None:
+        with pytest.raises(SchemeParseError):
+            tiny().add_class("   ")
+
+    def test_from_edges(self) -> None:
+        scheme = ClassificationScheme.from_edges(
+            "e", [(None, "a", "A"), ("a", "b", "B")]
+        )
+        assert scheme.parent_of("b") == "A"
+
+
+class TestNavigation:
+    def test_path_to_root(self) -> None:
+        assert tiny().path_to_root("05C40") == ["05C40", "05C", "05", ROOT_CODE]
+
+    def test_children_and_leaves(self) -> None:
+        scheme = tiny()
+        assert scheme.children_of("05") == ["05C"]
+        assert set(scheme.leaves()) == {"05C40", "03"}
+
+    def test_lca(self) -> None:
+        scheme = tiny()
+        assert scheme.lowest_common_ancestor("05C40", "05C") == "05C"
+        assert scheme.lowest_common_ancestor("05C40", "03") == ROOT_CODE
+
+    def test_contains_and_len(self) -> None:
+        scheme = tiny()
+        assert "05c40" in scheme
+        assert "99" not in scheme
+        assert len(scheme) == 4
+
+    def test_edges_carry_depth(self) -> None:
+        edges = {(p, c): d for p, c, d in tiny().edges()}
+        assert edges[(ROOT_CODE, "05")] == 0
+        assert edges[("05", "05C")] == 1
+        assert edges[("05C", "05C40")] == 2
+
+    def test_unknown_code_raises(self) -> None:
+        with pytest.raises(UnknownClassError):
+            tiny().node("zz")
+
+
+class TestSerialization:
+    def test_round_trip(self) -> None:
+        original = tiny()
+        rebuilt = ClassificationScheme.from_dict(original.to_dict())
+        assert rebuilt.name == original.name
+        assert sorted(rebuilt.codes()) == sorted(original.codes())
+        assert rebuilt.path_to_root("05C40") == original.path_to_root("05C40")
+
+    def test_out_of_order_parents_resolved(self) -> None:
+        payload = {
+            "name": "x",
+            "classes": [
+                {"code": "A1", "title": "", "parent": "A"},
+                {"code": "A", "title": "", "parent": None},
+            ],
+        }
+        scheme = ClassificationScheme.from_dict(payload)
+        assert scheme.parent_of("A1") == "A"
+
+    def test_unresolvable_parent_raises(self) -> None:
+        payload = {"name": "x", "classes": [{"code": "A1", "parent": "missing"}]}
+        with pytest.raises(SchemeParseError):
+            ClassificationScheme.from_dict(payload)
+
+    def test_bad_classes_type_raises(self) -> None:
+        with pytest.raises(SchemeParseError):
+            ClassificationScheme.from_dict({"name": "x", "classes": "nope"})
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=30, unique=True))
+def test_chain_scheme_depth_invariant(codes: list[int]) -> None:
+    """Building a chain, each node's depth equals its position + 1."""
+    scheme = ClassificationScheme("chain")
+    parent: str | None = None
+    for index, code in enumerate(codes):
+        scheme.add_class(f"N{code}", parent=parent)
+        assert scheme.node(f"N{code}").depth == index + 1
+        parent = f"N{code}"
+    assert scheme.height() == len(codes)

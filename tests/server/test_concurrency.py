@@ -1,0 +1,127 @@
+"""Stress test: many concurrent clients against one server."""
+
+import threading
+
+import pytest
+
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+from repro.server.client import NNexusClient
+from repro.server.server import serve_forever
+
+
+@pytest.fixture()
+def server():
+    linker = NNexus(scheme=build_small_msc())
+    linker.add_objects(sample_corpus())
+    instance = serve_forever(linker)
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+def test_server_survives_garbage_frames(server) -> None:
+    """Malformed input must never take the server down (fault injection)."""
+    import socket
+
+    from repro.server import protocol
+
+    host, port = server.address
+    payloads = [
+        b"not a frame at all",                      # bad header
+        b"0000000010<request>",                      # bad xml / truncated
+        protocol.frame("<notxml"),                   # parse error
+        protocol.frame("<request method='nope'/>"),  # unknown method
+        protocol.frame("<other/>"),                  # wrong root
+        b"00000",                                    # EOF mid-header
+    ]
+    for payload in payloads:
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(payload)
+            sock.settimeout(2)
+            try:
+                sock.recv(65536)
+            except (TimeoutError, OSError):
+                pass  # server may close silently on framing errors
+    # The server is still healthy afterwards.
+    with NNexusClient(host, port) as client:
+        assert client.ping()
+        assert client.describe()["objects"] == 30
+
+
+def test_parallel_readers(server) -> None:
+    """Twelve threads linking concurrently get consistent answers."""
+    host, port = server.address
+    errors: list[Exception] = []
+    results: list[str] = []
+    lock = threading.Lock()
+
+    def worker(worker_id: int) -> None:
+        try:
+            with NNexusClient(host, port) as client:
+                for __ in range(10):
+                    __, links = client.link_entry(
+                        "every planar graph is a graph", classes=["05C10"]
+                    )
+                    targets = tuple(sorted(l["target"] for l in links))
+                    with lock:
+                        results.append(str(targets))
+        except Exception as exc:  # noqa: BLE001 - collected for assertion
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(12)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    assert len(results) == 120
+    assert len(set(results)) == 1  # every reader saw the same resolution
+
+
+def test_concurrent_writers_and_readers(server) -> None:
+    """Writers add disjoint objects while readers link; no corruption."""
+    host, port = server.address
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def writer(base: int) -> None:
+        try:
+            with NNexusClient(host, port) as client:
+                for offset in range(5):
+                    object_id = 10_000 + base * 100 + offset
+                    client.add_object(
+                        CorpusObject(
+                            object_id,
+                            f"concept {base} {offset}",
+                            defines=[f"zconcept{base}x{offset}"],
+                            classes=["05C99"],
+                            text="generated entry",
+                        )
+                    )
+        except Exception as exc:  # noqa: BLE001
+            with lock:
+                errors.append(exc)
+
+    def reader() -> None:
+        try:
+            with NNexusClient(host, port) as client:
+                for __ in range(15):
+                    client.link_entry("a tree and a graph", classes=["05C05"])
+        except Exception as exc:  # noqa: BLE001
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+    threads += [threading.Thread(target=reader) for __ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    with NNexusClient(host, port) as client:
+        info = client.describe()
+    assert info["objects"] == 30 + 4 * 5

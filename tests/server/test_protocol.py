@@ -1,0 +1,138 @@
+"""Tests for the XML wire protocol and framing."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ProtocolError
+from repro.core.models import CorpusObject
+from repro.server.protocol import (
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    frame,
+    read_frame,
+)
+
+
+def sample_object() -> CorpusObject:
+    return CorpusObject(
+        object_id=7,
+        title="even number",
+        defines=["even number", "even"],
+        synonyms=["even integer"],
+        classes=["11A05"],
+        text="An even number is divisible by two & more.",
+        domain="planetmath",
+        linking_policy="forbid even\npermit even 11\n",
+    )
+
+
+class TestRequestRoundTrip:
+    def test_link_entry(self) -> None:
+        request = Request(
+            "linkEntry",
+            fields={"text": "a planar graph", "classes": "05C10", "format": "html"},
+        )
+        decoded = decode_request(encode_request(request))
+        assert decoded.method == "linkEntry"
+        assert decoded.fields == request.fields
+        assert decoded.obj is None
+
+    def test_add_object(self) -> None:
+        request = Request("addObject", obj=sample_object())
+        decoded = decode_request(encode_request(request))
+        assert decoded.obj == sample_object()
+
+    def test_special_characters_survive(self) -> None:
+        request = Request("linkEntry", fields={"text": 'x < y & "z" $a_1$'})
+        decoded = decode_request(encode_request(request))
+        assert decoded.fields["text"] == 'x < y & "z" $a_1$'
+
+    def test_unknown_method_rejected_on_encode(self) -> None:
+        with pytest.raises(ProtocolError):
+            encode_request(Request("frobnicate"))
+
+    def test_unknown_method_rejected_on_decode(self) -> None:
+        with pytest.raises(ProtocolError):
+            decode_request('<request method="frobnicate"/>')
+
+    def test_wrong_root_rejected(self) -> None:
+        with pytest.raises(ProtocolError):
+            decode_request("<other/>")
+
+    def test_bad_xml_rejected(self) -> None:
+        with pytest.raises(ProtocolError):
+            decode_request("<request")
+
+    def test_object_requires_id(self) -> None:
+        with pytest.raises(ProtocolError):
+            decode_request('<request method="addObject"><object/></request>')
+
+
+class TestResponseRoundTrip:
+    def test_ok_with_links(self) -> None:
+        response = Response(
+            status="ok",
+            method="linkEntry",
+            fields={"body": "<a>x</a>", "linkcount": "1"},
+            links=[{"phrase": "graph", "target": "5", "domain": "pm", "url": "u"}],
+        )
+        decoded = decode_response(encode_response(response))
+        assert decoded.ok
+        assert decoded.fields["linkcount"] == "1"
+        assert decoded.links[0]["target"] == "5"
+
+    def test_error_response(self) -> None:
+        response = Response(status="error", method="addObject", error="duplicate")
+        decoded = decode_response(encode_response(response))
+        assert not decoded.ok
+        assert decoded.error == "duplicate"
+
+
+class TestFraming:
+    def test_frame_read_frame(self) -> None:
+        payload = frame("hello ünïcode")
+        stream = io.BytesIO(payload)
+        assert read_frame(stream.read) == "hello ünïcode"
+
+    def test_eof_between_messages_is_none(self) -> None:
+        stream = io.BytesIO(b"")
+        assert read_frame(stream.read) is None
+
+    def test_eof_mid_frame_raises(self) -> None:
+        payload = frame("hello")[:-2]
+        stream = io.BytesIO(payload)
+        with pytest.raises(ProtocolError):
+            read_frame(stream.read)
+
+    def test_bad_header_raises(self) -> None:
+        stream = io.BytesIO(b"helloworld" + b"x" * 5)
+        with pytest.raises(ProtocolError):
+            read_frame(stream.read)
+
+    def test_multiple_frames_sequential(self) -> None:
+        stream = io.BytesIO(frame("one") + frame("two"))
+        assert read_frame(stream.read) == "one"
+        assert read_frame(stream.read) == "two"
+        assert read_frame(stream.read) is None
+
+    @given(st.text(max_size=500))
+    def test_any_text_survives_framing(self, message: str) -> None:
+        stream = io.BytesIO(frame(message))
+        assert read_frame(stream.read) == message
+
+    @given(st.lists(st.text(max_size=50), max_size=10))
+    def test_frame_stream_round_trip(self, messages: list[str]) -> None:
+        stream = io.BytesIO(b"".join(frame(m) for m in messages))
+        decoded = []
+        while True:
+            message = read_frame(stream.read)
+            if message is None:
+                break
+            decoded.append(message)
+        assert decoded == messages

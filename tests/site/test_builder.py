@@ -1,0 +1,99 @@
+"""Tests for the static-site builder."""
+
+import pytest
+
+from repro.core.linker import NNexus
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+from repro.site.builder import SiteBuilder
+
+
+@pytest.fixture(scope="module")
+def linker() -> NNexus:
+    instance = NNexus(scheme=build_small_msc())
+    instance.add_objects(sample_corpus())
+    return instance
+
+
+@pytest.fixture(scope="module")
+def built_site(linker, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("site")
+    report = SiteBuilder(linker, site_title="PlanetTest").build(directory)
+    return directory, report
+
+
+class TestBuild:
+    def test_one_page_per_entry_plus_indexes(self, built_site) -> None:
+        directory, report = built_site
+        assert report.entry_pages == 30
+        assert report.index_pages == 3
+        assert (directory / "entry-1.html").exists()
+        assert (directory / "index.html").exists()
+        assert (directory / "classes.html").exists()
+        assert (directory / "network.html").exists()
+
+    def test_entry_page_has_internal_links(self, built_site) -> None:
+        directory, __ = built_site
+        page = (directory / "entry-1.html").read_text()
+        assert 'href="entry-2.html"' in page  # planar graph link
+        assert "plane graph" in page
+
+    def test_entry_page_escapes_html(self, built_site, linker) -> None:
+        directory, __ = built_site
+        # Entry 6's title contains parentheses; body text is escaped.
+        page = (directory / "entry-6.html").read_text()
+        assert "<script" not in page
+
+    def test_sidebar_metadata(self, built_site) -> None:
+        directory, __ = built_site
+        page = (directory / "entry-7.html").read_text()  # even number
+        assert "defines:" in page
+        assert "even number" in page
+        assert "11A05" in page
+
+    def test_incoming_links_listed(self, built_site) -> None:
+        directory, __ = built_site
+        # The 'graph' entry is linked from many others.
+        page = (directory / "entry-5.html").read_text()
+        assert "linked from:" in page
+        assert "entry-" in page.split("linked from:")[1]
+
+    def test_index_lists_all_entries(self, built_site) -> None:
+        directory, __ = built_site
+        index = (directory / "index.html").read_text()
+        for object_id in range(1, 31):
+            assert f"entry-{object_id}.html" in index
+
+    def test_classes_page_groups_by_code(self, built_site) -> None:
+        directory, __ = built_site
+        classes = (directory / "classes.html").read_text()
+        assert "05C10" in classes
+        assert "Graph theory" in classes or "Topological" in classes
+
+    def test_network_page_reports_stats(self, built_site) -> None:
+        directory, __ = built_site
+        network = (directory / "network.html").read_text()
+        assert "invocation links" in network
+        assert "Hub concepts" in network
+        assert "pagerank" in network
+
+    def test_links_rendered_counted(self, built_site) -> None:
+        __, report = built_site
+        assert report.links_rendered > 50
+
+
+class TestMaliciousContent:
+    def test_script_in_entry_text_is_escaped(self, tmp_path) -> None:
+        from repro.core.models import CorpusObject
+
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_object(
+            CorpusObject(1, "xss<script>alert(1)</script>",
+                         defines=["xss probe"], classes=["05C99"],
+                         text="body with <script>alert(2)</script> & tags")
+        )
+        report = SiteBuilder(linker).build(tmp_path)
+        page = (tmp_path / "entry-1.html").read_text()
+        assert "<script>alert(" not in page
+        assert "&lt;script&gt;" in page
+        assert report.entry_pages == 1

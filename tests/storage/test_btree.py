@@ -1,0 +1,166 @@
+"""Tests for the B-tree ordered index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BTree
+
+
+class TestBasics:
+    def test_insert_contains(self) -> None:
+        tree = BTree(min_degree=2)
+        assert tree.insert(5)
+        assert 5 in tree
+        assert 6 not in tree
+        assert len(tree) == 1
+
+    def test_duplicate_insert_rejected(self) -> None:
+        tree = BTree(min_degree=2)
+        tree.insert(5)
+        assert not tree.insert(5)
+        assert len(tree) == 1
+
+    def test_in_order_iteration(self) -> None:
+        tree = BTree(min_degree=2)
+        for value in [9, 1, 7, 3, 5, 8, 2, 6, 4, 0]:
+            tree.insert(value)
+        assert list(tree) == list(range(10))
+
+    def test_min_max(self) -> None:
+        tree = BTree(min_degree=2)
+        assert tree.min() is None and tree.max() is None
+        for value in [4, 2, 9]:
+            tree.insert(value)
+        assert tree.min() == 2
+        assert tree.max() == 9
+
+    def test_small_degree_splits(self) -> None:
+        tree = BTree(min_degree=2)
+        for value in range(100):
+            tree.insert(value)
+        tree.check_invariants()
+        assert len(tree) == 100
+
+    def test_invalid_degree(self) -> None:
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+
+class TestDelete:
+    def test_delete_leaf_key(self) -> None:
+        tree = BTree(min_degree=2)
+        for value in range(10):
+            tree.insert(value)
+        assert tree.delete(3)
+        assert 3 not in tree
+        assert len(tree) == 9
+        tree.check_invariants()
+
+    def test_delete_absent(self) -> None:
+        tree = BTree(min_degree=2)
+        tree.insert(1)
+        assert not tree.delete(99)
+
+    def test_delete_everything_random_order(self) -> None:
+        rng = random.Random(3)
+        values = list(range(200))
+        tree = BTree(min_degree=2)
+        for value in values:
+            tree.insert(value)
+        rng.shuffle(values)
+        for value in values:
+            assert tree.delete(value)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree) == []
+
+    def test_root_collapse(self) -> None:
+        tree = BTree(min_degree=2)
+        for value in range(7):
+            tree.insert(value)
+        for value in range(7):
+            tree.delete(value)
+        tree.insert(42)
+        assert list(tree) == [42]
+
+
+class TestRangeScan:
+    def build(self) -> BTree:
+        tree = BTree(min_degree=2)
+        for value in range(0, 100, 2):  # evens 0..98
+            tree.insert(value)
+        return tree
+
+    def test_closed_range(self) -> None:
+        assert list(self.build().range_scan(10, 20)) == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self) -> None:
+        tree = self.build()
+        assert list(tree.range_scan(10, 20, include_low=False, include_high=False)) == [
+            12, 14, 16, 18,
+        ]
+
+    def test_open_ended(self) -> None:
+        tree = self.build()
+        assert list(tree.range_scan(low=94)) == [94, 96, 98]
+        assert list(tree.range_scan(high=4)) == [0, 2, 4]
+        assert list(tree.range_scan()) == list(range(0, 100, 2))
+
+    def test_empty_range(self) -> None:
+        assert list(self.build().range_scan(11, 11)) == []
+
+    def test_range_on_tuple_keys(self) -> None:
+        tree = BTree(min_degree=2)
+        for value, pk in [(1.0, 5), (1.0, 2), (2.0, 9), (0.5, 1)]:
+            tree.insert((value, pk))
+        assert list(tree.range_scan((1.0, -1), (1.0, 10**9))) == [(1.0, 2), (1.0, 5)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-500, 500), max_size=150))
+def test_matches_sorted_set_reference(values: list[int]) -> None:
+    tree = BTree(min_degree=2)
+    reference: set[int] = set()
+    for value in values:
+        assert tree.insert(value) == (value not in reference)
+        reference.add(value)
+    assert list(tree) == sorted(reference)
+    tree.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(-60, 60)), max_size=120
+    )
+)
+def test_mixed_operations_match_reference(ops: list[tuple[bool, int]]) -> None:
+    tree = BTree(min_degree=2)
+    reference: set[int] = set()
+    for is_insert, value in ops:
+        if is_insert:
+            assert tree.insert(value) == (value not in reference)
+            reference.add(value)
+        else:
+            assert tree.delete(value) == (value in reference)
+            reference.discard(value)
+    assert list(tree) == sorted(reference)
+    assert len(tree) == len(reference)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), max_size=100),
+    st.integers(0, 200),
+    st.integers(0, 200),
+)
+def test_range_scan_matches_filter(values: list[int], a: int, b: int) -> None:
+    low, high = min(a, b), max(a, b)
+    tree = BTree(min_degree=2)
+    for value in values:
+        tree.insert(value)
+    expected = sorted(v for v in set(values) if low <= v <= high)
+    assert list(tree.range_scan(low, high)) == expected

@@ -1,0 +1,336 @@
+"""Tests for the embedded storage engine."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import (
+    DuplicateKeyError,
+    MissingKeyError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+)
+from repro.storage.engine import Column, Database, Schema
+
+
+def people_schema() -> Schema:
+    return Schema(
+        columns=(
+            Column("id", "int"),
+            Column("name", "str"),
+            Column("age", "int", nullable=True),
+            Column("tags", "json", nullable=True),
+        ),
+        primary_key="id",
+    )
+
+
+def fresh_db() -> Database:
+    db = Database()
+    db.create_table("people", people_schema(), indexes=("name",))
+    return db
+
+
+class TestSchema:
+    def test_unknown_column_type_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Column("x", "blob")
+
+    def test_duplicate_columns_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Schema(columns=(Column("a"), Column("a")), primary_key="a")
+
+    def test_primary_key_must_exist(self) -> None:
+        with pytest.raises(SchemaError):
+            Schema(columns=(Column("a"),), primary_key="b")
+
+    def test_type_validation(self) -> None:
+        schema = people_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": "not-int", "name": "x"})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "name": 5})
+
+    def test_bool_is_not_int(self) -> None:
+        with pytest.raises(SchemaError):
+            people_schema().validate_row({"id": True, "name": "x"})
+
+    def test_nullable_defaults(self) -> None:
+        row = people_schema().validate_row({"id": 1, "name": "a"})
+        assert row["age"] is None
+
+    def test_not_nullable_enforced(self) -> None:
+        with pytest.raises(SchemaError):
+            people_schema().validate_row({"id": 1})
+
+    def test_unknown_column_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            people_schema().validate_row({"id": 1, "name": "x", "oops": 2})
+
+    def test_schema_round_trip(self) -> None:
+        schema = people_schema()
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+
+class TestCrud:
+    def test_insert_get(self) -> None:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada"})
+        assert db.table("people").get(1)["name"] == "ada"
+
+    def test_duplicate_pk_rejected(self) -> None:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada"})
+        with pytest.raises(DuplicateKeyError):
+            db.insert("people", {"id": 1, "name": "bob"})
+
+    def test_null_pk_rejected(self) -> None:
+        db = fresh_db()
+        with pytest.raises(SchemaError):
+            db.insert("people", {"name": "ada"})
+
+    def test_update(self) -> None:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada"})
+        db.update("people", 1, {"age": 36})
+        assert db.table("people").get(1)["age"] == 36
+
+    def test_update_missing_raises(self) -> None:
+        with pytest.raises(MissingKeyError):
+            fresh_db().update("people", 9, {"age": 1})
+
+    def test_update_changing_pk(self) -> None:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada"})
+        db.update("people", 1, {"id": 2})
+        assert db.table("people").get(1) is None
+        assert db.table("people").get(2)["name"] == "ada"
+
+    def test_update_pk_collision_rejected(self) -> None:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada"})
+        db.insert("people", {"id": 2, "name": "bob"})
+        with pytest.raises(DuplicateKeyError):
+            db.update("people", 1, {"id": 2})
+
+    def test_delete(self) -> None:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada"})
+        db.delete("people", 1)
+        assert 1 not in db.table("people")
+        with pytest.raises(MissingKeyError):
+            db.delete("people", 1)
+
+    def test_upsert(self) -> None:
+        db = fresh_db()
+        db.upsert("people", {"id": 1, "name": "ada"})
+        db.upsert("people", {"id": 1, "name": "ada lovelace"})
+        assert db.table("people").get(1)["name"] == "ada lovelace"
+        assert len(db.table("people")) == 1
+
+    def test_rows_returned_are_copies(self) -> None:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada", "tags": ["x"]})
+        row = db.table("people").get(1)
+        row["name"] = "mutated"
+        assert db.table("people").get(1)["name"] == "ada"
+
+
+class TestQueries:
+    def build(self) -> Database:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada", "age": 36})
+        db.insert("people", {"id": 2, "name": "bob", "age": 36})
+        db.insert("people", {"id": 3, "name": "ada", "age": 99})
+        return db
+
+    def test_select_on_indexed_column(self) -> None:
+        rows = self.build().table("people").select(name="ada")
+        assert sorted(r["id"] for r in rows) == [1, 3]
+
+    def test_select_on_unindexed_column(self) -> None:
+        rows = self.build().table("people").select(age=36)
+        assert sorted(r["id"] for r in rows) == [1, 2]
+
+    def test_select_combined(self) -> None:
+        rows = self.build().table("people").select(name="ada", age=36)
+        assert [r["id"] for r in rows] == [1]
+
+    def test_scan_with_predicate(self) -> None:
+        db = self.build()
+        rows = list(db.table("people").scan(lambda r: r["age"] > 50))
+        assert [r["id"] for r in rows] == [3]
+
+    def test_index_created_after_rows_exist(self) -> None:
+        db = self.build()
+        db.table("people").create_index("age")
+        assert "age" in db.table("people").indexes()
+        rows = db.table("people").select(age=99)
+        assert [r["id"] for r in rows] == [3]
+
+    def test_index_maintained_on_delete(self) -> None:
+        db = self.build()
+        db.delete("people", 1)
+        rows = db.table("people").select(name="ada")
+        assert [r["id"] for r in rows] == [3]
+
+    def test_json_column_indexable(self) -> None:
+        db = fresh_db()
+        db.table("people").create_index("tags")
+        db.insert("people", {"id": 1, "name": "x", "tags": ["a", "b"]})
+        rows = db.table("people").select(tags=["a", "b"])
+        assert [r["id"] for r in rows] == [1]
+
+
+class TestTables:
+    def test_duplicate_table_rejected(self) -> None:
+        db = fresh_db()
+        with pytest.raises(StorageError):
+            db.create_table("people", people_schema())
+
+    def test_unknown_table_raises(self) -> None:
+        with pytest.raises(StorageError):
+            fresh_db().table("nope")
+
+    def test_tables_listing(self) -> None:
+        assert fresh_db().tables() == ["people"]
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self) -> None:
+        db = fresh_db()
+        with db.transaction():
+            db.insert("people", {"id": 1, "name": "ada"})
+        assert db.table("people").get(1) is not None
+
+    def test_rollback_on_exception(self) -> None:
+        db = fresh_db()
+        db.insert("people", {"id": 1, "name": "ada"})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("people", {"id": 2, "name": "bob"})
+                db.update("people", 1, {"name": "mutated"})
+                db.delete("people", 1)
+                raise RuntimeError("boom")
+        assert db.table("people").get(1)["name"] == "ada"
+        assert db.table("people").get(2) is None
+
+    def test_nested_begin_rejected(self) -> None:
+        db = fresh_db()
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+        db.rollback()
+
+    def test_commit_without_begin(self) -> None:
+        with pytest.raises(TransactionError):
+            fresh_db().commit()
+
+    def test_rollback_without_begin(self) -> None:
+        with pytest.raises(TransactionError):
+            fresh_db().rollback()
+
+
+class TestPersistence:
+    def test_wal_replay(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        db.create_table("people", people_schema(), indexes=("name",))
+        db.insert("people", {"id": 1, "name": "ada"})
+        db.update("people", 1, {"age": 36})
+        db.insert("people", {"id": 2, "name": "bob"})
+        db.delete("people", 2)
+        db.close()
+
+        reopened = Database(path)
+        assert reopened.table("people").get(1)["age"] == 36
+        assert reopened.table("people").get(2) is None
+        assert reopened.table("people").select(name="ada")
+        reopened.close()
+
+    def test_checkpoint_truncates_wal(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        db.create_table("people", people_schema())
+        db.insert("people", {"id": 1, "name": "ada"})
+        db.checkpoint()
+        assert (path / "snapshot.json").exists()
+        assert (path / "wal.jsonl").read_text() == ""
+        db.insert("people", {"id": 2, "name": "bob"})
+        db.close()
+
+        reopened = Database(path)
+        assert len(reopened.table("people")) == 2
+        reopened.close()
+
+    def test_torn_wal_tail_ignored(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        db.create_table("people", people_schema())
+        db.insert("people", {"id": 1, "name": "ada"})
+        db.close()
+        with open(path / "wal.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"op": "insert", "table": "people", "row": {"id"')
+        reopened = Database(path)
+        assert reopened.table("people").get(1) is not None
+        reopened.close()
+
+    def test_rolled_back_transaction_not_in_wal(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        db.create_table("people", people_schema())
+        db.begin()
+        db.insert("people", {"id": 7, "name": "ghost"})
+        db.rollback()
+        db.close()
+        wal_text = (path / "wal.jsonl").read_text()
+        assert "ghost" not in wal_text
+
+    def test_snapshot_is_valid_json(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        db.create_table("people", people_schema())
+        db.insert("people", {"id": 1, "name": "ada", "tags": [1, 2]})
+        db.checkpoint()
+        db.close()
+        payload = json.loads((path / "snapshot.json").read_text())
+        assert payload["people"]["rows"][0]["tags"] == [1, 2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "update"]), st.integers(0, 5)),
+        max_size=25,
+    )
+)
+def test_wal_replay_reaches_identical_state(ops) -> None:
+    """Whatever op sequence runs, reopening from WAL rebuilds the same rows."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        _check_wal_replay(ops, f"{tmp}/db")
+
+
+def _check_wal_replay(ops, path) -> None:
+    db = Database(path)
+    db.create_table("t", Schema((Column("id", "int"), Column("v", "int", nullable=True)), "id"))
+    table = db.table("t")
+    for op, key in ops:
+        try:
+            if op == "insert":
+                db.insert("t", {"id": key, "v": key * 10})
+            elif op == "delete":
+                db.delete("t", key)
+            else:
+                db.update("t", key, {"v": key + 1})
+        except StorageError:
+            pass
+    expected = {pk: table.get(pk) for pk in table.keys()}
+    db.close()
+    reopened = Database(path)
+    actual = {pk: reopened.table("t").get(pk) for pk in reopened.table("t").keys()}
+    assert actual == expected
+    reopened.close()

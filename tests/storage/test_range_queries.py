@@ -1,0 +1,187 @@
+"""Tests for ordered indexes and SQL range queries."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.engine import Column, Database, Schema
+from repro.storage.sql_executor import SqlSession, _conjunctive_ranges
+from repro.storage.sql_parser import parse
+
+
+def scores_schema() -> Schema:
+    return Schema(
+        columns=(
+            Column("id", "int"),
+            Column("score", "float", nullable=True),
+            Column("name", "str"),
+        ),
+        primary_key="id",
+    )
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.create_table("t", scores_schema(), ordered_indexes=("score",))
+    for i in range(20):
+        database.insert("t", {"id": i, "score": float(i), "name": f"n{i}"})
+    database.insert("t", {"id": 99, "score": None, "name": "nullrow"})
+    return database
+
+
+class TestEngineRangeSelect:
+    def test_closed_range(self, db) -> None:
+        rows = db.table("t").range_select("score", 3.0, 6.0)
+        assert [row["id"] for row in rows] == [3, 4, 5, 6]
+
+    def test_exclusive(self, db) -> None:
+        rows = db.table("t").range_select(
+            "score", 3.0, 6.0, include_low=False, include_high=False
+        )
+        assert [row["id"] for row in rows] == [4, 5]
+
+    def test_open_ended(self, db) -> None:
+        rows = db.table("t").range_select("score", low=17.0)
+        assert [row["id"] for row in rows] == [17, 18, 19]
+
+    def test_nulls_never_in_range(self, db) -> None:
+        rows = db.table("t").range_select("score")
+        assert 99 not in [row["id"] for row in rows]
+
+    def test_maintained_on_update_delete(self, db) -> None:
+        db.update("t", 5, {"score": 100.0})
+        db.delete("t", 6)
+        rows = db.table("t").range_select("score", 4.0, 7.0)
+        assert [row["id"] for row in rows] == [4, 7]
+        top = db.table("t").range_select("score", low=99.0)
+        assert [row["id"] for row in top] == [5]
+
+    def test_missing_ordered_index_raises(self, db) -> None:
+        with pytest.raises(StorageError):
+            db.table("t").range_select("name", "a", "z")
+
+    def test_index_built_over_existing_rows(self) -> None:
+        database = Database()
+        database.create_table("t", scores_schema())
+        for i in range(5):
+            database.insert("t", {"id": i, "score": float(i), "name": "x"})
+        database.create_ordered_index("t", "score")
+        rows = database.table("t").range_select("score", 1.0, 3.0)
+        assert [row["id"] for row in rows] == [1, 2, 3]
+
+
+class TestSqlRangeQueries:
+    @pytest.fixture()
+    def session(self) -> SqlSession:
+        s = SqlSession()
+        s.execute("CREATE TABLE t (id INT, score FLOAT, name TEXT, PRIMARY KEY (id))")
+        s.execute("CREATE ORDERED INDEX ON t (score)")
+        s.execute(
+            "INSERT INTO t (id, score, name) VALUES "
+            + ", ".join(f"({i}, {float(i)}, 'n{i}')" for i in range(20))
+        )
+        return s
+
+    def test_range_where(self, session) -> None:
+        rows = session.query("SELECT id FROM t WHERE score >= 5.0 AND score < 8.0")
+        assert [row["id"] for row in rows] == [5, 6, 7]
+
+    def test_range_with_extra_predicate(self, session) -> None:
+        rows = session.query(
+            "SELECT id FROM t WHERE score >= 5.0 AND score < 12.0 AND name = 'n7'"
+        )
+        assert [row["id"] for row in rows] == [7]
+
+    def test_flipped_literal_side(self, session) -> None:
+        rows = session.query("SELECT id FROM t WHERE 15.0 <= score")
+        assert [row["id"] for row in rows] == list(range(15, 20))
+
+    def test_or_does_not_use_range_path_but_is_correct(self, session) -> None:
+        rows = session.query("SELECT id FROM t WHERE score < 1.0 OR score > 18.0")
+        assert sorted(row["id"] for row in rows) == [0, 19]
+
+    def test_create_ordered_index_survives_restart(self, tmp_path) -> None:
+        from repro.storage.sql_executor import execute
+
+        path = tmp_path / "db"
+        database = Database(path)
+        execute(database, "CREATE TABLE t (id INT, v FLOAT, PRIMARY KEY (id))")
+        execute(database, "CREATE ORDERED INDEX ON t (v)")
+        execute(database, "INSERT INTO t (id, v) VALUES (1, 1.5), (2, 2.5)")
+        database.close()
+        reopened = Database(path)
+        assert reopened.table("t").ordered_indexes() == ["v"]
+        rows = reopened.table("t").range_select("v", 2.0, 3.0)
+        assert [row["id"] for row in rows] == [2]
+        reopened.close()
+
+    def test_ordered_keyword_misuse_rejected(self) -> None:
+        from repro.storage.sql_lexer import SqlSyntaxError
+
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE ORDERED TABLE t (id INT, PRIMARY KEY (id))")
+
+
+class TestOrderByViaIndex:
+    @pytest.fixture()
+    def session(self) -> SqlSession:
+        s = SqlSession()
+        s.execute("CREATE TABLE t (id INT, score FLOAT NOT NULL, PRIMARY KEY (id))")
+        s.execute("CREATE ORDERED INDEX ON t (score)")
+        s.execute(
+            "INSERT INTO t (id, score) VALUES "
+            + ", ".join(f"({i}, {float((i * 37) % 101)})" for i in range(40))
+        )
+        return s
+
+    def test_order_by_ascending(self, session) -> None:
+        rows = session.query("SELECT score FROM t ORDER BY score")
+        values = [row["score"] for row in rows]
+        assert values == sorted(values)
+        assert len(values) == 40
+
+    def test_order_by_descending_with_limit(self, session) -> None:
+        rows = session.query("SELECT score FROM t ORDER BY score DESC LIMIT 3")
+        values = [row["score"] for row in rows]
+        assert values == sorted(values, reverse=True)[:3]
+        all_values = [
+            row["score"] for row in session.query("SELECT score FROM t")
+        ]
+        assert values == sorted(all_values, reverse=True)[:3]
+
+    def test_order_by_with_where_still_correct(self, session) -> None:
+        rows = session.query(
+            "SELECT score FROM t WHERE score >= 50.0 ORDER BY score"
+        )
+        values = [row["score"] for row in rows]
+        assert values == sorted(values)
+        assert all(value >= 50.0 for value in values)
+
+    def test_nullable_column_keeps_nulls(self) -> None:
+        s = SqlSession()
+        s.execute("CREATE TABLE t (id INT, v FLOAT, PRIMARY KEY (id))")
+        s.execute("CREATE ORDERED INDEX ON t (v)")
+        s.execute("INSERT INTO t (id, v) VALUES (1, 2.0), (2, NULL), (3, 1.0)")
+        rows = s.query("SELECT id FROM t ORDER BY v")
+        # NULL row must not vanish (nullable columns skip the fast path).
+        assert sorted(row["id"] for row in rows) == [1, 2, 3]
+
+
+class TestRangeExtraction:
+    def test_bounds_combined(self) -> None:
+        statement = parse("SELECT * FROM t WHERE score >= 2.0 AND score < 9.0")
+        bounds = _conjunctive_ranges(statement.where)
+        assert bounds["score"] == (2.0, 9.0, True, False)
+
+    def test_tightest_bound_wins(self) -> None:
+        statement = parse("SELECT * FROM t WHERE score > 2.0 AND score > 5.0")
+        bounds = _conjunctive_ranges(statement.where)
+        assert bounds["score"] == (5.0, None, False, True)
+
+    def test_or_not_extracted(self) -> None:
+        statement = parse("SELECT * FROM t WHERE score > 2.0 OR score < 1.0")
+        assert _conjunctive_ranges(statement.where) == {}
+
+    def test_null_literal_ignored(self) -> None:
+        statement = parse("SELECT * FROM t WHERE score > NULL")
+        assert _conjunctive_ranges(statement.where) == {}

@@ -1,0 +1,301 @@
+"""Tests for the SQL dialect: lexer, parser, executor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import DuplicateKeyError, SchemaError, StorageError
+from repro.storage.engine import Database
+from repro.storage.sql_ast import (
+    BooleanOp,
+    Comparison,
+    CreateTable,
+    Insert,
+    Select,
+)
+from repro.storage.sql_executor import SqlSession, execute
+from repro.storage.sql_lexer import SqlSyntaxError, tokenize
+from repro.storage.sql_parser import parse
+
+
+@pytest.fixture()
+def session() -> SqlSession:
+    s = SqlSession()
+    s.execute(
+        "CREATE TABLE objects ("
+        " object_id INT NOT NULL,"
+        " title TEXT NOT NULL,"
+        " domain TEXT,"
+        " score FLOAT,"
+        " active BOOL,"
+        " PRIMARY KEY (object_id))"
+    )
+    s.execute("CREATE INDEX ON objects (domain)")
+    s.execute(
+        "INSERT INTO objects (object_id, title, domain, score, active) VALUES"
+        " (1, 'planar graph', 'planetmath', 0.9, TRUE),"
+        " (2, 'graph', 'planetmath', 0.8, TRUE),"
+        " (3, 'graph', 'mathworld', 0.7, FALSE),"
+        " (4, 'even number', 'planetmath', NULL, TRUE)"
+    )
+    return s
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self) -> None:
+        kinds = [t.kind for t in tokenize("select FROM Where")]
+        assert kinds == ["KEYWORD"] * 3
+
+    def test_string_escaping(self) -> None:
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_numbers(self) -> None:
+        tokens = tokenize("42 -7 3.14")
+        assert [(t.kind, t.value) for t in tokens] == [
+            ("INT", "42"), ("INT", "-7"), ("FLOAT", "3.14"),
+        ]
+
+    def test_operators(self) -> None:
+        values = [t.value for t in tokenize("= != <> <= >= < >")]
+        assert values == ["=", "!=", "!=", "<=", ">=", "<", ">"]
+
+    def test_comments_skipped(self) -> None:
+        tokens = tokenize("SELECT -- a comment\n1")
+        assert [t.kind for t in tokens] == ["KEYWORD", "INT"]
+
+    def test_unterminated_string(self) -> None:
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self) -> None:
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_create_table_ast(self) -> None:
+        statement = parse(
+            "CREATE TABLE t (id INT NOT NULL, name TEXT, PRIMARY KEY (id))"
+        )
+        assert isinstance(statement, CreateTable)
+        assert statement.primary_key == "id"
+        assert statement.columns[0].nullable is False
+        assert statement.columns[1].type == "str"
+
+    def test_select_ast(self) -> None:
+        statement = parse(
+            "SELECT title, domain FROM objects WHERE score > 0.5 AND domain = 'x' "
+            "ORDER BY title DESC LIMIT 3;"
+        )
+        assert isinstance(statement, Select)
+        assert statement.columns == ("title", "domain")
+        assert isinstance(statement.where, BooleanOp)
+        assert statement.order_by.descending
+        assert statement.limit == 3
+
+    def test_insert_multiple_rows(self) -> None:
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, Insert)
+        assert statement.rows == ((1, "x"), (2, "y"))
+
+    def test_where_precedence_and_binds_tighter(self) -> None:
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(statement.where, BooleanOp)
+        assert statement.where.operator == "OR"
+        assert isinstance(statement.where.right, BooleanOp)
+        assert statement.where.right.operator == "AND"
+
+    def test_parentheses_override(self) -> None:
+        statement = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert statement.where.operator == "AND"
+
+    def test_not(self) -> None:
+        statement = parse("SELECT * FROM t WHERE NOT a = 1")
+        from repro.storage.sql_ast import NotOp
+
+        assert isinstance(statement.where, NotOp)
+
+    def test_type_keyword_as_column_name(self) -> None:
+        statement = parse("SELECT text FROM t")
+        assert statement.columns == ("text",)
+
+    def test_arity_mismatch_rejected(self) -> None:
+        with pytest.raises(SqlSyntaxError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_missing_primary_key_rejected(self) -> None:
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE TABLE t (id INT)")
+
+    def test_trailing_garbage_rejected(self) -> None:
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t nonsense nonsense")
+
+    def test_comparison_requires_operand(self) -> None:
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t WHERE a =")
+
+
+class TestExecutorSelect:
+    def test_select_all(self, session) -> None:
+        rows = session.query("SELECT * FROM objects")
+        assert len(rows) == 4
+
+    def test_select_projection(self, session) -> None:
+        rows = session.query("SELECT title FROM objects WHERE object_id = 1")
+        assert rows == [{"title": "planar graph"}]
+
+    def test_where_equality_uses_pk(self, session) -> None:
+        rows = session.query("SELECT * FROM objects WHERE object_id = 3")
+        assert rows[0]["domain"] == "mathworld"
+
+    def test_where_indexed_column(self, session) -> None:
+        rows = session.query("SELECT * FROM objects WHERE domain = 'planetmath'")
+        assert {row["object_id"] for row in rows} == {1, 2, 4}
+
+    def test_where_and_or(self, session) -> None:
+        rows = session.query(
+            "SELECT * FROM objects WHERE domain = 'planetmath' AND "
+            "(title = 'graph' OR object_id = 1)"
+        )
+        assert {row["object_id"] for row in rows} == {1, 2}
+
+    def test_where_not(self, session) -> None:
+        rows = session.query("SELECT * FROM objects WHERE NOT active = TRUE")
+        assert [row["object_id"] for row in rows] == [3]
+
+    def test_comparisons(self, session) -> None:
+        rows = session.query("SELECT * FROM objects WHERE score >= 0.8")
+        assert {row["object_id"] for row in rows} == {1, 2}
+
+    def test_null_comparisons(self, session) -> None:
+        rows = session.query("SELECT * FROM objects WHERE score = NULL")
+        assert [row["object_id"] for row in rows] == [4]
+        rows = session.query("SELECT * FROM objects WHERE score != NULL")
+        assert {row["object_id"] for row in rows} == {1, 2, 3}
+        # NULL never satisfies an inequality.
+        rows = session.query("SELECT * FROM objects WHERE score < 10.0")
+        assert 4 not in {row["object_id"] for row in rows}
+
+    def test_order_by_and_limit(self, session) -> None:
+        rows = session.query(
+            "SELECT object_id FROM objects ORDER BY object_id DESC LIMIT 2"
+        )
+        assert [row["object_id"] for row in rows] == [4, 3]
+
+    def test_count(self, session) -> None:
+        result = session.execute("SELECT COUNT(*) FROM objects WHERE active = TRUE")
+        assert result.scalar == 3
+
+    def test_unknown_column_raises(self, session) -> None:
+        with pytest.raises(SchemaError):
+            session.query("SELECT nope FROM objects")
+        with pytest.raises(SchemaError):
+            session.query("SELECT * FROM objects WHERE nope = 1")
+
+    def test_unknown_table_raises(self, session) -> None:
+        with pytest.raises(StorageError):
+            session.query("SELECT * FROM missing")
+
+
+class TestExecutorMutations:
+    def test_update(self, session) -> None:
+        result = session.execute(
+            "UPDATE objects SET domain = 'dlmf' WHERE title = 'graph'"
+        )
+        assert result.affected == 2
+        rows = session.query("SELECT * FROM objects WHERE domain = 'dlmf'")
+        assert len(rows) == 2
+
+    def test_update_all_rows(self, session) -> None:
+        result = session.execute("UPDATE objects SET active = FALSE")
+        assert result.affected == 4
+
+    def test_delete(self, session) -> None:
+        result = session.execute("DELETE FROM objects WHERE domain = 'mathworld'")
+        assert result.affected == 1
+        assert session.execute("SELECT COUNT(*) FROM objects").scalar == 3
+
+    def test_insert_duplicate_pk(self, session) -> None:
+        with pytest.raises(DuplicateKeyError):
+            session.execute(
+                "INSERT INTO objects (object_id, title) VALUES (1, 'dup')"
+            )
+
+    def test_insert_respects_schema(self, session) -> None:
+        with pytest.raises(SchemaError):
+            session.execute(
+                "INSERT INTO objects (object_id, title) VALUES (9, 42)"
+            )
+
+    def test_drop_table(self, session) -> None:
+        session.execute("DROP TABLE objects")
+        with pytest.raises(StorageError):
+            session.query("SELECT * FROM objects")
+        session.execute("DROP TABLE IF EXISTS objects")  # no error
+
+    def test_create_if_not_exists(self, session) -> None:
+        session.execute(
+            "CREATE TABLE IF NOT EXISTS objects (x INT, PRIMARY KEY (x))"
+        )
+        # The original table with 4 rows survives.
+        assert session.execute("SELECT COUNT(*) FROM objects").scalar == 4
+
+
+class TestPersistence:
+    def test_sql_mutations_survive_restart(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        execute(db, "CREATE TABLE t (id INT, v TEXT, PRIMARY KEY (id))")
+        execute(db, "INSERT INTO t (id, v) VALUES (1, 'a'), (2, 'b')")
+        execute(db, "UPDATE t SET v = 'z' WHERE id = 2")
+        execute(db, "DELETE FROM t WHERE id = 1")
+        db.close()
+        reopened = Database(path)
+        rows = execute(reopened, "SELECT * FROM t").rows
+        assert rows == [{"id": 2, "v": "z"}]
+        reopened.close()
+
+    def test_drop_table_replayed(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        execute(db, "CREATE TABLE t (id INT, PRIMARY KEY (id))")
+        execute(db, "DROP TABLE t")
+        db.close()
+        reopened = Database(path)
+        assert not reopened.has_table("t")
+        reopened.close()
+
+
+@given(st.text(alphabet="abcxyz' ()=,", max_size=30))
+def test_lexer_never_crashes_uncontrolled(text: str) -> None:
+    """Arbitrary garbage either tokenizes or raises SqlSyntaxError."""
+    try:
+        tokenize(text)
+    except SqlSyntaxError:
+        pass
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.sampled_from(["a", "b", "c"])),
+        max_size=20,
+        unique_by=lambda pair: pair[0],
+    )
+)
+def test_sql_roundtrip_matches_native_api(rows: list[tuple[int, str]]) -> None:
+    """Inserting via SQL and via the native API yield identical tables."""
+    sql_db = Database()
+    execute(sql_db, "CREATE TABLE t (id INT, v TEXT, PRIMARY KEY (id))")
+    native_db = Database()
+    from repro.storage.engine import Column, Schema
+
+    native_db.create_table(
+        "t", Schema((Column("id", "int"), Column("v", "str")), "id")
+    )
+    for key, value in rows:
+        execute(sql_db, f"INSERT INTO t (id, v) VALUES ({key}, '{value}')")
+        native_db.insert("t", {"id": key, "v": value})
+    sql_rows = sorted(execute(sql_db, "SELECT * FROM t").rows, key=lambda r: r["id"])
+    native_rows = sorted(native_db.table("t").scan(), key=lambda r: r["id"])
+    assert sql_rows == native_rows

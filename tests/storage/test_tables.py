@@ -1,0 +1,117 @@
+"""Tests for the NNexus table layout and linker round-tripping."""
+
+from repro.core.models import CorpusObject
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+from repro.storage.tables import NNexusStore
+
+
+class TestSaveLoad:
+    def test_object_round_trip(self) -> None:
+        store = NNexusStore()
+        obj = CorpusObject(
+            object_id=7,
+            title="even number",
+            defines=["even number", "even"],
+            synonyms=["even integer"],
+            classes=["11A05"],
+            text="Divisible by two.",
+            domain="planetmath",
+            linking_policy="forbid even\npermit even 11\n",
+        )
+        store.save_object(obj)
+        loaded = store.load_object(7)
+        assert loaded == obj
+
+    def test_missing_object_is_none(self) -> None:
+        assert NNexusStore().load_object(404) is None
+
+    def test_save_replaces_dependents(self) -> None:
+        store = NNexusStore()
+        store.save_object(CorpusObject(1, "a", defines=["alpha"], classes=["05"]))
+        store.save_object(CorpusObject(1, "a", defines=["beta"], classes=["03"]))
+        assert store.concepts_defining("alpha") == []
+        assert store.concepts_defining("beta") == [1]
+        loaded = store.load_object(1)
+        assert loaded.classes == ["03"]
+
+    def test_delete_object_cleans_everything(self) -> None:
+        store = NNexusStore()
+        store.save_object(
+            CorpusObject(1, "a", defines=["alpha"], classes=["05"],
+                         linking_policy="forbid alpha\n")
+        )
+        store.put_cache(1, "<p>x</p>")
+        store.delete_object(1)
+        assert store.load_object(1) is None
+        assert store.concepts_defining("alpha") == []
+        assert store.object_count() == 0
+
+    def test_save_corpus_counts(self) -> None:
+        store = NNexusStore()
+        assert store.save_corpus(sample_corpus()) == 30
+        assert store.object_count() == 30
+
+    def test_concepts_defining_homonyms(self) -> None:
+        store = NNexusStore()
+        store.save_corpus(sample_corpus())
+        assert store.concepts_defining("graph") == [5, 6]
+
+
+class TestPolicyAndCache:
+    def test_set_policy(self) -> None:
+        store = NNexusStore()
+        store.save_object(CorpusObject(1, "a", defines=["alpha"]))
+        store.set_policy(1, "forbid alpha\n")
+        assert store.load_object(1).linking_policy == "forbid alpha\n"
+        store.set_policy(1, "")
+        assert store.load_object(1).linking_policy == ""
+
+    def test_cache_invalidation(self) -> None:
+        store = NNexusStore()
+        store.save_object(CorpusObject(1, "a", defines=["alpha"]))
+        store.put_cache(1, "<p>x</p>")
+        store.invalidate_cache([1, 99])
+        row = store.database.table("cache").get(1)
+        assert row["valid"] is False
+
+
+class TestLinkerRoundTrip:
+    def test_rebuild_linker_from_store(self) -> None:
+        store = NNexusStore()
+        store.save_corpus(sample_corpus())
+        linker = store.build_linker(scheme=build_small_msc())
+        assert len(linker) == 30
+        document = linker.link_text("every planar graph", source_classes=["05C10"])
+        assert [l.target_id for l in document.links] == [2]
+
+    def test_policies_survive_round_trip(self) -> None:
+        store = NNexusStore()
+        store.save_corpus(sample_corpus())
+        linker = store.build_linker(scheme=build_small_msc())
+        doc = linker.link_text("even so it holds", source_classes=["05C99"])
+        assert all(l.source_phrase != "even" for l in doc.links)
+
+
+class TestPersistentStore:
+    def test_reopen_from_disk(self, tmp_path) -> None:
+        path = tmp_path / "store"
+        store = NNexusStore(path)
+        store.save_corpus(sample_corpus())
+        store.checkpoint()
+        store.close()
+
+        reopened = NNexusStore(path)
+        assert reopened.object_count() == 30
+        assert reopened.load_object(5).title == "graph"
+        reopened.close()
+
+    def test_fresh_ids_continue_after_reopen(self, tmp_path) -> None:
+        path = tmp_path / "store"
+        store = NNexusStore(path)
+        store.save_object(CorpusObject(1, "a", defines=["alpha"], classes=["05"]))
+        store.close()
+        reopened = NNexusStore(path)
+        reopened.save_object(CorpusObject(2, "b", defines=["beta"], classes=["03"]))
+        assert reopened.concepts_defining("beta") == [2]
+        reopened.close()
