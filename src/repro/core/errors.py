@@ -63,6 +63,23 @@ class ProtocolError(NNexusError):
     """An XML request or response violates the NNexus wire protocol."""
 
 
+class OverloadedError(NNexusError):
+    """The server shed this request because it is at capacity.
+
+    Transient by construction: the caller should back off and retry.
+    """
+
+    code = "overloaded"
+    retryable = True
+
+
+class DeadlineExceededError(NNexusError):
+    """A request or connection outlived its time budget."""
+
+    code = "deadline"
+    retryable = True
+
+
 class StorageError(NNexusError):
     """Base class for errors raised by the embedded storage engine."""
 

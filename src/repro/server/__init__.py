@@ -1,8 +1,22 @@
-"""XML-over-socket API: protocol codec, threaded server, Python client."""
+"""XML-over-socket API: protocol codec, threaded server, Python client.
+
+Hardened for service deployment: readers-writer concurrency, bounded
+admission with load shedding, socket deadlines, a reconnecting client
+with retry/backoff, fault injection for tests, and an HTTP gateway with
+liveness/readiness probes.  See ``docs/wire-protocol.md`` and the
+"Operational hardening" section of ``docs/architecture.md``.
+"""
 
 from repro.server.client import NNexusClient, RemoteError
+from repro.server.faults import Fault, FaultInjector
 from repro.server.http_gateway import NNexusHttpGateway, serve_http
 from repro.server.protocol import Request, Response
+from repro.server.resilience import (
+    AdmissionController,
+    Deadline,
+    ReadersWriterLock,
+    RetryPolicy,
+)
 from repro.server.server import NNexusServer, serve_forever
 
 __all__ = [
@@ -14,4 +28,10 @@ __all__ = [
     "Response",
     "NNexusHttpGateway",
     "serve_http",
+    "ReadersWriterLock",
+    "AdmissionController",
+    "RetryPolicy",
+    "Deadline",
+    "Fault",
+    "FaultInjector",
 ]

@@ -4,6 +4,12 @@
 
     python -m repro.server --port 7070 --sample     # serve the sample corpus
     python -m repro.server --port 7070 --corpus corpus.json
+
+The server runs hardened by default: bounded admission (load past
+``--max-in-flight`` is shed with a retryable ``overloaded`` error),
+idle/request socket deadlines, and a graceful drain on SIGINT.  With
+``--http-port`` the HTTP gateway shares the socket server's
+readers-writer lock and flips ``/ready`` to 503 while draining.
 """
 
 from __future__ import annotations
@@ -28,6 +34,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve the built-in PlanetMath-style sample corpus")
     parser.add_argument("--http-port", type=int, default=0,
                         help="also expose the read-only HTTP/JSON gateway")
+    parser.add_argument("--max-in-flight", type=int, default=64,
+                        help="admission bound; excess requests are shed "
+                             "with a retryable 'overloaded' error")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        help="seconds a started request may take per socket "
+                             "read before the connection is closed")
+    parser.add_argument("--idle-timeout", type=float, default=300.0,
+                        help="seconds a quiet connection is kept open")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        help="seconds to wait for in-flight requests on shutdown")
     args = parser.parse_args(argv)
 
     linker = NNexus(scheme=build_small_msc())
@@ -35,21 +51,42 @@ def main(argv: list[str] | None = None) -> int:
         linker.add_objects(load_corpus(args.corpus))
     elif args.sample:
         linker.add_objects(sample_corpus())
-    server = NNexusServer(linker, host=args.host, port=args.port)
+    server = NNexusServer(
+        linker,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        request_timeout=args.request_timeout,
+        idle_timeout=args.idle_timeout,
+    )
     host, port = server.address
     print(f"nnexus server listening on {host}:{port} "
           f"({len(linker)} objects, {linker.concept_count()} concepts)")
+    gateway = None
     if args.http_port:
         from repro.server.http_gateway import serve_http
 
-        gateway = serve_http(linker, host=args.host, port=args.http_port)
+        gateway = serve_http(
+            linker,
+            host=args.host,
+            port=args.http_port,
+            max_in_flight=args.max_in_flight,
+            rwlock=server.rwlock,
+        )
         print(f"http gateway on {gateway.address[0]}:{gateway.address[1]}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        print("draining in-flight requests ...")
     finally:
-        server.shutdown()
+        if gateway is not None:
+            gateway.set_ready(False)
+        drained = server.shutdown_gracefully(drain_timeout=args.drain_timeout)
+        if gateway is not None:
+            gateway.shutdown()
+            gateway.server_close()
+        if not drained:
+            print("warning: shutdown timed out with requests still in flight")
     return 0
 
 

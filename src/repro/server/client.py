@@ -1,48 +1,169 @@
-"""Python client for the NNexus XML socket protocol."""
+"""Python client for the NNexus XML socket protocol.
+
+The client reconnects and retries: transient failures (connection
+drops, truncated frames, server-advertised retryable errors such as
+``overloaded``) are retried under a configurable
+:class:`~repro.server.resilience.RetryPolicy` — exponential backoff
+with jitter, bounded by an optional total deadline.  Non-retryable
+server errors (``bad-request``, domain errors) surface immediately as
+:class:`RemoteError`.
+"""
 
 from __future__ import annotations
 
 import socket
+import time
 from types import TracebackType
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.core.errors import NNexusError, ProtocolError
+from repro.core.errors import DeadlineExceededError, NNexusError, ProtocolError
 from repro.core.models import CorpusObject
 from repro.server import protocol
+from repro.server.resilience import Deadline, RetryPolicy
 
 __all__ = ["NNexusClient", "RemoteError"]
 
 
 class RemoteError(NNexusError):
-    """The server reported an error for a request."""
+    """The server reported an error for a request.
+
+    ``code`` is the machine-readable error code (``"overloaded"``,
+    ``"deadline"``, ``"bad-request"``, ``"internal"`` or ``""`` when
+    talking to a pre-code server); ``retryable`` is the server's own
+    judgement of whether trying again could succeed.
+    """
+
+    def __init__(self, message: str, code: str = "", retryable: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
 
 
 class NNexusClient:
-    """Blocking client; usable as a context manager.
+    """Blocking, reconnecting client; usable as a context manager.
 
     >>> with NNexusClient(host, port) as client:          # doctest: +SKIP
     ...     client.link_entry("every planar graph ...", classes=["05C10"])
+
+    Parameters
+    ----------
+    host / port / timeout:
+        Server address and per-socket-operation timeout.
+    retry:
+        Retry policy for transient failures.  The default retries twice
+        (three attempts total); pass ``RetryPolicy.none()`` to fail
+        fast, or a policy with ``deadline=...`` to cap the total time
+        spent across attempts.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retry: RetryPolicy | None = None,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+        # Connect eagerly so constructing against a dead address fails
+        # loudly, as the non-reconnecting client always did.
+        self._connect(Deadline(None))
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _connect(self, deadline: Deadline) -> socket.socket:
+        timeout = self._timeout
+        remaining = deadline.remaining()
+        if remaining is not None:
+            if remaining <= 0:
+                raise DeadlineExceededError("client deadline exhausted")
+            timeout = min(timeout, remaining)
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=timeout
+        )
+        return self._sock
+
+    def _mark_broken(self) -> None:
+        """Drop a desynchronized connection so the next call reconnects."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
     def _call(self, request: protocol.Request) -> protocol.Response:
-        self._sock.sendall(protocol.frame(protocol.encode_request(request)))
-        message = protocol.read_frame(self._sock.recv)
+        # Encoding failures are caller bugs, not transport faults: raise
+        # before touching the socket and never retry them.
+        payload = protocol.frame(protocol.encode_request(request))
+        deadline = Deadline(self._retry.deadline)
+        attempt = 0
+        while True:
+            attempt += 1
+            if deadline.expired():
+                raise DeadlineExceededError(
+                    f"deadline exhausted after {attempt - 1} attempt(s)"
+                )
+            try:
+                return self._attempt(payload)
+            except RemoteError as exc:
+                # The transport round-tripped fine — the connection is
+                # healthy.  Retry only what the server marked retryable.
+                if not exc.retryable or attempt >= self._retry.max_attempts:
+                    raise
+            except (ConnectionError, ProtocolError, OSError):
+                self._mark_broken()
+                if attempt >= self._retry.max_attempts:
+                    raise
+            delay = self._retry.backoff(attempt)
+            if not deadline.allows(delay):
+                raise DeadlineExceededError(
+                    f"deadline exhausted after {attempt} attempt(s)"
+                )
+            self._sleep(delay)
+
+    def _attempt(self, payload: bytes) -> protocol.Response:
+        sock = self._sock
+        if sock is None:
+            sock = self._connect(Deadline(None))
+        try:
+            sock.sendall(payload)
+            message = protocol.read_frame(sock.recv)
+        except Exception:
+            # Any transport error mid-call leaves the frame stream in an
+            # unknown state; never reuse this connection.
+            self._mark_broken()
+            raise
         if message is None:
+            self._mark_broken()
             raise ProtocolError("server closed the connection")
-        response = protocol.decode_response(message)
+        try:
+            response = protocol.decode_response(message)
+        except ProtocolError:
+            self._mark_broken()
+            raise
         if not response.ok:
-            raise RemoteError(response.error or "unknown server error")
+            raise RemoteError(
+                response.error or "unknown server error",
+                code=response.code,
+                retryable=response.retryable,
+            )
         return response
 
     def close(self) -> None:
-        """Close the socket."""
-        self._sock.close()
+        """Close the socket; safe to call repeatedly."""
+        self._mark_broken()
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
 
     def __enter__(self) -> "NNexusClient":
         return self

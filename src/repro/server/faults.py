@@ -1,0 +1,133 @@
+"""Fault injection for the NNexus server stack.
+
+A :class:`FaultInjector` is an optional hook the socket server consults
+once per decoded-or-not request.  Tests (and chaos drills) script it
+with rules keyed on the server-wide request sequence number — "drop the
+connection on request 3", "answer request 1 with an injected
+``overloaded``" — and then assert the client's retry machinery rides
+out the failure.
+
+The injector is deliberately transport-level: it can
+
+* **drop** the connection before answering (simulates a crash or an
+  LB kill between request and response),
+* **delay** the response (simulates a slow downstream while the request
+  still occupies an admission slot),
+* **truncate** or **corrupt** the response frame (simulates a
+  half-written write, a misbehaving proxy),
+* **force an error** response with a chosen code/retryable flag
+  (simulates overload or internal failure without creating real load).
+
+Rules fire exactly once and are consumed.  An injector with no rules
+costs one lock-protected counter increment per request, so leaving the
+hook wired in production is harmless; servers default to a shared
+no-op instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["Fault", "FaultInjector"]
+
+_RETRYABLE_CODES = frozenset({"overloaded", "deadline"})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure.
+
+    kind:
+        ``"drop"`` | ``"delay"`` | ``"error"`` | ``"truncate"`` |
+        ``"corrupt"``.
+    code / retryable:
+        For ``"error"`` faults: the error code and whether the injected
+        response advertises itself as retryable.
+    delay:
+        For ``"delay"`` faults: seconds to stall before serving.
+    keep_bytes:
+        For ``"truncate"`` faults: how many bytes of the framed response
+        to send before severing the connection.
+    """
+
+    kind: str
+    code: str = "internal"
+    retryable: bool = False
+    delay: float = 0.0
+    keep_bytes: int = 5
+
+
+class FaultInjector:
+    """Thread-safe scripted faults keyed on the Nth request (1-based)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rules: dict[int, Fault] = {}
+        self._seen = 0
+
+    # ------------------------------------------------------------------
+    # Scripting API (used by tests)
+    # ------------------------------------------------------------------
+    def drop_connection(self, on_request: int) -> "FaultInjector":
+        """Close the connection without answering request N."""
+        return self._add(on_request, Fault("drop"))
+
+    def delay(self, seconds: float, on_request: int) -> "FaultInjector":
+        """Stall request N for ``seconds`` before serving it normally."""
+        return self._add(on_request, Fault("delay", delay=seconds))
+
+    def force_error(
+        self, code: str, on_request: int, retryable: bool | None = None
+    ) -> "FaultInjector":
+        """Answer request N with an injected error response."""
+        if retryable is None:
+            retryable = code in _RETRYABLE_CODES
+        return self._add(on_request, Fault("error", code=code, retryable=retryable))
+
+    def truncate_response(self, on_request: int, keep_bytes: int = 5) -> "FaultInjector":
+        """Send only ``keep_bytes`` of the response frame, then disconnect."""
+        return self._add(on_request, Fault("truncate", keep_bytes=keep_bytes))
+
+    def corrupt_response(self, on_request: int) -> "FaultInjector":
+        """Flip the response frame header into garbage, then disconnect."""
+        return self._add(on_request, Fault("corrupt"))
+
+    def _add(self, on_request: int, fault: Fault) -> "FaultInjector":
+        if on_request < 1:
+            raise ValueError("requests are numbered from 1")
+        with self._lock:
+            self._rules[on_request] = fault
+        return self
+
+    # ------------------------------------------------------------------
+    # Server-side hook
+    # ------------------------------------------------------------------
+    def next(self) -> Fault | None:
+        """Count one request; return the fault scripted for it, if any."""
+        with self._lock:
+            self._seen += 1
+            return self._rules.pop(self._seen, None)
+
+    @property
+    def requests_seen(self) -> int:
+        with self._lock:
+            return self._seen
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._rules)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._rules.clear()
+            self._seen = 0
+
+    def mutate_response(self, fault: Fault, payload: bytes) -> bytes:
+        """Apply a ``truncate``/``corrupt`` fault to a framed response."""
+        if fault.kind == "truncate":
+            return payload[: max(fault.keep_bytes, 0)]
+        if fault.kind == "corrupt":
+            return b"XXXXXXXXXX" + payload[10:]
+        return payload

@@ -8,15 +8,22 @@ plugin or an on-demand text-linking bookmarklet.
 
 Endpoints
 ---------
-``GET  /health``                       -> {"status": "ok"}
+``GET  /health``                       -> {"status": "ok"} (liveness; never shed)
+``GET  /ready``                        -> {"status": "ready"} or 503 (readiness)
 ``GET  /describe``                     -> corpus statistics
 ``POST /link``    {"text", "classes": [...], "format"} -> rendered body + links
 ``POST /annotations`` {"text", "classes": [...]}        -> W3C Web Annotations
 ``GET  /entry/<id>``                   -> entry metadata + rendered HTML
 
-Errors come back as ``{"error": ...}`` with a 4xx status.  The gateway
-shares the linker with whatever else holds it; mutations stay on the XML
-socket API (the write path), keeping this surface read-only.
+Errors come back as ``{"error": ...}`` with a 4xx status.  When more
+than ``max_in_flight`` requests are in flight, or the gateway has been
+marked not-ready (e.g. while draining for shutdown), work is shed with
+**503** and a ``Retry-After`` header instead of queueing unboundedly.
+
+The gateway shares the linker with whatever else holds it; mutations
+stay on the XML socket API (the write path), keeping this surface
+read-only.  Reads run concurrently under a readers-writer lock — pass
+the socket server's ``rwlock`` to coordinate with its write path.
 """
 
 from __future__ import annotations
@@ -28,9 +35,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.core.annotations import document_to_annotations
-from repro.core.errors import NNexusError, UnknownObjectError
+from repro.core.errors import NNexusError, OverloadedError, UnknownObjectError
 from repro.core.linker import NNexus
 from repro.core.render import render_annotations, render_html, render_markdown
+from repro.server.resilience import AdmissionController, ReadersWriterLock
 
 __all__ = ["NNexusHttpGateway", "serve_http"]
 
@@ -55,13 +63,27 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _send_json(self, payload: Any, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Any,
+        status: int = 200,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_unavailable(self, reason: str) -> None:
+        self._send_json(
+            {"error": reason, "retryable": True},
+            status=503,
+            extra_headers={"Retry-After": str(self.server.retry_after)},
+        )
 
     def _read_json(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length", "0"))
@@ -77,17 +99,29 @@ class _Handler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        try:
-            if self.path == "/health":
-                self._send_json({"status": "ok"})
-            elif self.path == "/describe":
-                self._send_json(self.server.describe())
+        # Liveness and readiness answer outside admission control: a
+        # saturated server is still *alive*, and probes must be cheap.
+        if self.path == "/health":
+            self._send_json({"status": "ok"})
+            return
+        if self.path == "/ready":
+            if self.server.ready:
+                self._send_json({"status": "ready"})
             else:
-                match = _ENTRY_PATH.match(self.path)
-                if match:
-                    self._send_json(self.server.entry(int(match.group(1))))
+                self._send_unavailable("not ready")
+            return
+        try:
+            with self.server.admission.admit():
+                if self.path == "/describe":
+                    self._send_json(self.server.describe())
                 else:
-                    self._send_json({"error": f"no route {self.path}"}, status=404)
+                    match = _ENTRY_PATH.match(self.path)
+                    if match:
+                        self._send_json(self.server.entry(int(match.group(1))))
+                    else:
+                        self._send_json({"error": f"no route {self.path}"}, status=404)
+        except OverloadedError as exc:
+            self._send_unavailable(str(exc))
         except UnknownObjectError as exc:
             self._send_json({"error": str(exc)}, status=404)
         except (NNexusError, ValueError) as exc:
@@ -95,13 +129,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
-            payload = self._read_json()
-            if self.path == "/link":
-                self._send_json(self.server.link(payload))
-            elif self.path == "/annotations":
-                self._send_json(self.server.annotations(payload))
-            else:
-                self._send_json({"error": f"no route {self.path}"}, status=404)
+            with self.server.admission.admit():
+                payload = self._read_json()
+                if self.path == "/link":
+                    self._send_json(self.server.link(payload))
+                elif self.path == "/annotations":
+                    self._send_json(self.server.annotations(payload))
+                else:
+                    self._send_json({"error": f"no route {self.path}"}, status=404)
+        except OverloadedError as exc:
+            self._send_unavailable(str(exc))
         except (json.JSONDecodeError, ValueError) as exc:
             self._send_json({"error": str(exc)}, status=400)
         except (NNexusError, KeyError) as exc:
@@ -109,15 +146,43 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class NNexusHttpGateway(ThreadingHTTPServer):
-    """Read-only HTTP facade over a shared linker."""
+    """Read-only HTTP facade over a shared linker.
+
+    Parameters
+    ----------
+    linker:
+        The shared NNexus instance.
+    max_in_flight:
+        Admission bound; excess requests get 503 + ``Retry-After``.
+    retry_after:
+        Seconds advertised in the ``Retry-After`` header when shedding.
+    rwlock:
+        Readers-writer lock guarding linker access.  Pass the socket
+        server's ``rwlock`` when both serve one linker so HTTP reads
+        interleave safely with socket-side mutations; defaults to a
+        private lock.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, linker: NNexus, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        linker: NNexus,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_in_flight: int = 64,
+        retry_after: int = 1,
+        rwlock: ReadersWriterLock | None = None,
+    ) -> None:
         super().__init__((host, port), _Handler)
         self.linker = linker
-        self._lock = threading.Lock()
+        self.admission = AdmissionController(max_in_flight)
+        self.retry_after = retry_after
+        self._rwlock = rwlock if rwlock is not None else ReadersWriterLock()
+        self._ready = threading.Event()
+        self._ready.set()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -125,11 +190,25 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         return str(host), int(port)
 
     # ------------------------------------------------------------------
-    # Operations (locked against concurrent corpus mutation)
+    # Readiness
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set()
+
+    def set_ready(self, ready: bool) -> None:
+        """Flip the readiness probe (e.g. False while draining)."""
+        if ready:
+            self._ready.set()
+        else:
+            self._ready.clear()
+
+    # ------------------------------------------------------------------
+    # Operations (concurrent reads under the readers-writer lock)
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, Any]:
         """Corpus statistics payload."""
-        with self._lock:
+        with self._rwlock.read_lock():
             info = self.linker.describe()
         return {
             "objects": info["objects"],
@@ -145,7 +224,7 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         renderer = _RENDERERS.get(fmt)
         if renderer is None:
             raise ValueError(f"unknown format {fmt!r}")
-        with self._lock:
+        with self._rwlock.read_lock():
             document = self.linker.link_text(text, source_classes=classes)
             body = renderer(document)
         return {
@@ -169,7 +248,7 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         text = str(payload.get("text", ""))
         classes = [str(c) for c in payload.get("classes", [])]
         source_iri = str(payload.get("source", "urn:nnexus:document"))
-        with self._lock:
+        with self._rwlock.read_lock():
             document = self.linker.link_text(text, source_classes=classes)
         items = document_to_annotations(document, source_iri=source_iri)
         return {
@@ -181,7 +260,7 @@ class NNexusHttpGateway(ThreadingHTTPServer):
 
     def entry(self, object_id: int) -> dict[str, Any]:
         """Entry metadata plus its linked HTML rendering."""
-        with self._lock:
+        with self._rwlock.read_lock():
             obj = self.linker.get_object(object_id)
             html = self.linker.render_object(object_id)
         return {
@@ -195,9 +274,15 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         }
 
 
-def serve_http(linker: NNexus, host: str = "127.0.0.1", port: int = 0) -> NNexusHttpGateway:
-    """Start the gateway on a daemon thread; returns the bound server."""
-    gateway = NNexusHttpGateway(linker, host=host, port=port)
+def serve_http(
+    linker: NNexus, host: str = "127.0.0.1", port: int = 0, **kwargs: Any
+) -> NNexusHttpGateway:
+    """Start the gateway on a daemon thread; returns the bound server.
+
+    Keyword arguments are forwarded to :class:`NNexusHttpGateway`
+    (``max_in_flight``, ``retry_after``, ``rwlock``).
+    """
+    gateway = NNexusHttpGateway(linker, host=host, port=port, **kwargs)
     thread = threading.Thread(target=gateway.serve_forever, daemon=True)
     thread.start()
     return gateway

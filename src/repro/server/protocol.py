@@ -48,6 +48,8 @@ __all__ = [
     "object_to_xml",
     "object_from_xml",
     "METHODS",
+    "ERROR_CODES",
+    "RETRYABLE_CODES",
 ]
 
 METHODS = (
@@ -71,6 +73,13 @@ class Request:
     obj: CorpusObject | None = None
 
 
+#: Machine-readable error codes carried on ``status="error"`` responses.
+#: ``overloaded`` and ``deadline`` are transient (safe to retry);
+#: ``bad-request`` and ``internal`` are not.
+ERROR_CODES = ("overloaded", "deadline", "bad-request", "internal")
+RETRYABLE_CODES = frozenset({"overloaded", "deadline"})
+
+
 @dataclass
 class Response:
     status: str
@@ -78,6 +87,8 @@ class Response:
     fields: dict[str, str] = field(default_factory=dict)
     links: list[dict[str, str]] = field(default_factory=list)
     error: str = ""
+    code: str = ""
+    retryable: bool = False
 
     @property
     def ok(self) -> bool:
@@ -169,6 +180,12 @@ def decode_request(xml_text: str) -> Request:
 
 def encode_response(response: Response) -> str:
     root = ET.Element("response", {"status": response.status, "method": response.method})
+    # Error metadata rides as attributes so pre-existing decoders (which
+    # only look at status/method and child elements) stay wire-compatible.
+    if response.code:
+        root.set("code", response.code)
+    if response.retryable:
+        root.set("retryable", "1")
     if response.error:
         ET.SubElement(root, "error").text = response.error
     for key, value in response.fields.items():
@@ -200,6 +217,8 @@ def decode_response(xml_text: str) -> Response:
         fields=fields,
         links=links,
         error=error,
+        code=root.get("code", ""),
+        retryable=root.get("retryable", "") in ("1", "true"),
     )
 
 

@@ -1,0 +1,223 @@
+"""Resilience primitives for the NNexus server stack.
+
+The paper deploys NNexus as a shared service ("all communications with
+NNexus are over socket connections", §3.1) — which means the server
+layer, not the linking algorithm, is the first thing a real deployment
+breaks.  This module collects the small, dependency-free building
+blocks the server and client use to survive that:
+
+* :class:`ReadersWriterLock` — read-mostly concurrency: many
+  ``linkEntry``/``describe`` requests proceed in parallel while corpus
+  mutations (``addObject`` …) get exclusive access.
+* :class:`AdmissionController` — bounded in-flight requests; when the
+  server is saturated new work is shed immediately with a retryable
+  "overloaded" error instead of queueing unboundedly.
+* :class:`RetryPolicy` — client-side exponential backoff with jitter,
+  applied only to retryable failures.
+* :class:`Deadline` — a monotonic time budget threaded through retry
+  loops so a call never outlives its caller's patience.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import OverloadedError
+
+__all__ = [
+    "ReadersWriterLock",
+    "AdmissionController",
+    "RetryPolicy",
+    "Deadline",
+]
+
+
+class ReadersWriterLock:
+    """A writer-preferring readers-writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Arriving writers block *new* readers (writer preference), so
+    a steady stream of ``linkEntry`` traffic cannot starve corpus
+    mutations indefinitely.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- reader side ----------------------------------------------------
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer and self._writers_waiting == 0,
+                timeout=timeout,
+            )
+            if ok:
+                self._readers += 1
+            return ok
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side ----------------------------------------------------
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and self._readers == 0,
+                    timeout=timeout,
+                )
+                if ok:
+                    self._writer = True
+                return ok
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers -----------------------------------------------
+    @contextlib.contextmanager
+    def read_lock(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write_lock(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    @property
+    def readers(self) -> int:
+        with self._cond:
+            return self._readers
+
+
+class AdmissionController:
+    """Bound the number of in-flight requests; shed the overflow.
+
+    Unlike a semaphore, saturation is not a queue: :meth:`admit` raises
+    :class:`~repro.core.errors.OverloadedError` immediately so the
+    caller can return a structured, retryable error while the server
+    still has headroom to finish what it already accepted.
+    """
+
+    def __init__(self, max_in_flight: int = 64) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.max_in_flight = max_in_flight
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._idle = threading.Condition(self._lock)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def try_enter(self) -> bool:
+        with self._lock:
+            if self._in_flight >= self.max_in_flight:
+                return False
+            self._in_flight += 1
+            return True
+
+    def exit(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    @contextlib.contextmanager
+    def admit(self) -> Iterator[None]:
+        if not self.try_enter():
+            raise OverloadedError(
+                f"server is at capacity ({self.max_in_flight} requests in flight)"
+            )
+        try:
+            yield
+        finally:
+            self.exit()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no requests are in flight (for graceful drains)."""
+        with self._lock:
+            return self._idle.wait_for(lambda: self._in_flight == 0, timeout=timeout)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for the reconnecting client.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    call plus at most two retries.  Delays grow as
+    ``base_delay * multiplier**(attempt-1)``, capped at ``max_delay``,
+    then scaled by a random factor in ``[1-jitter, 1]`` so a thundering
+    herd of clients desynchronizes.  ``deadline`` is a total time budget
+    in seconds across *all* attempts (``None`` = unbounded).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        raw = self.base_delay * self.multiplier ** max(attempt - 1, 0)
+        capped = min(raw, self.max_delay)
+        scale = 1.0 - self.jitter * (rng or random).random()
+        return capped * scale
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A policy that never retries (single attempt)."""
+        return cls(max_attempts=1)
+
+
+class Deadline:
+    """A monotonic time budget. ``Deadline(None)`` never expires."""
+
+    def __init__(self, budget: float | None) -> None:
+        self._expires = None if budget is None else time.monotonic() + budget
+
+    def remaining(self) -> float | None:
+        if self._expires is None:
+            return None
+        return self._expires - time.monotonic()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def allows(self, duration: float) -> bool:
+        """True when ``duration`` more seconds fit inside the budget."""
+        remaining = self.remaining()
+        return remaining is None or remaining >= duration

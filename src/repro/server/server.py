@@ -5,6 +5,20 @@ over the XML protocol of :mod:`repro.server.protocol`.  Clients in any
 language can add objects and request linked renderings — the paper's
 "API so that it can be used with any document corpus and with client
 software written in any programming language".
+
+Operational hardening (see ``docs/architecture.md``):
+
+* read-mostly concurrency — ``ping``/``describe``/``linkEntry`` share a
+  readers-writer lock while mutations run exclusively;
+* bounded admission — past ``max_in_flight`` concurrent requests the
+  server sheds load with a retryable ``overloaded`` error;
+* per-connection deadlines — an idle connection is closed after
+  ``idle_timeout``, and once a request starts arriving each socket read
+  must complete within ``request_timeout`` (slow-loris defense);
+* graceful shutdown — :meth:`NNexusServer.shutdown_gracefully` stops
+  accepting, sheds new requests and drains in-flight ones;
+* fault injection — an optional :class:`~repro.server.faults.FaultInjector`
+  lets tests drop connections, corrupt frames or force error codes.
 """
 
 from __future__ import annotations
@@ -12,19 +26,75 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 
-from repro.core.errors import NNexusError, ProtocolError
+from repro.core.errors import (
+    DeadlineExceededError,
+    NNexusError,
+    OverloadedError,
+    ProtocolError,
+)
 from repro.core.linker import NNexus
 from repro.core.render import render_annotations, render_html, render_markdown
 from repro.server import protocol
+from repro.server.faults import FaultInjector
+from repro.server.resilience import AdmissionController, ReadersWriterLock
 
-__all__ = ["NNexusServer", "serve_forever"]
+__all__ = ["NNexusServer", "serve_forever", "READ_METHODS", "WRITE_METHODS"]
 
 _RENDERERS = {
     "html": render_html,
     "markdown": render_markdown,
     "annotations": render_annotations,
 }
+
+#: Methods that only read linker state — they share the read lock.
+READ_METHODS = frozenset({"ping", "describe", "linkEntry"})
+#: Methods that mutate linker state — they take the write lock.
+WRITE_METHODS = frozenset({"addObject", "updateObject", "removeObject", "setPolicy"})
+
+
+def _classify(exc: BaseException) -> tuple[str, bool]:
+    """Map an exception to a (code, retryable) pair for the wire."""
+    if isinstance(exc, OverloadedError):
+        return "overloaded", True
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline", True
+    if isinstance(exc, (ProtocolError, ValueError)):
+        return "bad-request", False
+    if isinstance(exc, NNexusError):
+        return "bad-request", False
+    return "internal", False
+
+
+class _DeadlineRecv:
+    """``recv`` wrapper enforcing the idle/request socket deadlines.
+
+    Between requests the socket may sit quiet for ``idle_timeout``; as
+    soon as the first byte of a frame arrives, every subsequent read
+    must complete within ``request_timeout`` so a trickling writer
+    cannot pin a handler thread forever.
+    """
+
+    def __init__(self, sock: socket.socket, idle: float | None, request: float | None):
+        self._sock = sock
+        self._idle = idle
+        self._request = request
+        self._mid_frame = False
+
+    def reset(self) -> None:
+        self._mid_frame = False
+
+    @property
+    def mid_frame(self) -> bool:
+        return self._mid_frame
+
+    def __call__(self, count: int) -> bytes:
+        self._sock.settimeout(self._request if self._mid_frame else self._idle)
+        chunk = self._sock.recv(count)
+        if chunk:
+            self._mid_frame = True
+        return chunk
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -34,18 +104,72 @@ class _Handler(socketserver.BaseRequestHandler):
 
     def handle(self) -> None:
         sock: socket.socket = self.request
+        recv = _DeadlineRecv(
+            sock, self.server.idle_timeout, self.server.request_timeout
+        )
         while True:
+            recv.reset()
             try:
-                message = protocol.read_frame(sock.recv)
+                message = protocol.read_frame(recv)
+            except TimeoutError:
+                if recv.mid_frame:
+                    # The request started but never finished: tell the
+                    # client its deadline passed (best effort — the
+                    # stream is desynchronized, so close afterwards).
+                    self._try_send(
+                        sock,
+                        protocol.Response(
+                            status="error",
+                            method="unknown",
+                            error="request deadline exceeded",
+                            code="deadline",
+                            retryable=True,
+                        ),
+                    )
+                return
             except (ProtocolError, ConnectionError, OSError):
                 return
             if message is None:
                 return
+
+            fault = self.server.faults.next()
+            if fault is not None and fault.kind == "drop":
+                return
+            if fault is not None and fault.kind == "delay":
+                time.sleep(fault.delay)
+                fault = None
+            if fault is not None and fault.kind == "error":
+                injected = protocol.Response(
+                    status="error",
+                    method="unknown",
+                    error=f"injected {fault.code}",
+                    code=fault.code,
+                    retryable=fault.retryable,
+                )
+                if not self._try_send(sock, injected):
+                    return
+                continue
+
             reply = self.server.dispatch_message(message)
+            payload = protocol.frame(reply)
+            if fault is not None:  # truncate / corrupt, then sever
+                try:
+                    sock.sendall(self.server.faults.mutate_response(fault, payload))
+                except OSError:
+                    pass
+                return
             try:
-                sock.sendall(protocol.frame(reply))
+                sock.sendall(payload)
             except OSError:
                 return
+
+    @staticmethod
+    def _try_send(sock: socket.socket, response: protocol.Response) -> bool:
+        try:
+            sock.sendall(protocol.frame(protocol.encode_response(response)))
+            return True
+        except OSError:
+            return False
 
 
 class NNexusServer(socketserver.ThreadingTCPServer):
@@ -54,23 +178,68 @@ class NNexusServer(socketserver.ThreadingTCPServer):
     Parameters
     ----------
     linker:
-        The shared NNexus instance (mutations are serialized by a lock).
+        The shared NNexus instance.  Read-only methods run concurrently
+        under a readers-writer lock; mutations are exclusive.
     host / port:
         Bind address; port 0 picks a free port (see :attr:`address`).
+    max_in_flight:
+        Admission bound — requests beyond this are shed with a
+        retryable ``overloaded`` error instead of queueing.
+    request_timeout / idle_timeout:
+        Socket deadlines in seconds (``None`` disables): a read that is
+        mid-frame must progress within ``request_timeout``; a quiet
+        connection is dropped after ``idle_timeout``.
+    faults:
+        Optional :class:`~repro.server.faults.FaultInjector` consulted
+        once per request (tests only; the default injector is inert).
     """
 
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, linker: NNexus, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        linker: NNexus,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_in_flight: int = 64,
+        request_timeout: float | None = 30.0,
+        idle_timeout: float | None = 300.0,
+        faults: FaultInjector | None = None,
+    ) -> None:
         super().__init__((host, port), _Handler)
         self.linker = linker
-        self._lock = threading.Lock()
+        self.rwlock = ReadersWriterLock()
+        self.admission = AdmissionController(max_in_flight)
+        self.request_timeout = request_timeout
+        self.idle_timeout = idle_timeout
+        self.faults = faults if faults is not None else FaultInjector()
+        self._draining = threading.Event()
 
     @property
     def address(self) -> tuple[str, int]:
         host, port = self.server_address[:2]
         return str(host), int(port)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown_gracefully(self, drain_timeout: float = 10.0) -> bool:
+        """Stop accepting, shed new requests, drain in-flight ones.
+
+        Returns True when every in-flight request finished within
+        ``drain_timeout``.  The listener is closed either way.
+        """
+        self._draining.set()
+        self.shutdown()
+        drained = self.admission.wait_idle(timeout=drain_timeout)
+        self.server_close()
+        return drained
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -82,8 +251,15 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             request = protocol.decode_request(message)
             method = request.method
             response = self._execute(request)
-        except (NNexusError, ValueError) as exc:
-            response = protocol.Response(status="error", method=method, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
+            code, retryable = _classify(exc)
+            response = protocol.Response(
+                status="error",
+                method=method,
+                error=str(exc) or exc.__class__.__name__,
+                code=code,
+                retryable=retryable,
+            )
         return protocol.encode_response(response)
 
     def _execute(self, request: protocol.Request) -> protocol.Response:
@@ -95,9 +271,20 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             "updateObject": self._update_object,
             "removeObject": self._remove_object,
             "setPolicy": self._set_policy,
-        }[request.method]
-        with self._lock:
-            return handler(request)
+        }.get(request.method)
+        if handler is None:
+            # Unknown methods must answer, not kill the handler thread.
+            raise ProtocolError(f"unknown method {request.method!r}")
+        if self._draining.is_set():
+            raise OverloadedError("server is draining for shutdown")
+        with self.admission.admit():
+            lock = (
+                self.rwlock.read_lock()
+                if request.method in READ_METHODS
+                else self.rwlock.write_lock()
+            )
+            with lock:
+                return handler(request)
 
     def _ping(self, request: protocol.Request) -> protocol.Response:
         return protocol.Response(status="ok", method="ping", fields={"pong": "1"})
@@ -154,8 +341,7 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         )
 
     def _remove_object(self, request: protocol.Request) -> protocol.Response:
-        object_id = int(request.fields.get("objectid", "-1"))
-        invalidated = self.linker.remove_object(object_id)
+        invalidated = self.linker.remove_object(self._require_object_id(request))
         return protocol.Response(
             status="ok",
             method="removeObject",
@@ -163,15 +349,36 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         )
 
     def _set_policy(self, request: protocol.Request) -> protocol.Response:
-        object_id = int(request.fields.get("objectid", "-1"))
+        object_id = self._require_object_id(request)
         policy = request.fields.get("policy", "")
         self.linker.set_linking_policy(object_id, policy)
         return protocol.Response(status="ok", method="setPolicy")
 
+    @staticmethod
+    def _require_object_id(request: protocol.Request) -> int:
+        """A present, integral ``objectid`` — never a fabricated default."""
+        raw = request.fields.get("objectid")
+        if raw is None or not raw.strip():
+            raise ProtocolError(f"{request.method} requires an objectid field")
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ProtocolError(f"bad objectid {raw!r}") from exc
 
-def serve_forever(linker: NNexus, host: str = "127.0.0.1", port: int = 0) -> NNexusServer:
-    """Start a server on a background thread; returns it (bound, running)."""
-    server = NNexusServer(linker, host=host, port=port)
+
+def serve_forever(
+    linker: NNexus,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs: object,
+) -> NNexusServer:
+    """Start a server on a background thread; returns it (bound, running).
+
+    Keyword arguments are forwarded to :class:`NNexusServer`
+    (``max_in_flight``, ``request_timeout``, ``idle_timeout``,
+    ``faults``).
+    """
+    server = NNexusServer(linker, host=host, port=port, **kwargs)  # type: ignore[arg-type]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -1,6 +1,7 @@
 """Stress test: many concurrent clients against one server."""
 
 import threading
+import time
 
 import pytest
 
@@ -80,6 +81,86 @@ def test_parallel_readers(server) -> None:
     assert not errors
     assert len(results) == 120
     assert len(set(results)) == 1  # every reader saw the same resolution
+
+
+def test_parallel_link_requests_overlap(server) -> None:
+    """Two linkEntry requests hold the read lock *simultaneously*.
+
+    With the old single global lock this barrier could never be crossed:
+    one request would block the other and both workers would time out.
+    """
+    barrier = threading.Barrier(2, timeout=5)
+    original = server.linker.link_text
+
+    def rendezvous_link_text(text, source_classes=()):
+        barrier.wait()  # passes only if both requests are inside at once
+        return original(text, source_classes=source_classes)
+
+    server.linker.link_text = rendezvous_link_text
+    host, port = server.address
+    errors: list[Exception] = []
+
+    def worker() -> None:
+        try:
+            with NNexusClient(host, port) as client:
+                client.link_entry("a tree", classes=["05C05"])
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for __ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert not errors
+
+
+def test_writer_excludes_overlapping_readers(server) -> None:
+    """addObject waits for in-flight readers, then runs exclusively."""
+    entered = threading.Event()
+    release = threading.Event()
+    original = server.linker.link_text
+
+    def slow_link_text(text, source_classes=()):
+        entered.set()
+        release.wait(10)
+        return original(text, source_classes=source_classes)
+
+    server.linker.link_text = slow_link_text
+    host, port = server.address
+    events: list[str] = []
+    lock = threading.Lock()
+
+    def reader() -> None:
+        with NNexusClient(host, port) as client:
+            client.link_entry("a tree", classes=["05C05"])
+            with lock:
+                events.append("reader-done")
+
+    def writer() -> None:
+        entered.wait(5)
+        with NNexusClient(host, port) as client:
+            client.add_object(
+                CorpusObject(950, "matching", defines=["matching"],
+                             classes=["05C70"], text="Edge set, no shared ends.")
+            )
+            with lock:
+                events.append("writer-done")
+
+    reader_thread = threading.Thread(target=reader)
+    writer_thread = threading.Thread(target=writer)
+    reader_thread.start()
+    writer_thread.start()
+    assert entered.wait(5)
+    time.sleep(0.3)  # give the writer time to (wrongly) slip past the reader
+    with lock:
+        assert events == []  # writer is parked behind the read lock
+    release.set()
+    reader_thread.join(timeout=10)
+    writer_thread.join(timeout=10)
+    # Client-side completion order between the two sockets is not strict,
+    # but both must have finished once the reader released the lock.
+    assert sorted(events) == ["reader-done", "writer-done"]
 
 
 def test_concurrent_writers_and_readers(server) -> None:

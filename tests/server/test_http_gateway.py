@@ -88,6 +88,80 @@ class TestRoutes:
         assert "html" in payload
 
 
+class TestReadiness:
+    def test_ready_when_serving(self, gateway) -> None:
+        status, payload = get(gateway, "/ready")
+        assert status == 200
+        assert payload == {"status": "ready"}
+
+    def test_not_ready_is_503_with_retry_after(self) -> None:
+        linker = NNexus(scheme=build_small_msc())
+        instance = serve_http(linker)
+        try:
+            instance.set_ready(False)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(instance, "/ready")
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "1"
+            excinfo.value.close()
+            # Liveness stays green: the process is up, just not serving.
+            status, __ = get(instance, "/health")
+            assert status == 200
+            instance.set_ready(True)
+            status, __ = get(instance, "/ready")
+            assert status == 200
+        finally:
+            instance.shutdown()
+            instance.server_close()
+
+
+class TestOverload:
+    def test_saturated_gateway_sheds_with_503(self) -> None:
+        import threading
+
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_objects(sample_corpus())
+        instance = serve_http(linker, max_in_flight=1, retry_after=7)
+        try:
+            entered = threading.Event()
+            release = threading.Event()
+            original = instance.linker.link_text
+
+            def slow_link_text(text, source_classes=()):
+                entered.set()
+                release.wait(10)
+                return original(text, source_classes=source_classes)
+
+            instance.linker.link_text = slow_link_text
+            result: dict = {}
+
+            def occupant() -> None:
+                result["response"] = post(
+                    instance, "/link", {"text": "a tree", "classes": ["05C05"]}
+                )
+
+            thread = threading.Thread(target=occupant)
+            thread.start()
+            assert entered.wait(5)
+            try:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    get(instance, "/describe")
+                assert excinfo.value.code == 503
+                assert excinfo.value.headers["Retry-After"] == "7"
+                payload = json.loads(excinfo.value.read())
+                assert payload["retryable"] is True
+                excinfo.value.close()
+            finally:
+                release.set()
+            thread.join(timeout=10)
+            status, payload = result["response"]
+            assert status == 200
+            assert payload["linkcount"] >= 1
+        finally:
+            instance.shutdown()
+            instance.server_close()
+
+
 class TestErrors:
     def expect_status(self, callable_, expected: int) -> dict:
         with pytest.raises(urllib.error.HTTPError) as excinfo:

@@ -93,6 +93,40 @@ class TestResponseRoundTrip:
         assert not decoded.ok
         assert decoded.error == "duplicate"
 
+    def test_error_code_and_retryable_round_trip(self) -> None:
+        response = Response(
+            status="error",
+            method="ping",
+            error="at capacity",
+            code="overloaded",
+            retryable=True,
+        )
+        decoded = decode_response(encode_response(response))
+        assert decoded.code == "overloaded"
+        assert decoded.retryable
+        assert decoded.error == "at capacity"
+
+    def test_nonretryable_code_round_trip(self) -> None:
+        response = Response(
+            status="error", method="ping", error="nope", code="bad-request"
+        )
+        decoded = decode_response(encode_response(response))
+        assert decoded.code == "bad-request"
+        assert not decoded.retryable
+
+    def test_legacy_response_without_code_decodes(self) -> None:
+        """Responses from pre-code servers default to no-code/non-retryable."""
+        legacy = '<response status="error" method="ping"><error>x</error></response>'
+        decoded = decode_response(legacy)
+        assert decoded.code == ""
+        assert not decoded.retryable
+
+    def test_default_response_emits_no_new_attributes(self) -> None:
+        """Old-shape responses encode byte-identically (wire compatibility)."""
+        encoded = encode_response(Response(status="ok", method="ping"))
+        assert "code" not in encoded
+        assert "retryable" not in encoded
+
 
 class TestFraming:
     def test_frame_read_frame(self) -> None:
