@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Linking benchmark: emit (or validate) the BENCH_linking.json baseline.
+
+Runs the full Fig. 2 pipeline over the deterministic synthetic corpus
+and writes the performance report every later perf PR is judged
+against.  See EXPERIMENTS.md ("Benchmark baseline") for the schema.
+
+Usage::
+
+    python benchmarks/bench_linking.py                      # 1,500 entries
+    python benchmarks/bench_linking.py --smoke              # CI-sized run
+    python benchmarks/bench_linking.py --entries 7132       # paper scale
+    python benchmarks/bench_linking.py --validate BENCH_linking.json
+    python benchmarks/bench_linking.py --overhead           # metrics cost
+
+Not a pytest file on purpose: the shape-asserted benchmark suite lives
+in the ``test_*.py`` files; this is the JSON-emitting trajectory
+harness CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Runnable as a plain script without PYTHONPATH=src.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.bench import (  # noqa: E402
+    SMOKE_ENTRIES,
+    BenchParams,
+    measure_metrics_overhead,
+    run_linking_bench,
+    validate_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python benchmarks/bench_linking.py")
+    parser.add_argument("--entries", type=int, default=1500,
+                        help="corpus size (paper scale: 7132)")
+    parser.add_argument("--seed", type=int, default=20090612)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI-sized run ({SMOKE_ENTRIES} entries)")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="run with the null recorder (no stage timings)")
+    parser.add_argument("--out", type=str, default="BENCH_linking.json",
+                        help="report path ('-' for stdout)")
+    parser.add_argument("--validate", type=str, metavar="PATH", default="",
+                        help="validate an existing report instead of running")
+    parser.add_argument("--overhead", action="store_true",
+                        help="measure metrics-on vs metrics-off cold-pass time")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        report = json.loads(Path(args.validate).read_text(encoding="utf-8"))
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"schema error: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid (schema_version {report['schema_version']})")
+        return 0
+
+    if args.smoke:
+        params = BenchParams.smoke_params(seed=args.seed, metrics=not args.no_metrics)
+    else:
+        params = BenchParams(entries=args.entries, seed=args.seed,
+                             metrics=not args.no_metrics)
+
+    if args.overhead:
+        overhead = measure_metrics_overhead(params)
+        print(json.dumps(overhead, indent=2))
+        return 0
+
+    report = run_linking_bench(params)
+    problems = validate_report(report)
+    if problems:  # the harness must never emit an invalid artifact
+        for problem in problems:
+            print(f"internal schema error: {problem}", file=sys.stderr)
+        return 1
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out == "-":
+        print(text)
+    else:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        throughput = report["throughput"]
+        print(
+            f"wrote {args.out}: {report['corpus']['objects']} entries, "
+            f"{throughput['tokens_per_sec']:,.0f} tokens/sec, "
+            f"{throughput['links_per_sec']:,.0f} links/sec, "
+            f"cache hit rate {report['cache']['hit_rate']:.3f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,10 @@ def _build_linker(corpus_path: str | None) -> NNexus:
 
 def _cmd_link(args: argparse.Namespace) -> int:
     linker = _build_linker(args.corpus)
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        linker.metrics = MetricsRegistry()
     text = Path(args.file).read_text(encoding="utf-8")
     classes = [c for c in (args.classes or "").split(",") if c]
     document = linker.link_text(text, source_classes=classes)
@@ -57,6 +61,16 @@ def _cmd_link(args: argparse.Namespace) -> int:
         f"\n-- {document.link_count} links over {len(linker)} entries",
         file=sys.stderr,
     )
+    if args.metrics:
+        for series in linker.metrics_snapshot()["histograms"]:
+            stage = series["labels"].get("stage", series["name"])
+            print(
+                f"-- stage {stage}: p50={series['p50'] * 1000:.3f}ms "
+                f"p95={series['p95'] * 1000:.3f}ms "
+                f"p99={series['p99'] * 1000:.3f}ms "
+                f"(n={series['count']})",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -149,6 +163,8 @@ def main(argv: list[str] | None = None) -> int:
     link.add_argument("--corpus", default="", help="JSON corpus (default: sample)")
     link.add_argument("--classes", default="", help="comma-separated source classes")
     link.add_argument("--format", choices=sorted(_RENDERERS), default="markdown")
+    link.add_argument("--metrics", action="store_true",
+                      help="print per-stage pipeline timings to stderr")
     link.set_defaults(handler=_cmd_link)
 
     batch = commands.add_parser("batch", help="link every corpus entry offline")

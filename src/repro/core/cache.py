@@ -4,90 +4,122 @@ After the invalidation index identifies which entries may link to a newly
 added concept, those entries are marked dirty in the cache table so they
 are re-linked before being displayed again — linking work is deferred to
 the next view instead of being done eagerly for the whole corpus.
+
+Entries are keyed by ``(object_id, fmt)``: an entry rendered as HTML and
+as Markdown occupies two cache slots that are *invalidated and dropped
+together* (invalidation is per object — a corpus change stales every
+rendering of the affected entry, whatever its format).
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-__all__ = ["CacheEntry", "RenderCache"]
+__all__ = ["CacheEntry", "RenderCache", "DEFAULT_FORMAT"]
+
+#: Format assumed when callers don't say (the common HTML path).
+DEFAULT_FORMAT = "html"
 
 
 @dataclass
 class CacheEntry:
-    """One cached rendering of an entry."""
+    """One cached rendering of an entry in one format."""
 
     object_id: int
     rendered: str
     valid: bool = True
     version: int = 0
+    fmt: str = DEFAULT_FORMAT
 
 
 class RenderCache:
-    """Object-id-keyed cache of rendered (linked) entries.
+    """``(object_id, fmt)``-keyed cache of rendered (linked) entries.
 
     The cache never renders by itself; callers supply a ``render``
     callable to :meth:`get_or_render` so the cache stays independent of
     the linker.  Hit/miss/invalidation counters support the scalability
-    experiments.
+    experiments and are exported through the metrics snapshot.
     """
 
     def __init__(self) -> None:
-        self._entries: dict[int, CacheEntry] = {}
+        self._entries: dict[tuple[int, str], CacheEntry] = {}
+        # object id -> formats cached for it, so per-object invalidation
+        # and removal touch every format without scanning the table.
+        self._formats: dict[int, set[str]] = defaultdict(set)
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
-    def put(self, object_id: int, rendered: str) -> CacheEntry:
-        """Store a fresh rendering, bumping the entry's version."""
-        previous = self._entries.get(object_id)
+    def put(self, object_id: int, rendered: str, fmt: str = DEFAULT_FORMAT) -> CacheEntry:
+        """Store a fresh rendering, bumping that (id, fmt) slot's version."""
+        key = (object_id, fmt)
+        previous = self._entries.get(key)
         version = previous.version + 1 if previous else 1
-        entry = CacheEntry(object_id=object_id, rendered=rendered, valid=True, version=version)
-        self._entries[object_id] = entry
+        entry = CacheEntry(
+            object_id=object_id, rendered=rendered, valid=True, version=version, fmt=fmt
+        )
+        self._entries[key] = entry
+        self._formats[object_id].add(fmt)
         return entry
 
-    def get(self, object_id: int) -> str | None:
+    def get(self, object_id: int, fmt: str = DEFAULT_FORMAT) -> str | None:
         """Cached rendering if present *and* still valid."""
-        entry = self._entries.get(object_id)
+        entry = self._entries.get((object_id, fmt))
         if entry is None or not entry.valid:
             self.misses += 1
             return None
         self.hits += 1
         return entry.rendered
 
-    def get_or_render(self, object_id: int, render: Callable[[int], str]) -> str:
+    def get_or_render(
+        self,
+        object_id: int,
+        render: Callable[[int], str],
+        fmt: str = DEFAULT_FORMAT,
+    ) -> str:
         """Serve from cache, re-rendering (and storing) on miss/dirty."""
-        cached = self.get(object_id)
+        cached = self.get(object_id, fmt)
         if cached is not None:
             return cached
         rendered = render(object_id)
-        self.put(object_id, rendered)
+        self.put(object_id, rendered, fmt)
         return rendered
 
     def invalidate(self, object_ids: Iterable[int]) -> int:
-        """Mark entries dirty; returns how many were actually valid."""
+        """Mark every cached format of each id dirty; returns entries flipped."""
         flipped = 0
         for object_id in object_ids:
-            entry = self._entries.get(object_id)
-            if entry is not None and entry.valid:
-                entry.valid = False
-                flipped += 1
-                self.invalidations += 1
+            for fmt in self._formats.get(object_id, ()):
+                entry = self._entries.get((object_id, fmt))
+                if entry is not None and entry.valid:
+                    entry.valid = False
+                    flipped += 1
+                    self.invalidations += 1
         return flipped
 
     def drop(self, object_id: int) -> None:
-        """Forget an entry entirely (e.g. after object removal)."""
-        self._entries.pop(object_id, None)
+        """Forget an entry's every format (e.g. after object removal)."""
+        for fmt in self._formats.pop(object_id, ()):
+            self._entries.pop((object_id, fmt), None)
 
     def invalid_ids(self) -> list[int]:
-        """Entries awaiting re-linking."""
-        return sorted(oid for oid, entry in self._entries.items() if not entry.valid)
+        """Object ids with at least one rendering awaiting re-linking."""
+        return sorted({key[0] for key, entry in self._entries.items() if not entry.valid})
 
-    def is_valid(self, object_id: int) -> bool:
-        """True when a clean rendering is cached for this id."""
-        entry = self._entries.get(object_id)
+    def invalid_keys(self) -> list[tuple[int, str]]:
+        """Every dirty ``(object_id, fmt)`` slot, sorted."""
+        return sorted(key for key, entry in self._entries.items() if not entry.valid)
+
+    def is_valid(self, object_id: int, fmt: str = DEFAULT_FORMAT) -> bool:
+        """True when a clean rendering is cached for this id and format."""
+        entry = self._entries.get((object_id, fmt))
         return entry is not None and entry.valid
+
+    def formats_for(self, object_id: int) -> frozenset[str]:
+        """Formats currently cached (valid or dirty) for an entry."""
+        return frozenset(self._formats.get(object_id, ()))
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -95,3 +127,13 @@ class RenderCache:
     def clear(self) -> None:
         """Empty the cache (counters are preserved)."""
         self._entries.clear()
+        self._formats.clear()
+
+    def counter_snapshot(self) -> dict[str, int]:
+        """Hit/miss/invalidation totals for the metrics exporter."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+        }

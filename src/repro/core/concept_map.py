@@ -13,14 +13,17 @@ steering later disambiguates.
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.core.models import ConceptLabel
 from repro.core.morphology import canonicalize_phrase
 
 __all__ = ["ConceptChain", "ConceptMap"]
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -30,17 +33,40 @@ class ConceptChain:
     ``labels`` maps the canonical word tuple to the set of defining object
     ids; ``by_length`` caches the distinct label lengths in descending
     order so the matcher can try the longest phrase first (Section 2.2:
-    "NNexus always performs the longest phrase match").
+    "NNexus always performs the longest phrase match").  The list is
+    maintained incrementally as labels are checked in and out — the
+    matcher never rebuilds it per probe.
     """
 
-    labels: dict[tuple[str, ...], set[int]]
+    labels: dict[tuple[str, ...], set[int]] = field(default_factory=dict)
+    by_length: list[int] = field(default_factory=list)
+    # How many distinct labels currently have each length; drives the
+    # incremental maintenance of ``by_length``.
+    _length_counts: dict[int, int] = field(default_factory=dict, repr=False)
 
     def lengths_descending(self) -> list[int]:
-        return sorted({len(words) for words in self.labels}, reverse=True)
+        return self.by_length
 
     def longest(self) -> int:
-        """Length of the longest label in this chain."""
-        return max(len(words) for words in self.labels)
+        """Length of the longest label in this chain (0 when empty)."""
+        return self.by_length[0] if self.by_length else 0
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (called by ConceptMap only)
+    # ------------------------------------------------------------------
+    def _note_label_added(self, length: int) -> None:
+        count = self._length_counts.get(length, 0)
+        self._length_counts[length] = count + 1
+        if count == 0:
+            bisect.insort(self.by_length, length, key=lambda value: -value)
+
+    def _note_label_removed(self, length: int) -> None:
+        count = self._length_counts.get(length, 0) - 1
+        if count > 0:
+            self._length_counts[length] = count
+        elif count == 0:
+            del self._length_counts[length]
+            self.by_length.remove(length)
 
 
 class ConceptMap:
@@ -52,7 +78,7 @@ class ConceptMap:
     """
 
     def __init__(self) -> None:
-        self._chains: dict[str, dict[tuple[str, ...], set[int]]] = {}
+        self._chains: dict[str, ConceptChain] = {}
         # Reverse index: object id -> canonical labels it was checked in
         # under, so objects can be removed/updated in O(own labels).
         self._object_labels: dict[int, set[tuple[str, ...]]] = defaultdict(set)
@@ -74,30 +100,41 @@ class ConceptMap:
 
     def add_canonical(self, words: tuple[str, ...], object_id: int) -> None:
         """Index an already-canonical label for ``object_id``."""
-        chain = self._chains.setdefault(words[0], {})
-        chain.setdefault(words, set()).add(object_id)
+        chain = self._chains.get(words[0])
+        if chain is None:
+            chain = self._chains[words[0]] = ConceptChain()
+        owners = chain.labels.get(words)
+        if owners is None:
+            chain.labels[words] = {object_id}
+            chain._note_label_added(len(words))
+        else:
+            owners.add(object_id)
         self._object_labels[object_id].add(words)
 
     def remove_object(self, object_id: int) -> set[tuple[str, ...]]:
         """Drop every label registered by ``object_id``.
 
         Returns the canonical labels that no longer have *any* defining
-        object (the set of concepts that vanished from the corpus — the
-        invalidation index needs these).
+        object (the set of concepts that vanished from the corpus).
+        Note that cache invalidation must consider *every* label the
+        object defined, not just the vanished ones — a homonymous label
+        kept alive by another owner still changes link targets; see
+        ``NNexus.remove_object``.
         """
         removed_entirely: set[tuple[str, ...]] = set()
         for words in self._object_labels.pop(object_id, set()):
             chain = self._chains.get(words[0])
             if chain is None:
                 continue
-            owners = chain.get(words)
+            owners = chain.labels.get(words)
             if owners is None:
                 continue
             owners.discard(object_id)
             if not owners:
-                del chain[words]
+                del chain.labels[words]
+                chain._note_label_removed(len(words))
                 removed_entirely.add(words)
-            if not chain:
+            if not chain.labels:
                 del self._chains[words[0]]
         return removed_entirely
 
@@ -106,40 +143,61 @@ class ConceptMap:
     # ------------------------------------------------------------------
     def chain_for(self, first_word: str) -> ConceptChain | None:
         """The chain of labels starting with ``first_word``, if any."""
-        chain = self._chains.get(first_word)
-        if chain is None:
-            return None
-        return ConceptChain(labels=chain)
+        return self._chains.get(first_word)
 
-    def longest_match(
-        self, words: Sequence[str], position: int
-    ) -> tuple[tuple[str, ...], frozenset[int]] | None:
-        """Longest concept label matching ``words`` at ``position``.
+    def probe_longest(
+        self,
+        words: Sequence[str],
+        position: int,
+        accept: Callable[[tuple[str, ...], set[int]], _T | None],
+    ) -> _T | None:
+        """Longest-first probe at ``position`` — the one scan-step loop.
 
-        Implements the scan step of Section 2.2: probe the chained hash
-        with the word at ``position``; if it heads any indexed label, try
-        the longest label first, then progressively shorter ones.
+        Implements the scan step of Section 2.2 once for every caller:
+        probe the chained hash with the word at ``position``; if it
+        heads any indexed label, try labels longest-first (over the
+        chain's precomputed descending length list) and hand each
+        ``(label_words, owners)`` hit to ``accept``.  The first
+        non-``None`` result wins; returning ``None`` from ``accept``
+        moves on to the next-shorter label (how the matcher skips
+        already-linked or fully-excluded labels).
         """
         chain = self._chains.get(words[position])
         if chain is None:
             return None
         remaining = len(words) - position
-        for length in sorted({len(label) for label in chain}, reverse=True):
+        labels = chain.labels
+        for length in chain.by_length:
             if length > remaining:
                 continue
-            candidate = tuple(words[position : position + length])
-            owners = chain.get(candidate)
-            if owners:
-                return candidate, frozenset(owners)
+            label_words = tuple(words[position : position + length])
+            owners = labels.get(label_words)
+            if not owners:
+                continue
+            result = accept(label_words, owners)
+            if result is not None:
+                return result
         return None
+
+    def longest_match(
+        self, words: Sequence[str], position: int
+    ) -> tuple[tuple[str, ...], frozenset[int]] | None:
+        """Longest concept label matching ``words`` at ``position``."""
+        return self.probe_longest(
+            words,
+            position,
+            lambda label_words, owners: (label_words, frozenset(owners)),
+        )
 
     def owners(self, phrase: str) -> frozenset[int]:
         """Objects defining ``phrase`` (canonicalized before lookup)."""
         words = canonicalize_phrase(phrase)
         if not words:
             return frozenset()
-        chain = self._chains.get(words[0], {})
-        return frozenset(chain.get(words, set()))
+        chain = self._chains.get(words[0])
+        if chain is None:
+            return frozenset()
+        return frozenset(chain.labels.get(words, set()))
 
     def labels_for_object(self, object_id: int) -> frozenset[tuple[str, ...]]:
         """Canonical labels currently registered by ``object_id``."""
@@ -148,7 +206,7 @@ class ConceptMap:
     def concept_labels(self) -> Iterator[ConceptLabel]:
         """Iterate every (label, object) pair in the map."""
         for chain in self._chains.values():
-            for words, owners in chain.items():
+            for words, owners in chain.labels.items():
                 for object_id in owners:
                     yield ConceptLabel(words=words, raw=" ".join(words), object_id=object_id)
 
@@ -160,7 +218,7 @@ class ConceptMap:
 
     def __len__(self) -> int:
         """Number of distinct canonical labels indexed."""
-        return sum(len(chain) for chain in self._chains.values())
+        return sum(len(chain.labels) for chain in self._chains.values())
 
     @property
     def first_word_count(self) -> int:
@@ -173,7 +231,7 @@ class ConceptMap:
 
     def stats(self) -> dict[str, int | float]:
         """Index-shape statistics (useful in scalability experiments)."""
-        chain_sizes = [len(chain) for chain in self._chains.values()]
+        chain_sizes = [len(chain.labels) for chain in self._chains.values()]
         label_count = sum(chain_sizes)
         return {
             "labels": label_count,
@@ -181,6 +239,9 @@ class ConceptMap:
             "objects": len(self._object_labels),
             "max_chain": max(chain_sizes, default=0),
             "mean_chain": (label_count / len(chain_sizes)) if chain_sizes else 0.0,
+            "max_label_len": max(
+                (chain.longest() for chain in self._chains.values()), default=0
+            ),
         }
 
     def bulk_load(self, phrases: Iterable[tuple[str, int]]) -> None:

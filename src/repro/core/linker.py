@@ -23,7 +23,8 @@ may need re-linking.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from time import perf_counter
+from typing import Any, Iterable, Sequence
 
 from repro.core.cache import RenderCache
 from repro.core.classification import ClassificationGraph, ClassificationSteering
@@ -36,6 +37,7 @@ from repro.core.models import CorpusObject, Link, LinkedDocument, Match
 from repro.core.policies import LinkingPolicyTable
 from repro.core.render import render_annotations, render_html, render_markdown
 from repro.core.tokenizer import Tokenizer
+from repro.obs.metrics import NULL_RECORDER, NullRecorder, merge_series
 from repro.ontology.scheme import ClassificationScheme
 
 __all__ = ["NNexus", "LinkerStats", "MatchExplanation"]
@@ -112,6 +114,11 @@ class NNexus:
         Run Johnson's all-pairs shortest paths at startup (the paper's
         behaviour); otherwise distances are computed lazily per source
         class and memoized.
+    metrics:
+        A metrics recorder (see :mod:`repro.obs.metrics`).  Defaults to
+        the inert :data:`~repro.obs.metrics.NULL_RECORDER`; pass a
+        :class:`~repro.obs.metrics.MetricsRegistry` to record per-stage
+        pipeline timings and link counters.
     """
 
     def __init__(
@@ -121,12 +128,16 @@ class NNexus:
         enable_steering: bool = True,
         enable_policies: bool = True,
         precompute_distances: bool = False,
+        metrics: NullRecorder | None = None,
     ) -> None:
         self.config = config or NNexusConfig()
         self.scheme = scheme
         self.enable_steering = enable_steering and scheme is not None
         self.enable_policies = enable_policies
         self.stats = LinkerStats()
+        #: Metrics recorder shared with the server stack; the default
+        #: null recorder makes every instrumentation point a no-op.
+        self.metrics = metrics if metrics is not None else NULL_RECORDER
         #: Optional composite ranker (see :mod:`repro.core.ranking`);
         #: when set, it replaces steering + tie-breaks for ambiguous
         #: matches.  Attach with :meth:`set_ranker`.
@@ -204,15 +215,23 @@ class NNexus:
             self.add_object(obj)
 
     def remove_object(self, object_id: int) -> set[int]:
-        """Unregister an entry; invalidate entries that linked to it."""
+        """Unregister an entry; invalidate entries that linked to it.
+
+        Every label the object *defined* drives invalidation, not just
+        the labels that vanished from the corpus entirely: when a
+        homonymous label survives under another owner, entries that
+        linked to the removed object must still be re-linked or their
+        cached renderings keep hyperlinking a deleted target.
+        """
         obj = self._objects.pop(object_id, None)
         if obj is None:
             raise UnknownObjectError(object_id)
-        vanished = self._concept_map.remove_object(object_id)
+        defined = self._concept_map.labels_for_object(object_id)
+        self._concept_map.remove_object(object_id)
         self._policies.remove(object_id)
         self._invalidation.remove_object(object_id)
         self._cache.drop(object_id)
-        invalidated = self._invalidation.invalidate_many(vanished)
+        invalidated = self._invalidation.invalidate_many(defined)
         invalidated.discard(object_id)
         self._cache.invalidate(invalidated)
         return invalidated
@@ -294,20 +313,33 @@ class NNexus:
         stored entry so an attached composite ranker can use its
         collaborative-filtering profile.
         """
+        rec = self.metrics
+        stage_acc: dict[str, float] | None = None
+        if rec.enabled:
+            stage_acc = {"policy": 0.0, "steer": 0.0}
+            stage_start = perf_counter()
         tokenized = self._tokenizer.tokenize(text)
+        if rec.enabled:
+            now = perf_counter()
+            rec.observe("nnexus_pipeline_stage_seconds", now - stage_start, stage="tokenize")
+            stage_start = now
         matches = find_matches(
             tokenized,
             self._concept_map,
             first_occurrence_only=self.config.link_first_occurrence_only,
             exclude_objects=exclude_objects,
         )
+        if rec.enabled:
+            rec.observe(
+                "nnexus_pipeline_stage_seconds", perf_counter() - stage_start, stage="match"
+            )
         document = LinkedDocument(
             source_text=text,
             matches=matches,
             escaped_regions=list(tokenized.escaped_regions),
         )
         for match in matches:
-            target_id = self._resolve(match, source_classes, source_id)
+            target_id = self._resolve(match, source_classes, source_id, stage_acc)
             if target_id is None:
                 continue
             target = self._objects[target_id]
@@ -328,6 +360,12 @@ class NNexus:
         self.stats.entries_linked += 1
         self.stats.matches_found += len(matches)
         self.stats.links_created += len(document.links)
+        if rec.enabled and stage_acc is not None:
+            rec.observe("nnexus_pipeline_stage_seconds", stage_acc["policy"], stage="policy")
+            rec.observe("nnexus_pipeline_stage_seconds", stage_acc["steer"], stage="steer")
+            rec.inc("nnexus_link_requests_total")
+            rec.inc("nnexus_matches_found_total", len(matches))
+            rec.inc("nnexus_links_created_total", len(document.links))
         return document
 
     def _resolve(
@@ -335,13 +373,24 @@ class NNexus:
         match: Match,
         source_classes: Sequence[str],
         source_id: int | None = None,
+        stage_acc: dict[str, float] | None = None,
     ) -> int | None:
-        """Candidate filtering + steering + tie-breaking for one match."""
+        """Candidate filtering + steering + tie-breaking for one match.
+
+        ``stage_acc`` is a per-call accumulator (local to one
+        ``link_text`` invocation, hence thread-safe) collecting policy
+        and steering wall time; ``link_text`` observes the totals once
+        per entry.
+        """
         candidates: tuple[int, ...] = match.candidates
         if self.enable_policies:
+            if stage_acc is not None:
+                policy_start = perf_counter()
             filtered = self._policies.filter_candidates(
                 candidates, match.label.words, source_classes
             )
+            if stage_acc is not None:
+                stage_acc["policy"] += perf_counter() - policy_start
             self.stats.candidates_filtered_by_policy += len(candidates) - len(filtered)
             candidates = filtered
         if not candidates:
@@ -355,10 +404,14 @@ class NNexus:
                 {oid: self._objects[oid].classes for oid in candidates},
             )
         if self.enable_steering and self._steering is not None:
+            if stage_acc is not None:
+                steer_start = perf_counter()
             result = self._steering.steer(
                 source_classes,
                 {oid: self._objects[oid].classes for oid in candidates},
             )
+            if stage_acc is not None:
+                stage_acc["steer"] += perf_counter() - steer_start
             winners = result.winners
         else:
             winners = candidates
@@ -460,33 +513,52 @@ class NNexus:
     # Rendering and caching
     # ------------------------------------------------------------------
     def render_object(self, object_id: int, fmt: str = "html") -> str:
-        """Linked rendering of a stored entry, served through the cache."""
+        """Linked rendering of a stored entry, served through the cache.
+
+        The cache is keyed by ``(object_id, fmt)``: every format is
+        cached, and the invalidation machinery dirties and drops all of
+        an entry's formats together.
+        """
         renderer = _RENDERERS.get(fmt)
         if renderer is None:
             raise ValueError(f"unknown render format {fmt!r}")
 
         def render(oid: int) -> str:
-            return renderer(self.link_object(oid))
+            document = self.link_object(oid)
+            rec = self.metrics
+            if rec.enabled:
+                render_start = perf_counter()
+                rendered = renderer(document)
+                rec.observe(
+                    "nnexus_pipeline_stage_seconds",
+                    perf_counter() - render_start,
+                    stage="render",
+                )
+                return rendered
+            return renderer(document)
 
-        # The cache key must separate formats; fold fmt into a shadow id
-        # space only when non-default to keep plain usage simple.
-        if fmt == "html":
-            return self._cache.get_or_render(object_id, render)
-        return renderer(self.link_object(object_id))
+        return self._cache.get_or_render(object_id, render, fmt=fmt)
 
     def invalid_entries(self) -> list[int]:
         """Entries marked for re-linking by the invalidation machinery."""
         return self._cache.invalid_ids()
 
     def relink_invalidated(self) -> dict[int, str]:
-        """Re-render every dirty cache entry; returns id -> fresh HTML."""
+        """Re-render every dirty cache slot; returns id -> fresh rendering.
+
+        Each dirty ``(object_id, fmt)`` slot is refreshed in its own
+        format.  The returned mapping carries one rendering per entry —
+        the HTML one when HTML was among the refreshed formats (the
+        common case and the historical return value).
+        """
         refreshed: dict[int, str] = {}
-        for object_id in self.invalid_entries():
-            if object_id in self._objects:
-                refreshed[object_id] = render_html(self.link_object(object_id))
-                self._cache.put(object_id, refreshed[object_id])
-            else:
+        for object_id, fmt in self._cache.invalid_keys():
+            if object_id not in self._objects:
                 self._cache.drop(object_id)
+                continue
+            rendered = self.render_object(object_id, fmt=fmt)
+            if fmt == "html" or object_id not in refreshed:
+                refreshed[object_id] = rendered
         return refreshed
 
     # ------------------------------------------------------------------
@@ -526,6 +598,34 @@ class NNexus:
             "policies_enabled": self.enable_policies,
             "stats": self.stats.snapshot(),
         }
+
+    def metrics_snapshot(self) -> dict[str, list[dict[str, Any]]]:
+        """Unified metrics view: recorder series + cache and corpus series.
+
+        The render cache and linker keep plain-int counters of their
+        own (zero overhead on the hot path); they are folded into the
+        recorder snapshot here, at scrape time, so ``getMetrics`` and
+        the gateway's ``/metrics`` endpoint expose one consistent set
+        even when the null recorder is installed.
+        """
+        cache = self._cache.counter_snapshot()
+        stats = self.stats.snapshot()
+        return merge_series(
+            self.metrics.snapshot(),
+            counters=[
+                ("nnexus_cache_hits_total", {}, cache["hits"]),
+                ("nnexus_cache_misses_total", {}, cache["misses"]),
+                ("nnexus_cache_invalidations_total", {}, cache["invalidations"]),
+                ("nnexus_entries_linked_total", {}, stats["entries_linked"]),
+                ("nnexus_links_total", {}, stats["links_created"]),
+                ("nnexus_matches_total", {}, stats["matches_found"]),
+            ],
+            gauges=[
+                ("nnexus_objects", {}, len(self._objects)),
+                ("nnexus_concepts", {}, self.concept_count()),
+                ("nnexus_cache_entries", {}, cache["entries"]),
+            ],
+        )
 
 
 _RENDERERS = {

@@ -8,6 +8,12 @@ object defining that label as a candidate — is appended to the match
 array.  Only the first occurrence of each label is kept when the linker
 is configured that way ("NNexus only links the first occurrence of a term
 or phrase to reduce visual clutter").
+
+The longest-first probing itself lives in
+:meth:`repro.core.concept_map.ConceptMap.probe_longest` (shared with
+``ConceptMap.longest_match``); this module supplies the usability
+filters — the first-occurrence rule and candidate exclusion — as the
+probe's accept callback.
 """
 
 from __future__ import annotations
@@ -46,17 +52,31 @@ def find_matches(
     words = tokenized.canonical_words()
     matches: list[Match] = []
     seen_labels: set[tuple[str, ...]] = set()
+
+    def accept(
+        label_words: tuple[str, ...], owners: set[int]
+    ) -> tuple[tuple[str, ...], tuple[int, ...]] | None:
+        """"Usable" labels only: not already linked, not fully excluded.
+
+        Returning ``None`` makes the probe fall through to the
+        next-longest label, mirroring the paper's longest-first probing.
+        """
+        if first_occurrence_only and label_words in seen_labels:
+            return None
+        candidates = normalize_object_ids(sorted(owners - excluded))
+        if not candidates:
+            return None
+        return label_words, candidates
+
     position = 0
     total = len(words)
     while position < total:
-        found = _match_at(
-            words, position, concept_map, excluded, seen_labels, first_occurrence_only
-        )
+        found = concept_map.probe_longest(words, position, accept)
         if found is None:
             position += 1
             continue
-        label_words, candidates, length = found
-        token_end = position + length
+        label_words, candidates = found
+        token_end = position + len(label_words)
         surface = tokenized.surface_between(position, token_end)
         matches.append(
             Match(
@@ -74,38 +94,3 @@ def find_matches(
         # Consume the matched tokens: a token participates in one link.
         position = token_end
     return matches
-
-
-def _match_at(
-    words: list[str],
-    position: int,
-    concept_map: ConceptMap,
-    excluded: frozenset[int],
-    seen_labels: set[tuple[str, ...]],
-    first_occurrence_only: bool,
-) -> tuple[tuple[str, ...], tuple[int, ...], int] | None:
-    """Longest usable concept label starting at ``position``.
-
-    "Usable" excludes labels already linked (first-occurrence rule) and
-    labels whose every candidate is excluded; when the longest label is
-    unusable the next-longest is tried, mirroring the paper's
-    longest-first probing.
-    """
-    chain = concept_map.chain_for(words[position])
-    if chain is None:
-        return None
-    remaining = len(words) - position
-    for length in chain.lengths_descending():
-        if length > remaining:
-            continue
-        label_words = tuple(words[position : position + length])
-        owners = chain.labels.get(label_words)
-        if not owners:
-            continue
-        if first_occurrence_only and label_words in seen_labels:
-            continue
-        candidates = normalize_object_ids(sorted(owners - excluded))
-        if not candidates:
-            continue
-        return label_words, candidates, length
-    return None

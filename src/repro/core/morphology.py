@@ -15,6 +15,7 @@ collapsed, exactly the invariances the paper names.
 from __future__ import annotations
 
 import unicodedata
+from functools import lru_cache
 
 __all__ = [
     "canonicalize_encoding",
@@ -177,8 +178,15 @@ def singularize(token: str) -> str:
     return token[:-1]
 
 
+@lru_cache(maxsize=65536)
 def canonicalize_token(token: str) -> str:
-    """Full canonical form: encoding fold, possessive strip, singularize."""
+    """Full canonical form: encoding fold, possessive strip, singularize.
+
+    Memoized: corpus vocabulary is Zipfian, so a modest LRU catches the
+    overwhelming majority of tokens the scanner sees and skips the
+    Unicode decomposition + rule cascade for them.  The function is pure,
+    which makes the memo safe.
+    """
     folded = canonicalize_encoding(token)
     return singularize(strip_possessive(folded))
 

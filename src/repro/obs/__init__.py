@@ -1,0 +1,34 @@
+"""Observability: metrics recording, Prometheus exposition, benchmarks.
+
+The linking pipeline, render cache and server stack all report into a
+shared recorder from this package.  The default recorder is the inert
+:data:`~repro.obs.metrics.NULL_RECORDER` (zero overhead); pass a
+:class:`~repro.obs.metrics.MetricsRegistry` to ``NNexus(metrics=...)``
+(or run the server with ``--metrics``) to record per-stage pipeline
+timings, cache hit rates and server admission counts, scrapeable from
+the HTTP gateway's ``/metrics`` endpoint or the ``getMetrics`` wire
+method.
+"""
+
+from repro.obs.metrics import (
+    NULL_RECORDER,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    NullRecorder,
+    empty_snapshot,
+    merge_series,
+)
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+
+__all__ = [
+    "NULL_RECORDER",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NullRecorder",
+    "empty_snapshot",
+    "merge_series",
+    "CONTENT_TYPE",
+    "render_prometheus",
+]

@@ -1,0 +1,234 @@
+"""The linking benchmark harness behind ``benchmarks/bench_linking.py``.
+
+Runs the full Fig. 2 pipeline over the deterministic synthetic corpus
+(seeded generator, so corpus shape, match counts and link counts are
+bit-for-bit reproducible) and emits the ``BENCH_linking.json`` report
+that seeds the repository's performance trajectory: tokens/sec,
+links/sec, per-stage latency percentiles and cache hit rates.  Every
+later performance PR is judged against these numbers.
+
+The report's *identity* fields (corpus shape, match/link/cache counts)
+are deterministic for a given ``(entries, seed)``; wall-clock figures
+naturally vary with the hardware.  :func:`validate_report` checks a
+report against the documented schema (see ``EXPERIMENTS.md``) — CI runs
+it on every emitted artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from repro.core.linker import NNexus
+from repro.corpus.generator import GeneratorParams, load_or_generate
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "BenchParams",
+    "run_linking_bench",
+    "measure_metrics_overhead",
+    "validate_report",
+    "SCHEMA_VERSION",
+    "STAGES",
+    "SMOKE_ENTRIES",
+]
+
+SCHEMA_VERSION = 1
+
+#: Pipeline stages the report must cover when metrics are enabled.
+STAGES = ("tokenize", "match", "policy", "steer", "render")
+
+#: Corpus size for the CI smoke run (small enough for seconds, large
+#: enough that every stage sees hundreds of samples).
+SMOKE_ENTRIES = 120
+
+
+@dataclass(frozen=True)
+class BenchParams:
+    """Knobs of one benchmark run."""
+
+    entries: int = 1500
+    seed: int = 20090612
+    smoke: bool = False
+    metrics: bool = True
+
+    @classmethod
+    def smoke_params(cls, seed: int = 20090612, metrics: bool = True) -> "BenchParams":
+        return cls(entries=SMOKE_ENTRIES, seed=seed, smoke=True, metrics=metrics)
+
+
+def _build_linker(params: BenchParams) -> tuple[NNexus, Any]:
+    corpus = load_or_generate(GeneratorParams(n_entries=params.entries, seed=params.seed))
+    registry = MetricsRegistry() if params.metrics else None
+    linker = NNexus(scheme=corpus.scheme, metrics=registry)
+    linker.add_objects(corpus.objects)
+    return linker, corpus
+
+
+def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
+    """One cold render pass + one warm (cache-served) pass; build a report."""
+    params = params or BenchParams()
+    linker, corpus = _build_linker(params)
+
+    # Token totals counted outside the timed region (reported, not timed).
+    tokenizer = linker._tokenizer
+    token_total = sum(len(tokenizer.tokenize(obj.text)) for obj in corpus.objects)
+
+    object_ids = [obj.object_id for obj in corpus.objects]
+
+    cold_start = perf_counter()
+    for object_id in object_ids:
+        linker.render_object(object_id)
+    cold_elapsed = perf_counter() - cold_start
+
+    warm_start = perf_counter()
+    for object_id in object_ids:
+        linker.render_object(object_id)
+    warm_elapsed = perf_counter() - warm_start
+
+    stats = linker.stats.snapshot()
+    cache = linker.cache.counter_snapshot()
+    lookups = cache["hits"] + cache["misses"]
+
+    stages: dict[str, dict[str, float]] = {}
+    if params.metrics:
+        for stage in STAGES:
+            summary = linker.metrics.histogram_summary(
+                "nnexus_pipeline_stage_seconds", stage=stage
+            )
+            stages[stage] = {
+                "count": summary.count,
+                "sum_sec": summary.sum,
+                "p50_ms": summary.p50 * 1000.0,
+                "p95_ms": summary.p95 * 1000.0,
+                "p99_ms": summary.p99 * 1000.0,
+            }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "linking",
+        "params": {
+            "entries": params.entries,
+            "seed": params.seed,
+            "smoke": params.smoke,
+            "metrics": params.metrics,
+        },
+        "corpus": {
+            "objects": len(linker),
+            "concepts": linker.concept_count(),
+            "tokens": token_total,
+        },
+        "throughput": {
+            "cold_elapsed_sec": cold_elapsed,
+            "warm_elapsed_sec": warm_elapsed,
+            "entries_per_sec": len(object_ids) / cold_elapsed if cold_elapsed else 0.0,
+            "tokens_per_sec": token_total / cold_elapsed if cold_elapsed else 0.0,
+            "links_per_sec": stats["links_created"] / cold_elapsed if cold_elapsed else 0.0,
+        },
+        "links": {
+            "matches": stats["matches_found"],
+            "links": stats["links_created"],
+        },
+        "cache": {
+            "hits": cache["hits"],
+            "misses": cache["misses"],
+            "invalidations": cache["invalidations"],
+            "hit_rate": cache["hits"] / lookups if lookups else 0.0,
+        },
+        "stages": stages,
+    }
+
+
+def measure_metrics_overhead(params: BenchParams | None = None) -> dict[str, float]:
+    """Cold-pass wall time with metrics off vs. on (the <=2% budget check).
+
+    Returns both timings and their ratio.  Wall-clock based, so treat
+    single runs as indicative — the acceptance budget is asserted on
+    the median of repeats when it matters.
+    """
+    params = params or BenchParams.smoke_params()
+    baseline = run_linking_bench(
+        BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke, metrics=False)
+    )
+    instrumented = run_linking_bench(
+        BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke, metrics=True)
+    )
+    base = baseline["throughput"]["cold_elapsed_sec"]
+    inst = instrumented["throughput"]["cold_elapsed_sec"]
+    return {
+        "baseline_sec": base,
+        "instrumented_sec": inst,
+        "overhead_ratio": (inst / base) if base else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (CI gates every emitted artifact through this)
+# ---------------------------------------------------------------------------
+
+_NUMBER = (int, float)
+
+_SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
+    "params": {"entries": int, "seed": int, "smoke": bool, "metrics": bool},
+    "corpus": {"objects": int, "concepts": int, "tokens": int},
+    "throughput": {
+        "cold_elapsed_sec": _NUMBER,
+        "warm_elapsed_sec": _NUMBER,
+        "entries_per_sec": _NUMBER,
+        "tokens_per_sec": _NUMBER,
+        "links_per_sec": _NUMBER,
+    },
+    "links": {"matches": int, "links": int},
+    "cache": {"hits": int, "misses": int, "invalidations": int, "hit_rate": _NUMBER},
+}
+
+_STAGE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "count": int,
+    "sum_sec": _NUMBER,
+    "p50_ms": _NUMBER,
+    "p95_ms": _NUMBER,
+    "p99_ms": _NUMBER,
+}
+
+
+def validate_report(report: Any) -> list[str]:
+    """Problems with a BENCH_linking.json report (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, got {report.get('schema_version')!r}"
+        )
+    if report.get("benchmark") != "linking":
+        problems.append(f"benchmark must be 'linking', got {report.get('benchmark')!r}")
+
+    for section, fields in _SCHEMA.items():
+        body = report.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing or non-object section {section!r}")
+            continue
+        for name, kinds in fields.items():
+            value = body.get(name)
+            if not isinstance(value, kinds) or isinstance(value, bool) != (kinds is bool):
+                problems.append(f"{section}.{name} must be {kinds}, got {value!r}")
+
+    stages = report.get("stages")
+    if not isinstance(stages, dict):
+        problems.append("missing or non-object section 'stages'")
+    else:
+        metrics_on = isinstance(report.get("params"), dict) and report["params"].get("metrics")
+        if metrics_on:
+            for stage in STAGES:
+                body = stages.get(stage)
+                if not isinstance(body, dict):
+                    problems.append(f"stages.{stage} missing (metrics run must cover it)")
+                    continue
+                for name, kinds in _STAGE_FIELDS.items():
+                    value = body.get(name)
+                    if not isinstance(value, kinds) or isinstance(value, bool):
+                        problems.append(f"stages.{stage}.{name} must be {kinds}, got {value!r}")
+                if body.get("count") == 0:
+                    problems.append(f"stages.{stage}.count is 0 — stage never timed")
+    return problems

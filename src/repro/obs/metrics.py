@@ -1,0 +1,274 @@
+"""Lightweight process metrics: counters, gauges and latency histograms.
+
+NNexus Reloaded rebuilt the paper's system "for production operation";
+this module is the observability half of that direction.  Three metric
+kinds cover everything the linking pipeline and server stack need:
+
+* **counters** — monotonically increasing totals (requests, links,
+  cache hits);
+* **gauges** — last-written values (objects indexed, in-flight
+  requests);
+* **histograms** — monotonic-clock latency samples with nearest-rank
+  p50/p95/p99 over a bounded window of recent observations.
+
+Two recorders implement the same interface.  :class:`NullRecorder`
+(`NULL_RECORDER`, the default everywhere) answers ``enabled = False``
+and does nothing, so uninstrumented deployments pay only an attribute
+check per pipeline stage.  :class:`MetricsRegistry` records for real
+behind a single lock; every hot-path caller is expected to guard its
+``perf_counter()`` bookkeeping with ``if recorder.enabled:`` so the
+null path stays allocation-free.
+
+Snapshots are plain JSON-serializable dicts (``counters`` / ``gauges``
+/ ``histograms`` lists, deterministically sorted) — the wire
+``getMetrics`` method ships them as JSON and
+:func:`repro.obs.prometheus.render_prometheus` turns them into the
+Prometheus text exposition format.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = [
+    "HistogramSummary",
+    "Histogram",
+    "NullRecorder",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "empty_snapshot",
+    "merge_series",
+]
+
+#: Histograms keep this many most-recent samples for percentile math;
+#: ``count``/``sum`` always cover every observation ever made.
+DEFAULT_WINDOW = 8192
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def empty_snapshot() -> dict[str, list[dict[str, Any]]]:
+    """The snapshot shape with no series (what NullRecorder returns)."""
+    return {"counters": [], "gauges": [], "histograms": []}
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Aggregates of one histogram series."""
+
+    count: int
+    sum: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class Histogram:
+    """Latency samples over a bounded sliding window.
+
+    ``count`` and ``sum`` accumulate over the histogram's whole
+    lifetime; percentiles are computed nearest-rank over the most
+    recent ``window`` samples, which keeps memory bounded while the
+    quantiles track current behaviour (what a dashboard wants).
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._samples.append(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) of the window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if q == 0.0:
+            return ordered[0]
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def summary(self) -> HistogramSummary:
+        if self.count == 0:
+            return HistogramSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(self._samples)
+
+        def rank(q: float) -> float:
+            return ordered[max(math.ceil(q / 100.0 * len(ordered)) - 1, 0)]
+
+        return HistogramSummary(
+            count=self.count,
+            sum=self.sum,
+            min=self.min,
+            max=self.max,
+            p50=rank(50.0),
+            p95=rank(95.0),
+            p99=rank(99.0),
+        )
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class NullRecorder:
+    """The zero-overhead default recorder: every operation is a no-op.
+
+    Hot paths check ``recorder.enabled`` before doing any timing work,
+    so an uninstrumented linker pays one attribute read per stage and
+    allocates nothing.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, list[dict[str, Any]]]:
+        return empty_snapshot()
+
+
+#: Shared inert recorder — the default for every instrumented component.
+NULL_RECORDER = NullRecorder()
+
+
+class MetricsRegistry(NullRecorder):
+    """Thread-safe in-process metrics store.
+
+    One lock guards all three tables; contention is negligible next to
+    the linking work being measured (observations are appends and dict
+    writes).  Series are keyed by ``(name, sorted(labels))`` so the
+    same metric name can carry any number of label combinations.
+    """
+
+    enabled = True
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._counters: dict[tuple[str, _LabelKey], float] = {}
+        self._gauges: dict[tuple[str, _LabelKey], float] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram(self._window)
+            histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels: str) -> float:
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0.0)
+
+    def gauge_value(self, name: str, **labels: str) -> float:
+        with self._lock:
+            return self._gauges.get((name, _label_key(labels)), 0.0)
+
+    def histogram_summary(self, name: str, **labels: str) -> HistogramSummary:
+        with self._lock:
+            histogram = self._histograms.get((name, _label_key(labels)))
+            if histogram is None:
+                return HistogramSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return histogram.summary()
+
+    def snapshot(self) -> dict[str, list[dict[str, Any]]]:
+        """JSON-serializable view of every series, deterministically sorted."""
+        with self._lock:
+            counters = [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._counters.items())
+            ]
+            gauges = [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._gauges.items())
+            ]
+            histograms = [
+                {"name": name, "labels": dict(labels), **histogram.summary().as_dict()}
+                for (name, labels), histogram in sorted(self._histograms.items())
+            ]
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        """Drop every series (benchmark harness isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def merge_series(
+    snapshot: dict[str, list[dict[str, Any]]],
+    counters: Iterable[tuple[str, dict[str, str], float]] = (),
+    gauges: Iterable[tuple[str, dict[str, str], float]] = (),
+) -> dict[str, list[dict[str, Any]]]:
+    """Append externally tracked series (e.g. cache counters) to a snapshot.
+
+    Components such as :class:`repro.core.cache.RenderCache` keep their
+    own plain-int counters; at scrape time the linker folds them into
+    the registry snapshot through this helper so ``/metrics`` and
+    ``getMetrics`` see one unified view.
+    """
+    for name, labels, value in counters:
+        snapshot["counters"].append({"name": name, "labels": dict(labels), "value": float(value)})
+    for name, labels, value in gauges:
+        snapshot["gauges"].append({"name": name, "labels": dict(labels), "value": float(value)})
+    return snapshot

@@ -1,0 +1,75 @@
+"""Prometheus text exposition (format version 0.0.4) for metric snapshots.
+
+Renders the snapshot dicts produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (and extended by
+``NNexus.metrics_snapshot``) into the plain-text format Prometheus
+scrapes.  Histograms are exported as *summaries* — ``{quantile="..."}``
+sample lines plus ``_sum`` and ``_count`` — since the registry computes
+client-side percentiles rather than cumulative buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: Value for the ``Content-Type`` header when serving ``/metrics``.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    # Prometheus accepts float text; keep integers unadorned for readability.
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(snapshot: dict[str, list[dict[str, Any]]]) -> str:
+    """Render a metrics snapshot as Prometheus exposition text.
+
+    Series are grouped by metric name with one ``# TYPE`` line per
+    group; output is deterministic for a given snapshot.
+    """
+    lines: list[str] = []
+
+    for kind, prom_type in (("counters", "counter"), ("gauges", "gauge")):
+        by_name: dict[str, list[dict[str, Any]]] = {}
+        for series in snapshot.get(kind, []):
+            by_name.setdefault(series["name"], []).append(series)
+        for name in sorted(by_name):
+            lines.append(f"# TYPE {name} {prom_type}")
+            for series in by_name[name]:
+                labels = _labels_text(series.get("labels", {}))
+                lines.append(f"{name}{labels} {_format_value(series['value'])}")
+
+    by_name = {}
+    for series in snapshot.get("histograms", []):
+        by_name.setdefault(series["name"], []).append(series)
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} summary")
+        for series in by_name[name]:
+            labels = series.get("labels", {})
+            for quantile, field in _QUANTILES:
+                q_labels = _labels_text(labels, (("quantile", quantile),))
+                lines.append(f"{name}{q_labels} {_format_value(series[field])}")
+            plain = _labels_text(labels)
+            lines.append(f"{name}_sum{plain} {_format_value(series['sum'])}")
+            lines.append(f"{name}_count{plain} {_format_value(series['count'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""

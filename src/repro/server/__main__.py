@@ -20,6 +20,7 @@ import sys
 from repro.core.linker import NNexus
 from repro.corpus.loader import load_corpus
 from repro.corpus.planetmath_sample import sample_corpus
+from repro.obs.metrics import MetricsRegistry
 from repro.ontology.msc import build_small_msc
 from repro.server.server import NNexusServer
 
@@ -44,9 +45,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="seconds a quiet connection is kept open")
     parser.add_argument("--drain-timeout", type=float, default=10.0,
                         help="seconds to wait for in-flight requests on shutdown")
+    parser.add_argument("--metrics", action="store_true",
+                        help="record per-stage pipeline timings and server "
+                             "counters (scrape via the HTTP gateway's /metrics "
+                             "or the getMetrics wire method)")
     args = parser.parse_args(argv)
 
-    linker = NNexus(scheme=build_small_msc())
+    metrics = MetricsRegistry() if args.metrics else None
+    linker = NNexus(scheme=build_small_msc(), metrics=metrics)
     if args.corpus:
         linker.add_objects(load_corpus(args.corpus))
     elif args.sample:
@@ -62,6 +68,8 @@ def main(argv: list[str] | None = None) -> int:
     host, port = server.address
     print(f"nnexus server listening on {host}:{port} "
           f"({len(linker)} objects, {linker.concept_count()} concepts)")
+    if args.metrics:
+        print("metrics registry enabled (getMetrics / http /metrics)")
     gateway = None
     if args.http_port:
         from repro.server.http_gateway import serve_http

@@ -11,6 +11,7 @@ server errors (``bad-request``, domain errors) surface immediately as
 
 from __future__ import annotations
 
+import json
 import socket
 import time
 from types import TracebackType
@@ -187,6 +188,11 @@ class NNexusClient:
         """Corpus statistics as integers."""
         response = self._call(protocol.Request("describe"))
         return {key: int(value) for key, value in response.fields.items()}
+
+    def get_metrics(self) -> dict[str, list[dict[str, object]]]:
+        """The server's metrics snapshot (see :mod:`repro.obs.metrics`)."""
+        response = self._call(protocol.Request("getMetrics"))
+        return json.loads(response.fields.get("metrics", "{}"))
 
     def link_entry(
         self,

@@ -10,6 +10,7 @@ Endpoints
 ---------
 ``GET  /health``                       -> {"status": "ok"} (liveness; never shed)
 ``GET  /ready``                        -> {"status": "ready"} or 503 (readiness)
+``GET  /metrics``                      -> Prometheus text exposition (never shed)
 ``GET  /describe``                     -> corpus statistics
 ``POST /link``    {"text", "classes": [...], "format"} -> rendered body + links
 ``POST /annotations`` {"text", "classes": [...]}        -> W3C Web Annotations
@@ -32,12 +33,15 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from typing import Any
 
 from repro.core.annotations import document_to_annotations
 from repro.core.errors import NNexusError, OverloadedError, UnknownObjectError
 from repro.core.linker import NNexus
 from repro.core.render import render_annotations, render_html, render_markdown
+from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
 from repro.server.resilience import AdmissionController, ReadersWriterLock
 
 __all__ = ["NNexusHttpGateway", "serve_http"]
@@ -79,6 +83,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_unavailable(self, reason: str) -> None:
+        rec = self.server.linker.metrics
+        if rec.enabled:
+            rec.inc("nnexus_http_shed_total")
         self._send_json(
             {"error": reason, "retryable": True},
             status=503,
@@ -99,8 +106,9 @@ class _Handler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        # Liveness and readiness answer outside admission control: a
-        # saturated server is still *alive*, and probes must be cheap.
+        # Liveness, readiness and metrics answer outside admission
+        # control: a saturated server is still *alive*, and probes and
+        # scrapes must keep working exactly when the server is busiest.
         if self.path == "/health":
             self._send_json({"status": "ok"})
             return
@@ -109,6 +117,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"status": "ready"})
             else:
                 self._send_unavailable("not ready")
+            return
+        if self.path == "/metrics":
+            body = render_prometheus(self.server.metrics_snapshot()).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", _PROM_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         try:
             with self.server.admission.admit():
@@ -206,6 +222,18 @@ class NNexusHttpGateway(ThreadingHTTPServer):
     # ------------------------------------------------------------------
     # Operations (concurrent reads under the readers-writer lock)
     # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Linker metrics plus this gateway's own admission gauge."""
+        snapshot = self.linker.metrics_snapshot()
+        snapshot["gauges"].append(
+            {
+                "name": "nnexus_http_in_flight",
+                "labels": {},
+                "value": float(self.admission.in_flight),
+            }
+        )
+        return snapshot
+
     def describe(self) -> dict[str, Any]:
         """Corpus statistics payload."""
         with self._rwlock.read_lock():
@@ -224,9 +252,19 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         renderer = _RENDERERS.get(fmt)
         if renderer is None:
             raise ValueError(f"unknown format {fmt!r}")
+        rec = self.linker.metrics
         with self._rwlock.read_lock():
             document = self.linker.link_text(text, source_classes=classes)
-            body = renderer(document)
+            if rec.enabled:
+                render_start = perf_counter()
+                body = renderer(document)
+                rec.observe(
+                    "nnexus_pipeline_stage_seconds",
+                    perf_counter() - render_start,
+                    stage="render",
+                )
+            else:
+                body = renderer(document)
         return {
             "body": body,
             "linkcount": document.link_count,

@@ -24,7 +24,9 @@ Messages are newline-free XML documents framed by a 10-digit length
 prefix, so arbitrary text payloads survive the socket unambiguously.
 
 Supported methods: ``linkEntry``, ``addObject``, ``updateObject``,
-``removeObject``, ``setPolicy``, ``describe``, ``ping``.
+``removeObject``, ``setPolicy``, ``describe``, ``getMetrics``,
+``ping``.  ``getMetrics`` answers with a single ``metrics`` field
+holding the JSON metrics snapshot (see :mod:`repro.obs.metrics`).
 """
 
 from __future__ import annotations
@@ -59,6 +61,7 @@ METHODS = (
     "removeObject",
     "setPolicy",
     "describe",
+    "getMetrics",
     "ping",
 )
 

@@ -23,6 +23,7 @@ Operational hardening (see ``docs/architecture.md``):
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import threading
@@ -49,7 +50,7 @@ _RENDERERS = {
 }
 
 #: Methods that only read linker state — they share the read lock.
-READ_METHODS = frozenset({"ping", "describe", "linkEntry"})
+READ_METHODS = frozenset({"ping", "describe", "linkEntry", "getMetrics"})
 #: Methods that mutate linker state — they take the write lock.
 WRITE_METHODS = frozenset({"addObject", "updateObject", "removeObject", "setPolicy"})
 
@@ -247,12 +248,20 @@ class NNexusServer(socketserver.ThreadingTCPServer):
     def dispatch_message(self, message: str) -> str:
         """Decode, execute and encode one request (errors become XML)."""
         method = "unknown"
+        rec = self.linker.metrics
         try:
             request = protocol.decode_request(message)
             method = request.method
             response = self._execute(request)
+            if rec.enabled:
+                rec.inc("nnexus_server_requests_total", method=method, status="ok")
         except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
             code, retryable = _classify(exc)
+            if rec.enabled:
+                rec.inc("nnexus_server_requests_total", method=method, status="error")
+                rec.inc("nnexus_server_errors_total", code=code)
+                if code == "overloaded":
+                    rec.inc("nnexus_server_shed_total")
             response = protocol.Response(
                 status="error",
                 method=method,
@@ -271,6 +280,7 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             "updateObject": self._update_object,
             "removeObject": self._remove_object,
             "setPolicy": self._set_policy,
+            "getMetrics": self._get_metrics,
         }.get(request.method)
         if handler is None:
             # Unknown methods must answer, not kill the handler thread.
@@ -288,6 +298,21 @@ class NNexusServer(socketserver.ThreadingTCPServer):
 
     def _ping(self, request: protocol.Request) -> protocol.Response:
         return protocol.Response(status="ok", method="ping", fields={"pong": "1"})
+
+    def _get_metrics(self, request: protocol.Request) -> protocol.Response:
+        snapshot = self.linker.metrics_snapshot()
+        snapshot["gauges"].append(
+            {
+                "name": "nnexus_server_in_flight",
+                "labels": {},
+                "value": float(self.admission.in_flight),
+            }
+        )
+        return protocol.Response(
+            status="ok",
+            method="getMetrics",
+            fields={"metrics": json.dumps(snapshot, sort_keys=True)},
+        )
 
     def _describe(self, request: protocol.Request) -> protocol.Response:
         info = self.linker.describe()
@@ -310,10 +335,21 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         if renderer is None:
             raise ProtocolError(f"unknown format {fmt!r}")
         document = self.linker.link_text(text, source_classes=classes)
+        rec = self.linker.metrics
+        if rec.enabled:
+            render_start = time.perf_counter()
+            body = renderer(document)
+            rec.observe(
+                "nnexus_pipeline_stage_seconds",
+                time.perf_counter() - render_start,
+                stage="render",
+            )
+        else:
+            body = renderer(document)
         return protocol.Response(
             status="ok",
             method="linkEntry",
-            fields={"body": renderer(document), "linkcount": str(document.link_count)},
+            fields={"body": body, "linkcount": str(document.link_count)},
             links=protocol.links_payload(document),
         )
 

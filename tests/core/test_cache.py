@@ -92,3 +92,66 @@ class TestGetOrRender:
         cache.drop(1)
         assert cache.get(1) is None
         assert len(cache) == 0
+
+
+class TestFormatKeying:
+    def test_formats_are_independent_slots(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "<a>x</a>")  # DEFAULT_FORMAT == "html"
+        cache.put(1, "[x]", fmt="markdown")
+        assert cache.get(1) == "<a>x</a>"
+        assert cache.get(1, fmt="markdown") == "[x]"
+        assert len(cache) == 2
+        assert cache.formats_for(1) == {"html", "markdown"}
+
+    def test_miss_in_one_format_does_not_touch_the_other(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "<a>x</a>")
+        assert cache.get(1, fmt="annotations") is None
+        assert cache.get(1) == "<a>x</a>"
+
+    def test_versions_tracked_per_format(self) -> None:
+        cache = RenderCache()
+        assert cache.put(1, "a").version == 1
+        assert cache.put(1, "m", fmt="markdown").version == 1
+        assert cache.put(1, "b").version == 2
+
+    def test_invalidate_dirties_every_format(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "h")
+        cache.put(1, "m", fmt="markdown")
+        flipped = cache.invalidate([1])
+        assert flipped == 2
+        assert not cache.is_valid(1)
+        assert not cache.is_valid(1, fmt="markdown")
+        assert cache.invalid_ids() == [1]
+        assert cache.invalid_keys() == [(1, "html"), (1, "markdown")]
+
+    def test_drop_removes_every_format(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "h")
+        cache.put(1, "m", fmt="markdown")
+        cache.drop(1)
+        assert len(cache) == 0
+        assert cache.formats_for(1) == frozenset()
+
+    def test_get_or_render_caches_non_html(self) -> None:
+        cache = RenderCache()
+        calls: list[str] = []
+
+        def render(object_id: int) -> str:
+            calls.append("render")
+            return "md"
+
+        assert cache.get_or_render(1, render, fmt="markdown") == "md"
+        assert cache.get_or_render(1, render, fmt="markdown") == "md"
+        assert calls == ["render"]
+
+    def test_counter_snapshot(self) -> None:
+        cache = RenderCache()
+        cache.put(1, "h")
+        cache.get(1)
+        cache.get(2)
+        cache.invalidate([1])
+        snapshot = cache.counter_snapshot()
+        assert snapshot == {"hits": 1, "misses": 1, "invalidations": 1, "entries": 1}

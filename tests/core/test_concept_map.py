@@ -92,6 +92,69 @@ class TestRemoval:
         assert len(cmap) == 0
 
 
+class TestChainLengthIndex:
+    def test_by_length_is_distinct_and_descending(self) -> None:
+        cmap = build_map(
+            [("graph", 5), ("graph theory", 5), ("graph minor theorem", 7),
+             ("graph coloring", 8)]
+        )
+        chain = cmap.chain_for("graph")
+        assert chain.by_length == [3, 2, 1]  # distinct lengths, longest first
+        assert chain.lengths_descending() == chain.by_length
+        assert chain.longest() == 3
+
+    def test_by_length_shrinks_on_removal(self) -> None:
+        cmap = build_map(
+            [("graph", 5), ("graph theory", 5), ("graph minor theorem", 7)]
+        )
+        cmap.remove_object(7)
+        chain = cmap.chain_for("graph")
+        assert chain.by_length == [2, 1]
+        assert chain.longest() == 2
+
+    def test_shared_length_survives_one_owner_leaving(self) -> None:
+        # Two distinct 2-word labels: dropping one keeps length 2 listed.
+        cmap = build_map([("graph theory", 5), ("graph minor", 7), ("graph", 5)])
+        cmap.remove_object(7)
+        assert cmap.chain_for("graph").by_length == [2, 1]
+
+    def test_empty_chain_reports_zero(self) -> None:
+        from repro.core.concept_map import ConceptChain
+
+        assert ConceptChain().longest() == 0
+        assert ConceptChain().by_length == []
+
+
+class TestProbeLongest:
+    def test_accept_none_falls_through_to_shorter(self) -> None:
+        cmap = build_map([("graph theory", 5), ("graph", 6)])
+        words = ("graph", "theory")
+        hits: list[tuple[str, ...]] = []
+
+        def accept(label_words, owners):
+            hits.append(label_words)
+            return None  # reject everything; probe must keep descending
+
+        assert cmap.probe_longest(words, 0, accept) is None
+        assert hits == [("graph", "theory"), ("graph",)]
+
+    def test_first_non_none_result_wins(self) -> None:
+        cmap = build_map([("graph theory", 5), ("graph", 6)])
+        result = cmap.probe_longest(
+            ("graph", "theory"), 0, lambda label_words, owners: len(label_words)
+        )
+        assert result == 2
+
+    def test_labels_longer_than_remaining_text_skipped(self) -> None:
+        cmap = build_map([("graph minor theorem", 5), ("graph", 6)])
+        result = cmap.longest_match(("a", "graph", "minor"), 1)
+        assert result == (("graph",), frozenset({6}))
+
+    def test_unindexed_first_word_is_none(self) -> None:
+        cmap = build_map([("graph", 5)])
+        assert cmap.probe_longest(("tree",), 0, lambda *a: a) is None
+
+
 class TestStats:
     def test_stats_shape(self) -> None:
         cmap = build_map([("graph", 5), ("graph theory", 5), ("tree", 7)])

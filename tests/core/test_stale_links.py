@@ -1,0 +1,97 @@
+"""Regression tests for stale links after ``remove_object``.
+
+The bug: ``remove_object`` used to invalidate only labels that vanished
+from the concept map entirely.  When two objects define the same label
+("graph" in Fig. 1 is defined by both the graph-theory and the
+set-theory entry), removing one owner leaves the label alive — so the
+old code skipped invalidation and cached renderings kept pointing at
+the deleted object.  The fix invalidates every label the removed object
+defined, captured *before* removal.
+"""
+
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.ontology.msc import build_small_msc
+
+
+def shared_label_linker() -> NNexus:
+    """Two owners of "graph" plus a reader entry that links to one of them."""
+    linker = NNexus(scheme=build_small_msc())
+    linker.add_objects(
+        [
+            CorpusObject(5, "graph", defines=["graph"], classes=["05C99"],
+                         text="Vertices and edges."),
+            CorpusObject(6, "graph (set theory)", defines=["graph"],
+                         classes=["03E20"], text="Set of ordered pairs."),
+            # Steering sends this entry's "graph" mention to object 5
+            # (graph theory), not the set-theory homonym.
+            CorpusObject(9, "connected components", defines=["connected component"],
+                         classes=["05C40"], text="Components of the graph."),
+        ]
+    )
+    return linker
+
+
+class TestSharedLabelInvalidation:
+    def test_removing_one_owner_dirties_cached_readers(self) -> None:
+        linker = shared_label_linker()
+        rendered = linker.render_object(9)
+        assert "#object-5" in rendered  # steering picked the 05C99 entry
+        assert linker.cache.is_valid(9)
+
+        # "graph" is still defined (object 6 remains), but the cached
+        # rendering of entry 9 now points at a deleted object.
+        linker.remove_object(5)
+        assert not linker.cache.is_valid(9), (
+            "rendering that linked to the removed object must be dirty even "
+            "though another object still defines the same label"
+        )
+
+    def test_relink_retargets_to_surviving_owner(self) -> None:
+        linker = shared_label_linker()
+        linker.render_object(9)
+        linker.remove_object(5)
+
+        refreshed = linker.relink_invalidated()
+        assert 9 in refreshed
+        assert "#object-5" not in refreshed[9]
+        assert "#object-6" in refreshed[9]  # homonym survivor takes over
+        assert linker.cache.is_valid(9)
+
+    def test_render_after_removal_never_serves_stale_target(self) -> None:
+        linker = shared_label_linker()
+        linker.render_object(9)
+        linker.remove_object(5)
+        # Even without an explicit relink pass, a read must re-render.
+        assert "#object-5" not in linker.render_object(9)
+
+    def test_update_object_inherits_the_fix(self) -> None:
+        linker = shared_label_linker()
+        linker.render_object(9)
+        # Rename object 5's definition: "graph" survives via object 6, but
+        # entry 9's cached link to object 5 is now wrong (steering would
+        # pick differently against the updated concept map).
+        linker.update_object(
+            CorpusObject(5, "multigraph", defines=["multigraph"],
+                         classes=["05C99"], text="Vertices and edges, repeated.")
+        )
+        assert not linker.cache.is_valid(9)
+        assert "#object-6" in linker.render_object(9)
+
+    def test_sole_owner_removal_still_invalidates(self) -> None:
+        # The pre-existing behaviour (vanished-label invalidation) must
+        # keep working alongside the shared-label fix.
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_objects(
+            [
+                CorpusObject(2, "planar graph", defines=["planar graph"],
+                             classes=["05C10"], text="Embeds in the plane."),
+                CorpusObject(9, "drawing", defines=["drawing"],
+                             classes=["05C40"], text="Draw the planar graph."),
+            ]
+        )
+        rendered = linker.render_object(9)
+        assert "#object-2" in rendered
+        linker.remove_object(2)
+        assert not linker.cache.is_valid(9)
+        assert "#object-2" not in linker.render_object(9)

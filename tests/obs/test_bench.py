@@ -1,0 +1,81 @@
+"""Tests for the linking benchmark harness and its report schema."""
+
+import copy
+
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    STAGES,
+    BenchParams,
+    run_linking_bench,
+    validate_report,
+)
+
+# Small enough to keep the suite fast; large enough for every stage to fire.
+_PARAMS = BenchParams(entries=40, seed=7, smoke=True, metrics=True)
+
+
+def test_report_passes_its_own_schema() -> None:
+    report = run_linking_bench(_PARAMS)
+    assert validate_report(report) == []
+
+
+def test_identity_fields_are_deterministic() -> None:
+    first = run_linking_bench(_PARAMS)
+    second = run_linking_bench(_PARAMS)
+    for section in ("params", "corpus", "links"):
+        assert first[section] == second[section]
+    assert first["cache"]["hits"] == second["cache"]["hits"]
+    assert first["cache"]["misses"] == second["cache"]["misses"]
+
+
+def test_warm_pass_hits_the_cache() -> None:
+    report = run_linking_bench(_PARAMS)
+    # Cold pass misses every entry once; warm pass hits every entry once.
+    assert report["cache"]["misses"] == report["corpus"]["objects"]
+    assert report["cache"]["hits"] == report["corpus"]["objects"]
+    assert report["cache"]["hit_rate"] == 0.5
+
+
+def test_metrics_run_covers_every_stage() -> None:
+    report = run_linking_bench(_PARAMS)
+    assert set(report["stages"]) == set(STAGES)
+    for stage in STAGES:
+        assert report["stages"][stage]["count"] > 0, stage
+
+
+def test_no_metrics_run_has_empty_stages_and_validates() -> None:
+    report = run_linking_bench(
+        BenchParams(entries=40, seed=7, smoke=True, metrics=False)
+    )
+    assert report["stages"] == {}
+    assert validate_report(report) == []
+
+
+def test_validate_rejects_broken_reports() -> None:
+    good = run_linking_bench(_PARAMS)
+
+    assert validate_report("not a dict") == ["report must be a JSON object"]
+
+    wrong_version = copy.deepcopy(good)
+    wrong_version["schema_version"] = SCHEMA_VERSION + 1
+    assert any("schema_version" in p for p in validate_report(wrong_version))
+
+    missing_section = copy.deepcopy(good)
+    del missing_section["throughput"]
+    assert any("throughput" in p for p in validate_report(missing_section))
+
+    bad_type = copy.deepcopy(good)
+    bad_type["corpus"]["tokens"] = "many"
+    assert any("corpus.tokens" in p for p in validate_report(bad_type))
+
+    bool_not_int = copy.deepcopy(good)
+    bool_not_int["links"]["links"] = True
+    assert any("links.links" in p for p in validate_report(bool_not_int))
+
+    untimed_stage = copy.deepcopy(good)
+    untimed_stage["stages"]["render"]["count"] = 0
+    assert any("never timed" in p for p in validate_report(untimed_stage))
+
+    missing_stage = copy.deepcopy(good)
+    del missing_stage["stages"]["steer"]
+    assert any("stages.steer" in p for p in validate_report(missing_stage))

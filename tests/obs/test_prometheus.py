@@ -1,0 +1,72 @@
+"""Tests for the Prometheus text exposition renderer."""
+
+from repro.obs.metrics import MetricsRegistry, empty_snapshot, merge_series
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+
+
+def test_content_type_is_exposition_format_0_0_4() -> None:
+    assert CONTENT_TYPE.startswith("text/plain")
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+def test_empty_snapshot_renders_empty_text() -> None:
+    assert render_prometheus(empty_snapshot()) == ""
+
+
+def test_counter_and_gauge_lines() -> None:
+    registry = MetricsRegistry()
+    registry.inc("nnexus_requests_total", value=3, method="ping")
+    registry.inc("nnexus_requests_total", value=1, method="linkEntry")
+    registry.set_gauge("nnexus_objects", 12)
+    text = render_prometheus(registry.snapshot())
+    lines = text.splitlines()
+    assert "# TYPE nnexus_requests_total counter" in lines
+    assert 'nnexus_requests_total{method="linkEntry"} 1' in lines
+    assert 'nnexus_requests_total{method="ping"} 3' in lines
+    assert "# TYPE nnexus_objects gauge" in lines
+    assert "nnexus_objects 12" in lines
+    # One TYPE line per metric name, not per series.
+    assert sum(line.startswith("# TYPE nnexus_requests_total") for line in lines) == 1
+
+
+def test_histogram_renders_as_summary() -> None:
+    registry = MetricsRegistry()
+    for value in (0.1, 0.2, 0.3, 0.4):
+        registry.observe("nnexus_pipeline_stage_seconds", value, stage="match")
+    text = render_prometheus(registry.snapshot())
+    lines = text.splitlines()
+    assert "# TYPE nnexus_pipeline_stage_seconds summary" in lines
+    assert 'nnexus_pipeline_stage_seconds{stage="match",quantile="0.5"} 0.2' in lines
+    assert 'nnexus_pipeline_stage_seconds{stage="match",quantile="0.95"} 0.4' in lines
+    assert 'nnexus_pipeline_stage_seconds{stage="match",quantile="0.99"} 0.4' in lines
+    assert 'nnexus_pipeline_stage_seconds_sum{stage="match"} 1' in lines
+    assert 'nnexus_pipeline_stage_seconds_count{stage="match"} 4' in lines
+
+
+def test_label_values_are_escaped() -> None:
+    snapshot = merge_series(
+        empty_snapshot(),
+        counters=[("weird_total", {"path": 'a\\b"c\nd'}, 1)],
+    )
+    text = render_prometheus(snapshot)
+    assert 'weird_total{path="a\\\\b\\"c\\nd"} 1' in text
+    # The rendered text itself must stay one sample per physical line.
+    assert len(text.splitlines()) == 2
+
+
+def test_output_is_deterministic_and_newline_terminated() -> None:
+    registry = MetricsRegistry()
+    registry.inc("b_total")
+    registry.inc("a_total")
+    registry.observe("h_seconds", 0.5, stage="render")
+    first = render_prometheus(registry.snapshot())
+    second = render_prometheus(registry.snapshot())
+    assert first == second
+    assert first.endswith("\n")
+    # Counters sorted by metric name before the summary block.
+    assert first.index("a_total") < first.index("b_total") < first.index("h_seconds")
+
+
+def test_integer_valued_floats_render_unadorned() -> None:
+    snapshot = merge_series(empty_snapshot(), counters=[("n_total", {}, 7.0)])
+    assert "n_total 7\n" in render_prometheus(snapshot)
