@@ -12,6 +12,7 @@ Usage::
     python benchmarks/bench_linking.py --entries 7132       # paper scale
     python benchmarks/bench_linking.py --validate BENCH_linking.json
     python benchmarks/bench_linking.py --overhead           # metrics cost
+    python benchmarks/bench_linking.py --smoke --gate BENCH_linking.json
 
 Not a pytest file on purpose: the shape-asserted benchmark suite lives
 in the ``test_*.py`` files; this is the JSON-emitting trajectory
@@ -33,6 +34,7 @@ if str(_SRC) not in sys.path:
 from repro.obs.bench import (  # noqa: E402
     SMOKE_ENTRIES,
     BenchParams,
+    check_regression,
     measure_metrics_overhead,
     run_linking_bench,
     validate_report,
@@ -54,6 +56,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="validate an existing report instead of running")
     parser.add_argument("--overhead", action="store_true",
                         help="measure metrics-on vs metrics-off cold-pass time")
+    parser.add_argument("--gate", type=str, metavar="PATH", default="",
+                        help="fail if the run's steer share regresses vs this baseline report")
     args = parser.parse_args(argv)
 
     if args.validate:
@@ -77,6 +81,11 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(overhead, indent=2))
         return 0
 
+    # Load the gate baseline up front: --out may overwrite the same file.
+    gate_baseline = None
+    if args.gate:
+        gate_baseline = json.loads(Path(args.gate).read_text(encoding="utf-8"))
+
     report = run_linking_bench(params)
     problems = validate_report(report)
     if problems:  # the harness must never emit an invalid artifact
@@ -95,6 +104,17 @@ def main(argv: list[str] | None = None) -> int:
             f"{throughput['links_per_sec']:,.0f} links/sec, "
             f"cache hit rate {report['cache']['hit_rate']:.3f}"
         )
+
+    if gate_baseline is not None:
+        regressions = check_regression(report, gate_baseline)
+        if regressions:
+            for regression in regressions:
+                print(f"perf gate: {regression}", file=sys.stderr)
+            return 1
+        steer_share = report["stages"]["steer"]["sum_sec"] / report["throughput"][
+            "cold_elapsed_sec"
+        ]
+        print(f"perf gate: pass (steer share {steer_share:.1%} of cold pass)")
     return 0
 
 

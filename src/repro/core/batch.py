@@ -6,16 +6,28 @@ corpus (or a selection), render to a chosen format, optionally write
 one file per entry, and report corpus-level statistics — with a
 progress callback for long runs.
 
-Worker threads share one linker.  Linking is read-only over the concept
-map and steering graph, which are safe for concurrent readers; the
-per-source Dijkstra memo is pre-warmed for the classes present so the
-only mutated structure is filled before fan-out.
+Two fan-out modes are available:
+
+* ``mode="thread"`` — worker threads share one linker.  Linking is
+  read-only over the concept map and steering tables, which are safe
+  for concurrent readers; the steering tables are pre-warmed for the
+  classes present so the only mutated structure is filled before
+  fan-out.  The workload is pure Python (GIL-bound), so threads mostly
+  help linkers whose renderers do I/O.
+* ``mode="process"`` — the linker (concept map + steering tables,
+  pre-warmed) is snapshotted **once per worker** via pickle and chunks
+  of entry ids are fanned out to a process pool, so whole-corpus
+  relinks use every core instead of fighting the GIL.  Metrics
+  recorders are process-local and do not travel with the snapshot;
+  per-worker chunk timings are reported back to the parent and folded
+  into its recorder.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
@@ -24,7 +36,7 @@ from repro.core.linker import NNexus
 from repro.core.models import LinkedDocument
 from repro.core.render import render_annotations, render_html, render_markdown
 
-__all__ = ["BatchReport", "BatchLinker"]
+__all__ = ["BatchReport", "BatchLinker", "BATCH_MODES"]
 
 _RENDERERS: dict[str, Callable[[LinkedDocument], str]] = {
     "html": render_html,
@@ -32,12 +44,23 @@ _RENDERERS: dict[str, Callable[[LinkedDocument], str]] = {
     "annotations": render_annotations,
 }
 
+#: Supported fan-out modes.
+BATCH_MODES = ("thread", "process")
+
 ProgressCallback = Callable[[int, int], None]
 
 
 @dataclass
 class BatchReport:
-    """Outcome of one batch run."""
+    """Outcome of one batch run.
+
+    ``rendered`` retains every rendering only when the run was made with
+    ``retain_renderings=True`` (the default); large-corpus jobs disable
+    it for bounded memory, in which case ``files_written`` (and the
+    files on disk) are the source of truth for produced output.
+    ``worker_seconds`` maps a dense worker index to the total in-worker
+    linking time it reported (process mode; empty in thread mode).
+    """
 
     entries: int = 0
     links: int = 0
@@ -45,6 +68,9 @@ class BatchReport:
     rendered: dict[int, str] = field(default_factory=dict)
     link_counts: dict[int, int] = field(default_factory=dict)
     files_written: int = 0
+    mode: str = "thread"
+    workers: int = 1
+    worker_seconds: dict[int, float] = field(default_factory=dict)
 
     @property
     def links_per_entry(self) -> float:
@@ -62,7 +88,39 @@ class BatchReport:
             "seconds": self.seconds,
             "links_per_entry": self.links_per_entry,
             "seconds_per_link": self.seconds_per_link,
+            "files_written": float(self.files_written),
+            "workers": float(self.workers),
         }
+
+
+# ---------------------------------------------------------------------------
+# Process-pool plumbing.  The linker snapshot is delivered through the
+# pool's initializer so it is pickled ONCE per worker (not once per
+# chunk); chunks then reference it through a module global.
+# ---------------------------------------------------------------------------
+
+_WORKER_LINKER: NNexus | None = None
+_WORKER_RENDERER: Callable[[LinkedDocument], str] | None = None
+
+
+def _process_worker_init(linker: NNexus, fmt: str | None) -> None:
+    global _WORKER_LINKER, _WORKER_RENDERER
+    _WORKER_LINKER = linker
+    _WORKER_RENDERER = _RENDERERS.get(fmt) if fmt else None
+
+
+def _process_worker_link(
+    object_ids: Sequence[int],
+) -> tuple[int, float, list[tuple[int, int, str | None]]]:
+    """Link one chunk in the worker; returns (pid, elapsed, rows)."""
+    assert _WORKER_LINKER is not None, "worker used before initialization"
+    start = time.perf_counter()
+    rows: list[tuple[int, int, str | None]] = []
+    for object_id in object_ids:
+        document = _WORKER_LINKER.link_object(object_id)
+        rendered = _WORKER_RENDERER(document) if _WORKER_RENDERER else None
+        rows.append((object_id, document.link_count, rendered))
+    return os.getpid(), time.perf_counter() - start, rows
 
 
 class BatchLinker:
@@ -76,9 +134,17 @@ class BatchLinker:
         Render format (``html``, ``markdown``, ``annotations``) or
         ``None`` to skip rendering (timing/statistics runs).
     workers:
-        Thread count.  The workload is pure Python (GIL-bound), so the
-        default of 1 is usually right; >1 exists for linkers whose
-        renderers do I/O.
+        Worker count for the chosen mode.
+    mode:
+        ``"thread"`` (default; shared linker, concurrent readers) or
+        ``"process"`` (per-worker linker snapshot, true multicore).
+    retain_renderings:
+        Keep every rendering in :attr:`BatchReport.rendered`.  Disable
+        for large corpora so memory stays bounded by one chunk;
+        ``files_written`` then reports the output produced.
+    chunk_size:
+        Entries per process-mode chunk (default: enough chunks for ~4
+        per worker).  Ignored in thread mode.
     """
 
     def __init__(
@@ -86,26 +152,24 @@ class BatchLinker:
         linker: NNexus,
         fmt: str | None = "html",
         workers: int = 1,
+        mode: str = "thread",
+        retain_renderings: bool = True,
+        chunk_size: int | None = None,
     ) -> None:
         if fmt is not None and fmt not in _RENDERERS:
             raise ValueError(f"unknown render format {fmt!r}")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if mode not in BATCH_MODES:
+            raise ValueError(f"unknown batch mode {mode!r} (expected one of {BATCH_MODES})")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self._linker = linker
         self._fmt = fmt
         self._workers = workers
-
-    def _warm_steering_memo(self, object_ids: Sequence[int]) -> None:
-        """Precompute per-class distances so workers only read."""
-        steering = self._linker.steering
-        if steering is None or not self._linker.enable_steering:
-            return
-        classes: set[str] = set()
-        for object_id in object_ids:
-            classes.update(self._linker.get_object(object_id).classes)
-        for code in classes:
-            if code in steering.graph:
-                steering.graph.distance(code, code)  # populates the memo row
+        self._mode = mode
+        self._retain = retain_renderings
+        self._chunk_size = chunk_size
 
     def run(
         self,
@@ -115,20 +179,53 @@ class BatchLinker:
     ) -> BatchReport:
         """Link (and optionally render/write) the selected entries."""
         ids = list(object_ids) if object_ids is not None else self._linker.object_ids()
-        self._warm_steering_memo(ids)
-        report = BatchReport()
-        renderer = _RENDERERS.get(self._fmt) if self._fmt else None
+        # Pre-warm signatures and distance tables: thread workers then
+        # only read; process workers inherit warm tables in the snapshot.
+        self._linker.warm_steering(ids)
+        report = BatchReport(mode=self._mode, workers=self._workers)
         directory: Path | None = None
         if output_dir is not None:
             directory = Path(output_dir)
             directory.mkdir(parents=True, exist_ok=True)
+
+        start = time.perf_counter()
+        if self._mode == "process":
+            self._run_processes(ids, report, progress, directory)
+        else:
+            self._run_threads(ids, report, progress, directory)
+        report.entries = len(ids)
+        report.seconds = time.perf_counter() - start
+
+        rec = self._linker.metrics
+        if rec.enabled:
+            rec.observe("nnexus_batch_run_seconds", report.seconds, mode=self._mode)
+            rec.inc("nnexus_batch_entries_linked_total", report.entries)
+            for worker_index, seconds in sorted(report.worker_seconds.items()):
+                rec.observe(
+                    "nnexus_batch_worker_seconds",
+                    seconds,
+                    mode=self._mode,
+                    worker=str(worker_index),
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    # Thread mode (shared linker, concurrent readers)
+    # ------------------------------------------------------------------
+    def _run_threads(
+        self,
+        ids: list[int],
+        report: BatchReport,
+        progress: ProgressCallback | None,
+        directory: Path | None,
+    ) -> None:
+        renderer = _RENDERERS.get(self._fmt) if self._fmt else None
 
         def link_one(object_id: int) -> tuple[int, int, str | None]:
             document = self._linker.link_object(object_id)
             rendered = renderer(document) if renderer else None
             return object_id, document.link_count, rendered
 
-        start = time.perf_counter()
         completed = 0
         if self._workers == 1:
             outcomes = map(link_one, ids)
@@ -144,9 +241,38 @@ class BatchLinker:
                     self._record(report, object_id, count, rendered, directory)
                     if progress is not None:
                         progress(completed, len(ids))
-        report.entries = len(ids)
-        report.seconds = time.perf_counter() - start
-        return report
+
+    # ------------------------------------------------------------------
+    # Process mode (snapshot per worker, chunked fan-out)
+    # ------------------------------------------------------------------
+    def _run_processes(
+        self,
+        ids: list[int],
+        report: BatchReport,
+        progress: ProgressCallback | None,
+        directory: Path | None,
+    ) -> None:
+        if not ids:
+            return
+        chunk = self._chunk_size or max(1, len(ids) // (self._workers * 4) or 1)
+        chunks = [ids[i : i + chunk] for i in range(0, len(ids), chunk)]
+        completed = 0
+        worker_index_of: dict[int, int] = {}
+        with ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=_process_worker_init,
+            initargs=(self._linker, self._fmt),
+        ) as pool:
+            for pid, elapsed, rows in pool.map(_process_worker_link, chunks):
+                index = worker_index_of.setdefault(pid, len(worker_index_of))
+                report.worker_seconds[index] = (
+                    report.worker_seconds.get(index, 0.0) + elapsed
+                )
+                for object_id, count, rendered in rows:
+                    completed += 1
+                    self._record(report, object_id, count, rendered, directory)
+                    if progress is not None:
+                        progress(completed, len(ids))
 
     def _record(
         self,
@@ -159,7 +285,8 @@ class BatchLinker:
         report.links += count
         report.link_counts[object_id] = count
         if rendered is not None:
-            report.rendered[object_id] = rendered
+            if self._retain:
+                report.rendered[object_id] = rendered
             if directory is not None:
                 extension = {"html": "html", "markdown": "md", "annotations": "txt"}[
                     self._fmt or "html"

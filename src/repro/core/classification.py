@@ -17,15 +17,29 @@ closely related than classes higher in the same subtree".
 
 The paper computes all-pairs shortest paths with Johnson's algorithm at
 startup; :class:`ClassificationGraph` implements Johnson (Bellman–Ford
-reweighting + per-node Dijkstra) from scratch, plus an LCA fast path that
-exploits the tree shape for on-demand queries.
+reweighting + per-node Dijkstra) from scratch.
+
+Steering fast path
+------------------
+Class codes are *interned* to dense integer ids at graph-build time
+(``normalize_code`` runs once per code, on insertion), and the shortest-
+path machinery works over int-indexed flat arrays: a CSR-shaped
+adjacency (``index``/``neighbors``/``weights``) and dense per-source
+distance rows.  On top of the id space, :class:`ClassificationSteering`
+assigns every class list a *signature* — the sorted tuple of interned
+ids — and memoizes Algorithm 1's min-distance per
+``(source_signature, target_signature)`` pair in a bounded, lock-guarded
+cache keyed off the graph's mutation :attr:`~ClassificationGraph.version`,
+so repeated source/candidate combinations (the common case across a
+corpus) cost one dict probe instead of a Dijkstra walk.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import defaultdict
+import threading
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Mapping, Sequence
 
 from repro.core.errors import NNexusError, UnknownClassError
@@ -34,6 +48,8 @@ from repro.ontology.scheme import ClassificationScheme, normalize_code
 __all__ = [
     "INFINITE_DISTANCE",
     "DEFAULT_BASE_WEIGHT",
+    "DEFAULT_SIGNATURE_CACHE_SIZE",
+    "UNKNOWN_CLASS_ID",
     "ClassificationGraph",
     "SteeringResult",
     "ClassificationSteering",
@@ -45,6 +61,17 @@ INFINITE_DISTANCE = float("inf")
 
 #: The paper's default weight base ("The weights are assigned with base 10").
 DEFAULT_BASE_WEIGHT = 10.0
+
+#: Interned id for codes the graph has never seen; always at infinite
+#: distance from everything (including itself).
+UNKNOWN_CLASS_ID = -1
+
+#: Default bound on the signature-pair distance cache.  Signatures are
+#: small tuples; 64k pairs comfortably covers a PlanetMath-scale corpus
+#: while keeping worst-case memory in the low tens of MB.
+DEFAULT_SIGNATURE_CACHE_SIZE = 65536
+
+_EMPTY_MAPPING: Mapping[str, float] = MappingProxyType({})
 
 
 class NegativeCycleError(NNexusError):
@@ -58,11 +85,32 @@ class ClassificationGraph:
     :meth:`from_scheme`, which applies the depth-decaying weight formula.
     Arbitrary extra edges (e.g. cross-scheme bridges added by ontology
     mapping) can be attached afterwards with :meth:`add_edge`.
+
+    Codes are interned to dense integer ids on insertion; the string API
+    (:meth:`distance`, :meth:`dijkstra`, ...) survives unchanged while
+    the hot path (:meth:`distance_between_ids`) never touches a string.
     """
 
     def __init__(self) -> None:
-        self._adjacency: dict[str, dict[str, float]] = defaultdict(dict)
-        self._pair_cache: dict[str, dict[str, float]] = {}
+        # String-keyed adjacency: the mutation/introspection surface.
+        self._adjacency: dict[str, dict[str, float]] = {}
+        # Interning tables: normalized code <-> dense id.
+        self._id_of: dict[str, int] = {}
+        self._codes: list[str] = []
+        # Int-keyed adjacency mirror used to build the CSR arrays.
+        self._adj_ids: list[dict[int, float]] = []
+        # Lazily built CSR flat arrays (index, neighbors, weights).
+        self._csr: tuple[list[int], list[int], list[float]] | None = None
+        # Dense Dijkstra rows per source id (the distance memo).
+        self._rows: dict[int, list[float]] = {}
+        # Forest fast path: (parent, parent_weight, depth, component) flat
+        # arrays when the graph is acyclic, None when it has cycles,
+        # "unchecked" before the lazy detection runs.
+        self._forest: tuple[list[int], list[float], list[int], list[int]] | None | str = (
+            "unchecked"
+        )
+        # Bumped on every mutation; steering caches key off it.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -81,10 +129,27 @@ class ClassificationGraph:
             graph.add_edge(parent, child, weight)
         return graph
 
+    def _intern(self, normalized: str) -> int:
+        """Id of ``normalized``, interning it (and its tables) if new."""
+        class_id = self._id_of.get(normalized)
+        if class_id is None:
+            class_id = len(self._codes)
+            self._id_of[normalized] = class_id
+            self._codes.append(normalized)
+            self._adjacency[normalized] = {}
+            self._adj_ids.append({})
+        return class_id
+
+    def _mutated(self) -> None:
+        self._version += 1
+        self._csr = None
+        self._forest = "unchecked"
+        self._rows.clear()
+
     def add_node(self, code: str) -> None:
         """Ensure a class node exists (no edges)."""
-        self._adjacency.setdefault(normalize_code(code), {})
-        self._pair_cache.clear()
+        self._intern(normalize_code(code))
+        self._mutated()
 
     def add_edge(self, code_a: str, code_b: str, weight: float) -> None:
         """Add an undirected weighted edge between two classes."""
@@ -92,12 +157,34 @@ class ClassificationGraph:
             raise ValueError("edge weights must be non-negative")
         a = normalize_code(code_a)
         b = normalize_code(code_b)
+        id_a = self._intern(a)
+        id_b = self._intern(b)
         self._adjacency[a][b] = weight
         self._adjacency[b][a] = weight
-        self._pair_cache.clear()
+        self._adj_ids[id_a][id_b] = weight
+        self._adj_ids[id_b][id_a] = weight
+        self._mutated()
 
     # ------------------------------------------------------------------
-    # Shortest paths
+    # Interning
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever nodes or edges are added."""
+        return self._version
+
+    def class_id(self, code: str) -> int:
+        """Dense id of a class code (:data:`UNKNOWN_CLASS_ID` if absent)."""
+        return self._id_of.get(normalize_code(code), UNKNOWN_CLASS_ID)
+
+    def code_of(self, class_id: int) -> str:
+        """Code for an interned id (inverse of :meth:`class_id`)."""
+        if 0 <= class_id < len(self._codes):
+            return self._codes[class_id]
+        raise UnknownClassError("graph", f"id:{class_id}")
+
+    # ------------------------------------------------------------------
+    # Introspection
     # ------------------------------------------------------------------
     def __contains__(self, code: str) -> bool:
         return normalize_code(code) in self._adjacency
@@ -107,50 +194,213 @@ class ClassificationGraph:
 
     def nodes(self) -> list[str]:
         """All class codes present in the graph."""
-        return list(self._adjacency)
+        return list(self._codes)
 
     def neighbors(self, code: str) -> Mapping[str, float]:
-        """Adjacent classes and edge weights of ``code``."""
-        return dict(self._adjacency.get(normalize_code(code), {}))
+        """Adjacent classes and edge weights of ``code``.
 
-    def dijkstra(self, source: str) -> dict[str, float]:
-        """Single-source shortest-path distances from ``source``."""
-        start = normalize_code(source)
-        if start not in self._adjacency:
-            raise UnknownClassError("graph", start)
-        distances: dict[str, float] = {start: 0.0}
-        frontier: list[tuple[float, str]] = [(0.0, start)]
-        settled: set[str] = set()
+        Returns a **read-only live view** (not a copy): callers may
+        iterate and look up freely, but the mapping reflects later
+        mutations and rejects writes.  Hot paths therefore probe
+        neighborhoods without allocating a dict per call.
+        """
+        inner = self._adjacency.get(normalize_code(code))
+        if inner is None:
+            return _EMPTY_MAPPING
+        return MappingProxyType(inner)
+
+    # ------------------------------------------------------------------
+    # Flat-array machinery (the fast path)
+    # ------------------------------------------------------------------
+    def _tables(self) -> tuple[list[int], list[int], list[float]]:
+        """CSR arrays ``(index, neighbors, weights)``, built lazily.
+
+        ``index`` has ``n + 1`` entries; node ``i``'s edges live at
+        positions ``index[i]:index[i + 1]`` of the two flat arrays.
+        """
+        csr = self._csr
+        if csr is None:
+            index = [0] * (len(self._codes) + 1)
+            neighbors: list[int] = []
+            weights: list[float] = []
+            for node_id, adjacent in enumerate(self._adj_ids):
+                for neighbor_id, weight in adjacent.items():
+                    neighbors.append(neighbor_id)
+                    weights.append(weight)
+                index[node_id + 1] = len(neighbors)
+            csr = self._csr = (index, neighbors, weights)
+        return csr
+
+    def _edges_ids(self) -> list[tuple[int, int, float]]:
+        """Directed ``(a, b, w)`` edge list over interned ids.
+
+        Shared by :meth:`bellman_ford` and :meth:`johnson_all_pairs`
+        (which used to rebuild it with identical comprehensions).
+        Both directions of every undirected edge are present.
+        """
+        index, neighbors, weights = self._tables()
+        edges: list[tuple[int, int, float]] = []
+        for node_id in range(len(self._codes)):
+            for slot in range(index[node_id], index[node_id + 1]):
+                edges.append((node_id, neighbors[slot], weights[slot]))
+        return edges
+
+    def _dijkstra_ids(
+        self, source: int, potentials: Sequence[float] | None = None
+    ) -> list[float]:
+        """Dense distance row from ``source`` over the CSR arrays."""
+        index, neighbors, weights = self._tables()
+        distances = [INFINITE_DISTANCE] * len(self._codes)
+        distances[source] = 0.0
+        frontier: list[tuple[float, int]] = [(0.0, source)]
+        push = heapq.heappush
+        pop = heapq.heappop
         while frontier:
-            cost, node = heapq.heappop(frontier)
-            if node in settled:
+            cost, node = pop(frontier)
+            if cost > distances[node]:
                 continue
-            settled.add(node)
-            for neighbor, weight in self._adjacency[node].items():
+            for slot in range(index[node], index[node + 1]):
+                neighbor = neighbors[slot]
+                weight = weights[slot]
+                if potentials is not None:
+                    weight += potentials[node] - potentials[neighbor]
                 candidate = cost + weight
-                if candidate < distances.get(neighbor, INFINITE_DISTANCE):
+                if candidate < distances[neighbor]:
                     distances[neighbor] = candidate
-                    heapq.heappush(frontier, (candidate, neighbor))
+                    push(frontier, (candidate, neighbor))
         return distances
+
+    def _row(self, source: int) -> list[float]:
+        """Memoized dense Dijkstra row for an interned source id."""
+        row = self._rows.get(source)
+        if row is None:
+            row = self._dijkstra_ids(source)
+            self._rows[source] = row
+        return row
+
+    def warm_rows(self, class_ids: Sequence[int] | set[int]) -> None:
+        """Precompute the distance tables for the given interned ids.
+
+        Batch jobs warm the tables they will need before fanning out so
+        concurrent workers only read; unknown ids are ignored.  On
+        forest-shaped graphs (every tree built by :meth:`from_scheme`)
+        warming the shared ancestor arrays suffices — no per-source
+        Dijkstra rows are needed.
+        """
+        if self._tree_arrays() is not None:
+            return
+        count = len(self._codes)
+        for class_id in class_ids:
+            if 0 <= class_id < count:
+                self._row(class_id)
+
+    def _tree_arrays(
+        self,
+    ) -> tuple[list[int], list[float], list[int], list[int]] | None:
+        """Forest structure ``(parent, parent_weight, depth, component)``.
+
+        Built lazily in O(V + E) by BFS over the CSR arrays; returns
+        ``None`` when the graph contains a cycle (bridge edges added by
+        ontology mapping, random test graphs), in which case distance
+        queries fall back to memoized Dijkstra rows.  On a forest —
+        every scheme-built classification tree — the shortest path
+        between two classes is *the* tree path, so distances reduce to
+        an O(depth) walk to the lowest common ancestor.
+        """
+        forest = self._forest
+        if forest != "unchecked":
+            return forest  # type: ignore[return-value]
+        index, neighbors, weights = self._tables()
+        count = len(self._codes)
+        parent = [-1] * count
+        parent_weight = [0.0] * count
+        depth = [0] * count
+        component = [-1] * count
+        for start in range(count):
+            if component[start] != -1:
+                continue
+            component[start] = start
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for slot in range(index[node], index[node + 1]):
+                    neighbor = neighbors[slot]
+                    if neighbor == parent[node]:
+                        continue
+                    if component[neighbor] != -1:
+                        # Back/cross edge (or self-loop): not a forest.
+                        self._forest = None
+                        return None
+                    component[neighbor] = start
+                    parent[neighbor] = node
+                    parent_weight[neighbor] = weights[slot]
+                    depth[neighbor] = depth[node] + 1
+                    stack.append(neighbor)
+        built = (parent, parent_weight, depth, component)
+        self._forest = built
+        return built
+
+    def _tree_distance(
+        self,
+        id_a: int,
+        id_b: int,
+        arrays: tuple[list[int], list[float], list[int], list[int]],
+    ) -> float:
+        """Exact distance on a forest: walk both ids up to their LCA."""
+        parent, parent_weight, depth, component = arrays
+        if component[id_a] != component[id_b]:
+            return INFINITE_DISTANCE
+        cost = 0.0
+        depth_a = depth[id_a]
+        depth_b = depth[id_b]
+        while depth_a > depth_b:
+            cost += parent_weight[id_a]
+            id_a = parent[id_a]
+            depth_a -= 1
+        while depth_b > depth_a:
+            cost += parent_weight[id_b]
+            id_b = parent[id_b]
+            depth_b -= 1
+        while id_a != id_b:
+            cost += parent_weight[id_a] + parent_weight[id_b]
+            id_a = parent[id_a]
+            id_b = parent[id_b]
+        return cost
+
+    # ------------------------------------------------------------------
+    # Shortest paths (string API)
+    # ------------------------------------------------------------------
+    def dijkstra(self, source: str) -> dict[str, float]:
+        """Single-source shortest-path distances from ``source``.
+
+        Only reachable nodes appear in the result (historical contract).
+        """
+        source_id = self.class_id(source)
+        if source_id == UNKNOWN_CLASS_ID:
+            raise UnknownClassError("graph", normalize_code(source))
+        row = self._row(source_id)
+        codes = self._codes
+        return {
+            codes[node_id]: dist
+            for node_id, dist in enumerate(row)
+            if dist != INFINITE_DISTANCE
+        }
 
     def bellman_ford(self, source: str) -> dict[str, float]:
         """Bellman–Ford distances from ``source``; detects negative cycles.
 
         Needed for the reweighting step of Johnson's algorithm.  On the
         non-negative tree weights produced by :meth:`from_scheme` this
-        returns the same distances as Dijkstra (slower).
+        returns the same distances as Dijkstra (slower).  Unreachable
+        nodes appear with :data:`INFINITE_DISTANCE` (historical contract).
         """
-        start = normalize_code(source)
-        if start not in self._adjacency:
-            raise UnknownClassError("graph", start)
-        distances = {node: INFINITE_DISTANCE for node in self._adjacency}
-        distances[start] = 0.0
-        edges = [
-            (a, b, w)
-            for a, nbrs in self._adjacency.items()
-            for b, w in nbrs.items()
-        ]
-        for _ in range(len(self._adjacency) - 1):
+        source_id = self.class_id(source)
+        if source_id == UNKNOWN_CLASS_ID:
+            raise UnknownClassError("graph", normalize_code(source))
+        distances = [INFINITE_DISTANCE] * len(self._codes)
+        distances[source_id] = 0.0
+        edges = self._edges_ids()
+        for _ in range(len(self._codes) - 1):
             changed = False
             for a, b, weight in edges:
                 if distances[a] + weight < distances[b]:
@@ -161,7 +411,7 @@ class ClassificationGraph:
         for a, b, weight in edges:
             if distances[a] + weight < distances[b]:
                 raise NegativeCycleError("negative-weight cycle detected")
-        return distances
+        return {code: distances[node_id] for node_id, code in enumerate(self._codes)}
 
     def johnson_all_pairs(self) -> dict[str, dict[str, float]]:
         """All-pairs shortest paths via Johnson's algorithm.
@@ -171,22 +421,17 @@ class ClassificationGraph:
         runs Dijkstra over the reweighted edges.  Potentials are all zero
         here because our weights are non-negative, but the full algorithm
         is implemented as the paper specifies it (and exercised by tests
-        against brute-force Floyd–Warshall).
+        against brute-force Floyd–Warshall).  As a side effect every
+        dense distance row is memoized, so subsequent :meth:`distance`
+        and :meth:`distance_between_ids` calls are O(1) probes.
         """
-        virtual = "__johnson_virtual__"
-        if virtual in self._adjacency:  # pragma: no cover - defensive
-            raise NNexusError("reserved virtual node name in use")
         # Bellman-Ford from the virtual source; directed zero edges into
         # every node mean every potential is reachable.
-        potentials = {node: 0.0 for node in self._adjacency}
-        edges = [
-            (a, b, w)
-            for a, nbrs in self._adjacency.items()
-            for b, w in nbrs.items()
-        ]
+        potentials = [0.0] * len(self._codes)
+        edges = self._edges_ids()
         # |V| + 1 nodes including the virtual source -> |V| relaxation
         # rounds suffice; a change in the extra round means a cycle.
-        for _ in range(len(self._adjacency) + 1):
+        for _ in range(len(self._codes) + 1):
             changed = False
             for a, b, weight in edges:
                 if potentials[a] + weight < potentials[b]:
@@ -196,52 +441,49 @@ class ClassificationGraph:
                 break
         else:
             raise NegativeCycleError("negative-weight cycle detected")
+        codes = self._codes
         result: dict[str, dict[str, float]] = {}
-        for node in self._adjacency:
-            reweighted = self._dijkstra_reweighted(node, potentials)
-            result[node] = {
-                other: cost - potentials[node] + potentials[other]
-                for other, cost in reweighted.items()
+        for node_id, code in enumerate(codes):
+            reweighted = self._dijkstra_ids(node_id, potentials)
+            row = [
+                (
+                    cost - potentials[node_id] + potentials[other]
+                    if cost != INFINITE_DISTANCE
+                    else INFINITE_DISTANCE
+                )
+                for other, cost in enumerate(reweighted)
+            ]
+            self._rows[node_id] = row
+            result[code] = {
+                codes[other]: dist
+                for other, dist in enumerate(row)
+                if dist != INFINITE_DISTANCE
             }
-        self._pair_cache = result
         return result
-
-    def _dijkstra_reweighted(
-        self, source: str, potentials: Mapping[str, float]
-    ) -> dict[str, float]:
-        distances: dict[str, float] = {source: 0.0}
-        frontier: list[tuple[float, str]] = [(0.0, source)]
-        settled: set[str] = set()
-        while frontier:
-            cost, node = heapq.heappop(frontier)
-            if node in settled:
-                continue
-            settled.add(node)
-            for neighbor, weight in self._adjacency[node].items():
-                adjusted = weight + potentials[node] - potentials[neighbor]
-                candidate = cost + adjusted
-                if candidate < distances.get(neighbor, INFINITE_DISTANCE):
-                    distances[neighbor] = candidate
-                    heapq.heappush(frontier, (candidate, neighbor))
-        return distances
 
     def distance(self, code_a: str, code_b: str) -> float:
         """Shortest-path distance between two classes.
 
-        Uses the Johnson table when precomputed, otherwise a cached
-        per-source Dijkstra.
+        Uses the memoized dense row for ``code_a`` (precomputed by
+        Johnson, or one lazy Dijkstra per distinct source).
         """
-        a = normalize_code(code_a)
-        b = normalize_code(code_b)
-        if a == b:
-            return 0.0 if a in self._adjacency else INFINITE_DISTANCE
-        if a not in self._adjacency or b not in self._adjacency:
+        return self.distance_between_ids(self.class_id(code_a), self.class_id(code_b))
+
+    def distance_between_ids(self, id_a: int, id_b: int) -> float:
+        """Shortest-path distance between two interned ids (the fast path).
+
+        Unknown ids (:data:`UNKNOWN_CLASS_ID`) are infinitely far from
+        everything, matching the string API's behaviour for codes the
+        graph has never seen.
+        """
+        if id_a < 0 or id_b < 0:
             return INFINITE_DISTANCE
-        row = self._pair_cache.get(a)
-        if row is None:
-            row = self.dijkstra(a)
-            self._pair_cache[a] = row
-        return row.get(b, INFINITE_DISTANCE)
+        if id_a == id_b:
+            return 0.0
+        arrays = self._tree_arrays()
+        if arrays is not None:
+            return self._tree_distance(id_a, id_b, arrays)
+        return self._row(id_a)[id_b]
 
 
 @dataclass
@@ -277,31 +519,131 @@ class ClassificationSteering:
         beyond every real distance (``inf``) so that classified candidates
         always win over unclassified ones, but ties among unclassified
         candidates survive for downstream tie-breaking.
+    signature_cache_size:
+        Bound on the ``(source_signature, target_signature)`` distance
+        memo.  ``0`` disables the cache (every probe recomputes — used
+        by tests to prove cache transparency).  When full, the oldest
+        entry is evicted.
+
+    The signature cache is guarded by a lock and keyed off the graph's
+    mutation version: rebuilding or editing the class tree invalidates
+    every memoized pair on the next probe.  Concurrent readers only ever
+    observe fully computed distances.
     """
 
     def __init__(
         self,
         graph: ClassificationGraph,
         unclassified_distance: float = INFINITE_DISTANCE,
+        signature_cache_size: int = DEFAULT_SIGNATURE_CACHE_SIZE,
     ) -> None:
+        if signature_cache_size < 0:
+            raise ValueError("signature_cache_size must be >= 0")
         self._graph = graph
         self._unclassified_distance = unclassified_distance
+        self._sig_cache: dict[tuple[tuple[int, ...], tuple[int, ...]], float] = {}
+        self._sig_cache_size = signature_cache_size
+        self._sig_version = graph.version
+        self._sig_lock = threading.Lock()
+        self.signature_cache_hits = 0
+        self.signature_cache_misses = 0
+
+    # The lock is recreated on unpickling: process-pool batch workers
+    # receive a snapshot of the steering tables (cache contents travel,
+    # the lock does not).
+    def __getstate__(self) -> dict[str, object]:
+        state = self.__dict__.copy()
+        del state["_sig_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._sig_lock = threading.Lock()
 
     @property
     def graph(self) -> ClassificationGraph:
         return self._graph
 
-    def pair_distance(self, source_classes: Sequence[str], target_classes: Sequence[str]) -> float:
-        """Minimum distance over all source/target class pairs (Alg. 1, l.5)."""
-        if not source_classes or not target_classes:
+    # ------------------------------------------------------------------
+    # Signatures
+    # ------------------------------------------------------------------
+    def signature(self, classes: Sequence[str]) -> tuple[int, ...]:
+        """Interned class signature: sorted unique ids of ``classes``.
+
+        Codes unknown to the graph intern to :data:`UNKNOWN_CLASS_ID`,
+        preserving the distinction between "no classes at all" (empty
+        signature, charged ``unclassified_distance``) and "classes the
+        graph cannot place" (infinite distance).
+        """
+        if not classes:
+            return ()
+        class_id = self._graph.class_id
+        return tuple(sorted({class_id(code) for code in classes}))
+
+    def signature_distance(
+        self, source_signature: tuple[int, ...], target_signature: tuple[int, ...]
+    ) -> float:
+        """Memoized Alg. 1 min-distance between two class signatures."""
+        if not source_signature or not target_signature:
             return self._unclassified_distance
+        graph = self._graph
+        key = (source_signature, target_signature)
+        with self._sig_lock:
+            version = graph.version
+            if version != self._sig_version:
+                self._sig_cache.clear()
+                self._sig_version = version
+            cached = self._sig_cache.get(key)
+            if cached is not None:
+                self.signature_cache_hits += 1
+                return cached
+            self.signature_cache_misses += 1
         best = INFINITE_DISTANCE
-        for source_class in source_classes:
-            for target_class in target_classes:
-                best = min(best, self._graph.distance(source_class, target_class))
-                if best == 0.0:
-                    return best
+        distance_between_ids = graph.distance_between_ids
+        for source_id in source_signature:
+            for target_id in target_signature:
+                candidate = distance_between_ids(source_id, target_id)
+                if candidate < best:
+                    if candidate == 0.0:
+                        best = 0.0
+                        break
+                    best = candidate
+            if best == 0.0:
+                break
+        if self._sig_cache_size:
+            with self._sig_lock:
+                # A mutation may have raced the computation; only store
+                # results that still describe the current graph.
+                if graph.version == self._sig_version:
+                    if len(self._sig_cache) >= self._sig_cache_size:
+                        self._sig_cache.pop(next(iter(self._sig_cache)))
+                    self._sig_cache[key] = best
         return best
+
+    def signature_cache_snapshot(self) -> dict[str, float]:
+        """Hit/miss/size counters for the metrics exporter."""
+        with self._sig_lock:
+            hits = self.signature_cache_hits
+            misses = self.signature_cache_misses
+            entries = len(self._sig_cache)
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def pair_distance(
+        self, source_classes: Sequence[str], target_classes: Sequence[str]
+    ) -> float:
+        """Minimum distance over all source/target class pairs (Alg. 1, l.5)."""
+        return self.signature_distance(
+            self.signature(source_classes), self.signature(target_classes)
+        )
 
     def steer(
         self,
@@ -309,11 +651,25 @@ class ClassificationSteering:
         candidates: Mapping[int, Sequence[str]],
     ) -> SteeringResult:
         """Run Algorithm 1 over ``candidates`` (object id -> class list)."""
-        distances: dict[int, float] = {}
-        for object_id, target_classes in candidates.items():
-            distances[object_id] = self.pair_distance(source_classes, target_classes)
-        if not distances:
+        source_signature = self.signature(source_classes)
+        return self.steer_signatures(
+            source_signature,
+            {oid: self.signature(classes) for oid, classes in candidates.items()},
+        )
+
+    def steer_signatures(
+        self,
+        source_signature: tuple[int, ...],
+        candidates: Mapping[int, tuple[int, ...]],
+    ) -> SteeringResult:
+        """Algorithm 1 over pre-interned signatures (the linker fast path)."""
+        if not candidates:
             return SteeringResult(winners=(), distances={})
+        signature_distance = self.signature_distance
+        distances = {
+            oid: signature_distance(source_signature, target_signature)
+            for oid, target_signature in candidates.items()
+        }
         best = min(distances.values())
         winners = tuple(sorted(oid for oid, d in distances.items() if d == best))
         return SteeringResult(winners=winners, distances=distances)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.morphology import canonicalize_phrase
 from repro.core.tokenizer import Tokenizer
@@ -88,6 +88,24 @@ class InvalidationIndex:
         self._occurrences: Counter[tuple[str, ...]] = Counter()
         # per-object phrase sets for O(own text) removal.
         self._object_phrases: dict[int, Counter[tuple[str, ...]]] = {}
+        # observers notified whenever an object is (re-)indexed or
+        # removed — the linker hangs per-object derived caches (class
+        # signatures) off these events so reclassification can never
+        # leave a stale signature behind.
+        self._listeners: list[Callable[[int], None]] = []
+
+    def add_listener(self, callback: Callable[[int], None]) -> None:
+        """Call ``callback(object_id)`` on every index/remove of an object.
+
+        Listeners fire *after* the index mutation.  They must be cheap
+        and must not raise; the linker uses one to drop the object's
+        cached class signature whenever the object changes.
+        """
+        self._listeners.append(callback)
+
+    def _notify(self, object_id: int) -> None:
+        for callback in self._listeners:
+            callback(object_id)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -102,6 +120,7 @@ class InvalidationIndex:
         for gram, count in grams.items():
             self._postings[gram].add(object_id)
             self._occurrences[gram] += count
+        self._notify(object_id)
 
     def remove_object(self, object_id: int) -> None:
         """Drop ``object_id`` from every postings list it appears in."""
@@ -117,6 +136,7 @@ class InvalidationIndex:
             self._occurrences[gram] -= count
             if self._occurrences[gram] <= 0:
                 del self._occurrences[gram]
+        self._notify(object_id)
 
     # ------------------------------------------------------------------
     # Lookup

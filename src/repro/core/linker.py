@@ -172,6 +172,26 @@ class NNexus:
             if precompute_distances:
                 graph.johnson_all_pairs()
             self._steering = ClassificationSteering(graph)
+        #: object id -> interned class signature (sorted tuple of dense
+        #: class ids), filled lazily on first steering use.  Entries are
+        #: dropped whenever the object is (re-)indexed or removed — the
+        #: invalidation index notifies us — and the whole table is
+        #: cleared when the steering graph is rebuilt.
+        self._signatures: dict[int, tuple[int, ...]] = {}
+        self._invalidation.add_listener(self._drop_signature)
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickled snapshot for process-pool batch workers.
+
+        Metrics recorders are process-local (a live
+        :class:`~repro.obs.metrics.MetricsRegistry` holds a lock and its
+        counts belong to the parent); worker snapshots run with the null
+        recorder and report timings back through the batch layer.
+        """
+        state = self.__dict__.copy()
+        if getattr(state.get("metrics"), "enabled", False):
+            state["metrics"] = NULL_RECORDER
+        return state
 
     # ------------------------------------------------------------------
     # Corpus maintenance
@@ -318,6 +338,11 @@ class NNexus:
         if rec.enabled:
             stage_acc = {"policy": 0.0, "steer": 0.0}
             stage_start = perf_counter()
+        # The source signature is shared by every match in the document:
+        # intern it once instead of re-normalizing per candidate.
+        source_signature: tuple[int, ...] = ()
+        if self.enable_steering and self._steering is not None:
+            source_signature = self._steering.signature(source_classes)
         tokenized = self._tokenizer.tokenize(text)
         if rec.enabled:
             now = perf_counter()
@@ -339,7 +364,9 @@ class NNexus:
             escaped_regions=list(tokenized.escaped_regions),
         )
         for match in matches:
-            target_id = self._resolve(match, source_classes, source_id, stage_acc)
+            target_id = self._resolve(
+                match, source_classes, source_id, stage_acc, source_signature
+            )
             if target_id is None:
                 continue
             target = self._objects[target_id]
@@ -374,13 +401,15 @@ class NNexus:
         source_classes: Sequence[str],
         source_id: int | None = None,
         stage_acc: dict[str, float] | None = None,
+        source_signature: tuple[int, ...] = (),
     ) -> int | None:
         """Candidate filtering + steering + tie-breaking for one match.
 
         ``stage_acc`` is a per-call accumulator (local to one
         ``link_text`` invocation, hence thread-safe) collecting policy
         and steering wall time; ``link_text`` observes the totals once
-        per entry.
+        per entry.  ``source_signature`` is the interned form of
+        ``source_classes``, computed once per document.
         """
         candidates: tuple[int, ...] = match.candidates
         if self.enable_policies:
@@ -406,9 +435,10 @@ class NNexus:
         if self.enable_steering and self._steering is not None:
             if stage_acc is not None:
                 steer_start = perf_counter()
-            result = self._steering.steer(
-                source_classes,
-                {oid: self._objects[oid].classes for oid in candidates},
+            signature_of = self._signature_of
+            result = self._steering.steer_signatures(
+                source_signature,
+                {oid: signature_of(oid) for oid in candidates},
             )
             if stage_acc is not None:
                 stage_acc["steer"] += perf_counter() - steer_start
@@ -494,11 +524,44 @@ class NNexus:
         priority = domain.priority if domain else 1_000_000
         return (priority, object_id)
 
+    # ------------------------------------------------------------------
+    # Steering fast path plumbing
+    # ------------------------------------------------------------------
+    def _signature_of(self, object_id: int) -> tuple[int, ...]:
+        """Cached interned class signature of a stored entry."""
+        signature = self._signatures.get(object_id)
+        if signature is None:
+            signature = self._steering.signature(self._objects[object_id].classes)
+            self._signatures[object_id] = signature
+        return signature
+
+    def _drop_signature(self, object_id: int) -> None:
+        """Invalidation-index listener: the object changed or vanished."""
+        self._signatures.pop(object_id, None)
+
+    def warm_steering(self, object_ids: Iterable[int] | None = None) -> None:
+        """Precompute signatures and distance rows for the given entries.
+
+        Batch jobs call this before fanning out so worker threads only
+        read the steering tables, and the process mode calls it before
+        snapshotting so every worker inherits warm tables instead of
+        recomputing them per process.
+        """
+        if self._steering is None or not self.enable_steering:
+            return
+        ids = self.object_ids() if object_ids is None else object_ids
+        class_ids: set[int] = set()
+        for object_id in ids:
+            class_ids.update(self._signature_of(object_id))
+        self._steering.graph.warm_rows(class_ids)
+
     def set_base_weight(self, base_weight: float, precompute: bool = False) -> None:
         """Rebuild the steering graph with a different weight base.
 
         Used by the weighting ablation; ``base_weight=1`` degenerates to
-        the non-weighted hop-count distance of Section 2.3.
+        the non-weighted hop-count distance of Section 2.3.  Cached
+        per-object signatures are dropped with the old graph — interned
+        ids are only meaningful within one graph's id space.
         """
         if self.scheme is None:
             raise NNexusError("no classification scheme configured")
@@ -507,6 +570,7 @@ class NNexus:
         if precompute:
             graph.johnson_all_pairs()
         self._steering = ClassificationSteering(graph)
+        self._signatures.clear()
         self._cache.clear()
 
     # ------------------------------------------------------------------
@@ -610,22 +674,29 @@ class NNexus:
         """
         cache = self._cache.counter_snapshot()
         stats = self.stats.snapshot()
-        return merge_series(
-            self.metrics.snapshot(),
-            counters=[
-                ("nnexus_cache_hits_total", {}, cache["hits"]),
-                ("nnexus_cache_misses_total", {}, cache["misses"]),
-                ("nnexus_cache_invalidations_total", {}, cache["invalidations"]),
-                ("nnexus_entries_linked_total", {}, stats["entries_linked"]),
-                ("nnexus_links_total", {}, stats["links_created"]),
-                ("nnexus_matches_total", {}, stats["matches_found"]),
-            ],
-            gauges=[
-                ("nnexus_objects", {}, len(self._objects)),
-                ("nnexus_concepts", {}, self.concept_count()),
-                ("nnexus_cache_entries", {}, cache["entries"]),
-            ],
-        )
+        counters = [
+            ("nnexus_cache_hits_total", {}, cache["hits"]),
+            ("nnexus_cache_misses_total", {}, cache["misses"]),
+            ("nnexus_cache_invalidations_total", {}, cache["invalidations"]),
+            ("nnexus_entries_linked_total", {}, stats["entries_linked"]),
+            ("nnexus_links_total", {}, stats["links_created"]),
+            ("nnexus_matches_total", {}, stats["matches_found"]),
+        ]
+        gauges = [
+            ("nnexus_objects", {}, len(self._objects)),
+            ("nnexus_concepts", {}, self.concept_count()),
+            ("nnexus_cache_entries", {}, cache["entries"]),
+        ]
+        if self._steering is not None:
+            signature = self._steering.signature_cache_snapshot()
+            counters += [
+                ("nnexus_steer_signature_cache_hits", {}, signature["hits"]),
+                ("nnexus_steer_signature_cache_misses", {}, signature["misses"]),
+            ]
+            gauges.append(
+                ("nnexus_steer_signature_cache_entries", {}, signature["entries"])
+            )
+        return merge_series(self.metrics.snapshot(), counters=counters, gauges=gauges)
 
 
 _RENDERERS = {

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
+from repro.core.batch import BatchLinker
 from repro.core.linker import NNexus
 from repro.corpus.generator import GeneratorParams, load_or_generate
 from repro.obs.metrics import MetricsRegistry
@@ -29,12 +30,16 @@ __all__ = [
     "run_linking_bench",
     "measure_metrics_overhead",
     "validate_report",
+    "check_regression",
     "SCHEMA_VERSION",
     "STAGES",
     "SMOKE_ENTRIES",
+    "SCALING_WORKER_COUNTS",
+    "STEER_SHARE_RELATIVE_TOLERANCE",
+    "STEER_SHARE_ABSOLUTE_TOLERANCE",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Pipeline stages the report must cover when metrics are enabled.
 STAGES = ("tokenize", "match", "policy", "steer", "render")
@@ -42,6 +47,17 @@ STAGES = ("tokenize", "match", "policy", "steer", "render")
 #: Corpus size for the CI smoke run (small enough for seconds, large
 #: enough that every stage sees hundreds of samples).
 SMOKE_ENTRIES = 120
+
+#: Worker counts measured by the batch-scaling section (process mode).
+SCALING_WORKER_COUNTS = (1, 2, 4)
+
+#: Regression-gate tolerances on the steer share of the cold pass: a
+#: run regresses only when it exceeds the baseline share by BOTH >25%
+#: relative and >5 points absolute — generous enough for CI jitter,
+#: tight enough to catch the steering fast path being lost (which
+#: moves the share from ~15% back to ~70%).
+STEER_SHARE_RELATIVE_TOLERANCE = 0.25
+STEER_SHARE_ABSOLUTE_TOLERANCE = 0.05
 
 
 @dataclass(frozen=True)
@@ -52,6 +68,9 @@ class BenchParams:
     seed: int = 20090612
     smoke: bool = False
     metrics: bool = True
+    #: Measure process-mode batch relink scaling (adds three extra
+    #: corpus passes); disabled by the overhead comparison runs.
+    scaling: bool = True
 
     @classmethod
     def smoke_params(cls, seed: int = 20090612, metrics: bool = True) -> "BenchParams":
@@ -91,6 +110,51 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
     cache = linker.cache.counter_snapshot()
     lookups = cache["hits"] + cache["misses"]
 
+    steering_summary = {
+        "signature_cache_hits": 0,
+        "signature_cache_misses": 0,
+        "signature_cache_entries": 0,
+        "signature_cache_hit_rate": 0.0,
+    }
+    if linker.steering is not None:
+        snapshot = linker.steering.signature_cache_snapshot()
+        steering_summary = {
+            "signature_cache_hits": int(snapshot["hits"]),
+            "signature_cache_misses": int(snapshot["misses"]),
+            "signature_cache_entries": int(snapshot["entries"]),
+            "signature_cache_hit_rate": snapshot["hit_rate"],
+        }
+
+    # Whole-corpus relink scaling in process mode: the linker snapshot
+    # (concept map + warm steering tables) is shipped once per worker
+    # and chunks fan out, so this measures true multicore behaviour.
+    batch_scaling: dict[str, Any] = {}
+    if params.scaling:
+        runs = []
+        for workers in SCALING_WORKER_COUNTS:
+            batch = BatchLinker(
+                linker, fmt=None, workers=workers, mode="process",
+                retain_renderings=False,
+            )
+            outcome = batch.run()
+            runs.append(
+                {
+                    "workers": workers,
+                    "elapsed_sec": outcome.seconds,
+                    "links": outcome.links,
+                }
+            )
+        base = runs[0]["elapsed_sec"]
+        batch_scaling = {
+            "mode": "process",
+            "entries": len(linker),
+            "runs": runs,
+            "speedups": {
+                str(run["workers"]): (base / run["elapsed_sec"] if run["elapsed_sec"] else 0.0)
+                for run in runs
+            },
+        }
+
     stages: dict[str, dict[str, float]] = {}
     if params.metrics:
         for stage in STAGES:
@@ -113,6 +177,7 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
             "seed": params.seed,
             "smoke": params.smoke,
             "metrics": params.metrics,
+            "scaling": params.scaling,
         },
         "corpus": {
             "objects": len(linker),
@@ -136,6 +201,8 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
             "invalidations": cache["invalidations"],
             "hit_rate": cache["hits"] / lookups if lookups else 0.0,
         },
+        "steering": steering_summary,
+        "batch_scaling": batch_scaling,
         "stages": stages,
     }
 
@@ -149,10 +216,12 @@ def measure_metrics_overhead(params: BenchParams | None = None) -> dict[str, flo
     """
     params = params or BenchParams.smoke_params()
     baseline = run_linking_bench(
-        BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke, metrics=False)
+        BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke,
+                    metrics=False, scaling=False)
     )
     instrumented = run_linking_bench(
-        BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke, metrics=True)
+        BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke,
+                    metrics=True, scaling=False)
     )
     base = baseline["throughput"]["cold_elapsed_sec"]
     inst = instrumented["throughput"]["cold_elapsed_sec"]
@@ -170,7 +239,7 @@ def measure_metrics_overhead(params: BenchParams | None = None) -> dict[str, flo
 _NUMBER = (int, float)
 
 _SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
-    "params": {"entries": int, "seed": int, "smoke": bool, "metrics": bool},
+    "params": {"entries": int, "seed": int, "smoke": bool, "metrics": bool, "scaling": bool},
     "corpus": {"objects": int, "concepts": int, "tokens": int},
     "throughput": {
         "cold_elapsed_sec": _NUMBER,
@@ -181,6 +250,12 @@ _SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
     },
     "links": {"matches": int, "links": int},
     "cache": {"hits": int, "misses": int, "invalidations": int, "hit_rate": _NUMBER},
+    "steering": {
+        "signature_cache_hits": int,
+        "signature_cache_misses": int,
+        "signature_cache_entries": int,
+        "signature_cache_hit_rate": _NUMBER,
+    },
 }
 
 _STAGE_FIELDS: dict[str, type | tuple[type, ...]] = {
@@ -231,4 +306,77 @@ def validate_report(report: Any) -> list[str]:
                         problems.append(f"stages.{stage}.{name} must be {kinds}, got {value!r}")
                 if body.get("count") == 0:
                     problems.append(f"stages.{stage}.count is 0 — stage never timed")
+
+    scaling_on = isinstance(report.get("params"), dict) and report["params"].get("scaling")
+    batch_scaling = report.get("batch_scaling")
+    if not isinstance(batch_scaling, dict):
+        problems.append("missing or non-object section 'batch_scaling'")
+    elif scaling_on:
+        if batch_scaling.get("mode") not in ("thread", "process"):
+            problems.append(
+                f"batch_scaling.mode must be a batch mode, got {batch_scaling.get('mode')!r}"
+            )
+        if not isinstance(batch_scaling.get("entries"), int):
+            problems.append("batch_scaling.entries must be int")
+        runs = batch_scaling.get("runs")
+        if not isinstance(runs, list) or not runs:
+            problems.append("batch_scaling.runs must be a non-empty list")
+        else:
+            for position, run in enumerate(runs):
+                if not isinstance(run, dict) or not isinstance(run.get("workers"), int):
+                    problems.append(f"batch_scaling.runs[{position}].workers must be int")
+                    continue
+                for name in ("elapsed_sec",):
+                    if not isinstance(run.get(name), _NUMBER):
+                        problems.append(
+                            f"batch_scaling.runs[{position}].{name} must be a number"
+                        )
+        speedups = batch_scaling.get("speedups")
+        if not isinstance(speedups, dict) or not all(
+            isinstance(value, _NUMBER) for value in speedups.values()
+        ):
+            problems.append("batch_scaling.speedups must map worker counts to numbers")
+    return problems
+
+
+def _steer_share(report: dict[str, Any]) -> float | None:
+    """Steer-stage share of the cold pass, or None when not derivable."""
+    try:
+        steer_sum = report["stages"]["steer"]["sum_sec"]
+        cold = report["throughput"]["cold_elapsed_sec"]
+    except (KeyError, TypeError):
+        return None
+    if not isinstance(steer_sum, _NUMBER) or not isinstance(cold, _NUMBER) or cold <= 0:
+        return None
+    return steer_sum / cold
+
+
+def check_regression(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
+    """Perf-regression problems of ``current`` vs ``baseline`` (empty = pass).
+
+    Wall-clock sums are machine-dependent, so the gate compares the
+    steer stage's *share* of the cold pass instead: losing the steering
+    fast path moves the share from ~15% back to ~70% on any hardware,
+    while honest CI jitter moves it by a few points.  A run fails only
+    when it exceeds the baseline share by both
+    :data:`STEER_SHARE_RELATIVE_TOLERANCE` (relative) and
+    :data:`STEER_SHARE_ABSOLUTE_TOLERANCE` (absolute).
+    """
+    problems: list[str] = []
+    current_share = _steer_share(current)
+    baseline_share = _steer_share(baseline)
+    if current_share is None:
+        problems.append("current report lacks a steer stage timing to gate on")
+        return problems
+    if baseline_share is None:
+        problems.append("baseline report lacks a steer stage timing to gate against")
+        return problems
+    relative_limit = baseline_share * (1.0 + STEER_SHARE_RELATIVE_TOLERANCE)
+    absolute_limit = baseline_share + STEER_SHARE_ABSOLUTE_TOLERANCE
+    if current_share > relative_limit and current_share > absolute_limit:
+        problems.append(
+            "steer stage regressed: "
+            f"{current_share:.1%} of the cold pass vs {baseline_share:.1%} in the "
+            f"baseline (limits: >{relative_limit:.1%} and >{absolute_limit:.1%})"
+        )
     return problems

@@ -57,7 +57,60 @@ class TestRun:
             BatchLinker(linker, fmt="docx")
         with pytest.raises(ValueError):
             BatchLinker(linker, workers=0)
+        with pytest.raises(ValueError):
+            BatchLinker(linker, mode="fork")
+        with pytest.raises(ValueError):
+            BatchLinker(linker, chunk_size=0)
 
     def test_summary_keys(self, linker) -> None:
         summary = BatchLinker(linker, fmt=None).run(object_ids=[1]).summary()
         assert {"entries", "links", "seconds", "links_per_entry"} <= set(summary)
+        assert {"files_written", "workers"} <= set(summary)
+
+
+class TestProcessMode:
+    def test_matches_thread_mode_byte_for_byte(self, linker) -> None:
+        threaded = BatchLinker(linker, fmt="html", mode="thread").run()
+        processed = BatchLinker(
+            linker, fmt="html", mode="process", workers=2, chunk_size=7
+        ).run()
+        assert processed.rendered == threaded.rendered
+        assert processed.links == threaded.links
+        assert processed.mode == "process"
+        assert processed.workers == 2
+
+    def test_reports_worker_seconds(self, linker) -> None:
+        report = BatchLinker(linker, fmt=None, mode="process", workers=2).run()
+        assert report.worker_seconds
+        assert all(seconds >= 0.0 for seconds in report.worker_seconds.values())
+
+    def test_writes_output_files(self, linker, tmp_path) -> None:
+        out = tmp_path / "rendered"
+        report = BatchLinker(linker, fmt="markdown", mode="process").run(
+            object_ids=[1, 2], output_dir=out
+        )
+        assert report.files_written == 2
+        assert (out / "object-2.md").exists()
+
+    def test_empty_selection(self, linker) -> None:
+        report = BatchLinker(linker, fmt=None, mode="process").run(object_ids=[])
+        assert report.entries == 0
+        assert report.links == 0
+
+
+class TestRetainRenderings:
+    def test_disabled_keeps_files_as_source_of_truth(self, linker, tmp_path) -> None:
+        out = tmp_path / "rendered"
+        report = BatchLinker(linker, fmt="html", retain_renderings=False).run(
+            output_dir=out
+        )
+        assert report.rendered == {}
+        assert report.files_written == 30
+        assert report.links > 50
+        assert len(list(out.glob("object-*.html"))) == 30
+
+    def test_disabled_without_output_dir_still_counts_links(self, linker) -> None:
+        report = BatchLinker(linker, fmt="html", retain_renderings=False).run()
+        assert report.rendered == {}
+        assert report.files_written == 0
+        assert set(report.link_counts) == set(linker.object_ids())

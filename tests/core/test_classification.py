@@ -7,11 +7,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.classification import (
     INFINITE_DISTANCE,
+    UNKNOWN_CLASS_ID,
     ClassificationGraph,
     ClassificationSteering,
     brute_force_all_pairs,
     default_steering,
 )
+from repro.core.errors import UnknownClassError
 from repro.ontology.msc import build_small_msc
 from repro.ontology.scheme import ClassificationScheme
 
@@ -197,3 +199,77 @@ class TestSteeringObject:
         )
         assert steering.pair_distance([], ["05"]) == INFINITE_DISTANCE
         assert steering.pair_distance(["05"], []) == INFINITE_DISTANCE
+
+
+class TestInterning:
+    def test_class_id_round_trips(self) -> None:
+        graph = ClassificationGraph.from_scheme(small_scheme())
+        for code in graph.nodes():
+            assert graph.code_of(graph.class_id(code)) == code
+
+    def test_unknown_code_gets_sentinel_id(self) -> None:
+        graph = ClassificationGraph.from_scheme(small_scheme())
+        assert graph.class_id("99Z99") == UNKNOWN_CLASS_ID
+        with pytest.raises(UnknownClassError):
+            graph.code_of(UNKNOWN_CLASS_ID)
+
+    def test_distance_between_ids_matches_string_api(self) -> None:
+        graph = ClassificationGraph.from_scheme(small_scheme(), base_weight=10)
+        for a in graph.nodes():
+            for b in graph.nodes():
+                assert graph.distance_between_ids(
+                    graph.class_id(a), graph.class_id(b)
+                ) == pytest.approx(graph.distance(a, b))
+
+    def test_distance_between_ids_on_cyclic_graph(self) -> None:
+        # A bridge edge (cross-scheme mapping) breaks the forest fast
+        # path; distances must fall back to Dijkstra rows and shorten.
+        graph = ClassificationGraph.from_scheme(small_scheme(), base_weight=10)
+        before = graph.distance("05C10", "03E20")
+        graph.add_edge("05C", "03E", 1.0)
+        after = graph.distance("05C10", "03E20")
+        assert after < before
+        assert after == pytest.approx(3.0)  # 05C10 -> 05C -> 03E -> 03E20
+        reference = brute_force_all_pairs(graph)
+        for a in graph.nodes():
+            for b in graph.nodes():
+                assert graph.distance(a, b) == pytest.approx(reference[a][b])
+
+    def test_version_bumps_on_mutation(self) -> None:
+        graph = ClassificationGraph.from_scheme(small_scheme())
+        version = graph.version
+        graph.add_node("42A")
+        assert graph.version > version
+        version = graph.version
+        graph.add_edge("42A", "05", 7.0)
+        assert graph.version > version
+
+    def test_warm_rows_ignores_unknown_ids(self) -> None:
+        graph = ClassificationGraph.from_scheme(small_scheme())
+        graph.add_edge("05C", "03E", 1.0)  # cycle -> row-based path
+        graph.warm_rows([UNKNOWN_CLASS_ID, graph.class_id("05C40"), 10_000])
+        assert graph.distance("05C40", "03E20") == pytest.approx(3.0)
+
+
+class TestNeighborsView:
+    def test_view_is_read_only(self) -> None:
+        graph = ClassificationGraph.from_scheme(small_scheme())
+        view = graph.neighbors("05C")
+        with pytest.raises(TypeError):
+            view["05C10"] = 0.0  # type: ignore[index]
+        with pytest.raises(TypeError):
+            del view["05C10"]  # type: ignore[attr-defined]
+
+    def test_view_is_live(self) -> None:
+        graph = ClassificationGraph.from_scheme(small_scheme())
+        view = graph.neighbors("05C")
+        assert "42A" not in view
+        graph.add_edge("05C", "42A", 5.0)
+        assert view["42A"] == pytest.approx(5.0)
+
+    def test_unknown_code_gives_empty_view(self) -> None:
+        graph = ClassificationGraph.from_scheme(small_scheme())
+        view = graph.neighbors("99Z99")
+        assert len(view) == 0
+        with pytest.raises(TypeError):
+            view["x"] = 1.0  # type: ignore[index]

@@ -1,0 +1,264 @@
+"""Tests for the steering signature-pair cache (the fast-path memo).
+
+The cache must be *transparent*: identical Algorithm 1 decisions with
+the cache enabled, disabled, or invalidated mid-stream; and it must
+never serve distances computed against an older class graph.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.classification import (
+    INFINITE_DISTANCE,
+    ClassificationGraph,
+    ClassificationSteering,
+    UNKNOWN_CLASS_ID,
+)
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.ontology.msc import build_small_msc
+from repro.ontology.scheme import ClassificationScheme
+
+
+def small_scheme() -> ClassificationScheme:
+    scheme = ClassificationScheme("t")
+    scheme.add_class("05", "Combinatorics")
+    scheme.add_class("03", "Logic")
+    scheme.add_class("05C", "Graph theory", parent="05")
+    scheme.add_class("05B", "Designs", parent="05")
+    scheme.add_class("03E", "Set theory", parent="03")
+    scheme.add_class("05C10", "Topological", parent="05C")
+    scheme.add_class("05C40", "Connectivity", parent="05C")
+    scheme.add_class("03E20", "Other set theory", parent="03E")
+    return scheme
+
+
+def steering_pair() -> tuple[ClassificationSteering, ClassificationSteering]:
+    """One cached and one cache-disabled steering over identical graphs."""
+    cached = ClassificationSteering(ClassificationGraph.from_scheme(small_scheme()))
+    uncached = ClassificationSteering(
+        ClassificationGraph.from_scheme(small_scheme()), signature_cache_size=0
+    )
+    return cached, uncached
+
+
+_CLASS_LISTS: list[list[str]] = [
+    ["05C40"],
+    ["05C10"],
+    ["03E20"],
+    ["05C10", "03E20"],
+    ["05B", "05C40"],
+    ["99Z99"],  # unknown to the graph
+    [],
+    ["05", "03"],
+]
+
+
+class TestTransparency:
+    def test_identical_decisions_cache_on_and_off(self) -> None:
+        cached, uncached = steering_pair()
+        candidates = {index: classes for index, classes in enumerate(_CLASS_LISTS)}
+        for source in _CLASS_LISTS:
+            # Probe twice so the second cached pass is served from the memo.
+            for _ in range(2):
+                a = cached.steer(source, candidates)
+                b = uncached.steer(source, candidates)
+                assert a.winners == b.winners
+                assert a.distances == b.distances
+
+    def test_disabled_cache_never_stores(self) -> None:
+        _, uncached = steering_pair()
+        for _ in range(3):
+            uncached.pair_distance(["05C40"], ["03E20"])
+        snapshot = uncached.signature_cache_snapshot()
+        assert snapshot["entries"] == 0
+        assert snapshot["hits"] == 0
+
+    def test_repeat_probe_is_a_hit(self) -> None:
+        cached, _ = steering_pair()
+        first = cached.pair_distance(["05C40"], ["03E20"])
+        assert cached.signature_cache_misses == 1
+        second = cached.pair_distance(["05C40"], ["03E20"])
+        assert second == first
+        assert cached.signature_cache_hits == 1
+        snapshot = cached.signature_cache_snapshot()
+        assert snapshot["hit_rate"] == pytest.approx(0.5)
+
+    def test_negative_cache_size_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            ClassificationSteering(
+                ClassificationGraph.from_scheme(small_scheme()),
+                signature_cache_size=-1,
+            )
+
+
+class TestSignatures:
+    def test_signature_is_sorted_unique_ids(self) -> None:
+        cached, _ = steering_pair()
+        signature = cached.signature(["05C40", "05C10", "05C40"])
+        assert len(signature) == 2
+        assert list(signature) == sorted(signature)
+
+    def test_unknown_codes_intern_to_sentinel(self) -> None:
+        cached, _ = steering_pair()
+        assert cached.signature(["99Z99"]) == (UNKNOWN_CLASS_ID,)
+        # Unknown classes are infinitely far (not "unclassified"):
+        assert cached.pair_distance(["99Z99"], ["05C40"]) == INFINITE_DISTANCE
+
+    def test_empty_classes_give_empty_signature(self) -> None:
+        cached, _ = steering_pair()
+        assert cached.signature([]) == ()
+        assert cached.signature_distance((), (1,)) == INFINITE_DISTANCE
+
+    def test_signature_distance_matches_pair_distance(self) -> None:
+        cached, _ = steering_pair()
+        for source in _CLASS_LISTS:
+            for target in _CLASS_LISTS:
+                assert cached.signature_distance(
+                    cached.signature(source), cached.signature(target)
+                ) == cached.pair_distance(source, target)
+
+
+class TestInvalidation:
+    def test_graph_mutation_invalidates_entries(self) -> None:
+        cached, _ = steering_pair()
+        far = cached.pair_distance(["05C40"], ["03E20"])
+        assert cached.signature_cache_snapshot()["entries"] == 1
+        # A zero-weight bridge collapses the cross-area distance; the
+        # cached pair must not survive the mutation.
+        cached.graph.add_edge("05C40", "03E20", 0.0)
+        near = cached.pair_distance(["05C40"], ["03E20"])
+        assert near == 0.0
+        assert near < far
+
+    def test_version_check_happens_per_probe(self) -> None:
+        cached, _ = steering_pair()
+        cached.pair_distance(["05C40"], ["05C10"])
+        cached.pair_distance(["05C40"], ["03E20"])
+        assert cached.signature_cache_snapshot()["entries"] == 2
+        cached.graph.add_node("05D")
+        # First probe after the mutation drops every stale entry.
+        cached.pair_distance(["05C40"], ["05C10"])
+        assert cached.signature_cache_snapshot()["entries"] == 1
+
+    def test_cache_is_bounded(self) -> None:
+        steering = ClassificationSteering(
+            ClassificationGraph.from_scheme(small_scheme()), signature_cache_size=2
+        )
+        for target in (["05C10"], ["03E20"], ["05B"], ["05"]):
+            steering.pair_distance(["05C40"], target)
+        assert steering.signature_cache_snapshot()["entries"] <= 2
+        # Evicted pairs are recomputed correctly (just not served).
+        assert steering.pair_distance(["05C40"], ["05C10"]) == pytest.approx(2.0)
+
+
+class TestConcurrency:
+    def test_concurrent_readers_with_writer(self) -> None:
+        """Readers probe while a writer mutates the graph; distances stay
+        correct and the final state reflects the last graph version."""
+        steering, reference = steering_pair()
+        pairs = [
+            (source, target) for source in _CLASS_LISTS for target in _CLASS_LISTS
+        ]
+        expected = {
+            index: reference.pair_distance(source, target)
+            for index, (source, target) in enumerate(pairs)
+        }
+        errors: list[str] = []
+        start = threading.Barrier(5)
+
+        def reader() -> None:
+            start.wait()
+            for _ in range(20):
+                for index, (source, target) in enumerate(pairs):
+                    got = steering.pair_distance(source, target)
+                    if got != expected[index]:
+                        errors.append(f"pair {index}: {got} != {expected[index]}")
+                        return
+
+        def writer() -> None:
+            start.wait()
+            for round_number in range(10):
+                # New isolated nodes change the graph version without
+                # changing any existing distance.
+                steering.graph.add_node(f"77X{round_number:02d}")
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # A post-quiescence probe repopulates against the final version.
+        assert steering.pair_distance(["05C40"], ["05C10"]) == expected[
+            pairs.index((["05C40"], ["05C10"]))
+        ]
+
+
+class TestLinkerIntegration:
+    def _linker(self) -> NNexus:
+        linker = NNexus(scheme=build_small_msc())
+        linker.add_objects(
+            [
+                CorpusObject(
+                    object_id=1,
+                    title="connectivity",
+                    text="An article about graphs.",
+                    defines=["graph"],
+                    classes=["05C40"],
+                ),
+                CorpusObject(
+                    object_id=2,
+                    title="graph of a function",
+                    text="An article about plots.",
+                    defines=["graph"],
+                    classes=["03E20"],
+                ),
+                CorpusObject(
+                    object_id=3,
+                    title="source",
+                    text="Every graph has vertices.",
+                    classes=["05C10"],
+                ),
+            ]
+        )
+        return linker
+
+    def test_reclassification_changes_the_link(self) -> None:
+        linker = self._linker()
+        before = linker.link_object(3)
+        assert [link.target_id for link in before.links] == [1]
+        # Reclassify the source next to the set-theory homonym: the
+        # cached signature must be dropped and the link move to 2.
+        source = linker.get_object(3)
+        source.classes[:] = ["03E20"]
+        linker.update_object(source)
+        after = linker.link_object(3)
+        assert [link.target_id for link in after.links] == [2]
+
+    def test_set_base_weight_rebuild_stays_consistent(self) -> None:
+        linker = self._linker()
+        before = linker.link_object(3)
+        # Rebuilding the graph re-interns every code: old signatures
+        # would index into the wrong id space if they survived.
+        linker.set_base_weight(2.0)
+        after = linker.link_object(3)
+        assert [link.target_id for link in after.links] == [
+            link.target_id for link in before.links
+        ]
+
+    def test_steering_disabled_linker_has_no_signature_metrics(self) -> None:
+        linker = NNexus(scheme=None)
+        names = {series["name"] for series in linker.metrics_snapshot()["counters"]}
+        assert "nnexus_steer_signature_cache_hits" not in names
+
+    def test_signature_metrics_exported(self) -> None:
+        linker = self._linker()
+        linker.link_object(3)
+        counters = {
+            series["name"]: series["value"]
+            for series in linker.metrics_snapshot()["counters"]
+        }
+        assert counters["nnexus_steer_signature_cache_misses"] >= 1

@@ -3,15 +3,19 @@
 import copy
 
 from repro.obs.bench import (
+    SCALING_WORKER_COUNTS,
     SCHEMA_VERSION,
     STAGES,
     BenchParams,
+    check_regression,
     run_linking_bench,
     validate_report,
 )
 
-# Small enough to keep the suite fast; large enough for every stage to fire.
-_PARAMS = BenchParams(entries=40, seed=7, smoke=True, metrics=True)
+# Small enough to keep the suite fast; large enough for every stage to
+# fire.  Scaling is off here (it spawns process pools) — the dedicated
+# scaling test below covers it once.
+_PARAMS = BenchParams(entries=40, seed=7, smoke=True, metrics=True, scaling=False)
 
 
 def test_report_passes_its_own_schema() -> None:
@@ -45,9 +49,32 @@ def test_metrics_run_covers_every_stage() -> None:
 
 def test_no_metrics_run_has_empty_stages_and_validates() -> None:
     report = run_linking_bench(
-        BenchParams(entries=40, seed=7, smoke=True, metrics=False)
+        BenchParams(entries=40, seed=7, smoke=True, metrics=False, scaling=False)
     )
     assert report["stages"] == {}
+    assert validate_report(report) == []
+
+
+def test_steering_section_reports_signature_cache() -> None:
+    report = run_linking_bench(_PARAMS)
+    steering = report["steering"]
+    # Two full corpus passes: the warm pass is served by the render
+    # cache, but the cold pass alone already revisits signature pairs.
+    assert steering["signature_cache_misses"] > 0
+    assert steering["signature_cache_entries"] > 0
+    assert 0.0 <= steering["signature_cache_hit_rate"] <= 1.0
+
+
+def test_scaling_run_reports_batch_section() -> None:
+    report = run_linking_bench(
+        BenchParams(entries=30, seed=7, smoke=True, metrics=False, scaling=True)
+    )
+    scaling = report["batch_scaling"]
+    assert scaling["mode"] == "process"
+    assert [run["workers"] for run in scaling["runs"]] == list(SCALING_WORKER_COUNTS)
+    # Every worker count links the identical corpus.
+    assert len({run["links"] for run in scaling["runs"]}) == 1
+    assert scaling["speedups"]["1"] == 1.0
     assert validate_report(report) == []
 
 
@@ -79,3 +106,49 @@ def test_validate_rejects_broken_reports() -> None:
     missing_stage = copy.deepcopy(good)
     del missing_stage["stages"]["steer"]
     assert any("stages.steer" in p for p in validate_report(missing_stage))
+
+    missing_steering = copy.deepcopy(good)
+    del missing_steering["steering"]
+    assert any("steering" in p for p in validate_report(missing_steering))
+
+    missing_scaling = copy.deepcopy(good)
+    del missing_scaling["batch_scaling"]
+    assert any("batch_scaling" in p for p in validate_report(missing_scaling))
+
+    empty_scaling_run = copy.deepcopy(good)
+    empty_scaling_run["params"]["scaling"] = True
+    empty_scaling_run["batch_scaling"] = {"mode": "process", "entries": 40}
+    problems = validate_report(empty_scaling_run)
+    assert any("batch_scaling.runs" in p for p in problems)
+    assert any("batch_scaling.speedups" in p for p in problems)
+
+
+def test_check_regression_gates_on_steer_share() -> None:
+    baseline = run_linking_bench(_PARAMS)
+    # A re-run of the same corpus on the same machine must pass.
+    assert check_regression(run_linking_bench(_PARAMS), baseline) == []
+
+    # Losing the steering fast path (steer balloons to most of the cold
+    # pass) must fail, with both limits quoted in the message.
+    regressed = copy.deepcopy(baseline)
+    regressed["stages"]["steer"]["sum_sec"] = (
+        regressed["throughput"]["cold_elapsed_sec"] * 0.9
+    )
+    problems = check_regression(regressed, baseline)
+    assert len(problems) == 1
+    assert "steer stage regressed" in problems[0]
+
+    # Small jitter within the absolute tolerance passes even when the
+    # relative limit is exceeded (tiny baselines would be flaky gates).
+    jitter = copy.deepcopy(baseline)
+    jitter["stages"]["steer"]["sum_sec"] = (
+        baseline["stages"]["steer"]["sum_sec"]
+        + 0.04 * baseline["throughput"]["cold_elapsed_sec"]
+    )
+    assert check_regression(jitter, baseline) == []
+
+    # Reports without steer timings cannot be gated.
+    no_stages = copy.deepcopy(baseline)
+    no_stages["stages"] = {}
+    assert any("current report" in p for p in check_regression(no_stages, baseline))
+    assert any("baseline report" in p for p in check_regression(baseline, no_stages))
