@@ -12,6 +12,7 @@ Usage::
     python benchmarks/bench_linking.py --entries 7132       # paper scale
     python benchmarks/bench_linking.py --validate BENCH_linking.json
     python benchmarks/bench_linking.py --overhead           # metrics cost
+    python benchmarks/bench_linking.py --trace-overhead     # tracing cost
     python benchmarks/bench_linking.py --smoke --gate BENCH_linking.json
 
 Not a pytest file on purpose: the shape-asserted benchmark suite lives
@@ -36,6 +37,7 @@ from repro.obs.bench import (  # noqa: E402
     BenchParams,
     check_regression,
     measure_metrics_overhead,
+    measure_tracing_overhead,
     run_linking_bench,
     validate_report,
 )
@@ -56,6 +58,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="validate an existing report instead of running")
     parser.add_argument("--overhead", action="store_true",
                         help="measure metrics-on vs metrics-off cold-pass time")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="measure tracer-on vs tracer-off cold-pass time and "
+                             "verify the renderings are bit-identical")
     parser.add_argument("--gate", type=str, metavar="PATH", default="",
                         help="fail if the run's steer share regresses vs this baseline report")
     args = parser.parse_args(argv)
@@ -79,6 +84,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.overhead:
         overhead = measure_metrics_overhead(params)
         print(json.dumps(overhead, indent=2))
+        return 0
+
+    if args.trace_overhead:
+        overhead = measure_tracing_overhead(params)
+        print(json.dumps(overhead, indent=2))
+        if not overhead["renderings_identical"]:
+            print("trace overhead check: renderings differ between the null "
+                  "and active tracer — tracing must not change output",
+                  file=sys.stderr)
+            return 1
         return 0
 
     # Load the gate baseline up front: --out may overwrite the same file.

@@ -76,13 +76,34 @@ def _cmd_link(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     linker = _build_linker(args.corpus)
-    batch = BatchLinker(linker, fmt=args.format, workers=args.workers)
+    exporter = None
+    if args.trace or args.trace_jsonl or args.slow_ms > 0:
+        from repro.obs.trace import JsonlExporter, Tracer
+
+        tracer = Tracer(
+            slow_threshold=args.slow_ms / 1000.0 if args.slow_ms > 0 else None
+        )
+        if args.trace_jsonl and args.mode != "process":
+            # Process mode writes per-worker files instead (each worker
+            # has its own tracer); see BatchLinker(trace_jsonl=...).
+            exporter = JsonlExporter(args.trace_jsonl)
+            tracer.add_sink(exporter)
+        linker.tracer = tracer
+    batch = BatchLinker(
+        linker,
+        fmt=args.format,
+        workers=args.workers,
+        mode=args.mode,
+        trace_jsonl=args.trace_jsonl or None,
+    )
 
     def progress(done: int, total: int) -> None:
         if done % 500 == 0 or done == total:
             print(f"linked {done}/{total}", file=sys.stderr)
 
     report = batch.run(progress=progress, output_dir=args.out)
+    if exporter is not None:
+        exporter.close()
     print(json.dumps(report.summary(), indent=2))
     if args.out:
         print(f"wrote {report.files_written} files to {args.out}", file=sys.stderr)
@@ -172,6 +193,16 @@ def main(argv: list[str] | None = None) -> int:
     batch.add_argument("--format", choices=sorted(_RENDERERS), default="html")
     batch.add_argument("--out", default="", help="directory for rendered files")
     batch.add_argument("--workers", type=int, default=1)
+    batch.add_argument("--mode", choices=("thread", "process"), default="thread",
+                       help="fan-out mode (process = one linker snapshot per core)")
+    batch.add_argument("--trace", action="store_true",
+                       help="record per-document trace spans")
+    batch.add_argument("--trace-jsonl", default="",
+                       help="append finished spans to this JSONL file "
+                            "(process mode writes per-worker files)")
+    batch.add_argument("--slow-ms", type=float, default=0.0,
+                       help="log documents slower than this many milliseconds "
+                            "as slow_request records (implies --trace)")
     batch.set_defaults(handler=_cmd_batch)
 
     import_wiki = commands.add_parser("import-wiki", help="import a MediaWiki dump")

@@ -35,6 +35,7 @@ from typing import Callable, Iterable, Sequence
 from repro.core.linker import NNexus
 from repro.core.models import LinkedDocument
 from repro.core.render import render_annotations, render_html, render_markdown
+from repro.obs.trace import NULL_SPAN, Span
 
 __all__ = ["BatchReport", "BatchLinker", "BATCH_MODES"]
 
@@ -103,10 +104,30 @@ _WORKER_LINKER: NNexus | None = None
 _WORKER_RENDERER: Callable[[LinkedDocument], str] | None = None
 
 
-def _process_worker_init(linker: NNexus, fmt: str | None) -> None:
+def _process_worker_init(
+    linker: NNexus,
+    fmt: str | None,
+    trace_jsonl: str | None = None,
+    tracing: bool = False,
+    slow_threshold: float | None = None,
+) -> None:
     global _WORKER_LINKER, _WORKER_RENDERER
     _WORKER_LINKER = linker
     _WORKER_RENDERER = _RENDERERS.get(fmt) if fmt else None
+    if tracing or trace_jsonl:
+        # The parent's tracer does not travel through pickle (its ring
+        # and lock belong to the parent process); each worker gets its
+        # own tracer and, when asked, streams its ring to a per-worker
+        # JSONL file the parent can collect afterwards.
+        from repro.obs.trace import JsonlExporter, Tracer
+
+        tracer = Tracer(slow_threshold=slow_threshold)
+        if trace_jsonl:
+            base = Path(trace_jsonl)
+            suffix = base.suffix or ".jsonl"
+            path = base.with_name(f"{base.stem}-worker-{os.getpid()}{suffix}")
+            tracer.add_sink(JsonlExporter(path))
+        linker.tracer = tracer
 
 
 def _process_worker_link(
@@ -145,6 +166,11 @@ class BatchLinker:
     chunk_size:
         Entries per process-mode chunk (default: enough chunks for ~4
         per worker).  Ignored in thread mode.
+    trace_jsonl:
+        Base path for per-worker span JSONL files in process mode
+        (worker pid is appended: ``traces-worker-<pid>.jsonl``).  In
+        thread mode the shared linker's own tracer/sinks already see
+        every span, so this is ignored.
     """
 
     def __init__(
@@ -155,6 +181,7 @@ class BatchLinker:
         mode: str = "thread",
         retain_renderings: bool = True,
         chunk_size: int | None = None,
+        trace_jsonl: str | Path | None = None,
     ) -> None:
         if fmt is not None and fmt not in _RENDERERS:
             raise ValueError(f"unknown render format {fmt!r}")
@@ -170,6 +197,7 @@ class BatchLinker:
         self._mode = mode
         self._retain = retain_renderings
         self._chunk_size = chunk_size
+        self._trace_jsonl = str(trace_jsonl) if trace_jsonl is not None else None
 
     def run(
         self,
@@ -188,11 +216,19 @@ class BatchLinker:
             directory = Path(output_dir)
             directory.mkdir(parents=True, exist_ok=True)
 
+        trc = self._linker.tracer
         start = time.perf_counter()
-        if self._mode == "process":
-            self._run_processes(ids, report, progress, directory)
-        else:
-            self._run_threads(ids, report, progress, directory)
+        with (
+            trc.span(
+                "batch.run", mode=self._mode, workers=self._workers, entries=len(ids)
+            )
+            if trc.enabled
+            else NULL_SPAN
+        ) as batch_span:
+            if self._mode == "process":
+                self._run_processes(ids, report, progress, directory)
+            else:
+                self._run_threads(ids, report, progress, directory, batch_span)
         report.entries = len(ids)
         report.seconds = time.perf_counter() - start
 
@@ -218,12 +254,25 @@ class BatchLinker:
         report: BatchReport,
         progress: ProgressCallback | None,
         directory: Path | None,
+        batch_span: Span | None = None,
     ) -> None:
         renderer = _RENDERERS.get(self._fmt) if self._fmt else None
+        trc = self._linker.tracer
 
         def link_one(object_id: int) -> tuple[int, int, str | None]:
-            document = self._linker.link_object(object_id)
-            rendered = renderer(document) if renderer else None
+            # Worker threads do not inherit the parent's context-var
+            # stack, so the batch span is passed as an explicit parent;
+            # entering the per-document span makes it current in the
+            # worker so the linker's stage spans nest under it.
+            if trc.enabled:
+                with trc.span(
+                    "batch.entry", parent=batch_span, object_id=object_id
+                ):
+                    document = self._linker.link_object(object_id)
+                    rendered = renderer(document) if renderer else None
+            else:
+                document = self._linker.link_object(object_id)
+                rendered = renderer(document) if renderer else None
             return object_id, document.link_count, rendered
 
         completed = 0
@@ -258,10 +307,17 @@ class BatchLinker:
         chunks = [ids[i : i + chunk] for i in range(0, len(ids), chunk)]
         completed = 0
         worker_index_of: dict[int, int] = {}
+        trc = self._linker.tracer
         with ProcessPoolExecutor(
             max_workers=self._workers,
             initializer=_process_worker_init,
-            initargs=(self._linker, self._fmt),
+            initargs=(
+                self._linker,
+                self._fmt,
+                self._trace_jsonl,
+                trc.enabled,
+                getattr(trc, "slow_threshold", None),
+            ),
         ) as pool:
             for pid, elapsed, rows in pool.map(_process_worker_link, chunks):
                 index = worker_index_of.setdefault(pid, len(worker_index_of))

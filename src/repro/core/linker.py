@@ -38,6 +38,7 @@ from repro.core.policies import LinkingPolicyTable
 from repro.core.render import render_annotations, render_html, render_markdown
 from repro.core.tokenizer import Tokenizer
 from repro.obs.metrics import NULL_RECORDER, NullRecorder, merge_series
+from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.ontology.scheme import ClassificationScheme
 
 __all__ = ["NNexus", "LinkerStats", "MatchExplanation"]
@@ -119,6 +120,12 @@ class NNexus:
         the inert :data:`~repro.obs.metrics.NULL_RECORDER`; pass a
         :class:`~repro.obs.metrics.MetricsRegistry` to record per-stage
         pipeline timings and link counters.
+    tracer:
+        A tracer (see :mod:`repro.obs.trace`).  Defaults to the inert
+        :data:`~repro.obs.trace.NULL_TRACER`; pass a
+        :class:`~repro.obs.trace.Tracer` to record a span tree per link
+        request (one child span per Fig. 2 pipeline stage, plus cache
+        and steering lookups) correlated across the server stack.
     """
 
     def __init__(
@@ -129,6 +136,7 @@ class NNexus:
         enable_policies: bool = True,
         precompute_distances: bool = False,
         metrics: NullRecorder | None = None,
+        tracer: NullTracer | None = None,
     ) -> None:
         self.config = config or NNexusConfig()
         self.scheme = scheme
@@ -138,6 +146,9 @@ class NNexus:
         #: Metrics recorder shared with the server stack; the default
         #: null recorder makes every instrumentation point a no-op.
         self.metrics = metrics if metrics is not None else NULL_RECORDER
+        #: Tracer shared with the server stack; the default null tracer
+        #: makes every span site a single attribute check.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Optional composite ranker (see :mod:`repro.core.ranking`);
         #: when set, it replaces steering + tie-breaks for ambiguous
         #: matches.  Attach with :meth:`set_ranker`.
@@ -191,6 +202,10 @@ class NNexus:
         state = self.__dict__.copy()
         if getattr(state.get("metrics"), "enabled", False):
             state["metrics"] = NULL_RECORDER
+        # Tracers hold locks and their ring belongs to the parent; the
+        # batch layer installs a per-worker tracer when asked to.
+        if getattr(state.get("tracer"), "enabled", False):
+            state["tracer"] = NULL_TRACER
         return state
 
     # ------------------------------------------------------------------
@@ -333,9 +348,46 @@ class NNexus:
         stored entry so an attached composite ranker can use its
         collaborative-filtering profile.
         """
-        rec = self.metrics
-        stage_acc: dict[str, float] | None = None
+        trc = self.tracer
+        if not trc.enabled:
+            return self._link_text_inner(
+                text, source_classes, exclude_objects, source_id, NULL_TRACER
+            )
+        with trc.span("linker.link_text", chars=len(text)) as span:
+            document = self._link_text_inner(
+                text, source_classes, exclude_objects, source_id, trc
+            )
+            span.set_attribute("matches", len(document.matches))
+            span.set_attribute("links", len(document.links))
+            return document
+
+    def _observe_stage(
+        self, stage: str, seconds: float, rec: NullRecorder, trc: NullTracer, **attrs: Any
+    ) -> None:
+        """One pipeline stage timing -> histogram (with a trace-id
+        exemplar when traced) and a finished child span."""
         if rec.enabled:
+            rec.observe(
+                "nnexus_pipeline_stage_seconds",
+                seconds,
+                exemplar=trc.active_trace_id() if trc.enabled else None,
+                stage=stage,
+            )
+        if trc.enabled:
+            trc.record_span(f"stage.{stage}", seconds, **attrs)
+
+    def _link_text_inner(
+        self,
+        text: str,
+        source_classes: Sequence[str],
+        exclude_objects: Iterable[int],
+        source_id: int | None,
+        trc: NullTracer,
+    ) -> LinkedDocument:
+        rec = self.metrics
+        timing = rec.enabled or trc.enabled
+        stage_acc: dict[str, float] | None = None
+        if timing:
             stage_acc = {"policy": 0.0, "steer": 0.0}
             stage_start = perf_counter()
         # The source signature is shared by every match in the document:
@@ -343,10 +395,15 @@ class NNexus:
         source_signature: tuple[int, ...] = ()
         if self.enable_steering and self._steering is not None:
             source_signature = self._steering.signature(source_classes)
+        sig_before: dict[str, Any] | None = None
+        if trc.enabled and self._steering is not None:
+            sig_before = self._steering.signature_cache_snapshot()
         tokenized = self._tokenizer.tokenize(text)
-        if rec.enabled:
+        if timing:
             now = perf_counter()
-            rec.observe("nnexus_pipeline_stage_seconds", now - stage_start, stage="tokenize")
+            self._observe_stage(
+                "tokenize", now - stage_start, rec, trc, tokens=len(tokenized.tokens)
+            )
             stage_start = now
         matches = find_matches(
             tokenized,
@@ -354,9 +411,9 @@ class NNexus:
             first_occurrence_only=self.config.link_first_occurrence_only,
             exclude_objects=exclude_objects,
         )
-        if rec.enabled:
-            rec.observe(
-                "nnexus_pipeline_stage_seconds", perf_counter() - stage_start, stage="match"
+        if timing:
+            self._observe_stage(
+                "match", perf_counter() - stage_start, rec, trc, matches=len(matches)
             )
         document = LinkedDocument(
             source_text=text,
@@ -387,12 +444,22 @@ class NNexus:
         self.stats.entries_linked += 1
         self.stats.matches_found += len(matches)
         self.stats.links_created += len(document.links)
-        if rec.enabled and stage_acc is not None:
-            rec.observe("nnexus_pipeline_stage_seconds", stage_acc["policy"], stage="policy")
-            rec.observe("nnexus_pipeline_stage_seconds", stage_acc["steer"], stage="steer")
-            rec.inc("nnexus_link_requests_total")
-            rec.inc("nnexus_matches_found_total", len(matches))
-            rec.inc("nnexus_links_created_total", len(document.links))
+        if timing and stage_acc is not None:
+            self._observe_stage("policy", stage_acc["policy"], rec, trc)
+            steer_attrs: dict[str, Any] = {}
+            if sig_before is not None and self._steering is not None:
+                # Steering-lookup forensics: how the signature memo
+                # behaved for this one document.
+                sig_after = self._steering.signature_cache_snapshot()
+                steer_attrs = {
+                    "signature_cache_hits": sig_after["hits"] - sig_before["hits"],
+                    "signature_cache_misses": sig_after["misses"] - sig_before["misses"],
+                }
+            self._observe_stage("steer", stage_acc["steer"], rec, trc, **steer_attrs)
+            if rec.enabled:
+                rec.inc("nnexus_link_requests_total")
+                rec.inc("nnexus_matches_found_total", len(matches))
+                rec.inc("nnexus_links_created_total", len(document.links))
         return document
 
     def _resolve(
@@ -590,18 +657,35 @@ class NNexus:
         def render(oid: int) -> str:
             document = self.link_object(oid)
             rec = self.metrics
-            if rec.enabled:
+            trc = self.tracer
+            if rec.enabled or trc.enabled:
                 render_start = perf_counter()
                 rendered = renderer(document)
-                rec.observe(
-                    "nnexus_pipeline_stage_seconds",
-                    perf_counter() - render_start,
-                    stage="render",
+                self._observe_stage(
+                    "render", perf_counter() - render_start, rec, trc, fmt=fmt
                 )
                 return rendered
             return renderer(document)
 
-        return self._cache.get_or_render(object_id, render, fmt=fmt)
+        trc = self.tracer
+        if not trc.enabled:
+            return self._cache.get_or_render(object_id, render, fmt=fmt)
+        with trc.span("linker.render_object", object_id=object_id, fmt=fmt) as span:
+            lookup_start = perf_counter()
+            cached = self._cache.get(object_id, fmt)
+            trc.record_span(
+                "cache.lookup",
+                perf_counter() - lookup_start,
+                object_id=object_id,
+                fmt=fmt,
+                hit=cached is not None,
+            )
+            span.set_attribute("cache_hit", cached is not None)
+            if cached is not None:
+                return cached
+            rendered = render(object_id)
+            self._cache.put(object_id, rendered, fmt)
+            return rendered
 
     def invalid_entries(self) -> list[int]:
         """Entries marked for re-linking by the invalidation machinery."""

@@ -1,15 +1,31 @@
-"""Observability: metrics recording, Prometheus exposition, benchmarks.
+"""Observability: metrics, tracing, structured logging, benchmarks.
 
 The linking pipeline, render cache and server stack all report into a
-shared recorder from this package.  The default recorder is the inert
-:data:`~repro.obs.metrics.NULL_RECORDER` (zero overhead); pass a
-:class:`~repro.obs.metrics.MetricsRegistry` to ``NNexus(metrics=...)``
-(or run the server with ``--metrics``) to record per-stage pipeline
-timings, cache hit rates and server admission counts, scrapeable from
-the HTTP gateway's ``/metrics`` endpoint or the ``getMetrics`` wire
-method.
+shared *metrics recorder* and a shared *tracer* from this package.
+Both default to inert null implementations (zero hot-path overhead):
+
+* pass a :class:`~repro.obs.metrics.MetricsRegistry` to
+  ``NNexus(metrics=...)`` (or run with ``--metrics``) for per-stage
+  pipeline timings, cache hit rates and server admission counts,
+  scrapeable from the HTTP gateway's ``/metrics`` endpoint or the
+  ``getMetrics`` wire method;
+* pass a :class:`~repro.obs.trace.Tracer` to ``NNexus(tracer=...)``
+  (or run with ``--trace``) for request-scoped span trees propagated
+  client → server → pipeline via W3C ``traceparent``, retrievable
+  through ``getTrace``/``getRecentTraces`` and ``GET /debug/traces``,
+  with slow requests flushed as structured forensics records.
+
+Structured logging (:mod:`repro.obs.logging`) correlates every log
+line emitted inside a span with that span's trace automatically.
 """
 
+from repro.obs.logging import (
+    DEFAULT_MANAGER,
+    LogManager,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
 from repro.obs.metrics import (
     NULL_RECORDER,
     Histogram,
@@ -20,6 +36,18 @@ from repro.obs.metrics import (
     merge_series,
 )
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    JsonlExporter,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    current_span,
+    format_traceparent,
+    parse_traceparent,
+)
 
 __all__ = [
     "NULL_RECORDER",
@@ -31,4 +59,19 @@ __all__ = [
     "merge_series",
     "CONTENT_TYPE",
     "render_prometheus",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "JsonlExporter",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_span",
+    "format_traceparent",
+    "parse_traceparent",
+    "DEFAULT_MANAGER",
+    "LogManager",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
 ]

@@ -16,6 +16,7 @@ it on every emitted artifact.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
@@ -24,11 +25,13 @@ from repro.core.batch import BatchLinker
 from repro.core.linker import NNexus
 from repro.corpus.generator import GeneratorParams, load_or_generate
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
 
 __all__ = [
     "BenchParams",
     "run_linking_bench",
     "measure_metrics_overhead",
+    "measure_tracing_overhead",
     "validate_report",
     "check_regression",
     "SCHEMA_VERSION",
@@ -229,6 +232,45 @@ def measure_metrics_overhead(params: BenchParams | None = None) -> dict[str, flo
         "baseline_sec": base,
         "instrumented_sec": inst,
         "overhead_ratio": (inst / base) if base else 0.0,
+    }
+
+
+def measure_tracing_overhead(params: BenchParams | None = None) -> dict[str, Any]:
+    """Cold-pass wall time and output hash with the null vs. a live tracer.
+
+    Runs the same deterministic corpus through two fresh linkers — one
+    with the default :data:`~repro.obs.trace.NULL_TRACER`, one with an
+    active :class:`~repro.obs.trace.Tracer` — hashing every rendering
+    both times.  ``renderings_identical`` MUST be true: tracing is
+    observation only and may never change output bytes.  The timing
+    ratio is wall-clock based and indicative, like
+    :func:`measure_metrics_overhead`.
+    """
+    params = params or BenchParams.smoke_params()
+
+    def cold_pass(tracer: NullTracer | None) -> tuple[float, str]:
+        corpus = load_or_generate(
+            GeneratorParams(n_entries=params.entries, seed=params.seed)
+        )
+        linker = NNexus(scheme=corpus.scheme, tracer=tracer)
+        linker.add_objects(corpus.objects)
+        object_ids = [obj.object_id for obj in corpus.objects]
+        digest = hashlib.sha256()
+        start = perf_counter()
+        for object_id in object_ids:
+            digest.update(linker.render_object(object_id).encode("utf-8"))
+        elapsed = perf_counter() - start
+        return elapsed, digest.hexdigest()
+
+    baseline_sec, baseline_sha = cold_pass(None)
+    traced_sec, traced_sha = cold_pass(Tracer(max_traces=64))
+    return {
+        "baseline_sec": baseline_sec,
+        "traced_sec": traced_sec,
+        "overhead_ratio": (traced_sec / baseline_sec) if baseline_sec else 0.0,
+        "baseline_sha256": baseline_sha,
+        "traced_sha256": traced_sha,
+        "renderings_identical": baseline_sha == traced_sha,
     }
 
 

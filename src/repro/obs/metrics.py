@@ -162,8 +162,13 @@ class NullRecorder:
     def set_gauge(self, name: str, value: float, **labels: str) -> None:
         pass
 
-    def observe(self, name: str, value: float, **labels: str) -> None:
+    def observe(
+        self, name: str, value: float, exemplar: str | None = None, **labels: str
+    ) -> None:
         pass
+
+    def gauge_value(self, name: str, **labels: str) -> float:
+        return 0.0
 
     def snapshot(self) -> dict[str, list[dict[str, Any]]]:
         return empty_snapshot()
@@ -190,6 +195,9 @@ class MetricsRegistry(NullRecorder):
         self._counters: dict[tuple[str, _LabelKey], float] = {}
         self._gauges: dict[tuple[str, _LabelKey], float] = {}
         self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+        # Last exemplar (e.g. a trace id) seen per histogram series —
+        # the breadcrumb from an aggregate back to one concrete request.
+        self._exemplars: dict[tuple[str, _LabelKey], str] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -204,13 +212,17 @@ class MetricsRegistry(NullRecorder):
         with self._lock:
             self._gauges[key] = float(value)
 
-    def observe(self, name: str, value: float, **labels: str) -> None:
+    def observe(
+        self, name: str, value: float, exemplar: str | None = None, **labels: str
+    ) -> None:
         key = (name, _label_key(labels))
         with self._lock:
             histogram = self._histograms.get(key)
             if histogram is None:
                 histogram = self._histograms[key] = Histogram(self._window)
             histogram.observe(value)
+            if exemplar:
+                self._exemplars[key] = exemplar
 
     # ------------------------------------------------------------------
     # Reading
@@ -241,10 +253,17 @@ class MetricsRegistry(NullRecorder):
                 {"name": name, "labels": dict(labels), "value": value}
                 for (name, labels), value in sorted(self._gauges.items())
             ]
-            histograms = [
-                {"name": name, "labels": dict(labels), **histogram.summary().as_dict()}
-                for (name, labels), histogram in sorted(self._histograms.items())
-            ]
+            histograms = []
+            for (name, labels), histogram in sorted(self._histograms.items()):
+                series = {
+                    "name": name,
+                    "labels": dict(labels),
+                    **histogram.summary().as_dict(),
+                }
+                exemplar = self._exemplars.get((name, labels))
+                if exemplar:
+                    series["exemplar"] = exemplar
+                histograms.append(series)
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def reset(self) -> None:
@@ -253,6 +272,7 @@ class MetricsRegistry(NullRecorder):
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._exemplars.clear()
 
 
 def merge_series(

@@ -10,6 +10,14 @@ The server runs hardened by default: bounded admission (load past
 idle/request socket deadlines, and a graceful drain on SIGINT.  With
 ``--http-port`` the HTTP gateway shares the socket server's
 readers-writer lock and flips ``/ready`` to 503 while draining.
+
+Observability switches: ``--metrics`` records per-stage timings and
+server counters; ``--trace`` records request-scoped span trees
+(retrievable via ``getTrace``/``getRecentTraces`` and
+``GET /debug/traces``); ``--trace-jsonl PATH`` streams every finished
+span to a JSONL file; ``--slow-ms N`` flushes any request slower than
+N milliseconds as a ``slow_request`` forensics log record.  All output
+goes through the structured logger (``--log-level``, ``--log-json``).
 """
 
 from __future__ import annotations
@@ -20,7 +28,9 @@ import sys
 from repro.core.linker import NNexus
 from repro.corpus.loader import load_corpus
 from repro.corpus.planetmath_sample import sample_corpus
+from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import JsonlExporter, Tracer
 from repro.ontology.msc import build_small_msc
 from repro.server.server import NNexusServer
 
@@ -49,10 +59,42 @@ def main(argv: list[str] | None = None) -> int:
                         help="record per-stage pipeline timings and server "
                              "counters (scrape via the HTTP gateway's /metrics "
                              "or the getMetrics wire method)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record request-scoped trace spans (retrieve via "
+                             "getTrace/getRecentTraces or GET /debug/traces)")
+    parser.add_argument("--trace-jsonl", type=str, default="",
+                        help="append every finished span to this JSONL file "
+                             "(implies --trace)")
+    parser.add_argument("--slow-ms", type=float, default=0.0,
+                        help="flush requests slower than this many milliseconds "
+                             "as slow_request forensics records (implies --trace)")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured log threshold (debug includes "
+                             "per-request and HTTP access lines)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines instead of the "
+                             "human-readable console format")
     args = parser.parse_args(argv)
 
+    configure_logging(
+        level=args.log_level, fmt="json" if args.log_json else "console"
+    )
+    log = get_logger("nnexus.server")
+
     metrics = MetricsRegistry() if args.metrics else None
-    linker = NNexus(scheme=build_small_msc(), metrics=metrics)
+    tracing = args.trace or bool(args.trace_jsonl) or args.slow_ms > 0
+    tracer = None
+    exporter = None
+    if tracing:
+        tracer = Tracer(
+            slow_threshold=args.slow_ms / 1000.0 if args.slow_ms > 0 else None,
+            metrics=metrics,
+        )
+        if args.trace_jsonl:
+            exporter = JsonlExporter(args.trace_jsonl)
+            tracer.add_sink(exporter)
+    linker = NNexus(scheme=build_small_msc(), metrics=metrics, tracer=tracer)
     if args.corpus:
         linker.add_objects(load_corpus(args.corpus))
     elif args.sample:
@@ -66,10 +108,21 @@ def main(argv: list[str] | None = None) -> int:
         idle_timeout=args.idle_timeout,
     )
     host, port = server.address
-    print(f"nnexus server listening on {host}:{port} "
-          f"({len(linker)} objects, {linker.concept_count()} concepts)")
+    log.info(
+        "server.listening",
+        host=host,
+        port=port,
+        objects=len(linker),
+        concepts=linker.concept_count(),
+    )
     if args.metrics:
-        print("metrics registry enabled (getMetrics / http /metrics)")
+        log.info("server.metrics_enabled", endpoints="getMetrics, http /metrics")
+    if tracing:
+        log.info(
+            "server.tracing_enabled",
+            jsonl=args.trace_jsonl or None,
+            slow_ms=args.slow_ms or None,
+        )
     gateway = None
     if args.http_port:
         from repro.server.http_gateway import serve_http
@@ -81,11 +134,15 @@ def main(argv: list[str] | None = None) -> int:
             max_in_flight=args.max_in_flight,
             rwlock=server.rwlock,
         )
-        print(f"http gateway on {gateway.address[0]}:{gateway.address[1]}")
+        log.info(
+            "server.gateway_listening",
+            host=gateway.address[0],
+            port=gateway.address[1],
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("draining in-flight requests ...")
+        log.info("server.draining")
     finally:
         if gateway is not None:
             gateway.set_ready(False)
@@ -93,8 +150,10 @@ def main(argv: list[str] | None = None) -> int:
         if gateway is not None:
             gateway.shutdown()
             gateway.server_close()
+        if exporter is not None:
+            exporter.close()
         if not drained:
-            print("warning: shutdown timed out with requests still in flight")
+            log.warning("server.drain_timeout", timeout_s=args.drain_timeout)
     return 0
 
 

@@ -7,6 +7,13 @@ drops, truncated frames, server-advertised retryable errors such as
 with jitter, bounded by an optional total deadline.  Non-retryable
 server errors (``bad-request``, domain errors) surface immediately as
 :class:`RemoteError`.
+
+With a :class:`~repro.obs.trace.Tracer` installed, every API call runs
+inside a ``client.<method>`` span and each network attempt becomes a
+``client.attempt`` child span whose context is injected into the
+request as a ``traceparent`` field — so a retried request shows up as
+ONE trace with one attempt span per try, and a tracing-aware server
+continues the same trace.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Callable, Sequence
 
 from repro.core.errors import DeadlineExceededError, NNexusError, ProtocolError
 from repro.core.models import CorpusObject
+from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.server import protocol
 from repro.server.resilience import Deadline, RetryPolicy
 
@@ -55,6 +63,10 @@ class NNexusClient:
         (three attempts total); pass ``RetryPolicy.none()`` to fail
         fast, or a policy with ``deadline=...`` to cap the total time
         spent across attempts.
+    tracer:
+        Tracer recording call/attempt spans and injecting
+        ``traceparent`` into outgoing requests (default: the inert
+        null tracer — zero overhead, no field added).
     """
 
     def __init__(
@@ -65,11 +77,13 @@ class NNexusClient:
         retry: RetryPolicy | None = None,
         *,
         sleep: Callable[[float], None] = time.sleep,
+        tracer: NullTracer | None = None,
     ) -> None:
         self._host = host
         self._port = port
         self._timeout = timeout
         self._retry = retry if retry is not None else RetryPolicy()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._sleep = sleep
         self._sock: socket.socket | None = None
         # Connect eagerly so constructing against a dead address fails
@@ -101,9 +115,35 @@ class NNexusClient:
             self._sock = None
 
     def _call(self, request: protocol.Request) -> protocol.Response:
-        # Encoding failures are caller bugs, not transport faults: raise
-        # before touching the socket and never retry them.
-        payload = protocol.frame(protocol.encode_request(request))
+        trc = self._tracer
+        if not trc.enabled:
+            # Encoding failures are caller bugs, not transport faults:
+            # raise before touching the socket and never retry them.
+            payload = protocol.frame(protocol.encode_request(request))
+            return self._retry_loop(lambda attempt: self._attempt(payload))
+        with trc.span(f"client.{request.method}", method=request.method) as call_span:
+            # Validate-encode before the first attempt so encoding bugs
+            # still raise eagerly and are never retried.
+            protocol.frame(protocol.encode_request(request))
+
+            def one_attempt(attempt: int) -> protocol.Response:
+                # Each try gets its own child span, and its id is what
+                # the server continues — so the server's root span hangs
+                # off the attempt that actually reached it.
+                with trc.span(
+                    "client.attempt", parent=call_span, attempt=attempt
+                ) as attempt_span:
+                    request.fields["traceparent"] = attempt_span.traceparent()
+                    payload = protocol.frame(protocol.encode_request(request))
+                    return self._attempt(payload)
+
+            response = self._retry_loop(one_attempt)
+            call_span.set_attribute("server_trace_id", response.fields.get("traceid", ""))
+            return response
+
+    def _retry_loop(
+        self, attempt_fn: Callable[[int], protocol.Response]
+    ) -> protocol.Response:
         deadline = Deadline(self._retry.deadline)
         attempt = 0
         while True:
@@ -113,7 +153,7 @@ class NNexusClient:
                     f"deadline exhausted after {attempt - 1} attempt(s)"
                 )
             try:
-                return self._attempt(payload)
+                return attempt_fn(attempt)
             except RemoteError as exc:
                 # The transport round-tripped fine — the connection is
                 # healthy.  Retry only what the server marked retryable.
@@ -187,12 +227,30 @@ class NNexusClient:
     def describe(self) -> dict[str, int]:
         """Corpus statistics as integers."""
         response = self._call(protocol.Request("describe"))
-        return {key: int(value) for key, value in response.fields.items()}
+        return {
+            key: int(value)
+            for key, value in response.fields.items()
+            if key != "traceid"  # stamped by tracing servers, not a statistic
+        }
 
     def get_metrics(self) -> dict[str, list[dict[str, object]]]:
         """The server's metrics snapshot (see :mod:`repro.obs.metrics`)."""
         response = self._call(protocol.Request("getMetrics"))
         return json.loads(response.fields.get("metrics", "{}"))
+
+    def get_trace(self, trace_id: str) -> dict[str, object]:
+        """Fetch one recorded trace (spans and all) from the server."""
+        response = self._call(
+            protocol.Request("getTrace", fields={"traceid": trace_id})
+        )
+        return json.loads(response.fields.get("trace", "{}"))
+
+    def get_recent_traces(self, limit: int = 20) -> list[dict[str, object]]:
+        """The server's newest recorded traces, most recent first."""
+        response = self._call(
+            protocol.Request("getRecentTraces", fields={"limit": str(limit)})
+        )
+        return json.loads(response.fields.get("traces", "[]"))
 
     def link_entry(
         self,

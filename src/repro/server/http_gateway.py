@@ -11,10 +11,19 @@ Endpoints
 ``GET  /health``                       -> {"status": "ok"} (liveness; never shed)
 ``GET  /ready``                        -> {"status": "ready"} or 503 (readiness)
 ``GET  /metrics``                      -> Prometheus text exposition (never shed)
+``GET  /debug/traces[?limit=N]``       -> recent traces (never shed)
+``GET  /debug/traces/<trace_id>``      -> one trace's spans (never shed)
 ``GET  /describe``                     -> corpus statistics
 ``POST /link``    {"text", "classes": [...], "format"} -> rendered body + links
 ``POST /annotations`` {"text", "classes": [...]}        -> W3C Web Annotations
 ``GET  /entry/<id>``                   -> entry metadata + rendered HTML
+
+With a :class:`~repro.obs.trace.Tracer` installed, every non-probe
+request runs inside a root span continuing the inbound W3C
+``traceparent`` header when present, and responses carry
+``x-request-id`` (the trace id) and ``traceparent`` headers.  The
+``/debug/traces`` endpoints answer outside admission control, like
+``/metrics``, so forensics stay available under load.
 
 Errors come back as ``{"error": ...}`` with a 4xx status.  When more
 than ``max_in_flight`` requests are in flight, or the gateway has been
@@ -35,13 +44,16 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.annotations import document_to_annotations
 from repro.core.errors import NNexusError, OverloadedError, UnknownObjectError
 from repro.core.linker import NNexus
 from repro.core.render import render_annotations, render_html, render_markdown
+from repro.obs.logging import get_logger
 from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import NULL_SPAN, NullTracer, current_span
 from repro.server.resilience import AdmissionController, ReadersWriterLock
 
 __all__ = ["NNexusHttpGateway", "serve_http"]
@@ -53,16 +65,28 @@ _RENDERERS = {
 }
 
 _ENTRY_PATH = re.compile(r"^/entry/(\d+)$")
+_TRACE_PATH = re.compile(r"^/debug/traces(?:/([0-9a-fA-F]+))?$")
 _MAX_BODY = 8 * 1024 * 1024
+
+_ACCESS_LOG = get_logger("nnexus.http")
 
 
 class _Handler(BaseHTTPRequestHandler):
     server: "NNexusHttpGateway"
     protocol_version = "HTTP/1.1"
 
-    # Silence per-request stderr logging.
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass
+        # http.server writes bare lines to stderr per request; route
+        # them through the structured logger instead.  DEBUG level
+        # keeps the default console quiet (the old behaviour silenced
+        # them outright) while `--log-level debug` gets access lines
+        # stamped with the active trace id.
+        if _ACCESS_LOG.enabled_for("debug"):
+            _ACCESS_LOG.debug(
+                "http.access",
+                client=self.address_string(),
+                message=format % args,
+            )
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -74,9 +98,19 @@ class _Handler(BaseHTTPRequestHandler):
         extra_headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        span = current_span()
+        if span is not None and span.is_recording:
+            span.set_attribute("http_status", status)
+            if status >= 500:
+                span.set_status("error", f"http {status}")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if span is not None and span.is_recording:
+            # The trace id doubles as the request id; the traceparent
+            # header lets a browser/client continue the same trace.
+            self.send_header("x-request-id", span.trace_id)
+            self.send_header("traceparent", span.traceparent())
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -105,20 +139,32 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
+    def _request_span(self, name: str, path: str):
+        """Root span for a routed request (inert when tracing is off)."""
+        trc = self.server.tracer
+        if not trc.enabled:
+            return NULL_SPAN
+        return trc.start_trace(
+            name, traceparent=self.headers.get("traceparent"), path=path
+        )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        # Liveness, readiness and metrics answer outside admission
-        # control: a saturated server is still *alive*, and probes and
-        # scrapes must keep working exactly when the server is busiest.
-        if self.path == "/health":
+        # Liveness, readiness, metrics and trace forensics answer
+        # outside admission control: a saturated server is still
+        # *alive*, and probes, scrapes and debugging must keep working
+        # exactly when the server is busiest.
+        parts = urlsplit(self.path)
+        path = parts.path
+        if path == "/health":
             self._send_json({"status": "ok"})
             return
-        if self.path == "/ready":
+        if path == "/ready":
             if self.server.ready:
                 self._send_json({"status": "ready"})
             else:
                 self._send_unavailable("not ready")
             return
-        if self.path == "/metrics":
+        if path == "/metrics":
             body = render_prometheus(self.server.metrics_snapshot()).encode("utf-8")
             self.send_response(200)
             self.send_header("Content-Type", _PROM_CONTENT_TYPE)
@@ -126,39 +172,66 @@ class _Handler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(body)
             return
-        try:
-            with self.server.admission.admit():
-                if self.path == "/describe":
-                    self._send_json(self.server.describe())
-                else:
-                    match = _ENTRY_PATH.match(self.path)
-                    if match:
-                        self._send_json(self.server.entry(int(match.group(1))))
+        trace_match = _TRACE_PATH.match(path)
+        if trace_match:
+            self._serve_traces(trace_match.group(1), parts.query)
+            return
+        with self._request_span("http.GET", path):
+            try:
+                with self.server.admission.admit():
+                    if path == "/describe":
+                        self._send_json(self.server.describe())
                     else:
-                        self._send_json({"error": f"no route {self.path}"}, status=404)
-        except OverloadedError as exc:
-            self._send_unavailable(str(exc))
-        except UnknownObjectError as exc:
-            self._send_json({"error": str(exc)}, status=404)
-        except (NNexusError, ValueError) as exc:
-            self._send_json({"error": str(exc)}, status=400)
+                        match = _ENTRY_PATH.match(path)
+                        if match:
+                            self._send_json(self.server.entry(int(match.group(1))))
+                        else:
+                            self._send_json({"error": f"no route {path}"}, status=404)
+            except OverloadedError as exc:
+                self._send_unavailable(str(exc))
+            except UnknownObjectError as exc:
+                self._send_json({"error": str(exc)}, status=404)
+            except (NNexusError, ValueError) as exc:
+                self._send_json({"error": str(exc)}, status=400)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        with self._request_span("http.POST", path):
+            try:
+                with self.server.admission.admit():
+                    payload = self._read_json()
+                    if path == "/link":
+                        self._send_json(self.server.link(payload))
+                    elif path == "/annotations":
+                        self._send_json(self.server.annotations(payload))
+                    else:
+                        self._send_json({"error": f"no route {path}"}, status=404)
+            except OverloadedError as exc:
+                self._send_unavailable(str(exc))
+            except (json.JSONDecodeError, ValueError) as exc:
+                self._send_json({"error": str(exc)}, status=400)
+            except (NNexusError, KeyError) as exc:
+                self._send_json({"error": str(exc)}, status=400)
+
+    def _serve_traces(self, trace_id: str | None, query: str) -> None:
+        trc = self.server.tracer
+        if not trc.enabled:
+            self._send_json({"error": "tracing is not enabled"}, status=404)
+            return
+        if trace_id:
+            trace = trc.get_trace(trace_id.lower())
+            if trace is None:
+                self._send_json({"error": f"unknown trace {trace_id!r}"}, status=404)
+            else:
+                self._send_json(trace)
+            return
+        raw_limit = parse_qs(query).get("limit", ["20"])[0]
         try:
-            with self.server.admission.admit():
-                payload = self._read_json()
-                if self.path == "/link":
-                    self._send_json(self.server.link(payload))
-                elif self.path == "/annotations":
-                    self._send_json(self.server.annotations(payload))
-                else:
-                    self._send_json({"error": f"no route {self.path}"}, status=404)
-        except OverloadedError as exc:
-            self._send_unavailable(str(exc))
-        except (json.JSONDecodeError, ValueError) as exc:
-            self._send_json({"error": str(exc)}, status=400)
-        except (NNexusError, KeyError) as exc:
-            self._send_json({"error": str(exc)}, status=400)
+            limit = int(raw_limit)
+        except ValueError:
+            self._send_json({"error": f"bad limit {raw_limit!r}"}, status=400)
+            return
+        self._send_json({"traces": trc.recent_traces(limit)})
 
 
 class NNexusHttpGateway(ThreadingHTTPServer):
@@ -177,6 +250,9 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         server's ``rwlock`` when both serve one linker so HTTP reads
         interleave safely with socket-side mutations; defaults to a
         private lock.
+    tracer:
+        Tracer recording per-request root spans (default: the linker's
+        own tracer, so one ``NNexus(tracer=...)`` wires the stack).
     """
 
     daemon_threads = True
@@ -191,9 +267,11 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         max_in_flight: int = 64,
         retry_after: int = 1,
         rwlock: ReadersWriterLock | None = None,
+        tracer: NullTracer | None = None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.linker = linker
+        self.tracer = tracer if tracer is not None else linker.tracer
         self.admission = AdmissionController(max_in_flight)
         self.retry_after = retry_after
         self._rwlock = rwlock if rwlock is not None else ReadersWriterLock()
@@ -253,16 +331,22 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         if renderer is None:
             raise ValueError(f"unknown format {fmt!r}")
         rec = self.linker.metrics
+        trc = self.tracer
         with self._rwlock.read_lock():
             document = self.linker.link_text(text, source_classes=classes)
-            if rec.enabled:
+            if rec.enabled or trc.enabled:
                 render_start = perf_counter()
                 body = renderer(document)
-                rec.observe(
-                    "nnexus_pipeline_stage_seconds",
-                    perf_counter() - render_start,
-                    stage="render",
-                )
+                elapsed = perf_counter() - render_start
+                if rec.enabled:
+                    rec.observe(
+                        "nnexus_pipeline_stage_seconds",
+                        elapsed,
+                        stage="render",
+                        exemplar=trc.active_trace_id() if trc.enabled else None,
+                    )
+                if trc.enabled:
+                    trc.record_span("stage.render", elapsed, fmt=fmt)
             else:
                 body = renderer(document)
         return {
@@ -318,7 +402,7 @@ def serve_http(
     """Start the gateway on a daemon thread; returns the bound server.
 
     Keyword arguments are forwarded to :class:`NNexusHttpGateway`
-    (``max_in_flight``, ``retry_after``, ``rwlock``).
+    (``max_in_flight``, ``retry_after``, ``rwlock``, ``tracer``).
     """
     gateway = NNexusHttpGateway(linker, host=host, port=port, **kwargs)
     thread = threading.Thread(target=gateway.serve_forever, daemon=True)

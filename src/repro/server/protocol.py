@@ -25,8 +25,18 @@ prefix, so arbitrary text payloads survive the socket unambiguously.
 
 Supported methods: ``linkEntry``, ``addObject``, ``updateObject``,
 ``removeObject``, ``setPolicy``, ``describe``, ``getMetrics``,
-``ping``.  ``getMetrics`` answers with a single ``metrics`` field
-holding the JSON metrics snapshot (see :mod:`repro.obs.metrics`).
+``getTrace``, ``getRecentTraces``, ``ping``.  ``getMetrics`` answers
+with a single ``metrics`` field holding the JSON metrics snapshot (see
+:mod:`repro.obs.metrics`); ``getTrace``/``getRecentTraces`` answer
+with ``trace``/``traces`` fields holding JSON span records (see
+:mod:`repro.obs.trace`).
+
+Any request may carry an optional ``traceparent`` field (W3C
+trace-context format, ``00-<trace_id>-<span_id>-01``); servers that
+understand it continue the caller's trace and stamp the response with
+a ``traceid`` field.  Servers and clients that predate the field
+ignore it — it is an ordinary optional field, so the wire format is
+unchanged.
 """
 
 from __future__ import annotations
@@ -62,6 +72,8 @@ METHODS = (
     "setPolicy",
     "describe",
     "getMetrics",
+    "getTrace",
+    "getRecentTraces",
     "ping",
 )
 

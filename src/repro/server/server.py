@@ -18,7 +18,13 @@ Operational hardening (see ``docs/architecture.md``):
 * graceful shutdown — :meth:`NNexusServer.shutdown_gracefully` stops
   accepting, sheds new requests and drains in-flight ones;
 * fault injection — an optional :class:`~repro.server.faults.FaultInjector`
-  lets tests drop connections, corrupt frames or force error codes.
+  lets tests drop connections, corrupt frames or force error codes;
+* request tracing — with a :class:`~repro.obs.trace.Tracer` installed,
+  every request runs inside a root span (continuing the client's
+  ``traceparent`` field when present) and answers with a ``traceid``
+  field; ``getTrace``/``getRecentTraces`` retrieve recorded traces and,
+  like ``/metrics`` scraping, bypass admission control so forensics
+  stay available during overload.
 """
 
 from __future__ import annotations
@@ -37,11 +43,19 @@ from repro.core.errors import (
 )
 from repro.core.linker import NNexus
 from repro.core.render import render_annotations, render_html, render_markdown
+from repro.obs.logging import get_logger
+from repro.obs.trace import NULL_SPAN, NullTracer
 from repro.server import protocol
 from repro.server.faults import FaultInjector
 from repro.server.resilience import AdmissionController, ReadersWriterLock
 
-__all__ = ["NNexusServer", "serve_forever", "READ_METHODS", "WRITE_METHODS"]
+__all__ = [
+    "NNexusServer",
+    "serve_forever",
+    "READ_METHODS",
+    "WRITE_METHODS",
+    "DEBUG_METHODS",
+]
 
 _RENDERERS = {
     "html": render_html,
@@ -53,6 +67,11 @@ _RENDERERS = {
 READ_METHODS = frozenset({"ping", "describe", "linkEntry", "getMetrics"})
 #: Methods that mutate linker state — they take the write lock.
 WRITE_METHODS = frozenset({"addObject", "updateObject", "removeObject", "setPolicy"})
+#: Debug methods served outside admission control and draining (like
+#: ``/metrics`` scraping) — they read only the tracer's own ring.
+DEBUG_METHODS = frozenset({"getTrace", "getRecentTraces"})
+
+_LOG = get_logger("nnexus.server")
 
 
 def _classify(exc: BaseException) -> tuple[str, bool]:
@@ -193,6 +212,11 @@ class NNexusServer(socketserver.ThreadingTCPServer):
     faults:
         Optional :class:`~repro.server.faults.FaultInjector` consulted
         once per request (tests only; the default injector is inert).
+    tracer:
+        Tracer recording the per-request root spans.  Defaults to the
+        linker's own tracer, so one ``NNexus(tracer=...)`` wires the
+        whole stack; pass explicitly to trace the server with an
+        untraced linker (or vice versa).
     """
 
     daemon_threads = True
@@ -208,9 +232,11 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         request_timeout: float | None = 30.0,
         idle_timeout: float | None = 300.0,
         faults: FaultInjector | None = None,
+        tracer: NullTracer | None = None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.linker = linker
+        self.tracer = tracer if tracer is not None else linker.tracer
         self.rwlock = ReadersWriterLock()
         self.admission = AdmissionController(max_in_flight)
         self.request_timeout = request_timeout
@@ -246,12 +272,27 @@ class NNexusServer(socketserver.ThreadingTCPServer):
     # Request dispatch
     # ------------------------------------------------------------------
     def dispatch_message(self, message: str) -> str:
-        """Decode, execute and encode one request (errors become XML)."""
+        """Decode, execute and encode one request (errors become XML).
+
+        With tracing enabled the whole dispatch runs inside a root span
+        continuing the request's optional ``traceparent`` field, and
+        both ok and error responses carry a ``traceid`` field so the
+        caller can fetch the trace afterwards.
+        """
         method = "unknown"
         rec = self.linker.metrics
+        trc = self.tracer
+        span = NULL_SPAN
         try:
             request = protocol.decode_request(message)
             method = request.method
+            if trc.enabled:
+                span = trc.start_trace(
+                    f"server.{method}",
+                    traceparent=request.fields.get("traceparent"),
+                    method=method,
+                )
+                span.__enter__()
             response = self._execute(request)
             if rec.enabled:
                 rec.inc("nnexus_server_requests_total", method=method, status="ok")
@@ -269,6 +310,16 @@ class NNexusServer(socketserver.ThreadingTCPServer):
                 code=code,
                 retryable=retryable,
             )
+            if span.is_recording:
+                span.set_status("error", f"{code}: {exc}")
+        if span.is_recording:
+            # Stamped on errors too: a failed request's trace is the one
+            # the caller most wants to retrieve.
+            response.fields.setdefault("traceid", span.trace_id)
+            span.set_attribute("status", response.status)
+            if _LOG.enabled_for("debug"):
+                _LOG.debug("server.request", method=method, status=response.status)
+            span.__exit__(None, None, None)
         return protocol.encode_response(response)
 
     def _execute(self, request: protocol.Request) -> protocol.Response:
@@ -281,10 +332,17 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             "removeObject": self._remove_object,
             "setPolicy": self._set_policy,
             "getMetrics": self._get_metrics,
+            "getTrace": self._get_trace,
+            "getRecentTraces": self._get_recent_traces,
         }.get(request.method)
         if handler is None:
             # Unknown methods must answer, not kill the handler thread.
             raise ProtocolError(f"unknown method {request.method!r}")
+        if request.method in DEBUG_METHODS:
+            # Forensics reads only touch the tracer's own (locked) ring:
+            # serve them even while draining or shedding, so a slow or
+            # overloaded server can still be diagnosed.
+            return handler(request)
         if self._draining.is_set():
             raise OverloadedError("server is draining for shutdown")
         with self.admission.admit():
@@ -314,6 +372,32 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             fields={"metrics": json.dumps(snapshot, sort_keys=True)},
         )
 
+    def _get_trace(self, request: protocol.Request) -> protocol.Response:
+        trace_id = request.fields.get("traceid", "").strip()
+        if not trace_id:
+            raise ProtocolError("getTrace requires a traceid field")
+        trace = self.tracer.get_trace(trace_id)
+        if trace is None:
+            raise ProtocolError(f"unknown trace {trace_id!r}")
+        return protocol.Response(
+            status="ok",
+            method="getTrace",
+            fields={"trace": json.dumps(trace, sort_keys=True, default=str)},
+        )
+
+    def _get_recent_traces(self, request: protocol.Request) -> protocol.Response:
+        raw_limit = request.fields.get("limit", "20")
+        try:
+            limit = int(raw_limit)
+        except ValueError as exc:
+            raise ProtocolError(f"bad limit {raw_limit!r}") from exc
+        traces = self.tracer.recent_traces(limit)
+        return protocol.Response(
+            status="ok",
+            method="getRecentTraces",
+            fields={"traces": json.dumps(traces, sort_keys=True, default=str)},
+        )
+
     def _describe(self, request: protocol.Request) -> protocol.Response:
         info = self.linker.describe()
         fields = {
@@ -336,14 +420,20 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             raise ProtocolError(f"unknown format {fmt!r}")
         document = self.linker.link_text(text, source_classes=classes)
         rec = self.linker.metrics
-        if rec.enabled:
+        trc = self.tracer
+        if rec.enabled or trc.enabled:
             render_start = time.perf_counter()
             body = renderer(document)
-            rec.observe(
-                "nnexus_pipeline_stage_seconds",
-                time.perf_counter() - render_start,
-                stage="render",
-            )
+            elapsed = time.perf_counter() - render_start
+            if rec.enabled:
+                rec.observe(
+                    "nnexus_pipeline_stage_seconds",
+                    elapsed,
+                    stage="render",
+                    exemplar=trc.active_trace_id() if trc.enabled else None,
+                )
+            if trc.enabled:
+                trc.record_span("stage.render", elapsed, fmt=fmt)
         else:
             body = renderer(document)
         return protocol.Response(
@@ -412,7 +502,7 @@ def serve_forever(
 
     Keyword arguments are forwarded to :class:`NNexusServer`
     (``max_in_flight``, ``request_timeout``, ``idle_timeout``,
-    ``faults``).
+    ``faults``, ``tracer``).
     """
     server = NNexusServer(linker, host=host, port=port, **kwargs)  # type: ignore[arg-type]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
