@@ -119,6 +119,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{throughput['links_per_sec']:,.0f} links/sec, "
             f"cache hit rate {report['cache']['hit_rate']:.3f}"
         )
+        if report["persistence"]:
+            durability = report["persistence"]
+            print(
+                f"persistence ({durability['backend']}, sync={durability['sync']}): "
+                f"cold start {durability['cold_start_sec']:.3f}s, "
+                f"WAL overhead {durability['wal_overhead_ratio']:.2f}x ingest, "
+                f"{durability['wal_bytes']:,} WAL bytes"
+            )
 
     if gate_baseline is not None:
         regressions = check_regression(report, gate_baseline)

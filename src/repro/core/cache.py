@@ -64,6 +64,26 @@ class RenderCache:
         self._formats[object_id].add(fmt)
         return entry
 
+    def restore(
+        self,
+        object_id: int,
+        rendered: str,
+        fmt: str = DEFAULT_FORMAT,
+        valid: bool = True,
+    ) -> CacheEntry:
+        """Reinstall a persisted rendering on cold start.
+
+        Unlike :meth:`put` this can reinstall a *dirty* entry (so the
+        invalidation dirty-set survives a restart) and touches no
+        hit/miss counters — a restart is not cache traffic.
+        """
+        entry = CacheEntry(
+            object_id=object_id, rendered=rendered, valid=valid, version=1, fmt=fmt
+        )
+        self._entries[(object_id, fmt)] = entry
+        self._formats[object_id].add(fmt)
+        return entry
+
     def get(self, object_id: int, fmt: str = DEFAULT_FORMAT) -> str | None:
         """Cached rendering if present *and* still valid."""
         entry = self._entries.get((object_id, fmt))

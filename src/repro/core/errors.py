@@ -80,6 +80,18 @@ class DeadlineExceededError(NNexusError):
     retryable = True
 
 
+class ReadOnlyError(NNexusError):
+    """A mutation was attempted while the linker is in read-only mode.
+
+    Raised after storage corruption degrades the deployment: reads keep
+    serving from the recovered in-memory state, writes are refused so
+    the journal cannot diverge further from disk.
+    """
+
+    code = "read-only"
+    retryable = False
+
+
 class StorageError(NNexusError):
     """Base class for errors raised by the embedded storage engine."""
 
@@ -108,3 +120,17 @@ class MissingKeyError(StorageError):
 
 class TransactionError(StorageError):
     """A transaction was used incorrectly (e.g. commit without begin)."""
+
+
+class StorageCorruptionError(StorageError):
+    """Persistent state failed an integrity check and cannot be trusted.
+
+    Carries enough context (which file, what kind of damage) for the
+    operator to decide between restoring a backup and accepting the
+    recovered prefix.
+    """
+
+    def __init__(self, path: object, reason: str) -> None:
+        super().__init__(f"corrupt storage at {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason

@@ -24,13 +24,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.cache import RenderCache
 from repro.core.classification import ClassificationGraph, ClassificationSteering
 from repro.core.concept_map import ConceptMap
 from repro.core.config import NNexusConfig
-from repro.core.errors import DuplicateObjectError, NNexusError, UnknownObjectError
+from repro.core.errors import (
+    DuplicateObjectError,
+    NNexusError,
+    ReadOnlyError,
+    StorageError,
+    UnknownObjectError,
+)
 from repro.core.invalidation import InvalidationIndex
 from repro.core.matching import find_matches
 from repro.core.models import CorpusObject, Link, LinkedDocument, Match
@@ -40,6 +46,8 @@ from repro.core.tokenizer import Tokenizer
 from repro.obs.metrics import NULL_RECORDER, NullRecorder, merge_series
 from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.ontology.scheme import ClassificationScheme
+from repro.persistence.api import CorpusStorage
+from repro.persistence.memory import MemoryBackend
 
 __all__ = ["NNexus", "LinkerStats", "MatchExplanation"]
 
@@ -126,6 +134,15 @@ class NNexus:
         :class:`~repro.obs.trace.Tracer` to record a span tree per link
         request (one child span per Fig. 2 pipeline stage, plus cache
         and steering lookups) correlated across the server stack.
+    storage:
+        A :class:`~repro.persistence.api.CorpusStorage` backend (see
+        :mod:`repro.persistence`).  Defaults to the no-op
+        :class:`~repro.persistence.memory.MemoryBackend`; a durable
+        backend is cold-started from immediately (objects, policies and
+        the render cache with its dirty-set are restored and a sample
+        of restored renderings verified) and every later mutation is
+        journaled through it.  A journaling failure degrades the linker
+        to read-only instead of crashing or silently diverging.
     """
 
     def __init__(
@@ -137,6 +154,7 @@ class NNexus:
         precompute_distances: bool = False,
         metrics: NullRecorder | None = None,
         tracer: NullTracer | None = None,
+        storage: CorpusStorage | None = None,
     ) -> None:
         self.config = config or NNexusConfig()
         self.scheme = scheme
@@ -191,6 +209,105 @@ class NNexus:
         self._signatures: dict[int, tuple[int, ...]] = {}
         self._invalidation.add_listener(self._drop_signature)
 
+        #: Durable journal + cold-start source; the default memory
+        #: backend makes every journal site a no-op attribute check.
+        self.storage = storage if storage is not None else MemoryBackend()
+        #: Set after storage corruption or a journaling failure: reads
+        #: keep serving, mutations raise :class:`ReadOnlyError`.
+        self.read_only = False
+        #: Human-readable cause of the degradation, for /ready and logs.
+        self.storage_error: str | None = None
+        #: What the last cold start restored (None for memory backends).
+        self.last_restore: dict[str, Any] | None = None
+        self._restoring = False
+        if self.storage.durable:
+            self._cold_start()
+
+    # ------------------------------------------------------------------
+    # Durable storage plumbing
+    # ------------------------------------------------------------------
+    def _cold_start(self, verify_sample: int = 8) -> None:
+        """Restore corpus + render cache from storage, then spot-verify.
+
+        Up to ``verify_sample`` restored *valid* renderings are
+        re-rendered from scratch and compared byte-for-byte; a mismatch
+        (stale disk state, changed config) evicts the cached copy so it
+        is recomputed on demand rather than served wrong.
+        """
+        started = perf_counter()
+        snapshot = self.storage.load()
+        self._restoring = True
+        try:
+            for obj in snapshot.objects:
+                self.add_object(obj)
+            for rendering in snapshot.renderings:
+                if rendering.object_id in self._objects and rendering.fmt in _RENDERERS:
+                    self._cache.restore(
+                        rendering.object_id,
+                        rendering.body,
+                        rendering.fmt,
+                        valid=rendering.valid,
+                    )
+        finally:
+            self._restoring = False
+        verified = mismatches = 0
+        for rendering in snapshot.renderings:
+            if verified >= verify_sample:
+                break
+            if not rendering.valid or rendering.object_id not in self._objects:
+                continue
+            renderer = _RENDERERS.get(rendering.fmt)
+            if renderer is None:
+                continue
+            verified += 1
+            if renderer(self.link_object(rendering.object_id)) != rendering.body:
+                mismatches += 1
+                self._cache.drop(rendering.object_id)
+        self.last_restore = {
+            "objects": len(snapshot.objects),
+            "renderings": len(snapshot.renderings),
+            "verified": verified,
+            "mismatches": mismatches,
+            "elapsed_sec": perf_counter() - started,
+            "recovery": self.storage.recovery_stats(),
+        }
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyError(
+                f"linker is read-only after a storage failure: {self.storage_error}"
+            )
+
+    def _journal(self, action: "Callable[[], None]") -> None:
+        """Run one journaling action; degrade to read-only on failure.
+
+        The in-memory mutation has already happened when this runs, so
+        raising would leave the caller unsure of the linker state —
+        instead the corpus stays servable and further writes are
+        refused, which bounds the divergence to this one operation.
+        """
+        if not self.storage.durable or self._restoring or self.read_only:
+            return
+        try:
+            action()
+        except (StorageError, OSError) as exc:
+            self._degrade(exc)
+
+    def _degrade(self, exc: Exception) -> None:
+        self.read_only = True
+        self.storage_error = f"{type(exc).__name__}: {exc}"
+        if self.metrics.enabled:
+            self.metrics.inc("nnexus_storage_degraded_total")
+
+    def checkpoint_storage(self) -> None:
+        """Compact the storage journal (no-op for memory backends)."""
+        if not self.storage.durable or self.read_only:
+            return
+        try:
+            self.storage.checkpoint()
+        except (StorageError, OSError) as exc:
+            self._degrade(exc)
+
     def __getstate__(self) -> dict[str, object]:
         """Pickled snapshot for process-pool batch workers.
 
@@ -206,6 +323,10 @@ class NNexus:
         # batch layer installs a per-worker tracer when asked to.
         if getattr(state.get("tracer"), "enabled", False):
             state["tracer"] = NULL_TRACER
+        # Durable backends hold file handles and their journal belongs
+        # to the parent; worker snapshots run memory-only.
+        if getattr(state.get("storage"), "durable", False):
+            state["storage"] = MemoryBackend()
         return state
 
     # ------------------------------------------------------------------
@@ -219,6 +340,7 @@ class NNexus:
         the invalidation index — after marking them dirty in the render
         cache.
         """
+        self._check_writable()
         if obj.object_id in self._objects:
             raise DuplicateObjectError(obj.object_id)
         # Store a private copy: the linker mutates its objects (e.g. when
@@ -242,6 +364,7 @@ class NNexus:
         invalidated = self._invalidation.invalidate_many(new_labels)
         invalidated.discard(obj.object_id)
         self._cache.invalidate(invalidated)
+        self._journal(lambda: self.storage.record_add(obj, invalidated))
         return invalidated
 
     def add_objects(self, objects: Iterable[CorpusObject]) -> None:
@@ -258,6 +381,7 @@ class NNexus:
         linked to the removed object must still be re-linked or their
         cached renderings keep hyperlinking a deleted target.
         """
+        self._check_writable()
         obj = self._objects.pop(object_id, None)
         if obj is None:
             raise UnknownObjectError(object_id)
@@ -269,16 +393,31 @@ class NNexus:
         invalidated = self._invalidation.invalidate_many(defined)
         invalidated.discard(object_id)
         self._cache.invalidate(invalidated)
+        self._journal(lambda: self.storage.record_remove(object_id, invalidated))
         return invalidated
 
     def update_object(self, obj: CorpusObject) -> set[int]:
-        """Replace an entry; unions the invalidations of remove + add."""
-        invalidated = self.remove_object(obj.object_id)
-        invalidated |= self.add_object(obj)
+        """Replace an entry; unions the invalidations of remove + add.
+
+        Journaled as ONE storage record (not a remove followed by an
+        add), so a crash between the halves cannot persist a corpus
+        with the entry missing.
+        """
+        self._check_writable()
+        restoring = self._restoring
+        self._restoring = True  # suppress the inner remove/add journals
+        try:
+            invalidated = self.remove_object(obj.object_id)
+            invalidated |= self.add_object(obj)
+        finally:
+            self._restoring = restoring
+        stored = self.get_object(obj.object_id)
+        self._journal(lambda: self.storage.record_update(stored, invalidated))
         return invalidated
 
     def set_linking_policy(self, object_id: int, policy_text: str) -> None:
         """Attach a linking policy to a stored entry (Section 2.4)."""
+        self._check_writable()
         obj = self.get_object(object_id)
         obj.linking_policy = policy_text
         self._policies.set_policy(object_id, policy_text)
@@ -289,6 +428,7 @@ class NNexus:
         )
         invalidated.discard(object_id)
         self._cache.invalidate(invalidated)
+        self._journal(lambda: self.storage.record_update(obj, invalidated))
 
     def get_object(self, object_id: int) -> CorpusObject:
         """Fetch a stored entry; raises UnknownObjectError when absent."""
@@ -321,6 +461,7 @@ class NNexus:
         """
         self.ranker = ranker
         self._cache.clear()
+        self._journal(self.storage.record_cache_clear)
 
     def link_object(self, object_id: int) -> LinkedDocument:
         """Link a stored entry (self-links excluded unless configured)."""
@@ -639,6 +780,7 @@ class NNexus:
         self._steering = ClassificationSteering(graph)
         self._signatures.clear()
         self._cache.clear()
+        self._journal(self.storage.record_cache_clear)
 
     # ------------------------------------------------------------------
     # Rendering and caching
@@ -667,9 +809,18 @@ class NNexus:
                 return rendered
             return renderer(document)
 
+        journal = self.storage.durable and self.storage.persist_renderings
         trc = self.tracer
         if not trc.enabled:
-            return self._cache.get_or_render(object_id, render, fmt=fmt)
+            if not journal:
+                return self._cache.get_or_render(object_id, render, fmt=fmt)
+            cached = self._cache.get(object_id, fmt)
+            if cached is not None:
+                return cached
+            rendered = render(object_id)
+            self._cache.put(object_id, rendered, fmt)
+            self._journal(lambda: self.storage.record_rendering(object_id, fmt, rendered))
+            return rendered
         with trc.span("linker.render_object", object_id=object_id, fmt=fmt) as span:
             lookup_start = perf_counter()
             cached = self._cache.get(object_id, fmt)
@@ -685,6 +836,10 @@ class NNexus:
                 return cached
             rendered = render(object_id)
             self._cache.put(object_id, rendered, fmt)
+            if journal:
+                self._journal(
+                    lambda: self.storage.record_rendering(object_id, fmt, rendered)
+                )
             return rendered
 
     def invalid_entries(self) -> list[int]:
@@ -744,6 +899,8 @@ class NNexus:
             "policies": len(self._policies),
             "steering": self.enable_steering,
             "policies_enabled": self.enable_policies,
+            "storage": self.storage.backend_name,
+            "read_only": self.read_only,
             "stats": self.stats.snapshot(),
         }
 
@@ -770,7 +927,19 @@ class NNexus:
             ("nnexus_objects", {}, len(self._objects)),
             ("nnexus_concepts", {}, self.concept_count()),
             ("nnexus_cache_entries", {}, cache["entries"]),
+            ("nnexus_storage_read_only", {}, int(self.read_only)),
         ]
+        if self.last_restore is not None:
+            gauges += [
+                ("nnexus_cold_start_seconds", {}, self.last_restore["elapsed_sec"]),
+                ("nnexus_restored_objects", {}, self.last_restore["objects"]),
+                ("nnexus_restored_renderings", {}, self.last_restore["renderings"]),
+                (
+                    "nnexus_restore_verify_mismatches",
+                    {},
+                    self.last_restore["mismatches"],
+                ),
+            ]
         if self._steering is not None:
             signature = self._steering.signature_cache_snapshot()
             counters += [

@@ -17,7 +17,9 @@ it on every emitted artifact.
 from __future__ import annotations
 
 import hashlib
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from time import perf_counter
 from typing import Any
 
@@ -26,12 +28,14 @@ from repro.core.linker import NNexus
 from repro.corpus.generator import GeneratorParams, load_or_generate
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullTracer, Tracer
+from repro.persistence import open_storage
 
 __all__ = [
     "BenchParams",
     "run_linking_bench",
     "measure_metrics_overhead",
     "measure_tracing_overhead",
+    "measure_persistence",
     "validate_report",
     "check_regression",
     "SCHEMA_VERSION",
@@ -42,7 +46,7 @@ __all__ = [
     "STEER_SHARE_ABSOLUTE_TOLERANCE",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Pipeline stages the report must cover when metrics are enabled.
 STAGES = ("tokenize", "match", "policy", "steer", "render")
@@ -74,6 +78,10 @@ class BenchParams:
     #: Measure process-mode batch relink scaling (adds three extra
     #: corpus passes); disabled by the overhead comparison runs.
     scaling: bool = True
+    #: Measure the durability cost (WAL-journaled ingest vs. in-memory)
+    #: and the cold-start restore time of the engine backend; disabled
+    #: by the overhead comparison runs.
+    persistence: bool = True
 
     @classmethod
     def smoke_params(cls, seed: int = 20090612, metrics: bool = True) -> "BenchParams":
@@ -158,6 +166,10 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
             },
         }
 
+    persistence: dict[str, Any] = {}
+    if params.persistence:
+        persistence = measure_persistence(params)
+
     stages: dict[str, dict[str, float]] = {}
     if params.metrics:
         for stage in STAGES:
@@ -181,6 +193,7 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
             "smoke": params.smoke,
             "metrics": params.metrics,
             "scaling": params.scaling,
+            "persistence": params.persistence,
         },
         "corpus": {
             "objects": len(linker),
@@ -206,7 +219,60 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
         },
         "steering": steering_summary,
         "batch_scaling": batch_scaling,
+        "persistence": persistence,
         "stages": stages,
+    }
+
+
+def measure_persistence(params: BenchParams | None = None) -> dict[str, Any]:
+    """Durability cost and cold-start time of the engine backend.
+
+    Ingests the deterministic corpus twice — once into a memory-backed
+    linker, once into an engine-backed linker that fsyncs every commit
+    (``sync="always"``, the production default) — then reopens the
+    durable directory and times the cold start (WAL replay plus
+    relinking).  ``wal_overhead_ratio`` is journaled/memory ingest wall
+    time: the full price of crash safety on the mutation path.
+    Renderings are not persisted so the measurement isolates the
+    journaling cost from the render cache.
+    """
+    params = params or BenchParams.smoke_params()
+    corpus = load_or_generate(
+        GeneratorParams(n_entries=params.entries, seed=params.seed)
+    )
+
+    start = perf_counter()
+    memory_linker = NNexus(scheme=corpus.scheme)
+    memory_linker.add_objects(corpus.objects)
+    memory_sec = perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="bench-persistence-") as tmp:
+        data_dir = Path(tmp) / "data"
+        storage = open_storage("engine", data_dir, persist_renderings=False)
+        start = perf_counter()
+        durable = NNexus(scheme=corpus.scheme, storage=storage)
+        durable.add_objects(corpus.objects)
+        journaled_sec = perf_counter() - start
+        storage.close()
+        wal_bytes = (data_dir / "wal.jsonl").stat().st_size
+
+        storage = open_storage("engine", data_dir, persist_renderings=False)
+        start = perf_counter()
+        restarted = NNexus(scheme=corpus.scheme, storage=storage)
+        cold_start_sec = perf_counter() - start
+        restored_objects = len(restarted)
+        storage.close()
+
+    return {
+        "backend": "engine",
+        "sync": "always",
+        "entries": len(corpus.objects),
+        "ingest_memory_sec": memory_sec,
+        "ingest_journaled_sec": journaled_sec,
+        "wal_overhead_ratio": (journaled_sec / memory_sec) if memory_sec else 0.0,
+        "wal_bytes": wal_bytes,
+        "cold_start_sec": cold_start_sec,
+        "restored_objects": restored_objects,
     }
 
 
@@ -220,11 +286,11 @@ def measure_metrics_overhead(params: BenchParams | None = None) -> dict[str, flo
     params = params or BenchParams.smoke_params()
     baseline = run_linking_bench(
         BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke,
-                    metrics=False, scaling=False)
+                    metrics=False, scaling=False, persistence=False)
     )
     instrumented = run_linking_bench(
         BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke,
-                    metrics=True, scaling=False)
+                    metrics=True, scaling=False, persistence=False)
     )
     base = baseline["throughput"]["cold_elapsed_sec"]
     inst = instrumented["throughput"]["cold_elapsed_sec"]
@@ -281,7 +347,14 @@ def measure_tracing_overhead(params: BenchParams | None = None) -> dict[str, Any
 _NUMBER = (int, float)
 
 _SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
-    "params": {"entries": int, "seed": int, "smoke": bool, "metrics": bool, "scaling": bool},
+    "params": {
+        "entries": int,
+        "seed": int,
+        "smoke": bool,
+        "metrics": bool,
+        "scaling": bool,
+        "persistence": bool,
+    },
     "corpus": {"objects": int, "concepts": int, "tokens": int},
     "throughput": {
         "cold_elapsed_sec": _NUMBER,
@@ -298,6 +371,18 @@ _SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
         "signature_cache_entries": int,
         "signature_cache_hit_rate": _NUMBER,
     },
+}
+
+_PERSISTENCE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "backend": str,
+    "sync": str,
+    "entries": int,
+    "ingest_memory_sec": _NUMBER,
+    "ingest_journaled_sec": _NUMBER,
+    "wal_overhead_ratio": _NUMBER,
+    "wal_bytes": int,
+    "cold_start_sec": _NUMBER,
+    "restored_objects": int,
 }
 
 _STAGE_FIELDS: dict[str, type | tuple[type, ...]] = {
@@ -348,6 +433,23 @@ def validate_report(report: Any) -> list[str]:
                         problems.append(f"stages.{stage}.{name} must be {kinds}, got {value!r}")
                 if body.get("count") == 0:
                     problems.append(f"stages.{stage}.count is 0 — stage never timed")
+
+    persistence_on = isinstance(report.get("params"), dict) and report["params"].get(
+        "persistence"
+    )
+    persistence = report.get("persistence")
+    if not isinstance(persistence, dict):
+        problems.append("missing or non-object section 'persistence'")
+    elif persistence_on:
+        for name, kinds in _PERSISTENCE_FIELDS.items():
+            value = persistence.get(name)
+            if not isinstance(value, kinds) or isinstance(value, bool):
+                problems.append(f"persistence.{name} must be {kinds}, got {value!r}")
+        if persistence.get("restored_objects") != persistence.get("entries"):
+            problems.append(
+                "persistence.restored_objects must equal persistence.entries "
+                "— the cold start lost corpus objects"
+            )
 
     scaling_on = isinstance(report.get("params"), dict) and report["params"].get("scaling")
     batch_scaling = report.get("batch_scaling")

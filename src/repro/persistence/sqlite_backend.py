@@ -1,0 +1,166 @@
+"""Corpus persistence on stdlib ``sqlite3`` (WAL mode).
+
+The schema mirrors :mod:`repro.persistence.engine_backend` — an
+``objects`` table of JSON payloads and a ``renderings`` table whose
+``valid`` flag is the invalidation dirty-set — but durability is
+delegated to sqlite: ``journal_mode=WAL`` plus a ``synchronous`` level
+mapped from the shared sync policy (``always``→FULL, ``batch``→NORMAL,
+``off``→OFF).  A failed integrity ``quick_check`` on open raises
+:class:`StorageCorruptionError` like the engine backend does.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.errors import StorageCorruptionError, StorageError
+from repro.core.models import CorpusObject
+from repro.persistence.api import (
+    CorpusSnapshot,
+    CorpusStorage,
+    StoredRendering,
+    object_from_payload,
+    object_to_payload,
+)
+
+__all__ = ["SqliteBackend"]
+
+_SYNC_LEVELS = {"always": "FULL", "batch": "NORMAL", "off": "OFF"}
+
+_DDL = (
+    """CREATE TABLE IF NOT EXISTS objects (
+        object_id INTEGER PRIMARY KEY,
+        payload   TEXT NOT NULL
+    )""",
+    """CREATE TABLE IF NOT EXISTS renderings (
+        key       TEXT PRIMARY KEY,
+        object_id INTEGER NOT NULL,
+        fmt       TEXT NOT NULL,
+        body      TEXT NOT NULL,
+        valid     INTEGER NOT NULL
+    )""",
+    "CREATE INDEX IF NOT EXISTS renderings_object ON renderings(object_id)",
+)
+
+
+class SqliteBackend(CorpusStorage):
+    """Durable backend on a single sqlite database file."""
+
+    backend_name = "sqlite"
+    durable = True
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        sync: str = "always",
+        persist_renderings: bool = True,
+    ) -> None:
+        if sync not in _SYNC_LEVELS:
+            raise StorageError(f"unknown sync policy {sync!r}")
+        self.persist_renderings = persist_renderings
+        self._sync = sync
+        directory = Path(data_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._path = directory / "corpus.sqlite3"
+        self._lock = threading.RLock()
+        try:
+            self._conn = sqlite3.connect(self._path, check_same_thread=False)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA synchronous={_SYNC_LEVELS[sync]}")
+            verdict = self._conn.execute("PRAGMA quick_check").fetchone()
+            if verdict is None or verdict[0] != "ok":
+                raise StorageCorruptionError(self._path, f"quick_check: {verdict}")
+            with self._conn:
+                for statement in _DDL:
+                    self._conn.execute(statement)
+        except sqlite3.DatabaseError as exc:
+            raise StorageCorruptionError(self._path, str(exc))
+
+    # ------------------------------------------------------------------
+    # Cold start
+    # ------------------------------------------------------------------
+    def load(self) -> CorpusSnapshot:
+        with self._lock:
+            object_rows = self._conn.execute(
+                "SELECT payload FROM objects ORDER BY object_id"
+            ).fetchall()
+            rendering_rows = self._conn.execute(
+                "SELECT object_id, fmt, body, valid FROM renderings ORDER BY object_id, fmt"
+            ).fetchall()
+        objects = [object_from_payload(json.loads(row[0])) for row in object_rows]
+        renderings = [
+            StoredRendering(row[0], row[1], row[2], bool(row[3])) for row in rendering_rows
+        ]
+        return CorpusSnapshot(objects=objects, renderings=renderings)
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    def record_add(self, obj: CorpusObject, invalidated: Iterable[int]) -> None:
+        payload = json.dumps(object_to_payload(obj))
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO objects(object_id, payload) VALUES(?, ?) "
+                "ON CONFLICT(object_id) DO UPDATE SET payload=excluded.payload",
+                (obj.object_id, payload),
+            )
+            self._mark_invalid(invalidated)
+
+    def record_update(self, obj: CorpusObject, invalidated: Iterable[int]) -> None:
+        payload = json.dumps(object_to_payload(obj))
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO objects(object_id, payload) VALUES(?, ?) "
+                "ON CONFLICT(object_id) DO UPDATE SET payload=excluded.payload",
+                (obj.object_id, payload),
+            )
+            self._conn.execute(
+                "DELETE FROM renderings WHERE object_id=?", (obj.object_id,)
+            )
+            self._mark_invalid(invalidated)
+
+    def record_remove(self, object_id: int, invalidated: Iterable[int]) -> None:
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM objects WHERE object_id=?", (object_id,))
+            self._conn.execute("DELETE FROM renderings WHERE object_id=?", (object_id,))
+            self._mark_invalid(invalidated)
+
+    def record_rendering(self, object_id: int, fmt: str, body: str) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO renderings(key, object_id, fmt, body, valid) "
+                "VALUES(?, ?, ?, ?, 1) ON CONFLICT(key) DO UPDATE SET "
+                "body=excluded.body, valid=1",
+                (f"{object_id}:{fmt}", object_id, fmt, body),
+            )
+
+    def record_cache_clear(self) -> None:
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM renderings")
+
+    def _mark_invalid(self, invalidated: Iterable[int]) -> None:
+        ids = sorted(set(invalidated))
+        if ids:
+            marks = ",".join("?" for _ in ids)
+            self._conn.execute(
+                f"UPDATE renderings SET valid=0 WHERE object_id IN ({marks})", ids
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        with self._lock:
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def recovery_stats(self) -> dict[str, Any]:
+        return {"backend": self.backend_name, "sync": self._sync, "path": str(self._path)}

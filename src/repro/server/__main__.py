@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.errors import StorageCorruptionError
 from repro.core.linker import NNexus
 from repro.corpus.loader import load_corpus
 from repro.corpus.planetmath_sample import sample_corpus
@@ -32,7 +33,9 @@ from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import JsonlExporter, Tracer
 from repro.ontology.msc import build_small_msc
+from repro.persistence import BACKENDS, open_storage
 from repro.server.server import NNexusServer
+from repro.storage.engine import SYNC_POLICIES
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,7 +78,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--log-json", action="store_true",
                         help="emit log records as JSON lines instead of the "
                              "human-readable console format")
+    parser.add_argument("--data-dir", type=str, default="",
+                        help="directory for durable corpus state; the server "
+                             "cold-starts from it and journals every mutation")
+    parser.add_argument("--backend", default="memory",
+                        choices=BACKENDS,
+                        help="storage backend: 'memory' (no persistence), "
+                             "'engine' (snapshot + checksummed WAL) or "
+                             "'sqlite' (stdlib sqlite3, WAL mode)")
+    parser.add_argument("--sync", default="always",
+                        choices=SYNC_POLICIES,
+                        help="WAL durability: fsync every commit ('always'), "
+                             "only at checkpoint/close ('batch'), or never "
+                             "('off')")
     args = parser.parse_args(argv)
+
+    if args.backend != "memory" and not args.data_dir:
+        parser.error(f"--backend {args.backend} requires --data-dir")
 
     configure_logging(
         level=args.log_level, fmt="json" if args.log_json else "console"
@@ -94,8 +113,29 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_jsonl:
             exporter = JsonlExporter(args.trace_jsonl)
             tracer.add_sink(exporter)
-    linker = NNexus(scheme=build_small_msc(), metrics=metrics, tracer=tracer)
-    if args.corpus:
+    try:
+        storage = open_storage(
+            args.backend, args.data_dir or None, sync=args.sync
+        )
+    except StorageCorruptionError as exc:
+        # Unreadable persistent state: refuse to guess.  The operator
+        # decides between restoring a backup and wiping the directory.
+        log.error("server.storage_corrupt", path=exc.path, reason=exc.reason)
+        return 1
+    linker = NNexus(
+        scheme=build_small_msc(), metrics=metrics, tracer=tracer, storage=storage
+    )
+    if len(linker):
+        # The backend restored a corpus: don't double-seed on top of it.
+        restore = linker.last_restore or {}
+        log.info(
+            "server.storage_restored",
+            backend=storage.backend_name,
+            objects=restore.get("objects"),
+            renderings=restore.get("renderings"),
+            cold_start_s=round(restore.get("elapsed_sec", 0.0), 4),
+        )
+    elif args.corpus:
         linker.add_objects(load_corpus(args.corpus))
     elif args.sample:
         linker.add_objects(sample_corpus())
@@ -152,6 +192,9 @@ def main(argv: list[str] | None = None) -> int:
             gateway.server_close()
         if exporter is not None:
             exporter.close()
+        if storage.durable:
+            linker.checkpoint_storage()
+            storage.close()
         if not drained:
             log.warning("server.drain_timeout", timeout_s=args.drain_timeout)
     return 0

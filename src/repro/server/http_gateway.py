@@ -160,7 +160,16 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/ready":
             if self.server.ready:
-                self._send_json({"status": "ready"})
+                # ``mode`` surfaces storage degradation: a linker that
+                # lost its journal keeps serving reads but probes (and
+                # load balancers doing write routing) must see it.
+                linker = self.server.linker
+                payload: dict[str, object] = {"status": "ready", "mode": "serving"}
+                if getattr(linker, "read_only", False):
+                    payload["mode"] = "read-only"
+                    if linker.storage_error:
+                        payload["reason"] = linker.storage_error
+                self._send_json(payload)
             else:
                 self._send_unavailable("not ready")
             return

@@ -40,6 +40,7 @@ from repro.core.errors import (
     NNexusError,
     OverloadedError,
     ProtocolError,
+    ReadOnlyError,
 )
 from repro.core.linker import NNexus
 from repro.core.render import render_annotations, render_html, render_markdown
@@ -82,6 +83,10 @@ def _classify(exc: BaseException) -> tuple[str, bool]:
         return "deadline", True
     if isinstance(exc, (ProtocolError, ValueError)):
         return "bad-request", False
+    if isinstance(exc, ReadOnlyError):
+        # Storage corruption degraded the linker: reads still work, so
+        # tell writers plainly instead of a retryable overload signal.
+        return "read-only", False
     if isinstance(exc, NNexusError):
         return "bad-request", False
     return "internal", False
@@ -404,6 +409,7 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             "objects": str(info["objects"]),
             "concepts": str(info["concepts"]),
             "policies": str(info["policies"]),
+            "read_only": "1" if info.get("read_only") else "0",
         }
         return protocol.Response(status="ok", method="describe", fields=fields)
 

@@ -7,20 +7,26 @@ module provides the equivalent substrate without external dependencies:
 * typed table schemas with primary keys,
 * secondary hash indexes maintained on every mutation,
 * equality and predicate queries,
-* write-ahead logging to JSON lines with snapshot compaction, and
+* write-ahead logging with per-record length+CRC32 framing, configurable
+  fsync policies (``always``/``batch``/``off``), atomic checksummed
+  snapshots, torn-tail truncation on recovery, and
 * coarse-grained thread safety (one RLock per database, mirroring a
   single-writer deployment).
 
 The engine is deliberately small but honest: constraints are enforced,
-the WAL replays to the identical state, and the index structures are the
-ones the linker's operations actually need (point lookups and equality
-scans).
+the WAL replays to the identical state, a transaction is journaled as a
+single framed record so a crash can never persist part of one, and the
+index structures are the ones the linker's operations actually need
+(point lookups and equality scans).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
@@ -29,11 +35,17 @@ from repro.core.errors import (
     DuplicateKeyError,
     MissingKeyError,
     SchemaError,
+    StorageCorruptionError,
     StorageError,
     TransactionError,
 )
+from repro.storage.faults import NO_FAULTS, FaultInjectedError, StorageFaultInjector
 
-__all__ = ["Column", "Schema", "Table", "Database"]
+__all__ = ["Column", "Schema", "Table", "Database", "RecoveryStats", "SYNC_POLICIES"]
+
+#: Durability levels for the WAL: ``always`` fsyncs every commit,
+#: ``batch`` fsyncs only at checkpoint/close, ``off`` never fsyncs.
+SYNC_POLICIES = ("always", "batch", "off")
 
 Row = dict[str, Any]
 
@@ -363,8 +375,66 @@ class _WalRecord:
     table: str
     payload: dict[str, Any] = field(default_factory=dict)
 
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op, "table": self.table, **self.payload}
+
     def to_json(self) -> str:
-        return json.dumps({"op": self.op, "table": self.table, **self.payload})
+        return json.dumps(self.to_dict())
+
+
+def _frame_record(payload: Mapping[str, Any]) -> bytes:
+    """Frame one WAL record as ``<len> <crc32-hex> <json>\\n``.
+
+    The length lets recovery detect a record whose tail never reached
+    the disk; the CRC catches bit rot and mid-record tears that happen
+    to leave a parseable prefix.
+    """
+    body = json.dumps(payload).encode("utf-8")
+    return b"%d %08x " % (len(body), zlib.crc32(body)) + body + b"\n"
+
+
+def _parse_wal_line(line: bytes) -> Mapping[str, Any]:
+    """Decode one WAL line; raises ``ValueError`` on any damage.
+
+    Accepts both the framed format and the legacy bare-JSON lines
+    written by earlier versions of the engine.
+    """
+    if line.startswith(b"{"):
+        return json.loads(line)  # legacy unframed record
+    parts = line.split(b" ", 2)
+    if len(parts) != 3:
+        raise ValueError("malformed WAL frame header")
+    length = int(parts[0])
+    body = parts[2]
+    if len(body) != length:
+        raise ValueError("WAL frame length mismatch")
+    if int(parts[1], 16) != zlib.crc32(body):
+        raise ValueError("WAL frame checksum mismatch")
+    return json.loads(body)
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """What the last ``_recover()`` found and did.
+
+    Surfaced by backends and folded into linker metrics so operators
+    can see whether a restart replayed cleanly or dropped a torn tail.
+    """
+
+    snapshot_loaded: bool = False
+    wal_records: int = 0
+    wal_transactions: int = 0
+    torn_bytes_dropped: int = 0
+    elapsed_sec: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "snapshot_loaded": self.snapshot_loaded,
+            "wal_records": self.wal_records,
+            "wal_transactions": self.wal_transactions,
+            "torn_bytes_dropped": self.torn_bytes_dropped,
+            "elapsed_sec": self.elapsed_sec,
+        }
 
 
 class Database:
@@ -375,20 +445,42 @@ class Database:
     path:
         Directory for the snapshot (``snapshot.json``) and write-ahead
         log (``wal.jsonl``).  ``None`` keeps the database memory-only.
+    sync:
+        ``"always"`` fsyncs the WAL on every commit (durable through
+        power loss), ``"batch"`` fsyncs only at checkpoint/close,
+        ``"off"`` never fsyncs (OS page cache only).
+    faults:
+        Optional :class:`StorageFaultInjector` consulted at every
+        fsync/rename/WAL-write; the crash-recovery tests script it.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        sync: str = "always",
+        faults: StorageFaultInjector | None = None,
+    ) -> None:
+        if sync not in SYNC_POLICIES:
+            raise StorageError(f"unknown sync policy {sync!r}; expected one of {SYNC_POLICIES}")
         self._tables: dict[str, Table] = {}
         self._lock = threading.RLock()
         self._path = Path(path) if path is not None else None
+        self._sync = sync
+        self._faults = faults if faults is not None else NO_FAULTS
         self._wal_file = None
         self._in_transaction = False
         self._undo_log: list[tuple[str, str, Any]] = []
         self._txn_wal_buffer: list[_WalRecord] = []
+        self.last_recovery = RecoveryStats()
         if self._path is not None:
             self._path.mkdir(parents=True, exist_ok=True)
             self._recover()
-            self._wal_file = open(self._wal_path, "a", encoding="utf-8")
+            self._wal_file = open(self._wal_path, "ab")
+
+    @property
+    def sync_policy(self) -> str:
+        return self._sync
 
     # ------------------------------------------------------------------
     # Schema operations
@@ -518,13 +610,20 @@ class Database:
             self._txn_wal_buffer = []
 
     def commit(self) -> None:
-        """Make the transaction's changes durable."""
+        """Make the transaction's changes durable.
+
+        The whole transaction is journaled as ONE framed WAL record, so
+        a crash mid-append tears the entire transaction off the log —
+        recovery can only ever observe a prefix of committed
+        transactions, never part of one.
+        """
         with self._lock:
             if not self._in_transaction:
                 raise TransactionError("commit without begin")
             self._in_transaction = False
-            for record in self._txn_wal_buffer:
-                self._write_wal(record)
+            if self._txn_wal_buffer and self._path is not None:
+                records = [record.to_dict() for record in self._txn_wal_buffer]
+                self._append_wal({"op": "txn", "records": records})
             self._txn_wal_buffer = []
             self._undo_log = []
             self._flush_wal()
@@ -574,23 +673,57 @@ class Database:
         if self._in_transaction:
             self._txn_wal_buffer.append(record)
         else:
-            self._write_wal(record)
+            self._append_wal(record.to_dict())
             self._flush_wal()
 
-    def _write_wal(self, record: _WalRecord) -> None:
+    def _append_wal(self, payload: Mapping[str, Any]) -> None:
         assert self._wal_file is not None
-        self._wal_file.write(record.to_json() + "\n")
+        self._faults.write(self._wal_file, _frame_record(payload))
 
     def _flush_wal(self) -> None:
-        if self._wal_file is not None:
-            self._wal_file.flush()
+        """Flush buffered WAL bytes; fsync when the policy demands it."""
+        if self._wal_file is None:
+            return
+        self._wal_file.flush()
+        if self._sync == "always":
+            self._faults.fsync(self._wal_file.fileno())
+
+    def _fsync_dir(self) -> None:
+        """fsync the data directory so a rename survives power loss.
+
+        Injected faults propagate (the torture harness depends on it);
+        real failures are swallowed because directory opens are not
+        supported on every platform.
+        """
+        assert self._path is not None
+        if self._sync == "off":
+            return
+        try:
+            fd = os.open(self._path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            self._faults.fsync(fd)
+        except FaultInjectedError:
+            raise
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def checkpoint(self) -> None:
-        """Write a full snapshot and truncate the WAL."""
+        """Atomically write a checksummed snapshot and truncate the WAL.
+
+        Order matters: tmp write -> fsync tmp -> rename over the old
+        snapshot -> fsync directory -> truncate WAL.  A crash at any
+        point leaves either the previous snapshot plus the full WAL, or
+        the new snapshot — never a torn snapshot, never a truncated WAL
+        without its snapshot.
+        """
         if self._path is None:
             return
         with self._lock:
-            snapshot = {
+            tables = {
                 name: {
                     "schema": table.schema.to_dict(),
                     "indexes": table.indexes(),
@@ -599,27 +732,112 @@ class Database:
                 }
                 for name, table in self._tables.items()
             }
+            body = json.dumps(tables, sort_keys=True)
+            snapshot = {
+                "format": 2,
+                "checksum": f"{zlib.crc32(body.encode('utf-8')):08x}",
+                "tables": tables,
+            }
             tmp = self._snapshot_path.with_suffix(".tmp")
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(snapshot, handle)
-            tmp.replace(self._snapshot_path)
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(snapshot, handle)
+                    handle.flush()
+                    if self._sync != "off":
+                        self._faults.fsync(handle.fileno())
+                self._faults.replace(tmp, self._snapshot_path)
+            except OSError:
+                tmp.unlink(missing_ok=True)
+                raise
+            self._fsync_dir()
             if self._wal_file is not None:
                 self._wal_file.close()
-            self._wal_file = open(self._wal_path, "w", encoding="utf-8")
+            self._wal_file = open(self._wal_path, "wb")
+            if self._sync != "off":
+                self._faults.fsync(self._wal_file.fileno())
 
     def close(self) -> None:
-        """Flush and close the WAL file handle."""
+        """Flush (fsync under ``always``/``batch``) and close the WAL."""
         with self._lock:
             if self._wal_file is not None:
+                self._wal_file.flush()
+                if self._sync != "off":
+                    try:
+                        self._faults.fsync(self._wal_file.fileno())
+                    except OSError:
+                        pass
                 self._wal_file.close()
                 self._wal_file = None
 
     def _recover(self) -> None:
-        """Rebuild state from snapshot + WAL replay."""
-        if self._snapshot_path.exists():
+        """Rebuild state from snapshot + WAL replay, truncating torn tails."""
+        started = time.perf_counter()
+        snapshot_loaded = self._load_snapshot()
+        records = transactions = 0
+        torn = 0
+        # A checkpoint interrupted between tmp-write and rename leaves a
+        # stale .tmp beside a still-authoritative snapshot: discard it.
+        self._snapshot_path.with_suffix(".tmp").unlink(missing_ok=True)
+        if self._wal_path.exists():
+            data = self._wal_path.read_bytes()
+            offset = 0
+            valid_end = 0
+            while offset < len(data):
+                newline = data.find(b"\n", offset)
+                if newline == -1:
+                    break  # torn tail: record never got its newline
+                line = data[offset:newline]
+                offset = newline + 1
+                if line:
+                    try:
+                        record = _parse_wal_line(line)
+                    except (ValueError, json.JSONDecodeError):
+                        break  # torn or corrupt record: stop replay here
+                    if record.get("op") == "txn":
+                        transactions += 1
+                        for sub in record.get("records", []):
+                            self._apply_wal(sub)
+                            records += 1
+                    else:
+                        self._apply_wal(record)
+                        records += 1
+                valid_end = offset
+            torn = len(data) - valid_end
+            if torn:
+                # Truncate to the last valid record boundary so the next
+                # append starts a fresh line instead of gluing onto the
+                # partial one (which would destroy the new record too).
+                with open(self._wal_path, "r+b") as handle:
+                    handle.truncate(valid_end)
+        self.last_recovery = RecoveryStats(
+            snapshot_loaded=snapshot_loaded,
+            wal_records=records,
+            wal_transactions=transactions,
+            torn_bytes_dropped=torn,
+            elapsed_sec=time.perf_counter() - started,
+        )
+
+    def _load_snapshot(self) -> bool:
+        """Load ``snapshot.json`` (checksummed or legacy); False if absent."""
+        if not self._snapshot_path.exists():
+            return False
+        try:
             with open(self._snapshot_path, encoding="utf-8") as handle:
                 snapshot = json.load(handle)
-            for name, payload in snapshot.items():
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StorageCorruptionError(self._snapshot_path, f"unreadable snapshot: {exc}")
+        if isinstance(snapshot, dict) and snapshot.get("format") == 2:
+            tables = snapshot.get("tables")
+            if not isinstance(tables, dict):
+                raise StorageCorruptionError(self._snapshot_path, "snapshot has no tables")
+            body = json.dumps(tables, sort_keys=True)
+            expected = f"{zlib.crc32(body.encode('utf-8')):08x}"
+            if snapshot.get("checksum") != expected:
+                raise StorageCorruptionError(self._snapshot_path, "snapshot checksum mismatch")
+        else:
+            tables = snapshot  # legacy format: bare table mapping
+        try:
+            for name, payload in tables.items():
                 table = Table(name, Schema.from_dict(payload["schema"]))
                 for row in payload["rows"]:
                     table._insert(row)
@@ -628,18 +846,9 @@ class Database:
                 for column in payload.get("ordered_indexes", []):
                     table.create_ordered_index(column)
                 self._tables[name] = table
-        if not self._wal_path.exists():
-            return
-        with open(self._wal_path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    break  # torn tail write: stop replay at the tear
-                self._apply_wal(record)
+        except (KeyError, TypeError, StorageError) as exc:
+            raise StorageCorruptionError(self._snapshot_path, f"snapshot does not load: {exc}")
+        return True
 
     def _apply_wal(self, record: Mapping[str, Any]) -> None:
         op = record.get("op")

@@ -1,0 +1,137 @@
+"""Fault injection for the storage engine's durability path.
+
+The crash-recovery torture harness needs to kill the engine at every
+interesting point of a commit or checkpoint: mid-way through a WAL
+append (a torn write), on the fsync that was supposed to make the
+record durable, or on the rename that publishes a snapshot.  A
+:class:`StorageFaultInjector` is an optional hook the engine consults
+at each of those syscalls; tests script it with rules keyed on the
+Nth call of each kind — "fail the 2nd fsync", "tear the 1st write
+after 17 bytes" — mirroring :class:`repro.server.faults.FaultInjector`.
+
+Rules fire exactly once and are consumed.  An injector with no rules
+costs one lock-protected counter bump per syscall, so the hooks stay
+wired unconditionally; the engine defaults to a shared no-op instance.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+__all__ = ["StorageFault", "StorageFaultInjector", "FaultInjectedError"]
+
+
+class FaultInjectedError(OSError):
+    """The error raised by a scripted fsync/replace/write failure.
+
+    Derives from :class:`OSError` so the engine's failure handling is
+    exercised exactly as it would be by a real failing syscall.
+    """
+
+
+@dataclass(frozen=True)
+class StorageFault:
+    """One scripted durability failure.
+
+    kind:
+        ``"fail"`` (raise instead of performing the syscall) or
+        ``"short"`` (perform only part of a write, then raise).
+    keep_bytes:
+        For ``"short"`` write faults: bytes actually written before the
+        simulated crash.
+    """
+
+    kind: str
+    keep_bytes: int = 0
+
+
+class StorageFaultInjector:
+    """Thread-safe scripted storage faults keyed on the Nth call (1-based).
+
+    Each syscall family (``fsync``, ``replace``, ``write``) keeps its
+    own counter, so "fail the 1st replace" is independent of how many
+    fsyncs happened before it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rules: dict[str, dict[int, StorageFault]] = {}
+        self._seen: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Scripting API (used by tests)
+    # ------------------------------------------------------------------
+    def fail_fsync(self, on_call: int = 1) -> "StorageFaultInjector":
+        """Raise from the Nth fsync *from now* instead of syncing."""
+        return self._add("fsync", on_call, StorageFault("fail"))
+
+    def fail_replace(self, on_call: int = 1) -> "StorageFaultInjector":
+        """Raise from the Nth atomic rename *from now* instead of publishing."""
+        return self._add("replace", on_call, StorageFault("fail"))
+
+    def short_write(self, on_call: int = 1, keep_bytes: int = 0) -> "StorageFaultInjector":
+        """Tear the Nth WAL write *from now*: persist ``keep_bytes``, then raise."""
+        return self._add("write", on_call, StorageFault("short", keep_bytes=keep_bytes))
+
+    def _add(self, family: str, on_call: int, fault: StorageFault) -> "StorageFaultInjector":
+        """Arm a rule on the Nth call counted from the calls seen so far.
+
+        Relative numbering lets a test run arbitrary setup through the
+        engine, then say "fail the NEXT fsync" without counting how many
+        syncs the setup performed.
+        """
+        if on_call < 1:
+            raise ValueError("calls are numbered from 1")
+        with self._lock:
+            absolute = self._seen.get(family, 0) + on_call
+            self._rules.setdefault(family, {})[absolute] = fault
+        return self
+
+    def _next(self, family: str) -> StorageFault | None:
+        with self._lock:
+            count = self._seen.get(family, 0) + 1
+            self._seen[family] = count
+            return self._rules.get(family, {}).pop(count, None)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._rules.clear()
+            self._seen.clear()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return sum(len(rules) for rules in self._rules.values())
+
+    # ------------------------------------------------------------------
+    # Engine-side hooks
+    # ------------------------------------------------------------------
+    def fsync(self, fd: int) -> None:
+        """``os.fsync`` with scripted failures."""
+        fault = self._next("fsync")
+        if fault is not None:
+            raise FaultInjectedError("injected fsync failure")
+        os.fsync(fd)
+
+    def replace(self, src: os.PathLike | str, dst: os.PathLike | str) -> None:
+        """``os.replace`` with scripted failures."""
+        fault = self._next("replace")
+        if fault is not None:
+            raise FaultInjectedError("injected replace failure")
+        os.replace(src, dst)
+
+    def write(self, handle, data: bytes) -> None:
+        """File write with scripted torn (short) writes."""
+        fault = self._next("write")
+        if fault is not None and fault.kind == "short":
+            handle.write(data[: max(fault.keep_bytes, 0)])
+            handle.flush()
+            raise FaultInjectedError("injected torn write")
+        handle.write(data)
+
+
+#: Shared inert injector: engines default to this so the hot path pays
+#: only the counter bump.
+NO_FAULTS = StorageFaultInjector()

@@ -1,0 +1,258 @@
+"""Linker round trips through durable storage backends.
+
+The acceptance bar: a cold-started linker must reproduce the golden
+renderings byte-identically (the same digest as
+``tests/core/test_golden_render.py``), the invalidation dirty-set must
+survive restarts, and storage failures must degrade the linker to
+read-only instead of crashing or silently diverging.
+"""
+
+import pickle
+import shutil
+
+import pytest
+
+from repro.core.errors import ReadOnlyError
+from repro.core.linker import NNexus
+from repro.core.models import CorpusObject
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+from repro.persistence import open_storage
+from repro.storage.faults import StorageFaultInjector
+from tests.core.test_golden_render import _FORMATS, GOLDEN_SHA256, corpus_digest
+
+DURABLE_BACKENDS = ("engine", "sqlite")
+
+
+def build_durable_linker(backend, data_dir, **kwargs) -> NNexus:
+    storage = open_storage(backend, data_dir, **kwargs)
+    return NNexus(scheme=build_small_msc(), storage=storage)
+
+
+def render_all(linker) -> dict:
+    return {
+        object_id: {fmt: linker.render_object(object_id, fmt=fmt) for fmt in _FORMATS}
+        for object_id in linker.object_ids()
+    }
+
+
+class TestGoldenRoundTrip:
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_restart_reproduces_golden_renderings(self, tmp_path, backend) -> None:
+        linker = build_durable_linker(backend, tmp_path / "data")
+        linker.add_objects(sample_corpus())
+        assert corpus_digest(render_all(linker)) == GOLDEN_SHA256
+        linker.storage.close()
+
+        restarted = build_durable_linker(backend, tmp_path / "data")
+        assert len(restarted) == 30
+        assert restarted.last_restore["mismatches"] == 0
+        assert corpus_digest(render_all(restarted)) == GOLDEN_SHA256
+        restarted.storage.close()
+
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_restart_without_persisted_renderings(self, tmp_path, backend) -> None:
+        linker = build_durable_linker(
+            backend, tmp_path / "data", persist_renderings=False
+        )
+        linker.add_objects(sample_corpus())
+        render_all(linker)
+        linker.storage.close()
+
+        restarted = build_durable_linker(
+            backend, tmp_path / "data", persist_renderings=False
+        )
+        assert restarted.last_restore["renderings"] == 0
+        assert len(restarted.cache) == 0
+        assert corpus_digest(render_all(restarted)) == GOLDEN_SHA256
+        restarted.storage.close()
+
+    def test_checkpointed_engine_restarts_from_snapshot(self, tmp_path) -> None:
+        linker = build_durable_linker("engine", tmp_path / "data")
+        linker.add_objects(sample_corpus())
+        render_all(linker)
+        linker.checkpoint_storage()
+        linker.storage.close()
+        assert (tmp_path / "data" / "snapshot.json").exists()
+        assert (tmp_path / "data" / "wal.jsonl").read_bytes() == b""
+
+        restarted = build_durable_linker("engine", tmp_path / "data")
+        assert restarted.last_restore["recovery"]["snapshot_loaded"]
+        assert corpus_digest(render_all(restarted)) == GOLDEN_SHA256
+        restarted.storage.close()
+
+
+class TestDirtySetSurvival:
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_invalidation_dirty_set_survives_restart(self, tmp_path, backend) -> None:
+        linker = build_durable_linker(backend, tmp_path / "data")
+        linker.add_objects(sample_corpus())
+        render_all(linker)
+        # A new definition invalidates entries that may invoke it.
+        linker.add_object(
+            CorpusObject(
+                900,
+                "planar graph embedding",
+                defines=["planar graph"],
+                classes=["05C10"],
+                text="An embedding of a planar graph into the plane.",
+            )
+        )
+        dirty_before = linker.cache.invalid_keys()
+        assert dirty_before, "the new homonym should have dirtied some entries"
+        linker.storage.close()
+
+        restarted = build_durable_linker(backend, tmp_path / "data")
+        assert restarted.cache.invalid_keys() == dirty_before
+        refreshed = restarted.relink_invalidated()
+        assert set(refreshed) == {key[0] for key in dirty_before}
+        assert restarted.cache.invalid_keys() == []
+        restarted.storage.close()
+
+
+class TestMutationJournaling:
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_update_remove_policy_survive_restart(self, tmp_path, backend) -> None:
+        linker = build_durable_linker(backend, tmp_path / "data")
+        linker.add_objects(sample_corpus())
+        original = linker.get_object(2)
+        linker.update_object(
+            CorpusObject(
+                2,
+                original.title,
+                defines=list(original.defines),
+                classes=list(original.classes),
+                text=original.text + " Updated for the restart test.",
+            )
+        )
+        linker.remove_object(30)
+        linker.set_linking_policy(4, "forbid *\n")
+        expected = render_all(linker)
+        linker.storage.close()
+
+        restarted = build_durable_linker(backend, tmp_path / "data")
+        assert restarted.object_ids() == linker.object_ids()
+        assert restarted.get_object(2).text.endswith("Updated for the restart test.")
+        assert not restarted.has_object(30)
+        assert restarted.get_object(4).linking_policy == "forbid *\n"
+        assert len(restarted.policy_table) == len(linker.policy_table)
+        assert render_all(restarted) == expected
+        restarted.storage.close()
+
+    def test_update_journals_one_transaction(self, tmp_path) -> None:
+        """A crash between update's remove and add halves must never
+        persist a corpus with the entry missing."""
+        faults = StorageFaultInjector()
+        storage = open_storage("engine", tmp_path / "data", faults=faults)
+        linker = NNexus(scheme=build_small_msc(), storage=storage)
+        linker.add_objects(sample_corpus())
+        before_text = linker.get_object(2).text
+        faults.short_write(on_call=1, keep_bytes=30)  # tear the update frame
+        linker.update_object(CorpusObject(2, "planar graph", text="replaced"))
+        # The torn journal write degraded the linker, not the caller.
+        assert linker.read_only
+        storage.close()
+
+        restarted = build_durable_linker("engine", tmp_path / "data")
+        assert restarted.has_object(2), "update tore into a remove-without-add"
+        assert restarted.get_object(2).text == before_text
+        restarted.storage.close()
+
+
+class TestReadOnlyDegradation:
+    def test_journal_failure_degrades_to_read_only(self, tmp_path) -> None:
+        faults = StorageFaultInjector()
+        storage = open_storage("engine", tmp_path / "data", faults=faults)
+        linker = NNexus(scheme=build_small_msc(), storage=storage)
+        linker.add_objects(sample_corpus())
+        assert not linker.read_only
+
+        faults.fail_fsync(1)
+        linker.add_object(CorpusObject(901, "chromatic number", classes=["05C15"]))
+        assert linker.read_only
+        assert "FaultInjectedError" in linker.storage_error
+        assert linker.describe()["read_only"] is True
+
+        # Reads keep serving; writes are refused with the typed error.
+        assert linker.render_object(1, fmt="html")
+        with pytest.raises(ReadOnlyError):
+            linker.add_object(CorpusObject(902, "girth"))
+        with pytest.raises(ReadOnlyError):
+            linker.remove_object(1)
+        with pytest.raises(ReadOnlyError):
+            linker.set_linking_policy(1, "forbid *\n")
+        storage.close()
+
+    def test_read_only_flag_exported_in_metrics(self, tmp_path) -> None:
+        storage = open_storage("engine", tmp_path / "data")
+        linker = NNexus(scheme=build_small_msc(), storage=storage)
+        gauges = {g["name"]: g["value"] for g in linker.metrics_snapshot()["gauges"]}
+        assert gauges["nnexus_storage_read_only"] == 0
+        assert "nnexus_cold_start_seconds" in gauges
+        storage.close()
+
+
+class TestRestoreVerification:
+    def test_tampered_rendering_is_evicted_on_cold_start(self, tmp_path) -> None:
+        linker = build_durable_linker("engine", tmp_path / "data")
+        linker.add_objects(sample_corpus())
+        render_all(linker)
+        # Tamper with a persisted rendering body behind the linker's back.
+        db = linker.storage.database
+        key = f"{linker.object_ids()[0]}:html"
+        db.update("renderings", key, {"body": "<p>stale bytes</p>"})
+        linker.storage.close()
+
+        restarted = build_durable_linker("engine", tmp_path / "data")
+        assert restarted.last_restore["mismatches"] >= 1
+        # The evicted entry re-renders to the correct bytes on demand.
+        assert corpus_digest(render_all(restarted)) == GOLDEN_SHA256
+        restarted.storage.close()
+
+
+class TestKillPointsThroughTheLinker:
+    def test_sampled_wal_truncations_recover_renderable_prefixes(self, tmp_path) -> None:
+        """Chop the WAL of a linked corpus at sampled offsets; every cut
+        must cold-start cleanly and render byte-identically to a fresh
+        memory-only linker over the same recovered object set."""
+        origin = tmp_path / "origin"
+        storage = open_storage("engine", origin, persist_renderings=False)
+        linker = NNexus(scheme=build_small_msc(), storage=storage)
+        corpus = sample_corpus()
+        linker.add_objects(corpus)
+        storage.close()
+        wal = (origin / "wal.jsonl").read_bytes()
+
+        cuts = list(range(0, len(wal) + 1, max(1, len(wal) // 24)))
+        if len(wal) not in cuts:
+            cuts.append(len(wal))
+        seen_sizes = set()
+        for cut in cuts:
+            trial = tmp_path / "trial"
+            if trial.exists():
+                shutil.rmtree(trial)
+            shutil.copytree(origin, trial)
+            (trial / "wal.jsonl").write_bytes(wal[:cut])
+            recovered = build_durable_linker("engine", trial)
+            recovered_ids = recovered.object_ids()
+            seen_sizes.add(len(recovered_ids))
+            # Committed prefix: add_objects journals in id order.
+            assert recovered_ids == [obj.object_id for obj in corpus[: len(recovered_ids)]]
+            reference = NNexus(scheme=build_small_msc())
+            reference.add_objects(corpus[: len(recovered_ids)])
+            assert corpus_digest(render_all(recovered)) == corpus_digest(
+                render_all(reference)
+            )
+            recovered.storage.close()
+        assert 0 in seen_sizes and len(corpus) in seen_sizes
+
+
+class TestProcessModeCompatibility:
+    def test_pickled_linker_swaps_durable_storage_out(self, tmp_path) -> None:
+        linker = build_durable_linker("engine", tmp_path / "data")
+        linker.add_objects(sample_corpus()[:5])
+        clone = pickle.loads(pickle.dumps(linker))
+        assert clone.storage.durable is False
+        assert clone.storage.backend_name == "memory"
+        assert len(clone) == 5
+        linker.storage.close()

@@ -13,9 +13,11 @@ from repro.obs.bench import (
 )
 
 # Small enough to keep the suite fast; large enough for every stage to
-# fire.  Scaling is off here (it spawns process pools) — the dedicated
-# scaling test below covers it once.
-_PARAMS = BenchParams(entries=40, seed=7, smoke=True, metrics=True, scaling=False)
+# fire.  Scaling is off here (it spawns process pools) and persistence
+# is off (it fsyncs every commit) — each has a dedicated test below.
+_PARAMS = BenchParams(
+    entries=40, seed=7, smoke=True, metrics=True, scaling=False, persistence=False
+)
 
 
 def test_report_passes_its_own_schema() -> None:
@@ -49,9 +51,25 @@ def test_metrics_run_covers_every_stage() -> None:
 
 def test_no_metrics_run_has_empty_stages_and_validates() -> None:
     report = run_linking_bench(
-        BenchParams(entries=40, seed=7, smoke=True, metrics=False, scaling=False)
+        BenchParams(entries=40, seed=7, smoke=True, metrics=False, scaling=False,
+                    persistence=False)
     )
     assert report["stages"] == {}
+    assert validate_report(report) == []
+
+
+def test_persistence_run_reports_durability_section() -> None:
+    report = run_linking_bench(
+        BenchParams(entries=30, seed=7, smoke=True, metrics=False, scaling=False,
+                    persistence=True)
+    )
+    durability = report["persistence"]
+    assert durability["backend"] == "engine"
+    assert durability["sync"] == "always"
+    assert durability["restored_objects"] == durability["entries"] == 30
+    assert durability["wal_bytes"] > 0
+    assert durability["cold_start_sec"] > 0.0
+    assert durability["wal_overhead_ratio"] > 0.0
     assert validate_report(report) == []
 
 
@@ -121,6 +139,20 @@ def test_validate_rejects_broken_reports() -> None:
     problems = validate_report(empty_scaling_run)
     assert any("batch_scaling.runs" in p for p in problems)
     assert any("batch_scaling.speedups" in p for p in problems)
+
+    missing_persistence = copy.deepcopy(good)
+    del missing_persistence["persistence"]
+    assert any("persistence" in p for p in validate_report(missing_persistence))
+
+    lossy_restore = copy.deepcopy(good)
+    lossy_restore["params"]["persistence"] = True
+    lossy_restore["persistence"] = {
+        "backend": "engine", "sync": "always", "entries": 40,
+        "ingest_memory_sec": 0.1, "ingest_journaled_sec": 0.2,
+        "wal_overhead_ratio": 2.0, "wal_bytes": 1024,
+        "cold_start_sec": 0.1, "restored_objects": 39,
+    }
+    assert any("lost corpus objects" in p for p in validate_report(lossy_restore))
 
 
 def test_check_regression_gates_on_steer_share() -> None:

@@ -92,7 +92,7 @@ class TestReadiness:
     def test_ready_when_serving(self, gateway) -> None:
         status, payload = get(gateway, "/ready")
         assert status == 200
-        assert payload == {"status": "ready"}
+        assert payload == {"status": "ready", "mode": "serving"}
 
     def test_not_ready_is_503_with_retry_after(self) -> None:
         linker = NNexus(scheme=build_small_msc())

@@ -296,7 +296,35 @@ class TestPersistence:
         db.checkpoint()
         db.close()
         payload = json.loads((path / "snapshot.json").read_text())
-        assert payload["people"]["rows"][0]["tags"] == [1, 2]
+        assert payload["format"] == 2
+        assert payload["tables"]["people"]["rows"][0]["tags"] == [1, 2]
+
+    def test_legacy_snapshot_still_loads(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        db.create_table("people", people_schema())
+        db.insert("people", {"id": 1, "name": "ada"})
+        db.checkpoint()
+        db.close()
+        # Rewrite the snapshot in the pre-checksum format (bare tables).
+        snapshot_path = path / "snapshot.json"
+        payload = json.loads(snapshot_path.read_text())
+        snapshot_path.write_text(json.dumps(payload["tables"]))
+        reopened = Database(path)
+        assert reopened.table("people").get(1)["name"] == "ada"
+        reopened.close()
+
+    def test_legacy_unframed_wal_still_replays(self, tmp_path) -> None:
+        path = tmp_path / "db"
+        db = Database(path)
+        db.create_table("people", people_schema())
+        db.close()
+        with open(path / "wal.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"op": "insert", "table": "people", "row": '
+                         '{"id": 9, "name": "old", "age": null, "tags": null}}\n')
+        reopened = Database(path)
+        assert reopened.table("people").get(9)["name"] == "old"
+        reopened.close()
 
 
 @settings(max_examples=25, deadline=None)
