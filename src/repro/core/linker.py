@@ -28,7 +28,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.cache import RenderCache
 from repro.core.classification import ClassificationGraph, ClassificationSteering
-from repro.core.concept_map import ConceptMap
+from repro.core.concept_map import ConceptMap, PagedConceptMap
 from repro.core.config import NNexusConfig
 from repro.core.errors import (
     DuplicateObjectError,
@@ -40,6 +40,7 @@ from repro.core.errors import (
 from repro.core.invalidation import InvalidationIndex
 from repro.core.matching import find_matches
 from repro.core.models import CorpusObject, Link, LinkedDocument, Match
+from repro.core.morphology import canonicalize_phrase
 from repro.core.policies import LinkingPolicyTable
 from repro.core.render import render_annotations, render_html, render_markdown
 from repro.core.tokenizer import Tokenizer
@@ -143,6 +144,15 @@ class NNexus:
         of restored renderings verified) and every later mutation is
         journaled through it.  A journaling failure degrades the linker
         to read-only instead of crashing or silently diverging.
+    map_cache_segments:
+        ``None`` (default) keeps the whole concept map memory-resident.
+        An integer switches to the lazily paged
+        :class:`~repro.core.concept_map.PagedConceptMap` over the
+        storage backend's ``labels`` table, bounding residency to that
+        many first-word hash segments (``0`` = paged but unbounded).
+        Requires a durable backend with ``supports_labels``; the cold
+        start then restores objects *without* materializing their
+        labels — segments fault in as probes touch them.
     """
 
     def __init__(
@@ -155,6 +165,7 @@ class NNexus:
         metrics: NullRecorder | None = None,
         tracer: NullTracer | None = None,
         storage: CorpusStorage | None = None,
+        map_cache_segments: int | None = None,
     ) -> None:
         self.config = config or NNexusConfig()
         self.scheme = scheme
@@ -172,6 +183,26 @@ class NNexus:
         #: matches.  Attach with :meth:`set_ranker`.
         self.ranker = None
 
+        #: Durable journal + cold-start source; the default memory
+        #: backend makes every journal site a no-op attribute check.
+        #: Assigned before the concept map: the paged map reads its
+        #: segments through this backend.
+        self.storage = storage if storage is not None else MemoryBackend()
+        #: Set after storage corruption or a journaling failure: reads
+        #: keep serving, mutations raise :class:`ReadOnlyError`.
+        self.read_only = False
+        #: Human-readable cause of the degradation, for /ready and logs.
+        self.storage_error: str | None = None
+        #: What the last cold start restored (None for memory backends).
+        self.last_restore: dict[str, Any] | None = None
+        self._restoring = False
+        #: True only inside :meth:`_cold_start`'s replay loop (unlike
+        #: ``_restoring``, which ``update_object`` also raises to
+        #: suppress its inner journals).
+        self._cold_restoring = False
+        #: Segment bound of the paged concept map (None = unpaged).
+        self.map_cache_segments = map_cache_segments
+
         if self.config.extra_escape_patterns:
             import re
 
@@ -184,7 +215,18 @@ class NNexus:
             self._tokenizer = Tokenizer(escape_rules=extra + DEFAULT_ESCAPE_RULES)
         else:
             self._tokenizer = Tokenizer()
-        self._concept_map = ConceptMap()
+        if map_cache_segments is None:
+            self._concept_map: ConceptMap = ConceptMap()
+        else:
+            if not self.storage.supports_labels:
+                raise NNexusError(
+                    "map_cache_segments requires a durable storage backend "
+                    "with a labels table (engine or sqlite); "
+                    f"got {self.storage.backend_name!r}"
+                )
+            self._concept_map = PagedConceptMap(
+                self.storage, max_resident=map_cache_segments
+            )
         self._objects: dict[int, CorpusObject] = {}
         self._policies = LinkingPolicyTable(scheme=scheme)
         self._invalidation = InvalidationIndex(
@@ -209,17 +251,6 @@ class NNexus:
         self._signatures: dict[int, tuple[int, ...]] = {}
         self._invalidation.add_listener(self._drop_signature)
 
-        #: Durable journal + cold-start source; the default memory
-        #: backend makes every journal site a no-op attribute check.
-        self.storage = storage if storage is not None else MemoryBackend()
-        #: Set after storage corruption or a journaling failure: reads
-        #: keep serving, mutations raise :class:`ReadOnlyError`.
-        self.read_only = False
-        #: Human-readable cause of the degradation, for /ready and logs.
-        self.storage_error: str | None = None
-        #: What the last cold start restored (None for memory backends).
-        self.last_restore: dict[str, Any] | None = None
-        self._restoring = False
         if self.storage.durable:
             self._cold_start()
 
@@ -233,10 +264,24 @@ class NNexus:
         re-rendered from scratch and compared byte-for-byte; a mismatch
         (stale disk state, changed config) evicts the cached copy so it
         is recomputed on demand rather than served wrong.
+
+        With a paged concept map the replay does **not** materialize
+        any concept labels: the durable ``labels`` table already holds
+        them, and segments fault in as probes touch them.  A data
+        directory written before the labels table existed is migrated
+        in place — the rows are backfilled from the restored objects
+        once, before the replay.
         """
         started = perf_counter()
         snapshot = self.storage.load()
+        paged = isinstance(self._concept_map, PagedConceptMap)
+        backfilled = 0
+        if paged and snapshot.objects and self.storage.label_stats()["labels"] == 0:
+            for obj in snapshot.objects:
+                self.storage.replace_labels(obj.object_id, _canonical_labels(obj))
+                backfilled += 1
         self._restoring = True
+        self._cold_restoring = True
         try:
             for obj in snapshot.objects:
                 self.add_object(obj)
@@ -250,6 +295,7 @@ class NNexus:
                     )
         finally:
             self._restoring = False
+            self._cold_restoring = False
         verified = mismatches = 0
         for rendering in snapshot.renderings:
             if verified >= verify_sample:
@@ -268,6 +314,7 @@ class NNexus:
             "renderings": len(snapshot.renderings),
             "verified": verified,
             "mismatches": mismatches,
+            "label_backfill": backfilled,
             "elapsed_sec": perf_counter() - started,
             "recovery": self.storage.recovery_stats(),
         }
@@ -316,6 +363,13 @@ class NNexus:
         counts belong to the parent); worker snapshots run with the null
         recorder and report timings back through the batch layer.
         """
+        if isinstance(self._concept_map, PagedConceptMap):
+            raise NNexusError(
+                "a linker with a paged concept map cannot be pickled for "
+                "process-mode batch workers: the map is a window over the "
+                "storage backend's labels table; use thread mode or an "
+                "unpaged linker (map_cache_segments=None)"
+            )
         state = self.__dict__.copy()
         if getattr(state.get("metrics"), "enabled", False):
             state["metrics"] = NULL_RECORDER
@@ -354,17 +408,29 @@ class NNexus:
         )
         self._objects[obj.object_id] = obj
         new_labels: list[tuple[str, ...]] = []
-        for phrase in obj.concept_phrases():
-            words = self._concept_map.add_phrase(phrase, obj.object_id)
-            if words is not None:
-                new_labels.append(words)
+        if self._cold_restoring and isinstance(self._concept_map, PagedConceptMap):
+            # Cold start with a paged map: the labels are already in the
+            # durable ``labels`` table, so nothing is materialized here —
+            # segments fault in lazily when probes touch them.  Skipping
+            # invalidation is safe too: the render cache is populated
+            # only after the replay loop.
+            pass
+        else:
+            for phrase in obj.concept_phrases():
+                words = self._concept_map.add_phrase(phrase, obj.object_id)
+                if words is not None:
+                    new_labels.append(words)
         if obj.linking_policy:
             self._policies.set_policy(obj.object_id, obj.linking_policy)
         self._invalidation.index_object(obj.object_id, obj.text)
         invalidated = self._invalidation.invalidate_many(new_labels)
         invalidated.discard(obj.object_id)
         self._cache.invalidate(invalidated)
-        self._journal(lambda: self.storage.record_add(obj, invalidated))
+        self._journal(
+            lambda: self.storage.record_add(
+                obj, invalidated, labels=_canonical_labels(obj)
+            )
+        )
         return invalidated
 
     def add_objects(self, objects: Iterable[CorpusObject]) -> None:
@@ -412,7 +478,11 @@ class NNexus:
         finally:
             self._restoring = restoring
         stored = self.get_object(obj.object_id)
-        self._journal(lambda: self.storage.record_update(stored, invalidated))
+        self._journal(
+            lambda: self.storage.record_update(
+                stored, invalidated, labels=_canonical_labels(stored)
+            )
+        )
         return invalidated
 
     def set_linking_policy(self, object_id: int, policy_text: str) -> None:
@@ -428,7 +498,11 @@ class NNexus:
         )
         invalidated.discard(object_id)
         self._cache.invalidate(invalidated)
-        self._journal(lambda: self.storage.record_update(obj, invalidated))
+        self._journal(
+            lambda: self.storage.record_update(
+                obj, invalidated, labels=_canonical_labels(obj)
+            )
+        )
 
     def get_object(self, object_id: int) -> CorpusObject:
         """Fetch a stored entry; raises UnknownObjectError when absent."""
@@ -900,6 +974,7 @@ class NNexus:
             "steering": self.enable_steering,
             "policies_enabled": self.enable_policies,
             "storage": self.storage.backend_name,
+            "map_cache_segments": self.map_cache_segments,
             "read_only": self.read_only,
             "stats": self.stats.snapshot(),
         }
@@ -949,7 +1024,36 @@ class NNexus:
             gauges.append(
                 ("nnexus_steer_signature_cache_entries", {}, signature["entries"])
             )
+        if isinstance(self._concept_map, PagedConceptMap):
+            paging = self._concept_map.paging_snapshot()
+            counters += [
+                ("nnexus_map_segment_faults_total", {}, paging["faults"]),
+                ("nnexus_map_segment_hits_total", {}, paging["hits"]),
+                ("nnexus_map_segment_evictions_total", {}, paging["evictions"]),
+            ]
+            gauges += [
+                ("nnexus_map_resident_segments", {}, paging["resident"]),
+                ("nnexus_map_peak_resident_segments", {}, paging["peak_resident"]),
+                ("nnexus_map_cache_segments", {}, paging["max_resident"]),
+            ]
         return merge_series(self.metrics.snapshot(), counters=counters, gauges=gauges)
+
+
+def _canonical_labels(obj: CorpusObject) -> list[tuple[str, ...]]:
+    """Deduplicated canonical labels an object defines, in phrase order.
+
+    This recomputes from the object rather than asking the concept map:
+    the paged map's ``labels_for_object`` reads storage, which is stale
+    at journal time (the journal record being built is what updates it).
+    """
+    seen: set[tuple[str, ...]] = set()
+    out: list[tuple[str, ...]] = []
+    for phrase in obj.concept_phrases():
+        words = canonicalize_phrase(phrase)
+        if words and words not in seen:
+            seen.add(words)
+            out.append(words)
+    return out
 
 
 _RENDERERS = {

@@ -1,12 +1,15 @@
 """Corpus persistence on stdlib ``sqlite3`` (WAL mode).
 
 The schema mirrors :mod:`repro.persistence.engine_backend` — an
-``objects`` table of JSON payloads and a ``renderings`` table whose
-``valid`` flag is the invalidation dirty-set — but durability is
-delegated to sqlite: ``journal_mode=WAL`` plus a ``synchronous`` level
-mapped from the shared sync policy (``always``→FULL, ``batch``→NORMAL,
-``off``→OFF).  A failed integrity ``quick_check`` on open raises
-:class:`StorageCorruptionError` like the engine backend does.
+``objects`` table of JSON payloads, a ``renderings`` table whose
+``valid`` flag is the invalidation dirty-set, and a ``labels`` table
+holding one row per ``(object, canonical label)`` pair tagged with its
+first-word hash segment (the paged concept map's backing store) — but
+durability is delegated to sqlite: ``journal_mode=WAL`` plus a
+``synchronous`` level mapped from the shared sync policy
+(``always``→FULL, ``batch``→NORMAL, ``off``→OFF).  A failed integrity
+``quick_check`` on open raises :class:`StorageCorruptionError` like the
+engine backend does.
 """
 
 from __future__ import annotations
@@ -15,8 +18,9 @@ import json
 import sqlite3
 import threading
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
+from repro.core.concept_map import label_segment
 from repro.core.errors import StorageCorruptionError, StorageError
 from repro.core.models import CorpusObject
 from repro.persistence.api import (
@@ -31,6 +35,12 @@ __all__ = ["SqliteBackend"]
 
 _SYNC_LEVELS = {"always": "FULL", "batch": "NORMAL", "off": "OFF"}
 
+#: Bound variables per statement when expanding ``IN (...)`` lists.
+#: SQLite's host-parameter limit is 999 on builds older than 3.32, so
+#: invalidation sets are chunked well under it (a homonym-heavy remove
+#: can invalidate thousands of entries in one journal record).
+_SQLITE_MAX_VARS = 500
+
 _DDL = (
     """CREATE TABLE IF NOT EXISTS objects (
         object_id INTEGER PRIMARY KEY,
@@ -44,7 +54,29 @@ _DDL = (
         valid     INTEGER NOT NULL
     )""",
     "CREATE INDEX IF NOT EXISTS renderings_object ON renderings(object_id)",
+    """CREATE TABLE IF NOT EXISTS labels (
+        object_id  INTEGER NOT NULL,
+        label      TEXT NOT NULL,
+        first_word TEXT NOT NULL,
+        segment    INTEGER NOT NULL,
+        PRIMARY KEY (object_id, label)
+    )""",
+    "CREATE INDEX IF NOT EXISTS labels_segment ON labels(segment)",
 )
+
+
+def _quick_check_problems(conn: sqlite3.Connection) -> list[str]:
+    """Non-``ok`` lines of ``PRAGMA quick_check`` (empty = healthy).
+
+    The pragma emits one row per problem (up to its internal limit) and
+    a single ``ok`` row only when the database is clean — so every row
+    matters, not just the first.
+    """
+    rows = conn.execute("PRAGMA quick_check").fetchall()
+    verdicts = [str(row[0]) for row in rows]
+    if verdicts == ["ok"]:
+        return []
+    return verdicts or ["quick_check returned no rows"]
 
 
 class SqliteBackend(CorpusStorage):
@@ -52,6 +84,7 @@ class SqliteBackend(CorpusStorage):
 
     backend_name = "sqlite"
     durable = True
+    supports_labels = True
 
     def __init__(
         self,
@@ -68,18 +101,28 @@ class SqliteBackend(CorpusStorage):
         directory.mkdir(parents=True, exist_ok=True)
         self._path = directory / "corpus.sqlite3"
         self._lock = threading.RLock()
+        conn = sqlite3.connect(self._path, check_same_thread=False)
         try:
-            self._conn = sqlite3.connect(self._path, check_same_thread=False)
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute(f"PRAGMA synchronous={_SYNC_LEVELS[sync]}")
-            verdict = self._conn.execute("PRAGMA quick_check").fetchone()
-            if verdict is None or verdict[0] != "ok":
-                raise StorageCorruptionError(self._path, f"quick_check: {verdict}")
-            with self._conn:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(f"PRAGMA synchronous={_SYNC_LEVELS[sync]}")
+            problems = _quick_check_problems(conn)
+            if problems:
+                raise StorageCorruptionError(
+                    self._path, "quick_check: " + "; ".join(problems)
+                )
+            with conn:
                 for statement in _DDL:
-                    self._conn.execute(statement)
+                    conn.execute(statement)
         except sqlite3.DatabaseError as exc:
-            raise StorageCorruptionError(self._path, str(exc))
+            conn.close()
+            raise StorageCorruptionError(self._path, str(exc)) from exc
+        except BaseException:
+            # Corruption detected by quick_check (or any other failure):
+            # release the handle before propagating, or the open
+            # connection leaks as a ResourceWarning.
+            conn.close()
+            raise
+        self._conn = conn
 
     # ------------------------------------------------------------------
     # Cold start
@@ -101,7 +144,12 @@ class SqliteBackend(CorpusStorage):
     # ------------------------------------------------------------------
     # Journal
     # ------------------------------------------------------------------
-    def record_add(self, obj: CorpusObject, invalidated: Iterable[int]) -> None:
+    def record_add(
+        self,
+        obj: CorpusObject,
+        invalidated: Iterable[int],
+        labels: Iterable[tuple[str, ...]] = (),
+    ) -> None:
         payload = json.dumps(object_to_payload(obj))
         with self._lock, self._conn:
             self._conn.execute(
@@ -109,9 +157,15 @@ class SqliteBackend(CorpusStorage):
                 "ON CONFLICT(object_id) DO UPDATE SET payload=excluded.payload",
                 (obj.object_id, payload),
             )
+            self._replace_labels(obj.object_id, labels)
             self._mark_invalid(invalidated)
 
-    def record_update(self, obj: CorpusObject, invalidated: Iterable[int]) -> None:
+    def record_update(
+        self,
+        obj: CorpusObject,
+        invalidated: Iterable[int],
+        labels: Iterable[tuple[str, ...]] = (),
+    ) -> None:
         payload = json.dumps(object_to_payload(obj))
         with self._lock, self._conn:
             self._conn.execute(
@@ -122,12 +176,14 @@ class SqliteBackend(CorpusStorage):
             self._conn.execute(
                 "DELETE FROM renderings WHERE object_id=?", (obj.object_id,)
             )
+            self._replace_labels(obj.object_id, labels)
             self._mark_invalid(invalidated)
 
     def record_remove(self, object_id: int, invalidated: Iterable[int]) -> None:
         with self._lock, self._conn:
             self._conn.execute("DELETE FROM objects WHERE object_id=?", (object_id,))
             self._conn.execute("DELETE FROM renderings WHERE object_id=?", (object_id,))
+            self._conn.execute("DELETE FROM labels WHERE object_id=?", (object_id,))
             self._mark_invalid(invalidated)
 
     def record_rendering(self, object_id: int, fmt: str, body: str) -> None:
@@ -145,11 +201,69 @@ class SqliteBackend(CorpusStorage):
 
     def _mark_invalid(self, invalidated: Iterable[int]) -> None:
         ids = sorted(set(invalidated))
-        if ids:
-            marks = ",".join("?" for _ in ids)
+        for start in range(0, len(ids), _SQLITE_MAX_VARS):
+            chunk = ids[start : start + _SQLITE_MAX_VARS]
+            marks = ",".join("?" for _ in chunk)
             self._conn.execute(
-                f"UPDATE renderings SET valid=0 WHERE object_id IN ({marks})", ids
+                f"UPDATE renderings SET valid=0 WHERE object_id IN ({marks})", chunk
             )
+
+    def _replace_labels(
+        self, object_id: int, labels: Iterable[tuple[str, ...]]
+    ) -> None:
+        self._conn.execute("DELETE FROM labels WHERE object_id=?", (object_id,))
+        rows = [
+            (object_id, " ".join(words), words[0], label_segment(words[0]))
+            for words in labels
+        ]
+        if rows:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO labels(object_id, label, first_word, segment) "
+                "VALUES(?, ?, ?, ?)",
+                rows,
+            )
+
+    # ------------------------------------------------------------------
+    # Label segments
+    # ------------------------------------------------------------------
+    def load_label_segment(self, segment: int) -> list[tuple[tuple[str, ...], int]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT label, object_id FROM labels WHERE segment=? "
+                "ORDER BY label, object_id",
+                (segment,),
+            ).fetchall()
+        return [(tuple(row[0].split(" ")), row[1]) for row in rows]
+
+    def load_object_labels(self, object_id: int) -> list[tuple[str, ...]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT label FROM labels WHERE object_id=? ORDER BY label",
+                (object_id,),
+            ).fetchall()
+        return [tuple(row[0].split(" ")) for row in rows]
+
+    def replace_labels(
+        self, object_id: int, labels: Iterable[tuple[str, ...]]
+    ) -> None:
+        with self._lock, self._conn:
+            self._replace_labels(object_id, labels)
+
+    def iter_labels(self) -> Iterator[tuple[tuple[str, ...], int]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT label, object_id FROM labels ORDER BY label, object_id"
+            ).fetchall()
+        for label, object_id in rows:
+            yield tuple(label.split(" ")), object_id
+
+    def label_stats(self) -> dict[str, int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(DISTINCT label), COUNT(DISTINCT object_id), "
+                "COUNT(DISTINCT first_word) FROM labels"
+            ).fetchone()
+        return {"labels": row[0], "objects": row[1], "buckets": row[2]}
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -18,6 +18,11 @@ server counters; ``--trace`` records request-scoped span trees
 span to a JSONL file; ``--slow-ms N`` flushes any request slower than
 N milliseconds as a ``slow_request`` forensics log record.  All output
 goes through the structured logger (``--log-level``, ``--log-json``).
+
+With a durable ``--backend``, ``--map-cache-segments N`` pages the
+concept map lazily out of the labels table instead of holding every
+chain in memory: at most N first-word hash segments stay resident
+(LRU), so memory tracks the working set rather than the corpus.
 """
 
 from __future__ import annotations
@@ -91,10 +96,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="WAL durability: fsync every commit ('always'), "
                              "only at checkpoint/close ('batch'), or never "
                              "('off')")
+    parser.add_argument("--map-cache-segments", type=int, default=None,
+                        metavar="N",
+                        help="page the concept map lazily out of the durable "
+                             "labels table, keeping at most N first-word hash "
+                             "segments resident (0 = paged but unbounded); "
+                             "requires a durable --backend. Default: whole "
+                             "map memory-resident")
     args = parser.parse_args(argv)
 
     if args.backend != "memory" and not args.data_dir:
         parser.error(f"--backend {args.backend} requires --data-dir")
+    if args.map_cache_segments is not None:
+        if args.backend == "memory":
+            parser.error("--map-cache-segments requires a durable --backend "
+                         "(engine or sqlite)")
+        if args.map_cache_segments < 0:
+            parser.error("--map-cache-segments must be >= 0 (0 = unbounded)")
 
     configure_logging(
         level=args.log_level, fmt="json" if args.log_json else "console"
@@ -123,7 +141,11 @@ def main(argv: list[str] | None = None) -> int:
         log.error("server.storage_corrupt", path=exc.path, reason=exc.reason)
         return 1
     linker = NNexus(
-        scheme=build_small_msc(), metrics=metrics, tracer=tracer, storage=storage
+        scheme=build_small_msc(),
+        metrics=metrics,
+        tracer=tracer,
+        storage=storage,
+        map_cache_segments=args.map_cache_segments,
     )
     if len(linker):
         # The backend restored a corpus: don't double-seed on top of it.

@@ -1,8 +1,9 @@
 """Tests for the chained-hash concept map (Fig. 3)."""
 
+import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.concept_map import ConceptMap
+from repro.core.concept_map import ConceptChain, ConceptMap
 
 
 def build_map(entries: list[tuple[str, int]]) -> ConceptMap:
@@ -119,10 +120,21 @@ class TestChainLengthIndex:
         assert cmap.chain_for("graph").by_length == [2, 1]
 
     def test_empty_chain_reports_zero(self) -> None:
-        from repro.core.concept_map import ConceptChain
-
         assert ConceptChain().longest() == 0
         assert ConceptChain().by_length == []
+
+    def test_removing_unknown_length_raises(self) -> None:
+        # Underflow used to be silently ignored, letting the length
+        # index drift out of sync with ``labels``; it is now an error.
+        chain = ConceptChain()
+        with pytest.raises(ValueError, match="no label of length 3"):
+            chain._note_label_removed(3)
+        chain._note_label_added(2)
+        chain._note_label_removed(2)
+        with pytest.raises(ValueError, match="no label of length 2"):
+            chain._note_label_removed(2)
+        assert chain.by_length == []
+        assert chain._length_counts == {}
 
 
 class TestProbeLongest:
@@ -196,3 +208,42 @@ def test_remove_object_removes_all_its_labels(entries: list[tuple[str, int]]) ->
         cmap.remove_object(object_id)
     assert len(cmap) == 0
     assert cmap.object_count == 0
+
+
+churn_ops = st.lists(
+    st.tuples(
+        st.booleans(),  # True = add the entry, False = remove its object
+        st.text(alphabet="abcdefg ", min_size=1, max_size=12).filter(str.strip),
+        st.integers(min_value=1, max_value=8),
+    ),
+    max_size=40,
+)
+
+
+@given(churn_ops)
+def test_churn_keeps_length_index_consistent(ops) -> None:
+    """Random add/remove interleaving: the incrementally maintained
+    ``by_length`` of every chain must equal a from-scratch rebuild of
+    the surviving labels (the invariant the underflow fix protects).
+    """
+    cmap = ConceptMap()
+    for is_add, phrase, object_id in ops:
+        if is_add:
+            cmap.add_phrase(phrase, object_id)
+        else:
+            cmap.remove_object(object_id)
+    rebuilt = ConceptMap()
+    for label in cmap.concept_labels():
+        rebuilt.add_canonical(label.words, label.object_id)
+    assert {
+        first_word: chain.by_length for first_word, chain in cmap._chains.items()
+    } == {
+        first_word: chain.by_length for first_word, chain in rebuilt._chains.items()
+    }
+    for chain in cmap._chains.values():
+        lengths = sorted({len(words) for words in chain.labels}, reverse=True)
+        assert chain.by_length == lengths
+        assert chain._length_counts == {
+            length: sum(1 for words in chain.labels if len(words) == length)
+            for length in lengths
+        }

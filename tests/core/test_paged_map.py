@@ -1,0 +1,247 @@
+"""Correctness of the lazily paged concept map (PR 7 tentpole).
+
+The acceptance bar: with residency bounded to any cache size — down to
+a single segment — every rendering stays byte-identical to the golden
+digest, the resident segment count never exceeds the bound, mutations
+write through to the owning segment (so eviction + re-fault reproduces
+them), and a cold start materializes *zero* labels up front.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.concept_map import (
+    LABEL_SEGMENT_COUNT,
+    ConceptMap,
+    PagedConceptMap,
+    label_segment,
+)
+from repro.core.errors import NNexusError
+from repro.core.linker import NNexus
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.ontology.msc import build_small_msc
+from repro.persistence import open_storage
+from tests.core.test_golden_render import _FORMATS, GOLDEN_SHA256, corpus_digest
+from tests.core.test_persistence import DURABLE_BACKENDS, render_all
+
+#: Bounded caches exercised by the golden matrix; 0 = paged, unbounded.
+CACHE_SIZES = (1, 2, 0)
+
+
+def build_paged_linker(backend, data_dir, cache_segments, **kwargs) -> NNexus:
+    storage = open_storage(backend, data_dir, **kwargs)
+    return NNexus(
+        scheme=build_small_msc(),
+        storage=storage,
+        map_cache_segments=cache_segments,
+    )
+
+
+def seed_corpus(backend, data_dir) -> None:
+    """Ingest the sample corpus into a durable dir with an unpaged linker."""
+    storage = open_storage(backend, data_dir, persist_renderings=False)
+    linker = NNexus(scheme=build_small_msc(), storage=storage)
+    linker.add_objects(sample_corpus())
+    storage.close()
+
+
+class TestGoldenUnderPaging:
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    @pytest.mark.parametrize("cache", CACHE_SIZES)
+    def test_renderings_byte_identical_at_every_cache_size(
+        self, tmp_path, backend, cache
+    ) -> None:
+        seed_corpus(backend, tmp_path / "data")
+        linker = build_paged_linker(
+            backend, tmp_path / "data", cache, persist_renderings=False
+        )
+        assert corpus_digest(render_all(linker)) == GOLDEN_SHA256
+        snapshot = linker.concept_map.paging_snapshot()
+        if cache:
+            assert snapshot["peak_resident"] <= cache
+        linker.storage.close()
+
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_cold_start_materializes_no_segments(self, tmp_path, backend) -> None:
+        seed_corpus(backend, tmp_path / "data")
+        linker = build_paged_linker(
+            backend, tmp_path / "data", 0, persist_renderings=False
+        )
+        # The replay restored every object without touching the map.
+        snapshot = linker.concept_map.paging_snapshot()
+        assert len(linker) == 30
+        assert snapshot["faults"] == 0
+        assert snapshot["resident"] == 0
+        # First probe faults exactly the segments its tokens touch.
+        linker.render_object(linker.object_ids()[0])
+        after = linker.concept_map.paging_snapshot()
+        assert 0 < after["faults"] <= LABEL_SEGMENT_COUNT
+        linker.storage.close()
+
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_cold_start_on_corpus_larger_than_cache(self, tmp_path, backend) -> None:
+        seed_corpus(backend, tmp_path / "data")
+        probe = build_paged_linker(
+            backend, tmp_path / "data", 0, persist_renderings=False
+        )
+        render_all(probe)
+        used = probe.concept_map.paging_snapshot()["resident"]
+        probe.storage.close()
+        assert used >= 4  # the sample corpus spans many segments
+
+        cache = max(1, used // 4)
+        linker = build_paged_linker(
+            backend, tmp_path / "data", cache, persist_renderings=False
+        )
+        assert corpus_digest(render_all(linker)) == GOLDEN_SHA256
+        snapshot = linker.concept_map.paging_snapshot()
+        assert snapshot["peak_resident"] <= cache
+        assert snapshot["evictions"] > 0  # the LRU actually churned
+        linker.storage.close()
+
+
+class TestMutationWriteThrough:
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_remove_and_readd_under_eviction(self, tmp_path, backend) -> None:
+        seed_corpus(backend, tmp_path / "data")
+        linker = build_paged_linker(
+            backend, tmp_path / "data", 1, persist_renderings=False
+        )
+        objects = {obj.object_id: obj for obj in sample_corpus()}
+        victim = sorted(objects)[0]
+        linker.remove_object(victim)
+        assert not linker.concept_map.labels_for_object(victim)
+        linker.add_object(objects[victim])
+        # cache=1 means every label in a different segment evicted the
+        # previous one mid-mutation; the journal heals each re-fault.
+        assert corpus_digest(render_all(linker)) == GOLDEN_SHA256
+        linker.storage.close()
+
+        # The labels table (not resident memory) is the durable truth.
+        restarted = build_paged_linker(
+            backend, tmp_path / "data", 1, persist_renderings=False
+        )
+        assert corpus_digest(render_all(restarted)) == GOLDEN_SHA256
+        restarted.storage.close()
+
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_update_object_rewrites_labels(self, tmp_path, backend) -> None:
+        seed_corpus(backend, tmp_path / "data")
+        linker = build_paged_linker(
+            backend, tmp_path / "data", 2, persist_renderings=False
+        )
+        victim = linker.object_ids()[0]
+        updated = sample_corpus()[0]
+        assert updated.object_id == victim
+        updated.defines = list(updated.defines) + ["freshly minted concept"]
+        linker.update_object(updated)
+        words = ("freshly", "minted", "concept")
+        assert words in linker.concept_map.labels_for_object(victim)
+        assert victim in linker.concept_map.owners("freshly minted concept")
+        linker.storage.close()
+
+        restarted = build_paged_linker(
+            backend, tmp_path / "data", 2, persist_renderings=False
+        )
+        assert words in restarted.concept_map.labels_for_object(victim)
+        restarted.storage.close()
+
+
+class TestMigrationAndGuards:
+    @pytest.mark.parametrize("backend", DURABLE_BACKENDS)
+    def test_backfill_migrates_label_free_directory(self, tmp_path, backend) -> None:
+        # Simulate a pre-labels data dir: wipe the rows the seed wrote.
+        seed_corpus(backend, tmp_path / "data")
+        storage = open_storage(backend, tmp_path / "data", persist_renderings=False)
+        for object_id in {oid for _, oid in storage.iter_labels()}:
+            storage.replace_labels(object_id, ())
+        assert storage.label_stats()["labels"] == 0
+        linker = NNexus(
+            scheme=build_small_msc(), storage=storage, map_cache_segments=0
+        )
+        assert linker.last_restore["label_backfill"] == 30
+        assert storage.label_stats()["labels"] > 0
+        assert corpus_digest(render_all(linker)) == GOLDEN_SHA256
+        storage.close()
+
+    def test_memory_backend_rejected(self) -> None:
+        with pytest.raises(NNexusError, match="durable storage backend"):
+            NNexus(scheme=build_small_msc(), map_cache_segments=4)
+
+    def test_negative_cache_rejected(self, tmp_path) -> None:
+        storage = open_storage("sqlite", tmp_path / "data")
+        try:
+            with pytest.raises(ValueError, match="max_resident"):
+                NNexus(
+                    scheme=build_small_msc(), storage=storage, map_cache_segments=-1
+                )
+        finally:
+            storage.close()
+
+    def test_paged_linker_refuses_pickling(self, tmp_path) -> None:
+        linker = build_paged_linker(
+            "sqlite", tmp_path / "data", 4, persist_renderings=False
+        )
+        with pytest.raises(NNexusError, match="cannot be pickled"):
+            pickle.dumps(linker)
+        with pytest.raises(TypeError, match="cannot be pickled"):
+            pickle.dumps(linker.concept_map)
+        linker.storage.close()
+
+    def test_unpaged_map_still_pickles(self) -> None:
+        concept_map = ConceptMap()
+        concept_map.add_phrase("abelian group", 1)
+        clone = pickle.loads(pickle.dumps(concept_map))
+        assert clone.owners("abelian group") == frozenset({1})
+        # The rebound probe hook serves lookups after the round trip.
+        assert clone.longest_match(("abelian", "group"), 0) is not None
+
+
+class TestObservability:
+    def test_segment_hash_is_stable_and_in_range(self) -> None:
+        for word in ("group", "ring", "functor", "zeta", "étale"):
+            segment = label_segment(word)
+            assert 0 <= segment < LABEL_SEGMENT_COUNT
+            assert segment == label_segment(word)
+
+    def test_metrics_snapshot_folds_paging_series(self, tmp_path) -> None:
+        seed_corpus("engine", tmp_path / "data")
+        linker = build_paged_linker(
+            "engine", tmp_path / "data", 2, persist_renderings=False
+        )
+        render_all(linker)
+        snapshot = linker.metrics_snapshot()
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+        gauges = {g["name"]: g["value"] for g in snapshot["gauges"]}
+        paging = linker.concept_map.paging_snapshot()
+        assert counters["nnexus_map_segment_faults_total"] == paging["faults"]
+        assert counters["nnexus_map_segment_hits_total"] == paging["hits"]
+        assert counters["nnexus_map_segment_evictions_total"] == paging["evictions"]
+        assert gauges["nnexus_map_resident_segments"] == paging["resident"]
+        assert gauges["nnexus_map_peak_resident_segments"] == paging["peak_resident"]
+        assert gauges["nnexus_map_cache_segments"] == 2
+        assert linker.describe()["map_cache_segments"] == 2
+        linker.storage.close()
+
+    def test_storage_backed_introspection(self, tmp_path) -> None:
+        seed_corpus("engine", tmp_path / "data")
+        unpaged = NNexus(
+            scheme=build_small_msc(),
+            storage=open_storage(
+                "engine", tmp_path / "data", persist_renderings=False
+            ),
+        )
+        paged = build_paged_linker(
+            "engine", tmp_path / "data2", 0, persist_renderings=False
+        )
+        paged.add_objects(sample_corpus())
+        assert len(paged.concept_map) == len(unpaged.concept_map)
+        assert paged.concept_map.stats() == unpaged.concept_map.stats()
+        assert sorted(
+            (l.words, l.object_id) for l in paged.concept_map.concept_labels()
+        ) == sorted(
+            (l.words, l.object_id) for l in unpaged.concept_map.concept_labels()
+        )
+        unpaged.storage.close()
+        paged.storage.close()

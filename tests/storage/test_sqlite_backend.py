@@ -1,0 +1,122 @@
+"""SqliteBackend regressions: host-parameter limits, open-failure
+hygiene, quick_check parsing, and the labels table round trip.
+"""
+
+import gc
+import sqlite3
+import warnings
+
+import pytest
+
+from repro.core.errors import StorageCorruptionError
+from repro.core.models import CorpusObject
+from repro.persistence.sqlite_backend import (
+    _SQLITE_MAX_VARS,
+    SqliteBackend,
+    _quick_check_problems,
+)
+
+
+def make_object(object_id: int, defines=()) -> CorpusObject:
+    return CorpusObject(
+        object_id=object_id,
+        title=f"entry {object_id}",
+        defines=list(defines),
+        text=f"body of {object_id}",
+    )
+
+
+class TestMarkInvalidChunking:
+    def test_chunk_size_is_under_the_999_parameter_limit(self) -> None:
+        # SQLite builds older than 3.32 cap host parameters at 999; a
+        # single IN (...) with one ? per id breaks there.
+        assert _SQLITE_MAX_VARS <= 999
+
+    def test_invalidating_more_ids_than_the_limit_marks_all_rows(
+        self, tmp_path
+    ) -> None:
+        backend = SqliteBackend(tmp_path)
+        total = _SQLITE_MAX_VARS * 2 + 7  # forces at least three chunks
+        for object_id in range(total):
+            backend.record_add(make_object(object_id), ())
+            backend.record_rendering(object_id, "html", f"<p>{object_id}</p>")
+        backend.record_add(make_object(total), (), labels=())
+        # One journal record invalidates every other entry at once —
+        # the homonym-heavy-removal shape that used to overflow.
+        backend.record_remove(total, range(total))
+        snapshot = backend.load()
+        assert len(snapshot.renderings) == total
+        assert all(not rendering.valid for rendering in snapshot.renderings)
+        backend.close()
+
+
+class TestOpenFailureHygiene:
+    def test_corrupt_file_raises_and_closes_the_connection(self, tmp_path) -> None:
+        (tmp_path / "corpus.sqlite3").write_bytes(b"this is not a database\x00" * 64)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(StorageCorruptionError):
+                SqliteBackend(tmp_path)
+            gc.collect()  # a leaked connection surfaces as a ResourceWarning
+        leaks = [w for w in caught if issubclass(w.category, ResourceWarning)]
+        assert not leaks, [str(w.message) for w in leaks]
+
+    def test_reports_quick_check_verdicts(self, tmp_path) -> None:
+        # A structurally valid sqlite file that fails quick_check is the
+        # other open-failure path; emulate it at the parsing layer.
+        class FakeCursor:
+            def __init__(self, rows):
+                self._rows = rows
+
+            def fetchall(self):
+                return self._rows
+
+        class FakeConn:
+            def __init__(self, rows):
+                self._rows = rows
+
+            def execute(self, sql):
+                assert "quick_check" in sql
+                return FakeCursor(self._rows)
+
+        assert _quick_check_problems(FakeConn([("ok",)])) == []
+        # Multi-row output: every problem row matters, not just the first.
+        assert _quick_check_problems(
+            FakeConn([("row 12 missing from index foo",), ("ok",)])
+        ) == ["row 12 missing from index foo", "ok"]
+        assert _quick_check_problems(FakeConn([])) == [
+            "quick_check returned no rows"
+        ]
+
+    def test_healthy_open_round_trips(self, tmp_path) -> None:
+        backend = SqliteBackend(tmp_path)
+        backend.record_add(make_object(1), ())
+        backend.close()
+        reopened = SqliteBackend(tmp_path)
+        assert [obj.object_id for obj in reopened.load().objects] == [1]
+        reopened.close()
+
+
+class TestLabelsTable:
+    def test_labels_round_trip_by_segment_and_object(self, tmp_path) -> None:
+        backend = SqliteBackend(tmp_path)
+        labels = [("abelian", "group"), ("group",), ("zeta", "function")]
+        backend.record_add(make_object(7), (), labels=labels)
+        assert backend.supports_labels
+        assert backend.load_object_labels(7) == sorted(labels)
+        from repro.core.concept_map import label_segment
+
+        segment = label_segment("group")
+        rows = backend.load_label_segment(segment)
+        assert (("group",), 7) in rows
+        assert all(label_segment(words[0]) == segment for words, _ in rows)
+        stats = backend.label_stats()
+        assert stats == {"labels": 3, "objects": 1, "buckets": 3}
+
+        # record_update replaces the rows; record_remove drops them.
+        backend.record_update(make_object(7), (), labels=[("torsion",)])
+        assert backend.load_object_labels(7) == [("torsion",)]
+        backend.record_remove(7, ())
+        assert backend.load_object_labels(7) == []
+        assert backend.label_stats()["labels"] == 0
+        backend.close()
