@@ -278,6 +278,12 @@ class NNexus:
         backfilled = 0
         if paged and snapshot.objects and self.storage.label_stats()["labels"] == 0:
             for obj in snapshot.objects:
+                # Pre-serving migration backfill: the linker is not
+                # accepting requests yet, so there is no degraded mode
+                # to route through — a failure here must abort the cold
+                # start, not be swallowed by _journal().  replace_labels
+                # is transactional inside the backend.
+                # lint: disable=REP102
                 self.storage.replace_labels(obj.object_id, _canonical_labels(obj))
                 backfilled += 1
         self._restoring = True

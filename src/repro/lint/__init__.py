@@ -1,0 +1,88 @@
+"""repro.lint — the project's AST-driven invariant checker.
+
+Every rule encodes an invariant this codebase has already paid for
+violating (lock-held I/O, torn journal writes, leaked handles,
+span-less handlers, wire-key removals).  Generic style is left to
+generic tools; these rules are the project-specific contracts that
+review comments kept re-litigating.
+
+Rule families
+-------------
+========  ==========================  ======================================
+Code      Name                        Invariant
+========  ==========================  ======================================
+REP101    lock-hygiene                no blocking calls while holding a lock
+REP102    transaction-discipline      journal writes are atomic and routed
+                                      through the degradation wrapper
+REP103    resource-hygiene            close on every raised path; chunk
+                                      interpolated SQL IN lists
+REP104    observability-discipline    no print(); handlers open spans;
+                                      null-object pattern on hot paths
+REP105    wire-additivity             response keys only grow vs. the
+                                      checked-in schema snapshot
+========  ==========================  ======================================
+
+Run ``python -m repro.lint`` from the repository root; see
+``docs/linting.md`` for the CLI, suppression and baseline workflow.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import (
+    Finding,
+    Rule,
+    SourceModule,
+    iter_source_files,
+    load_module,
+    run_rules,
+)
+from repro.lint.lock_rules import LockHygieneRule
+from repro.lint.obs_rules import HandlerSpanRule, NullPatternRule, PrintBanRule
+from repro.lint.resource_rules import BoundedInListRule, CloseOnRaiseRule
+from repro.lint.transaction_rules import BackendTransactionRule, JournalDisciplineRule
+from repro.lint.wire_rules import (
+    DEFAULT_SCHEMA_PATH,
+    WireAdditivityRule,
+    extract_surfaces,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_SCHEMA_PATH",
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "extract_surfaces",
+    "iter_source_files",
+    "load_module",
+    "run_rules",
+    "BackendTransactionRule",
+    "BoundedInListRule",
+    "CloseOnRaiseRule",
+    "HandlerSpanRule",
+    "JournalDisciplineRule",
+    "LockHygieneRule",
+    "NullPatternRule",
+    "PrintBanRule",
+    "WireAdditivityRule",
+]
+
+
+def all_rules(schema_path: Path | None = None) -> list[Rule]:
+    """One instance of every rule, in code order."""
+    return [
+        LockHygieneRule(),
+        BackendTransactionRule(),
+        JournalDisciplineRule(),
+        CloseOnRaiseRule(),
+        BoundedInListRule(),
+        PrintBanRule(),
+        HandlerSpanRule(),
+        NullPatternRule(),
+        WireAdditivityRule(schema_path=schema_path),
+    ]

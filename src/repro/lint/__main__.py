@@ -1,0 +1,174 @@
+"""CLI for the invariant checker: ``python -m repro.lint``.
+
+Exit status is 1 when any finding is **not** covered by the baseline,
+0 otherwise — so the command gates CI while a checked-in
+``lint-baseline.json`` grandfathers sanctioned findings.  The baseline
+in the working directory is loaded automatically; ``--no-baseline``
+shows the unfiltered truth.
+
+Being a CLI entry point, this module prints; it carries no library
+role tag, so REP104's print ban does not apply here by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint import (
+    DEFAULT_BASELINE_NAME,
+    DEFAULT_SCHEMA_PATH,
+    Baseline,
+    all_rules,
+    extract_surfaces,
+    iter_source_files,
+    load_module,
+    run_rules,
+)
+
+_DEFAULT_PATHS = ("src",)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project invariant checker (rules REP101-REP105).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to check (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="baseline file of grandfathered findings "
+        f"(default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings (keeps notes of "
+        "surviving entries) and exit 0",
+    )
+    parser.add_argument(
+        "--update-wire-schema",
+        action="store_true",
+        help="regenerate the REP105 wire schema snapshot from the current "
+        "sources and exit 0",
+    )
+    parser.add_argument(
+        "--schema",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="wire schema snapshot to check against (default: the one "
+        "bundled with repro.lint)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON document instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule inventory and exit",
+    )
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Baseline | None:
+    if args.no_baseline:
+        return None
+    path = args.baseline
+    if path is None:
+        candidate = Path.cwd() / DEFAULT_BASELINE_NAME
+        if not candidate.exists():
+            return None
+        path = candidate
+    return Baseline.load(path)
+
+
+def _update_wire_schema(paths: Sequence[Path], schema_path: Path) -> int:
+    surfaces: dict[str, list[str]] = {}
+    for path in iter_source_files(paths):
+        if path.name not in {"server.py", "http_gateway.py"}:
+            continue
+        module = load_module(path, root=Path.cwd())
+        if "server" not in module.roles:
+            continue
+        for surface, keys in extract_surfaces(module).items():
+            surfaces[surface] = sorted(keys)
+    payload = {"version": 1, "surfaces": dict(sorted(surfaces.items()))}
+    schema_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {len(surfaces)} wire surfaces to {schema_path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    rules = all_rules(schema_path=args.schema)
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name:24s}  {rule.description}")
+        return 0
+    paths = list(args.paths) or [Path(p) for p in _DEFAULT_PATHS]
+    if args.update_wire_schema:
+        return _update_wire_schema(paths, args.schema or DEFAULT_SCHEMA_PATH)
+
+    findings, suppressed = run_rules(paths, rules, root=Path.cwd())
+
+    if args.write_baseline:
+        target = args.baseline or Path.cwd() / DEFAULT_BASELINE_NAME
+        previous = Baseline.load(target) if target.exists() else Baseline()
+        baseline = Baseline.from_findings(findings, notes=previous.notes)
+        baseline.save(target)
+        print(f"wrote {len(baseline)} baseline entries to {target}")
+        return 0
+
+    baseline = _resolve_baseline(args)
+    if baseline is not None:
+        new, known = baseline.split(findings)
+    else:
+        new, known = findings, []
+
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "new": [f.to_dict() for f in new],
+                    "baselined": [f.to_dict() for f in known],
+                    "suppressed": [f.to_dict() for f in suppressed],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.format())
+        summary = (
+            f"{len(new)} new finding(s), {len(known)} baselined, "
+            f"{len(suppressed)} suppressed"
+        )
+        print(summary if new else f"clean: {summary}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""The checked-in baseline: grandfathered findings, with reasons.
+
+A baseline entry acknowledges a finding that is *known and accepted* —
+either sanctioned by design (with a note explaining why) or queued for
+a later fix.  The CLI exits 1 only on findings **not** in the baseline,
+so the invariant checker can be landed on an imperfect tree and still
+gate every new violation.
+
+The file is plain JSON so reviews diff it meaningfully::
+
+    {
+      "version": 1,
+      "findings": [
+        {
+          "fingerprint": "9f2c…",
+          "rule": "REP102",
+          "path": "src/repro/core/linker.py",
+          "context": "NNexus._cold_start",
+          "message": "…",
+          "note": "why this violation is sanctioned"
+        }
+      ]
+    }
+
+Fingerprints exclude line numbers (see
+:attr:`repro.lint.engine.Finding.fingerprint`), so edits elsewhere in a
+file do not churn the baseline.  ``python -m repro.lint
+--write-baseline`` regenerates the file from the current findings,
+preserving the notes of entries that survive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.engine import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: File the CLI auto-loads from the working directory when present.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints with notes."""
+
+    notes: dict[str, str] = field(default_factory=dict)
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise ValueError(f"unsupported baseline file {path}")
+        baseline = cls()
+        for entry in payload.get("findings", []):
+            fingerprint = str(entry["fingerprint"])
+            baseline.entries[fingerprint] = dict(entry)
+            baseline.notes[fingerprint] = str(entry.get("note", ""))
+        return baseline
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        notes: dict[str, str] | None = None,
+    ) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            entry = finding.to_dict()
+            entry.pop("line", None)
+            entry.pop("col", None)
+            entry["note"] = (notes or {}).get(finding.fingerprint, "")
+            baseline.entries[finding.fingerprint] = entry
+            baseline.notes[finding.fingerprint] = str(entry["note"])
+        return baseline
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition findings into (new, grandfathered)."""
+        new: list[Finding] = []
+        known: list[Finding] = []
+        for finding in findings:
+            (known if finding in self else new).append(finding)
+        return new, known
+
+    def save(self, path: Path) -> None:
+        entries = sorted(
+            self.entries.values(),
+            key=lambda e: (str(e.get("path", "")), str(e.get("rule", ""))),
+        )
+        payload = {"version": 1, "findings": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

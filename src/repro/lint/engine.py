@@ -1,0 +1,333 @@
+"""Core machinery of the ``repro.lint`` invariant checker.
+
+The checker is deliberately small: stdlib ``ast`` parsing, a handful of
+rule classes, and plain-text/JSON reporting.  What makes it useful is
+that every rule encodes an invariant this repository has already paid
+for violating (see ``docs/architecture.md``, "Static analysis &
+enforced invariants"):
+
+* :class:`SourceModule` — one parsed file plus the metadata rules need
+  (role tags derived from the path, suppression comments, line text);
+* :class:`Rule` — the interface every REP rule implements;
+* :func:`run_rules` — walk files, parse, dispatch, filter suppressed.
+
+Suppressions
+------------
+A finding is suppressed by a ``# lint: disable=REP101`` comment either
+on the flagged line or alone on the line directly above it.  Several
+codes may be listed (``# lint: disable=REP101,REP104``); ``ALL``
+disables every rule for that line.  A module-level
+``# lint: disable-file=REP105`` comment (anywhere in the file) disables
+the listed rules for the whole file.  Suppressions are for *sanctioned*
+violations — the comment should say why the invariant does not apply.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "dotted_name",
+    "iter_source_files",
+    "load_module",
+    "run_rules",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
+
+#: Path components that give a module its role tags.  A rule scopes
+#: itself by role, so the same rule runs over ``src/repro/server/*.py``
+#: and over a test fixture under ``tests/lint/fixtures/server/``.
+_ROLE_PARTS = frozenset(
+    {"server", "core", "persistence", "obs", "storage", "corpus", "eval", "lint"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific site."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Qualified name of the enclosing function/class ("" at module level).
+    context: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity, used by the baseline file.
+
+        Deliberately excludes ``line``/``col`` so unrelated edits above
+        a grandfathered finding do not un-baseline it; moving the code
+        to another function (or changing the message) does.
+        """
+        raw = "|".join((self.rule, self.path, self.context, self.message))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        where = f" [{self.context}]" if self.context else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{where}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus the metadata rules need."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: line number -> set of rule codes disabled on that line.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: rule codes disabled for the entire file.
+    file_suppressions: set[str] = field(default_factory=set)
+    #: role tags derived from the path ("server", "core", ...).
+    roles: frozenset[str] = frozenset()
+    #: ast node -> qualified name of the enclosing def/class chain.
+    _qualnames: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+    def qualname_of(self, node: ast.AST) -> str:
+        """Qualified enclosing scope of a node ("" for module level)."""
+        return self._qualnames.get(id(node), "")
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            context=self.qualname_of(node),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        for codes in (
+            self.file_suppressions,
+            self.suppressions.get(finding.line, set()),
+        ):
+            if finding.rule in codes or "ALL" in codes:
+                return True
+        return False
+
+
+class Rule:
+    """Base class for one REP rule family."""
+
+    code: str = "REP000"
+    name: str = "abstract"
+    description: str = ""
+    #: Role tags this rule applies to (empty = every module).
+    roles: frozenset[str] = frozenset()
+    #: Basename restriction (empty = every file).
+    basenames: frozenset[str] = frozenset()
+
+    def applies(self, module: SourceModule) -> bool:
+        if self.roles and not (self.roles & module.roles):
+            return False
+        if self.basenames and module.basename not in self.basenames:
+            return False
+        return True
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# AST helpers shared by the rule modules
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Dotted source form of a Name/Attribute chain (else None).
+
+    ``self._db.transaction`` -> ``"self._db.transaction"``; call nodes
+    resolve through their ``func``.
+    """
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function/class defs.
+
+    Rules about "the body of this with/def" almost never mean "and any
+    closure defined inside it" — a nested def runs later, outside the
+    lexical region being checked.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def constant_str(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Parsing and the runner
+# ---------------------------------------------------------------------------
+
+
+def _collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_FILE_RE.search(line)
+        if match:
+            per_file.update(_parse_codes(match.group(1)))
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = _parse_codes(match.group(1))
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            # A standalone comment line suppresses the next line.
+            per_line.setdefault(lineno + 1, set()).update(codes)
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, per_file
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {code.strip() for code in raw.split(",") if code.strip()}
+
+
+def _roles_for(path: Path) -> frozenset[str]:
+    return frozenset(part for part in path.parts if part in _ROLE_PARTS)
+
+
+def _annotate_qualnames(tree: ast.Module) -> dict[int, str]:
+    """Map every node id to the qualified name of its enclosing scope."""
+    qualnames: dict[int, str] = {}
+
+    def visit(node: ast.AST, scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_scope = scope
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                child_scope = f"{scope}.{child.name}" if scope else child.name
+            qualnames[id(child)] = child_scope
+            visit(child, child_scope)
+
+    visit(tree, "")
+    return qualnames
+
+
+def load_module(path: Path, root: Path | None = None) -> SourceModule:
+    """Parse one file into a :class:`SourceModule` (raises SyntaxError)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    per_line, per_file = _collect_suppressions(source)
+    try:
+        rel = path.relative_to(root) if root is not None else path
+    except ValueError:
+        rel = path
+    return SourceModule(
+        path=path,
+        relpath=rel.as_posix(),
+        source=source,
+        tree=tree,
+        suppressions=per_line,
+        file_suppressions=per_file,
+        roles=_roles_for(path),
+        _qualnames=_annotate_qualnames(tree),
+    )
+
+
+def iter_source_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "egg-info" in candidate.as_posix():
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def run_rules(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    root: Path | None = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    Returns ``(findings, suppressed)`` — suppressed findings are kept
+    separate so the CLI can report how many sanctioned violations the
+    tree carries (a silently growing number is itself a smell).
+    """
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    modules: list[SourceModule] = []
+    for path in iter_source_files(paths):
+        modules.append(load_module(path, root=root))
+    for rule in rules:
+        for module in modules:
+            if not rule.applies(module):
+                continue
+            for finding in rule.check(module):
+                if module.is_suppressed(finding):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed

@@ -1,0 +1,136 @@
+"""REP101 — lock hygiene: no blocking calls while holding a lock.
+
+The server's readers-writer lock serializes every corpus mutation and
+admits every read under it; one blocking call inside a lock body turns
+a slow disk or a slow peer into a full-service stall.  The invariant
+("never block while holding the lock") has so far lived in review
+comments — this rule makes it lexical:
+
+* a **lock region** is the body of a ``with`` statement whose context
+  expression is a ``read_lock()``/``write_lock()`` call, a
+  ``*._lock``/``*._cond`` attribute, or a ``threading.Lock()``-style
+  constructor used inline;
+* a **blocking call** is anything on the known-blocking list below —
+  sleeps, socket I/O, fsync, sqlite execution, storage-journal calls.
+
+Condition waits (``.wait``/``.wait_for``) are deliberately *not* on the
+list: waiting on the condition releases the lock, which is the whole
+point of the primitive.
+
+Scope: ``server`` and ``core`` modules.  The persistence backends are
+excluded by design — the sqlite backend intentionally serializes every
+statement under its own private lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, Rule, SourceModule, dotted_name, walk_scope
+
+__all__ = ["LockHygieneRule"]
+
+#: Exact dotted names that block.
+_BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "socket.create_connection",
+        "select.select",
+        "subprocess.run",
+        "subprocess.check_output",
+        "subprocess.check_call",
+        "open",
+    }
+)
+
+#: Attribute suffixes that block regardless of the receiver.
+_BLOCKING_SUFFIXES = (
+    ".sendall",
+    ".send",
+    ".recv",
+    ".recv_into",
+    ".accept",
+    ".connect",
+    ".execute",
+    ".executemany",
+    ".executescript",
+    ".fsync",
+    ".flush",
+    ".commit",
+    ".checkpoint",
+    ".sleep",
+    ".join",
+)
+
+#: Storage-journal calls: disk I/O (and an fsync under ``sync=always``).
+_STORAGE_PREFIXES = ("storage.record_", "self.storage.record_")
+
+#: Context expressions that mark a lock region.
+_LOCK_SUFFIXES = (".read_lock", ".write_lock", "._lock", "._cond", "._rwlock")
+
+
+def _is_lock_context(expr: ast.AST) -> str | None:
+    name = dotted_name(expr)
+    if name is None:
+        return None
+    if name.endswith(_LOCK_SUFFIXES):
+        return name
+    return None
+
+
+def _is_blocking(call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    if name in _BLOCKING_EXACT:
+        return name
+    if any(name.startswith(prefix) for prefix in _STORAGE_PREFIXES):
+        return name
+    # ``.join`` only blocks on threads/processes; joining strings is the
+    # single most common method call in the tree.  Require a
+    # thread-looking receiver to avoid drowning in false positives.
+    for suffix in _BLOCKING_SUFFIXES:
+        if not name.endswith(suffix):
+            continue
+        if suffix == ".join" and not any(
+            hint in name for hint in ("thread", "proc", "worker")
+        ):
+            continue
+        return name
+    return None
+
+
+class LockHygieneRule(Rule):
+    code = "REP101"
+    name = "lock-hygiene"
+    description = "no blocking calls inside lock-held with-bodies"
+    roles = frozenset({"server", "core"})
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            lock_name = None
+            for item in node.items:
+                lock_name = _is_lock_context(item.context_expr)
+                if lock_name is not None:
+                    break
+            if lock_name is None:
+                continue
+            for child in node.body:
+                for sub in [child, *walk_scope(child)]:
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    blocking = _is_blocking(sub)
+                    if blocking is None:
+                        continue
+                    yield module.finding(
+                        self.code,
+                        sub,
+                        f"blocking call {blocking}() inside lock region "
+                        f"`with {lock_name}`; move the I/O outside the "
+                        "lock or hand it to a worker",
+                    )

@@ -1,0 +1,218 @@
+"""REP105 — wire-protocol additivity.
+
+Clients pin this server's wire format: the XML protocol's
+``code``/``retryable``/``traceid`` fields and the HTTP gateway's JSON
+keys are all load-bearing (the retry loop in ``client.py`` dispatches
+on them, and the ``/ready`` probe's ``mode``/``reason`` keys feed
+orchestration).  The compatibility contract is **additive**: a handler
+may introduce new response keys, but silently dropping or renaming one
+breaks deployed callers.
+
+The rule makes the contract lexical.  ``wire_schema.json`` (checked in
+next to this module) snapshots, per handler, the set of response keys
+the extractor can see in the source:
+
+* keyword arguments of ``protocol.Response(...)`` (``status``,
+  ``error``, ``code``, …) and the literal keys of its ``fields=`` dict;
+* literal keys of dicts handed to ``_send_json(...)`` or returned from
+  gateway operation methods — recursively, so the per-link dicts inside
+  ``link()``'s ``links`` list are covered too;
+* keys added through a resolved local name (``payload = {...}`` then
+  ``payload["reason"] = ...``) or via ``response.fields.setdefault``/
+  ``response.fields["..."] = ...``.
+
+At check time each handler's current key set is compared against the
+snapshot: a key present in the snapshot but missing from the source is
+a violation; a key the snapshot has never seen is reported as
+unrecorded so ``python -m repro.lint --update-wire-schema`` can be run
+and the wire change shows up in review as a ``wire_schema.json`` diff.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.engine import Finding, Rule, SourceModule, dotted_name
+
+__all__ = ["WireAdditivityRule", "extract_surfaces", "DEFAULT_SCHEMA_PATH"]
+
+DEFAULT_SCHEMA_PATH = Path(__file__).with_name("wire_schema.json")
+
+#: ``Response(...)`` keyword arguments that are containers rather than
+#: wire fields themselves — their *contents* are collected instead.
+_CONTAINER_KWARGS = frozenset({"fields"})
+
+
+def _dict_keys(node: ast.AST) -> set[str]:
+    """Constant string keys of a dict literal, recursively."""
+    keys: set[str] = set()
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Dict):
+            continue
+        for key in sub.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+    return keys
+
+
+def _local_dicts(func: ast.AST) -> dict[str, set[str]]:
+    """Names bound to dict literals in this function, with their keys
+    (including keys added later via ``name["k"] = ...``)."""
+    locals_: dict[str, set[str]] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    locals_.setdefault(target.id, set()).update(
+                        _dict_keys(node.value)
+                    )
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.value, ast.Dict):
+            if isinstance(node.target, ast.Name):
+                locals_.setdefault(node.target.id, set()).update(
+                    _dict_keys(node.value)
+                )
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in locals_
+            and isinstance(target.slice, ast.Constant)
+            and isinstance(target.slice.value, str)
+        ):
+            locals_[target.value.id].add(target.slice.value)
+    return locals_
+
+
+def _arg_keys(arg: ast.AST, locals_: dict[str, set[str]]) -> set[str]:
+    if isinstance(arg, ast.Name):
+        return set(locals_.get(arg.id, set()))
+    return _dict_keys(arg)
+
+
+def _surface_keys(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Response keys this handler can emit, per the lexical extractor."""
+    locals_ = _local_dicts(func)
+    keys: set[str] = set()
+    sink_seen = False
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            tail = name.rsplit(".", 1)[-1]
+            if tail == "Response":
+                sink_seen = True
+                for kw in node.keywords:
+                    if kw.arg is None:
+                        continue
+                    if kw.arg in _CONTAINER_KWARGS:
+                        keys |= _arg_keys(kw.value, locals_)
+                    else:
+                        keys.add(kw.arg)
+            elif tail == "_send_json" and node.args:
+                sink_seen = True
+                keys |= _arg_keys(node.args[0], locals_)
+            elif tail == "setdefault" and ".fields." in f"{name}.":
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    if isinstance(node.args[0].value, str):
+                        keys.add(node.args[0].value)
+        elif isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            sink_seen = True
+            keys |= _dict_keys(node.value)
+        elif isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+            if node.value.id in locals_:
+                sink_seen = True
+                keys |= locals_[node.value.id]
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            # response.fields["k"] = ... style additions.
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Subscript)
+                and (dotted_name(target.value) or "").endswith(".fields")
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)
+            ):
+                keys.add(target.slice.value)
+    return keys if sink_seen else set()
+
+
+def extract_surfaces(module: SourceModule) -> dict[str, set[str]]:
+    """Map ``basename::qualname`` -> response keys for every handler in
+    this module that has a visible wire sink."""
+    surfaces: dict[str, set[str]] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        keys = _surface_keys(node)
+        if not keys:
+            continue
+        surfaces[f"{module.basename}::{module.qualname_of(node)}"] = keys
+    return surfaces
+
+
+class WireAdditivityRule(Rule):
+    code = "REP105"
+    name = "wire-additivity"
+    description = "response handlers only add keys vs. the schema snapshot"
+    roles = frozenset({"server"})
+    basenames = frozenset({"server.py", "http_gateway.py"})
+
+    def __init__(self, schema_path: Path | None = None) -> None:
+        self.schema_path = schema_path or DEFAULT_SCHEMA_PATH
+        self._surfaces: dict[str, list[str]] | None = None
+
+    @property
+    def surfaces(self) -> dict[str, list[str]]:
+        if self._surfaces is None:
+            if self.schema_path.exists():
+                payload = json.loads(self.schema_path.read_text(encoding="utf-8"))
+                self._surfaces = {
+                    str(k): [str(v) for v in vs]
+                    for k, vs in payload.get("surfaces", {}).items()
+                }
+            else:
+                self._surfaces = {}
+        return self._surfaces
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            keys = _surface_keys(node)
+            if not keys:
+                continue
+            surface = f"{module.basename}::{module.qualname_of(node)}"
+            recorded = self.surfaces.get(surface)
+            if recorded is None:
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"wire surface {surface} is not in the schema snapshot; "
+                    "run `python -m repro.lint --update-wire-schema` so the "
+                    "new surface is recorded and reviewable",
+                )
+                continue
+            missing = sorted(set(recorded) - keys)
+            if missing:
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"wire surface {surface} dropped response key(s) "
+                    f"{', '.join(missing)}; the protocol contract is "
+                    "additive — restore the key(s) or deliberately retire "
+                    "them via --update-wire-schema with a changelog entry",
+                )
+            unrecorded = sorted(keys - set(recorded))
+            if unrecorded:
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"wire surface {surface} added response key(s) "
+                    f"{', '.join(unrecorded)} not yet in the schema "
+                    "snapshot; run `python -m repro.lint "
+                    "--update-wire-schema` to record them",
+                )

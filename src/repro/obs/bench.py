@@ -263,19 +263,23 @@ def measure_persistence(params: BenchParams | None = None) -> dict[str, Any]:
     with tempfile.TemporaryDirectory(prefix="bench-persistence-") as tmp:
         data_dir = Path(tmp) / "data"
         storage = open_storage("engine", data_dir, persist_renderings=False)
-        start = perf_counter()
-        durable = NNexus(scheme=corpus.scheme, storage=storage)
-        durable.add_objects(corpus.objects)
-        journaled_sec = perf_counter() - start
-        storage.close()
+        try:
+            start = perf_counter()
+            durable = NNexus(scheme=corpus.scheme, storage=storage)
+            durable.add_objects(corpus.objects)
+            journaled_sec = perf_counter() - start
+        finally:
+            storage.close()
         wal_bytes = (data_dir / "wal.jsonl").stat().st_size
 
         storage = open_storage("engine", data_dir, persist_renderings=False)
-        start = perf_counter()
-        restarted = NNexus(scheme=corpus.scheme, storage=storage)
-        cold_start_sec = perf_counter() - start
-        restored_objects = len(restarted)
-        storage.close()
+        try:
+            start = perf_counter()
+            restarted = NNexus(scheme=corpus.scheme, storage=storage)
+            cold_start_sec = perf_counter() - start
+            restored_objects = len(restarted)
+        finally:
+            storage.close()
 
     return {
         "backend": "engine",
@@ -335,20 +339,22 @@ def measure_paging(params: BenchParams | None = None) -> dict[str, Any]:
         storage = open_storage(
             "engine", data_dir, sync="off", persist_renderings=False
         )
-        start = perf_counter()
-        linker = NNexus(
-            scheme=corpus.scheme,
-            storage=storage,
-            map_cache_segments=cache_segments,
-        )
-        cold_start_sec = perf_counter() - start
-        digest = hashlib.sha256()
-        start = perf_counter()
-        for object_id in object_ids:
-            digest.update(linker.render_object(object_id).encode("utf-8"))
-        render_sec = perf_counter() - start
-        snapshot = linker.concept_map.paging_snapshot()
-        storage.close()
+        try:
+            start = perf_counter()
+            linker = NNexus(
+                scheme=corpus.scheme,
+                storage=storage,
+                map_cache_segments=cache_segments,
+            )
+            cold_start_sec = perf_counter() - start
+            digest = hashlib.sha256()
+            start = perf_counter()
+            for object_id in object_ids:
+                digest.update(linker.render_object(object_id).encode("utf-8"))
+            render_sec = perf_counter() - start
+            snapshot = linker.concept_map.paging_snapshot()
+        finally:
+            storage.close()
         return cold_start_sec, render_sec, digest.hexdigest(), snapshot
 
     with tempfile.TemporaryDirectory(prefix="bench-paging-") as tmp:
@@ -356,9 +362,11 @@ def measure_paging(params: BenchParams | None = None) -> dict[str, Any]:
         storage = open_storage(
             "engine", data_dir, sync="off", persist_renderings=False
         )
-        ingest = NNexus(scheme=corpus.scheme, storage=storage)
-        ingest.add_objects(corpus.objects)
-        storage.close()
+        try:
+            ingest = NNexus(scheme=corpus.scheme, storage=storage)
+            ingest.add_objects(corpus.objects)
+        finally:
+            storage.close()
 
         unbounded = cold_render_pass(data_dir, cache_segments=0)
         segments_used = int(unbounded[3]["resident"])

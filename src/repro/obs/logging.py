@@ -103,7 +103,9 @@ def console_handler(stream: IO[str] | None = None) -> Handler:
 
     def handle(record: dict[str, Any]) -> None:
         target = stream if stream is not None else sys.stderr
-        print(format_console(record), file=target)
+        # This handler is the terminal sink structured logging routes
+        # to; the print() ban guards everything upstream of it.
+        print(format_console(record), file=target)  # lint: disable=REP104
 
     return handle
 
@@ -113,7 +115,8 @@ def json_handler(stream: IO[str] | None = None) -> Handler:
 
     def handle(record: dict[str, Any]) -> None:
         target = stream if stream is not None else sys.stderr
-        print(format_json(record), file=target)
+        # Terminal sink, same sanction as console_handler above.
+        print(format_json(record), file=target)  # lint: disable=REP104
 
     return handle
 
@@ -173,8 +176,23 @@ class LogManager:
                 self._handlers.remove(handler)
 
     def set_handlers(self, handlers: list[Handler]) -> None:
+        """Replace the handler fan-out, closing the handlers dropped.
+
+        Handlers that own a resource expose ``.close`` (see
+        :func:`jsonl_file_handler`); silently discarding one here used
+        to leak its file handle every time ``configure_logging`` was
+        re-run.  Handlers carried over into the new list are left
+        untouched.
+        """
         with self._lock:
+            replaced = [h for h in self._handlers if h not in handlers]
             self._handlers = list(handlers)
+        # Close outside the lock: a closer that flushes (or logs) must
+        # never hold up concurrent emit() calls.
+        for handler in replaced:
+            closer = getattr(handler, "close", None)
+            if closer is not None:
+                closer()
 
     def enabled_for(self, level: str) -> bool:
         return LEVELS.get(level, 0) >= self._level

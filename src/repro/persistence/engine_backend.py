@@ -152,16 +152,17 @@ class EngineBackend(CorpusStorage):
             self._mark_invalid(invalidated)
 
     def record_rendering(self, object_id: int, fmt: str, body: str) -> None:
-        self._db.upsert(
-            "renderings",
-            {
-                "key": f"{object_id}:{fmt}",
-                "object_id": object_id,
-                "fmt": fmt,
-                "body": body,
-                "valid": True,
-            },
-        )
+        with self._db.transaction():
+            self._db.upsert(
+                "renderings",
+                {
+                    "key": f"{object_id}:{fmt}",
+                    "object_id": object_id,
+                    "fmt": fmt,
+                    "body": body,
+                    "valid": True,
+                },
+            )
 
     def record_cache_clear(self) -> None:
         with self._db.transaction():

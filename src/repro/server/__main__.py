@@ -43,6 +43,16 @@ from repro.server.server import NNexusServer
 from repro.storage.engine import SYNC_POLICIES
 
 
+def _close_startup(gateway, exporter, storage) -> None:
+    """Release everything a failed startup opened, tolerating None."""
+    if gateway is not None:
+        gateway.shutdown()
+        gateway.server_close()
+    if exporter is not None:
+        exporter.close()
+    storage.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.server")
     parser.add_argument("--host", default="127.0.0.1")
@@ -130,7 +140,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         if args.trace_jsonl:
             exporter = JsonlExporter(args.trace_jsonl)
-            tracer.add_sink(exporter)
+            try:
+                tracer.add_sink(exporter)
+            except BaseException:
+                exporter.close()
+                raise
     try:
         storage = open_storage(
             args.backend, args.data_dir or None, sync=args.sync
@@ -139,68 +153,83 @@ def main(argv: list[str] | None = None) -> int:
         # Unreadable persistent state: refuse to guess.  The operator
         # decides between restoring a backup and wiping the directory.
         log.error("server.storage_corrupt", path=exc.path, reason=exc.reason)
+        if exporter is not None:
+            exporter.close()
         return 1
-    linker = NNexus(
-        scheme=build_small_msc(),
-        metrics=metrics,
-        tracer=tracer,
-        storage=storage,
-        map_cache_segments=args.map_cache_segments,
-    )
-    if len(linker):
-        # The backend restored a corpus: don't double-seed on top of it.
-        restore = linker.last_restore or {}
-        log.info(
-            "server.storage_restored",
-            backend=storage.backend_name,
-            objects=restore.get("objects"),
-            renderings=restore.get("renderings"),
-            cold_start_s=round(restore.get("elapsed_sec", 0.0), 4),
-        )
-    elif args.corpus:
-        linker.add_objects(load_corpus(args.corpus))
-    elif args.sample:
-        linker.add_objects(sample_corpus())
-    server = NNexusServer(
-        linker,
-        host=args.host,
-        port=args.port,
-        max_in_flight=args.max_in_flight,
-        request_timeout=args.request_timeout,
-        idle_timeout=args.idle_timeout,
-    )
-    host, port = server.address
-    log.info(
-        "server.listening",
-        host=host,
-        port=port,
-        objects=len(linker),
-        concepts=linker.concept_count(),
-    )
-    if args.metrics:
-        log.info("server.metrics_enabled", endpoints="getMetrics, http /metrics")
-    if tracing:
-        log.info(
-            "server.tracing_enabled",
-            jsonl=args.trace_jsonl or None,
-            slow_ms=args.slow_ms or None,
-        )
+    # Everything between opening the storage and entering the serve
+    # loop can raise (corpus load, port binding); close what we opened
+    # on every such path or the WAL handle and trace file leak.
     gateway = None
-    if args.http_port:
-        from repro.server.http_gateway import serve_http
-
-        gateway = serve_http(
+    try:
+        linker = NNexus(
+            scheme=build_small_msc(),
+            metrics=metrics,
+            tracer=tracer,
+            storage=storage,
+            map_cache_segments=args.map_cache_segments,
+        )
+        if len(linker):
+            # The backend restored a corpus: don't double-seed on top of it.
+            restore = linker.last_restore or {}
+            log.info(
+                "server.storage_restored",
+                backend=storage.backend_name,
+                objects=restore.get("objects"),
+                renderings=restore.get("renderings"),
+                cold_start_s=round(restore.get("elapsed_sec", 0.0), 4),
+            )
+        elif args.corpus:
+            linker.add_objects(load_corpus(args.corpus))
+        elif args.sample:
+            linker.add_objects(sample_corpus())
+        server = NNexusServer(
             linker,
             host=args.host,
-            port=args.http_port,
+            port=args.port,
             max_in_flight=args.max_in_flight,
-            rwlock=server.rwlock,
+            request_timeout=args.request_timeout,
+            idle_timeout=args.idle_timeout,
         )
+        host, port = server.address
         log.info(
-            "server.gateway_listening",
-            host=gateway.address[0],
-            port=gateway.address[1],
+            "server.listening",
+            host=host,
+            port=port,
+            objects=len(linker),
+            concepts=linker.concept_count(),
         )
+        if args.metrics:
+            log.info("server.metrics_enabled", endpoints="getMetrics, http /metrics")
+        if tracing:
+            log.info(
+                "server.tracing_enabled",
+                jsonl=args.trace_jsonl or None,
+                slow_ms=args.slow_ms or None,
+            )
+        if args.http_port:
+            from repro.server.http_gateway import serve_http
+
+            gateway = serve_http(
+                linker,
+                host=args.host,
+                port=args.http_port,
+                max_in_flight=args.max_in_flight,
+                rwlock=server.rwlock,
+            )
+            log.info(
+                "server.gateway_listening",
+                host=gateway.address[0],
+                port=gateway.address[1],
+            )
+    except OSError as exc:
+        # Typically an occupied port: a clean operator error, not a
+        # traceback.
+        log.error("server.startup_failed", error=str(exc))
+        _close_startup(gateway, exporter, storage)
+        return 1
+    except BaseException:
+        _close_startup(gateway, exporter, storage)
+        raise
     try:
         server.serve_forever()
     except KeyboardInterrupt:

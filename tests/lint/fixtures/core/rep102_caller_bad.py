@@ -1,0 +1,14 @@
+"""REP102 caller-half true positive: storage calls bypassing _journal."""
+
+
+class Linker:
+    def __init__(self, storage):
+        self.storage = storage
+
+    def add_object(self, obj, invalidated):
+        # finding: a disk failure here crashes the request instead of
+        # degrading to read-only via _journal().
+        self.storage.record_add(obj, invalidated)
+
+    def _journal(self, operation):
+        operation()

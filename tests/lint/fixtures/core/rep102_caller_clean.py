@@ -1,0 +1,21 @@
+"""REP102 caller-half clean fixture: the sanctioned routes."""
+
+
+class Linker:
+    def __init__(self, storage):
+        self.storage = storage
+
+    def add_object(self, obj, invalidated):
+        self._journal(lambda: self.storage.record_add(obj, invalidated))
+
+    def backfill(self, objects):
+        """Pre-serving migration; transactional inside the backend."""
+        for obj in objects:
+            self.storage.replace_labels(obj.object_id, ())
+
+    def suppressed_direct_call(self, obj):
+        # Sanctioned one-off with an inline waiver.
+        self.storage.record_update(obj, (), ())  # lint: disable=REP102
+
+    def _journal(self, operation):
+        operation()

@@ -1,0 +1,27 @@
+"""REP101 true-positive fixture: blocking calls inside lock regions."""
+
+import time
+
+
+class Server:
+    def __init__(self, rwlock, lock, sock, storage):
+        self.rwlock = rwlock
+        self._lock = lock
+        self.sock = sock
+        self.storage = storage
+
+    def slow_write(self, payload):
+        with self.rwlock.write_lock():
+            time.sleep(0.5)  # finding: sleep while writers are starved
+            self.apply(payload)
+
+    def flush_under_lock(self):
+        with self._lock:
+            self.sock.sendall(b"state")  # finding: socket I/O under lock
+
+    def journal_under_lock(self, obj):
+        with self.rwlock.read_lock():
+            self.storage.record_add(obj, ())  # finding: disk I/O under lock
+
+    def apply(self, payload):
+        return payload

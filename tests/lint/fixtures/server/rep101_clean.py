@@ -1,0 +1,34 @@
+"""REP101 clean fixture: sanctioned shapes the rule must not flag."""
+
+import time
+
+
+class Server:
+    def __init__(self, rwlock, cond, sock, storage):
+        self.rwlock = rwlock
+        self._cond = cond
+        self.sock = sock
+        self.storage = storage
+
+    def wait_for_turn(self):
+        # Condition waits release the lock: explicitly not blocking.
+        with self._cond:
+            self._cond.wait_for(lambda: True, timeout=1.0)
+
+    def read_then_io(self, payload):
+        with self.rwlock.read_lock():
+            snapshot = self.compute(payload)
+        # I/O happens after the lock is released.
+        self.sock.sendall(snapshot)
+
+    def join_strings_under_lock(self, parts):
+        with self.rwlock.read_lock():
+            return ",".join(parts)  # str.join is not a thread join
+
+    def sanctioned_sleep(self):
+        with self.rwlock.write_lock():
+            # Single-use backoff probe, sanctioned by review.
+            time.sleep(0.001)  # lint: disable=REP101
+
+    def compute(self, payload):
+        return payload

@@ -1,0 +1,20 @@
+"""REP104 true-positive fixture: prints, span-less handler, None-chains."""
+
+
+class Handler:
+    def do_GET(self):  # finding: wire handler without a span
+        print("handling", self.path)  # finding: print in library code
+        self.respond(200)
+
+    def respond(self, status):
+        return status
+
+
+class Pipeline:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def run(self, item):
+        if self.tracer is not None:  # finding: None-check on the hot path
+            self.tracer.record_span("stage.run", 0.0)
+        return item

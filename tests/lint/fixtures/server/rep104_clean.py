@@ -1,0 +1,44 @@
+"""REP104 clean fixture: spans opened, null-object pattern, logger used."""
+
+NULL_TRACER = object()
+
+
+def get_logger(name):
+    return name
+
+
+_LOG = get_logger("fixture")
+
+
+class Handler:
+    def _request_span(self, name):
+        return self.server.tracer.start_trace(name)
+
+    def do_GET(self):
+        with self._request_span("http.GET"):
+            self.respond(200)
+
+    def respond(self, status):
+        return status
+
+
+class Pipeline:
+    def __init__(self, tracer=None):
+        # Constructor-site ternary normalization is the sanctioned shape.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def run(self, item):
+        if self.tracer.enabled:
+            self.tracer.record_span("stage.run", 0.0)
+        return item
+
+
+class Probe:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def debug_dump(self):
+        # Cold path, sanctioned by review with an inline waiver.
+        if self.tracer is not None:  # lint: disable=REP104
+            return self.tracer.recent_traces(5)
+        return []

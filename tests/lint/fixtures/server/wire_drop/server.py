@@ -1,0 +1,16 @@
+"""REP105 true-positive fixture: a dropped key and an unrecorded surface."""
+
+
+def Response(**fields):
+    return fields
+
+
+class Server:
+    def _ping(self, request):
+        # finding: the schema snapshot records a "pong" field; this
+        # response no longer carries it.
+        return Response(status="ok", method="ping")
+
+    def _sneaky(self, request):
+        # finding: a wire surface the snapshot has never seen.
+        return Response(status="ok", method="sneaky", fields={"shadow": "1"})

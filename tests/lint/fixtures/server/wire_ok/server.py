@@ -1,0 +1,15 @@
+"""REP105 clean fixture: surface matches the snapshot; waivers work."""
+
+
+def Response(**fields):
+    return fields
+
+
+class Server:
+    def _ping(self, request):
+        return Response(status="ok", method="ping", fields={"pong": "1"})
+
+    # New debug surface sanctioned ahead of a schema regeneration.
+    # lint: disable=REP105
+    def _debug(self, request):
+        return Response(status="ok", method="debug", fields={"dump": "{}"})

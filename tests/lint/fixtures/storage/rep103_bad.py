@@ -1,0 +1,32 @@
+"""REP103 true-positive fixture: leaks on raise and unbounded IN lists."""
+
+import sqlite3
+
+
+def leaky_open(path, parse):
+    fh = open(path, "r", encoding="utf-8")
+    data = parse(fh.read())  # finding: parse() raising leaks fh
+    fh.close()
+    return data
+
+
+class LeakyBackend:
+    def __init__(self, path):
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA quick_check")  # finding: raise leaks conn
+        self._conn = conn
+
+    def invalidate(self, ids):
+        placeholders = ",".join("?" for _ in ids)
+        self._conn.execute(  # finding: unbounded host-parameter list
+            f"UPDATE renderings SET valid = 0 WHERE object_id IN ({placeholders})",
+            list(ids),
+        )
+
+
+def leaky_after_guard(path, build):
+    try:
+        fh = open(path, "rb")
+    except OSError:
+        return None
+    return build(fh.read())  # finding: build() raising leaks fh

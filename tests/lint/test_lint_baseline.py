@@ -1,0 +1,103 @@
+"""Baseline round-trips and the CLI's exit-code contract."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.__main__ import main
+from repro.lint.baseline import Baseline
+from repro.lint.engine import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "server" / "rep101_bad.py"
+CLEAN = FIXTURES / "server" / "rep101_clean.py"
+
+
+def _finding(message: str = "m", path: str = "a.py") -> Finding:
+    return Finding("REP101", path, 1, 0, message, context="f")
+
+
+class TestBaseline:
+    def test_round_trip_preserves_entries_and_notes(self, tmp_path) -> None:
+        finding = _finding()
+        baseline = Baseline.from_findings(
+            [finding], notes={finding.fingerprint: "sanctioned because reasons"}
+        )
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert finding in loaded
+        assert loaded.notes[finding.fingerprint] == "sanctioned because reasons"
+
+    def test_split_partitions_new_vs_known(self) -> None:
+        known = _finding("known")
+        new = _finding("new")
+        baseline = Baseline.from_findings([known])
+        fresh, grandfathered = baseline.split([known, new])
+        assert fresh == [new]
+        assert grandfathered == [known]
+
+    def test_entries_exclude_line_numbers(self, tmp_path) -> None:
+        baseline = Baseline.from_findings([_finding()])
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        payload = json.loads(target.read_text())
+        assert payload["version"] == 1
+        assert "line" not in payload["findings"][0]
+
+    def test_rejects_unknown_version(self, tmp_path) -> None:
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99}')
+        try:
+            Baseline.load(target)
+        except ValueError as exc:
+            assert "unsupported" in str(exc)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError")
+
+
+class TestCli:
+    def test_exit_one_on_violations(self, capsys) -> None:
+        assert main([str(BAD), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "REP101" in out
+        assert "new finding(s)" in out
+
+    def test_exit_zero_on_clean_tree(self, capsys) -> None:
+        assert main([str(CLEAN), "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_baseline_grandfathers_findings(self, tmp_path, capsys) -> None:
+        baseline = tmp_path / "baseline.json"
+        assert main([str(BAD), "--baseline", str(baseline), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main([str(BAD), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_write_baseline_preserves_surviving_notes(self, tmp_path) -> None:
+        baseline = tmp_path / "baseline.json"
+        main([str(BAD), "--baseline", str(baseline), "--write-baseline"])
+        payload = json.loads(baseline.read_text())
+        payload["findings"][0]["note"] = "waiting on the lock refactor"
+        baseline.write_text(json.dumps(payload))
+        main([str(BAD), "--baseline", str(baseline), "--write-baseline"])
+        rewritten = json.loads(baseline.read_text())
+        notes = {e["note"] for e in rewritten["findings"]}
+        assert "waiting on the lock refactor" in notes
+
+    def test_json_output_is_machine_readable(self, capsys) -> None:
+        main([str(BAD), "--no-baseline", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baselined"] == []
+        assert {f["rule"] for f in payload["new"]} == {"REP101"}
+
+    def test_suppressions_are_reported_not_failed(self, capsys) -> None:
+        assert main([str(CLEAN), "--no-baseline"]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_list_rules_inventory(self, capsys) -> None:
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP101", "REP102", "REP103", "REP104", "REP105"):
+            assert code in out

@@ -1,0 +1,142 @@
+"""Engine mechanics: suppressions, fingerprints, scoping, file walking."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.engine import (
+    Finding,
+    dotted_name,
+    iter_source_files,
+    load_module,
+    run_rules,
+    walk_scope,
+)
+from repro.lint.lock_rules import LockHygieneRule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _load(tmp_path: Path, source: str, name: str = "mod.py"):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return load_module(path, root=tmp_path)
+
+
+def _finding(rule: str, line: int) -> Finding:
+    return Finding(rule=rule, path="mod.py", line=line, col=0, message="m")
+
+
+class TestSuppressions:
+    def test_same_line_comment_suppresses_that_line(self, tmp_path) -> None:
+        module = _load(tmp_path, "x = 1  # lint: disable=REP101\n")
+        assert module.is_suppressed(_finding("REP101", 1))
+        assert not module.is_suppressed(_finding("REP102", 1))
+
+    def test_standalone_comment_suppresses_next_line(self, tmp_path) -> None:
+        module = _load(tmp_path, "# lint: disable=REP103\nx = 1\n")
+        assert module.is_suppressed(_finding("REP103", 2))
+        assert not module.is_suppressed(_finding("REP103", 1))
+
+    def test_multiple_codes_and_all_wildcard(self, tmp_path) -> None:
+        module = _load(
+            tmp_path,
+            "a = 1  # lint: disable=REP101,REP104\nb = 2  # lint: disable=ALL\n",
+        )
+        assert module.is_suppressed(_finding("REP101", 1))
+        assert module.is_suppressed(_finding("REP104", 1))
+        assert not module.is_suppressed(_finding("REP105", 1))
+        assert module.is_suppressed(_finding("REP105", 2))
+
+    def test_file_level_suppression(self, tmp_path) -> None:
+        module = _load(tmp_path, "# lint: disable-file=REP105\nx = 1\ny = 2\n")
+        assert module.is_suppressed(_finding("REP105", 3))
+        assert not module.is_suppressed(_finding("REP101", 3))
+
+
+class TestFinding:
+    def test_fingerprint_ignores_line_and_col(self) -> None:
+        one = Finding("REP101", "a.py", 10, 4, "msg", context="f")
+        two = Finding("REP101", "a.py", 99, 0, "msg", context="f")
+        assert one.fingerprint == two.fingerprint
+
+    def test_fingerprint_tracks_identity_fields(self) -> None:
+        base = Finding("REP101", "a.py", 1, 0, "msg", context="f")
+        assert base.fingerprint != Finding(
+            "REP102", "a.py", 1, 0, "msg", context="f"
+        ).fingerprint
+        assert base.fingerprint != Finding(
+            "REP101", "b.py", 1, 0, "msg", context="f"
+        ).fingerprint
+        assert base.fingerprint != Finding(
+            "REP101", "a.py", 1, 0, "other", context="f"
+        ).fingerprint
+
+    def test_format_is_path_line_col_rule(self) -> None:
+        text = Finding("REP103", "a.py", 3, 7, "leak", context="C.m").format()
+        assert text == "a.py:3:7: REP103 leak [C.m]"
+
+
+class TestAstHelpers:
+    def test_dotted_name_resolves_chains_and_calls(self) -> None:
+        expr = ast.parse("self._db.transaction()").body[0].value
+        assert dotted_name(expr) == "self._db.transaction"
+        assert dotted_name(ast.parse("x").body[0].value) == "x"
+        assert dotted_name(ast.parse("(a or b).c").body[0].value) is None
+
+    def test_walk_scope_skips_nested_defs(self) -> None:
+        tree = ast.parse(
+            "def outer():\n"
+            "    a = 1\n"
+            "    def inner():\n"
+            "        b = 2\n"
+        )
+        names = {
+            node.id
+            for node in walk_scope(tree.body[0])
+            if isinstance(node, ast.Name)
+        }
+        assert "a" in names
+        assert "b" not in names
+
+
+class TestModuleLoading:
+    def test_roles_derive_from_path_parts(self) -> None:
+        module = load_module(FIXTURES / "server" / "rep101_bad.py")
+        assert "server" in module.roles
+        assert "core" not in module.roles
+
+    def test_qualnames_annotate_enclosing_scope(self, tmp_path) -> None:
+        module = _load(tmp_path, "class C:\n    def m(self):\n        x = 1\n")
+        assign = module.tree.body[0].body[0].body[0]
+        assert module.qualname_of(assign) == "C.m"
+
+    def test_iter_source_files_dedups_and_skips_egg_info(self, tmp_path) -> None:
+        (tmp_path / "pkg.egg-info").mkdir()
+        (tmp_path / "pkg.egg-info" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        files = list(iter_source_files([tmp_path, tmp_path / "a.py"]))
+        assert [f.name for f in files] == ["a.py"]
+
+
+class TestRunner:
+    def test_run_rules_separates_suppressed(self) -> None:
+        findings, suppressed = run_rules(
+            [FIXTURES / "server" / "rep101_clean.py"],
+            [LockHygieneRule()],
+            root=FIXTURES,
+        )
+        assert findings == []
+        assert len(suppressed) == 1
+        assert suppressed[0].rule == "REP101"
+
+    def test_findings_sorted_by_location(self) -> None:
+        findings, _ = run_rules(
+            [FIXTURES / "server" / "rep101_bad.py"],
+            [LockHygieneRule()],
+            root=FIXTURES,
+        )
+        assert findings == sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )

@@ -1,0 +1,65 @@
+"""The linter's own gate: the real tree must be clean under the baseline."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import all_rules
+from repro.lint.__main__ import main
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+class TestSelf:
+    def test_src_tree_has_no_unbaselined_findings(self) -> None:
+        findings, _ = run_rules([SRC], all_rules(), root=REPO_ROOT)
+        baseline_path = REPO_ROOT / "lint-baseline.json"
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+        )
+        new, _known = baseline.split(findings)
+        assert new == [], [f.format() for f in new]
+
+    def test_checked_in_baseline_is_valid_and_minimal(self) -> None:
+        baseline_path = REPO_ROOT / "lint-baseline.json"
+        assert baseline_path.exists()
+        payload = json.loads(baseline_path.read_text())
+        assert payload["version"] == 1
+        # Every baselined fingerprint must still correspond to a live
+        # finding — stale entries hide future regressions.
+        findings, _ = run_rules([SRC], all_rules(), root=REPO_ROOT)
+        live = {f.fingerprint for f in findings}
+        stale = [
+            e["fingerprint"]
+            for e in payload["findings"]
+            if e["fingerprint"] not in live
+        ]
+        assert stale == []
+
+    def test_cli_exit_zero_on_repo(self, capsys) -> None:
+        assert main([str(SRC), "--baseline", str(REPO_ROOT / "lint-baseline.json")]) in (
+            0,
+        )
+
+    def test_suppressed_waivers_carry_reasons(self) -> None:
+        """Every inline waiver in src/ must sit next to an explanation.
+
+        A bare ``# lint: disable=...`` with no nearby prose defeats the
+        point of sanctioned-violation comments.
+        """
+        for path in SRC.rglob("*.py"):
+            if "lint" in path.parts:
+                # The checker's own sources quote the marker in docs.
+                continue
+            lines = path.read_text(encoding="utf-8").splitlines()
+            for lineno, line in enumerate(lines, start=1):
+                if "lint: disable" not in line:
+                    continue
+                window = lines[max(0, lineno - 6) : lineno]
+                assert any(
+                    "#" in w and "lint:" not in w for w in window
+                ), f"{path}:{lineno} waiver lacks an explanatory comment"

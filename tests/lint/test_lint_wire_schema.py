@@ -1,0 +1,91 @@
+"""REP105 extractor behaviour and schema-snapshot freshness."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import DEFAULT_SCHEMA_PATH, WireAdditivityRule, extract_surfaces
+from repro.lint.__main__ import main
+from repro.lint.engine import load_module, run_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SERVER_SRC = REPO_ROOT / "src" / "repro" / "server"
+
+
+class TestExtractor:
+    def test_response_kwargs_and_fields_dict(self) -> None:
+        module = load_module(FIXTURES / "server" / "wire_ok" / "server.py")
+        surfaces = extract_surfaces(module)
+        assert surfaces["server.py::Server._ping"] == {
+            "status",
+            "method",
+            "pong",
+        }
+
+    def test_real_dispatch_message_surface(self) -> None:
+        module = load_module(SERVER_SRC / "server.py")
+        surfaces = extract_surfaces(module)
+        dispatch = surfaces["server.py::NNexusServer.dispatch_message"]
+        # The error envelope plus the traceid added via fields.setdefault.
+        assert {"status", "method", "error", "code", "retryable", "traceid"} <= (
+            dispatch
+        )
+
+    def test_real_gateway_link_surface_includes_nested_link_keys(self) -> None:
+        module = load_module(SERVER_SRC / "http_gateway.py")
+        surfaces = extract_surfaces(module)
+        link = surfaces["http_gateway.py::NNexusHttpGateway.link"]
+        assert {"body", "linkcount", "links", "phrase", "target", "url"} <= link
+
+    def test_local_dict_subscript_assigns_are_collected(self) -> None:
+        module = load_module(SERVER_SRC / "http_gateway.py")
+        surfaces = extract_surfaces(module)
+        ready = surfaces["http_gateway.py::_Handler.do_GET"]
+        # /ready's payload dict gains mode/reason through subscripts.
+        assert {"status", "mode", "reason"} <= ready
+
+
+class TestSnapshotFreshness:
+    def test_checked_in_snapshot_matches_current_sources(self) -> None:
+        """The bundled wire_schema.json must stay regenerable byte-for-byte.
+
+        Failing here means a handler changed its response keys without
+        running ``python -m repro.lint --update-wire-schema``.
+        """
+        findings, _ = run_rules(
+            [SERVER_SRC], [WireAdditivityRule()], root=REPO_ROOT
+        )
+        assert findings == [], [f.format() for f in findings]
+
+    def test_update_wire_schema_cli_reproduces_snapshot(self, tmp_path, capsys):
+        target = tmp_path / "schema.json"
+        assert (
+            main(
+                [
+                    str(SERVER_SRC),
+                    "--update-wire-schema",
+                    "--schema",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(target.read_text()) == json.loads(
+            DEFAULT_SCHEMA_PATH.read_text()
+        )
+
+    def test_dropping_a_snapshot_key_is_flagged(self, tmp_path) -> None:
+        payload = json.loads(DEFAULT_SCHEMA_PATH.read_text())
+        payload["surfaces"]["server.py::NNexusServer._ping"].append("heartbeat")
+        mutated = tmp_path / "schema.json"
+        mutated.write_text(json.dumps(payload))
+        findings, _ = run_rules(
+            [SERVER_SRC / "server.py"],
+            [WireAdditivityRule(schema_path=mutated)],
+            root=REPO_ROOT,
+        )
+        assert any(
+            "dropped response key(s) heartbeat" in f.message for f in findings
+        )

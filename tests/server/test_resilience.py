@@ -96,6 +96,67 @@ class TestReadersWriterLock:
             assert lock.readers == 1
         assert lock.readers == 0
 
+    def test_timed_out_read_does_not_leak_reader_count(self) -> None:
+        lock = ReadersWriterLock()
+        assert lock.acquire_write(timeout=1)
+        # A reader giving up must not be counted as holding the lock.
+        assert not lock.acquire_read(timeout=0.05)
+        assert lock.readers == 0
+        lock.release_write()
+        # If the failed acquire had leaked a phantom reader, this writer
+        # would block until the timeout and fail.
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_timed_out_write_does_not_leak_waiting_count(self) -> None:
+        lock = ReadersWriterLock()
+        assert lock.acquire_read(timeout=1)
+        assert not lock.acquire_write(timeout=0.05)
+        # Writer preference gates new readers on _writers_waiting == 0:
+        # a leaked waiting-writer count would lock readers out forever.
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+        lock.release_read()
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_repeated_timeouts_leave_lock_usable(self) -> None:
+        lock = ReadersWriterLock()
+        assert lock.acquire_write(timeout=1)
+        for _ in range(5):
+            assert not lock.acquire_read(timeout=0.01)
+            assert not lock.acquire_write(timeout=0.01)
+        lock.release_write()
+        # Counters must be back to rest: readers overlap freely and a
+        # writer still gets in afterwards.
+        assert lock.acquire_read(timeout=1)
+        assert lock.acquire_read(timeout=1)
+        assert lock.readers == 2
+        lock.release_read()
+        lock.release_read()
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_timed_out_writer_wakes_blocked_readers(self) -> None:
+        lock = ReadersWriterLock()
+        assert lock.acquire_read(timeout=1)
+        acquired = threading.Event()
+
+        def reader() -> None:
+            if lock.acquire_read(timeout=5):
+                acquired.set()
+                lock.release_read()
+
+        # This writer stalls behind the held read lock; while it waits,
+        # its _writers_waiting bump keeps the background reader out.
+        assert not lock.acquire_write(timeout=0.1)
+        thread = threading.Thread(target=reader)
+        thread.start()
+        # Once the writer has given up, the reader must get through.
+        assert acquired.wait(5)
+        thread.join(timeout=5)
+        lock.release_read()
+
 
 class TestAdmissionController:
     def test_bounds_in_flight(self) -> None:

@@ -1,0 +1,163 @@
+"""Startup/shutdown hygiene of ``python -m repro.server`` (the CLI).
+
+Regression suite for the REP103 findings the invariant checker
+surfaced: a failed startup (occupied port, missing corpus file) used to
+leak the opened storage backend and the trace exporter because nothing
+between ``open_storage`` and the serve loop's ``finally`` closed them.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.server import __main__ as server_main
+
+
+class _Recorder:
+    """Wraps open_storage/JsonlExporter so close() calls are observable."""
+
+    def __init__(self, monkeypatch) -> None:
+        self.closed: list[str] = []
+        recorder = self
+
+        real_open = server_main.open_storage
+
+        def tracking_open(*args, **kwargs):
+            storage = real_open(*args, **kwargs)
+            original_close = storage.close
+
+            def close() -> None:
+                recorder.closed.append("storage")
+                original_close()
+
+            storage.close = close  # type: ignore[method-assign]
+            return storage
+
+        class FakeExporter:
+            def __init__(self, path) -> None:
+                self.path = path
+
+            def export(self, spans) -> None:  # pragma: no cover - unused
+                pass
+
+            def close(self) -> None:
+                recorder.closed.append("exporter")
+
+        monkeypatch.setattr(server_main, "open_storage", tracking_open)
+        monkeypatch.setattr(server_main, "JsonlExporter", FakeExporter)
+
+
+@pytest.fixture()
+def recorder(monkeypatch) -> _Recorder:
+    return _Recorder(monkeypatch)
+
+
+def _occupied_port() -> tuple[socket.socket, int]:
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    return blocker, blocker.getsockname()[1]
+
+
+class TestStartupFailureHygiene:
+    def test_occupied_port_returns_one_and_closes_resources(
+        self, tmp_path, recorder
+    ) -> None:
+        blocker, port = _occupied_port()
+        try:
+            rc = server_main.main(
+                [
+                    "--host",
+                    "127.0.0.1",
+                    "--port",
+                    str(port),
+                    "--backend",
+                    "engine",
+                    "--data-dir",
+                    str(tmp_path / "data"),
+                    "--trace-jsonl",
+                    str(tmp_path / "trace.jsonl"),
+                ]
+            )
+        finally:
+            blocker.close()
+        assert rc == 1
+        assert "storage" in recorder.closed
+        assert "exporter" in recorder.closed
+
+    def test_storage_reopens_cleanly_after_bind_failure(self, tmp_path) -> None:
+        """The WAL handle must actually be released, not just flagged."""
+        data_dir = tmp_path / "data"
+        blocker, port = _occupied_port()
+        try:
+            assert (
+                server_main.main(
+                    [
+                        "--host",
+                        "127.0.0.1",
+                        "--port",
+                        str(port),
+                        "--backend",
+                        "engine",
+                        "--data-dir",
+                        str(data_dir),
+                    ]
+                )
+                == 1
+            )
+        finally:
+            blocker.close()
+        storage = server_main.open_storage("engine", data_dir)
+        try:
+            assert storage.load().objects == []
+        finally:
+            storage.close()
+
+    def test_missing_corpus_file_fails_cleanly_and_closes_storage(
+        self, tmp_path, recorder
+    ) -> None:
+        # FileNotFoundError is an OSError: handled as an operator error.
+        rc = server_main.main(
+            [
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--backend",
+                "engine",
+                "--data-dir",
+                str(tmp_path / "data"),
+                "--corpus",
+                str(tmp_path / "does-not-exist.json"),
+            ]
+        )
+        assert rc == 1
+        assert "storage" in recorder.closed
+
+    def test_non_oserror_startup_failure_still_closes_storage(
+        self, tmp_path, recorder, monkeypatch
+    ) -> None:
+        def exploding_corpus(path):
+            raise RuntimeError("corrupt corpus payload")
+
+        monkeypatch.setattr(server_main, "load_corpus", exploding_corpus)
+        corpus = tmp_path / "corpus.json"
+        corpus.write_text("[]")
+        with pytest.raises(RuntimeError):
+            server_main.main(
+                [
+                    "--host",
+                    "127.0.0.1",
+                    "--port",
+                    "0",
+                    "--backend",
+                    "engine",
+                    "--data-dir",
+                    str(tmp_path / "data"),
+                    "--corpus",
+                    str(corpus),
+                ]
+            )
+        assert "storage" in recorder.closed
