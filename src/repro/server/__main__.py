@@ -66,6 +66,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-in-flight", type=int, default=64,
                         help="admission bound; excess requests are shed "
                              "with a retryable 'overloaded' error")
+    parser.add_argument("--pipeline-workers", type=int, default=None,
+                        metavar="N",
+                        help="executor threads serving reqid-tagged (pipelined) "
+                             "read requests across all connections; default "
+                             "min(32, --max-in-flight)")
     parser.add_argument("--request-timeout", type=float, default=30.0,
                         help="seconds a started request may take per socket "
                              "read before the connection is closed")
@@ -123,6 +128,8 @@ def main(argv: list[str] | None = None) -> int:
                          "(engine or sqlite)")
         if args.map_cache_segments < 0:
             parser.error("--map-cache-segments must be >= 0 (0 = unbounded)")
+    if args.pipeline_workers is not None and args.pipeline_workers < 1:
+        parser.error("--pipeline-workers must be >= 1")
 
     configure_logging(
         level=args.log_level, fmt="json" if args.log_json else "console"
@@ -189,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
             max_in_flight=args.max_in_flight,
             request_timeout=args.request_timeout,
             idle_timeout=args.idle_timeout,
+            pipeline_workers=args.pipeline_workers,
         )
         host, port = server.address
         log.info(

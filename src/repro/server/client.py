@@ -14,15 +14,36 @@ inside a ``client.<method>`` span and each network attempt becomes a
 request as a ``traceparent`` field — so a retried request shows up as
 ONE trace with one attempt span per try, and a tracing-aware server
 continues the same trace.
+
+Two concurrency shapes are available on top of the blocking client:
+
+* ``NNexusClient(..., pipeline=True)`` multiplexes many in-flight
+  requests over ONE connection: each request is tagged with a unique
+  ``reqid`` field, a background reader thread matches the server's
+  (possibly out-of-order) tagged responses back to their waiters, and
+  the client becomes safe to call from many threads at once.  Requires
+  a ``reqid``-echoing server; the default single-flight mode keeps
+  working against servers that predate the field.
+* :class:`NNexusClientPool` keeps a bounded pool of independent
+  clients for callers that want concurrency through many connections
+  (or must talk to a legacy server).
+
+Every transport failure path — a failed ``sendall``, a truncated or
+undecodable frame, a reader-thread death — closes the socket before
+the retry loop reconnects, so no failure mode leaks a file descriptor
+or reuses a desynchronized frame stream.
 """
 
 from __future__ import annotations
 
+import contextlib
+import itertools
 import json
 import socket
+import threading
 import time
 from types import TracebackType
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.core.errors import DeadlineExceededError, NNexusError, ProtocolError
 from repro.core.models import CorpusObject
@@ -30,7 +51,10 @@ from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.server import protocol
 from repro.server.resilience import Deadline, RetryPolicy
 
-__all__ = ["NNexusClient", "RemoteError"]
+__all__ = ["NNexusClient", "NNexusClientPool", "RemoteError"]
+
+#: Response fields stamped by the transport/tracing layers, not data.
+_TRANSPORT_FIELDS = frozenset({"traceid", "reqid"})
 
 
 class RemoteError(NNexusError):
@@ -46,6 +70,139 @@ class RemoteError(NNexusError):
         super().__init__(message)
         self.code = code
         self.retryable = retryable
+
+
+class _Waiter:
+    """One pending pipelined request: an event plus its outcome slot."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: protocol.Response | None = None
+        self.error: Exception | None = None
+
+
+class _Multiplexer:
+    """Reader-thread demultiplexer for one pipelined connection.
+
+    Many caller threads park in :meth:`call`; a single background
+    reader decodes frames and routes each response to the waiter whose
+    ``reqid`` it carries.  Responses that match no waiter — late
+    arrivals for timed-out requests, or a peer that answers without
+    echoing ``reqid`` — bump :attr:`unknown_responses` and are dropped:
+    a misbehaving server must never crash the reader.  Any transport
+    error fails every outstanding waiter, closes the socket, and leaves
+    the multiplexer permanently dead; the owning client builds a fresh
+    one on its next attempt.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        # The reader blocks in recv indefinitely; per-request deadlines
+        # are enforced by each waiter's own timed wait instead, so one
+        # slow response never poisons the connection for the others.
+        sock.settimeout(None)
+        self._sock = sock
+        self._lock = threading.Lock()
+        self._waiters: dict[str, _Waiter] = {}
+        self._closed = False
+        self.unknown_responses = 0
+        self._reader = threading.Thread(
+            target=self._read_loop, name="nnexus-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+    def call(
+        self, reqid: str, payload: bytes, timeout: float | None
+    ) -> protocol.Response:
+        waiter = _Waiter()
+        try:
+            with self._lock:
+                if self._closed:
+                    raise ConnectionError("pipelined connection is closed")
+                self._waiters[reqid] = waiter
+                # This lock exists precisely to serialize this send: it
+                # guards only the waiter table and the socket's write
+                # side (never linker or corpus state), so the longest
+                # anyone waits on it is one frame's sendall.  Holding it
+                # across both the registration and the write also means
+                # the reader can never deliver a response before its
+                # waiter exists.
+                self._sock.sendall(payload)  # lint: disable=REP101
+        except ConnectionError:
+            raise
+        except Exception as exc:
+            # A failed send leaves the write side in an unknown state;
+            # fail everyone and close the socket BEFORE the retry loop
+            # reconnects (close-on-every-raised-path, as REP103 demands
+            # of the server side).
+            self._fail_all(exc)
+            raise
+        if not waiter.event.wait(timeout):
+            # Only this request's budget is spent — the connection stays
+            # up for the other in-flight requests.  Abandon the waiter;
+            # if its response arrives late the reader counts it in
+            # unknown_responses and drops it.
+            with self._lock:
+                self._waiters.pop(reqid, None)
+            raise DeadlineExceededError(
+                f"no response for reqid {reqid!r} within {timeout}s"
+            )
+        if waiter.error is not None:
+            raise waiter.error
+        if waiter.response is None:  # pragma: no cover — set before event
+            raise ProtocolError("waiter woken without a response")
+        return waiter.response
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                message = protocol.read_frame(self._sock.recv)
+                if message is None:
+                    raise ProtocolError("server closed the connection")
+                response = protocol.decode_response(message)
+                reqid = response.fields.get("reqid", "")
+                with self._lock:
+                    waiter = self._waiters.pop(reqid, None) if reqid else None
+                    if waiter is None:
+                        self.unknown_responses += 1
+                        continue
+                waiter.response = response
+                waiter.event.set()
+        except Exception as exc:
+            self._fail_all(exc)
+
+    def _fail_all(self, exc: Exception) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            waiters = list(self._waiters.values())
+            self._waiters.clear()
+        # Close before waking anyone: a waiter that goes on to retry
+        # must never race against a half-dead socket still holding the
+        # old file descriptor.
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        for waiter in waiters:
+            waiter.error = exc
+            waiter.event.set()
+
+    def close(self) -> None:
+        """Fail outstanding waiters, close the socket, reap the reader."""
+        self._fail_all(ConnectionError("client closed the connection"))
+        # Closing the socket kicks the reader out of recv; reap it so a
+        # closed client leaves no thread behind (the reader calls
+        # _fail_all itself when it is the one who noticed the error, in
+        # which case it must not try to join itself).
+        if threading.current_thread() is not self._reader:
+            self._reader.join(timeout=5.0)
 
 
 class NNexusClient:
@@ -67,6 +224,14 @@ class NNexusClient:
         Tracer recording call/attempt spans and injecting
         ``traceparent`` into outgoing requests (default: the inert
         null tracer — zero overhead, no field added).
+    pipeline:
+        When true, multiplex requests over one connection: every
+        request carries a fresh ``reqid``, a background reader matches
+        responses (which may arrive out of order) back to callers, and
+        the client becomes safe to use from many threads at once.
+        Requires a ``reqid``-echoing server.  The default (false) is
+        the legacy single-flight mode — one request on the wire at a
+        time, NOT thread-safe, works against any server.
     """
 
     def __init__(
@@ -78,6 +243,7 @@ class NNexusClient:
         *,
         sleep: Callable[[float], None] = time.sleep,
         tracer: NullTracer | None = None,
+        pipeline: bool = False,
     ) -> None:
         self._host = host
         self._port = port
@@ -85,7 +251,16 @@ class NNexusClient:
         self._retry = retry if retry is not None else RetryPolicy()
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._sleep = sleep
+        self._pipeline = pipeline
         self._sock: socket.socket | None = None
+        self._mux: _Multiplexer | None = None
+        # Serializes connect/teardown across the caller threads a
+        # pipelined client is allowed to have.
+        self._conn_lock = threading.Lock()
+        # next(itertools.count) is atomic under the GIL, so concurrent
+        # pipelined callers always draw distinct reqids.
+        self._reqid_counter = itertools.count(1)
+        self._unknown_responses = 0
         # Connect eagerly so constructing against a dead address fails
         # loudly, as the non-reconnecting client always did.
         self._connect(Deadline(None))
@@ -100,32 +275,48 @@ class NNexusClient:
             if remaining <= 0:
                 raise DeadlineExceededError("client deadline exhausted")
             timeout = min(timeout, remaining)
-        self._sock = socket.create_connection(
-            (self._host, self._port), timeout=timeout
-        )
-        return self._sock
+        sock = socket.create_connection((self._host, self._port), timeout=timeout)
+        try:
+            # Frames are small and latency-bound; Nagle + delayed ACK
+            # can stall a pipelined connection for tens of milliseconds.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self._pipeline:
+                self._mux = _Multiplexer(sock)
+        except Exception:
+            sock.close()  # nothing took ownership yet; don't leak
+            raise
+        self._sock = sock
+        return sock
+
+    def _teardown_locked(self) -> None:
+        """Close whatever transport exists (caller holds ``_conn_lock``)."""
+        mux, self._mux = self._mux, None
+        sock, self._sock = self._sock, None
+        if mux is not None:
+            # Fold the dead connection's unmatched-response count into
+            # the client-lifetime total before the mux is dropped.
+            self._unknown_responses += mux.unknown_responses
+            mux.close()
+        elif sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def _mark_broken(self) -> None:
         """Drop a desynchronized connection so the next call reconnects."""
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
-            self._sock = None
+        with self._conn_lock:
+            self._teardown_locked()
 
     def _call(self, request: protocol.Request) -> protocol.Response:
         trc = self._tracer
+        # Validate-encode before the first attempt so encoding failures
+        # (caller bugs, not transport faults) raise eagerly, before the
+        # socket is touched, and are never retried.
+        protocol.frame(protocol.encode_request(request))
         if not trc.enabled:
-            # Encoding failures are caller bugs, not transport faults:
-            # raise before touching the socket and never retry them.
-            payload = protocol.frame(protocol.encode_request(request))
-            return self._retry_loop(lambda attempt: self._attempt(payload))
+            return self._retry_loop(lambda attempt: self._attempt_request(request))
         with trc.span(f"client.{request.method}", method=request.method) as call_span:
-            # Validate-encode before the first attempt so encoding bugs
-            # still raise eagerly and are never retried.
-            protocol.frame(protocol.encode_request(request))
-
             def one_attempt(attempt: int) -> protocol.Response:
                 # Each try gets its own child span, and its id is what
                 # the server continues — so the server's root span hangs
@@ -134,8 +325,7 @@ class NNexusClient:
                     "client.attempt", parent=call_span, attempt=attempt
                 ) as attempt_span:
                     request.fields["traceparent"] = attempt_span.traceparent()
-                    payload = protocol.frame(protocol.encode_request(request))
-                    return self._attempt(payload)
+                    return self._attempt_request(request)
 
             response = self._retry_loop(one_attempt)
             call_span.set_attribute("server_trace_id", response.fields.get("traceid", ""))
@@ -170,6 +360,30 @@ class NNexusClient:
                 )
             self._sleep(delay)
 
+    def _attempt_request(self, request: protocol.Request) -> protocol.Response:
+        """Encode and run one attempt on whichever transport is active."""
+        if not self._pipeline:
+            request.fields.pop("reqid", None)
+            payload = protocol.frame(protocol.encode_request(request))
+            return self._attempt(payload)
+        # A fresh reqid per attempt: a retry must never be matched
+        # against a late response to the attempt it replaced.
+        reqid = f"r{next(self._reqid_counter)}"
+        request.fields["reqid"] = reqid
+        payload = protocol.frame(protocol.encode_request(request))
+        return self._attempt_pipelined(reqid, payload)
+
+    def _attempt_pipelined(self, reqid: str, payload: bytes) -> protocol.Response:
+        with self._conn_lock:
+            mux = self._mux
+            if mux is None or not mux.alive:
+                self._teardown_locked()
+                self._connect(Deadline(None))
+                mux = self._mux
+        if mux is None:  # pragma: no cover — _connect sets it or raises
+            raise ConnectionError("pipelined transport unavailable")
+        return self._raise_for_status(mux.call(reqid, payload, self._timeout))
+
     def _attempt(self, payload: bytes) -> protocol.Response:
         sock = self._sock
         if sock is None:
@@ -178,8 +392,9 @@ class NNexusClient:
             sock.sendall(payload)
             message = protocol.read_frame(sock.recv)
         except Exception:
-            # Any transport error mid-call leaves the frame stream in an
-            # unknown state; never reuse this connection.
+            # Any transport error mid-call — a failed sendall as much as
+            # a truncated read — leaves the frame stream in an unknown
+            # state; close this socket before anyone reconnects.
             self._mark_broken()
             raise
         if message is None:
@@ -190,6 +405,10 @@ class NNexusClient:
         except ProtocolError:
             self._mark_broken()
             raise
+        return self._raise_for_status(response)
+
+    @staticmethod
+    def _raise_for_status(response: protocol.Response) -> protocol.Response:
         if not response.ok:
             raise RemoteError(
                 response.error or "unknown server error",
@@ -198,12 +417,28 @@ class NNexusClient:
             )
         return response
 
+    @property
+    def unknown_responses(self) -> int:
+        """Lifetime count of responses that matched no pending request.
+
+        Only a pipelined client can observe these: late responses to
+        requests whose deadline already fired, or a confused peer
+        echoing a ``reqid`` nobody sent.  They are dropped, not fatal —
+        this counter is how tests (and operators) see them anyway.
+        """
+        with self._conn_lock:
+            live = self._mux.unknown_responses if self._mux is not None else 0
+            return self._unknown_responses + live
+
     def close(self) -> None:
         """Close the socket; safe to call repeatedly."""
         self._mark_broken()
 
     @property
     def connected(self) -> bool:
+        if self._pipeline:
+            mux = self._mux
+            return mux is not None and mux.alive
         return self._sock is not None
 
     def __enter__(self) -> "NNexusClient":
@@ -230,7 +465,9 @@ class NNexusClient:
         return {
             key: int(value)
             for key, value in response.fields.items()
-            if key != "traceid"  # stamped by tracing servers, not a statistic
+            # traceid/reqid are stamped by the transport and tracing
+            # layers; everything else describe() answers is a count.
+            if key not in _TRANSPORT_FIELDS
         }
 
     def get_metrics(self) -> dict[str, list[dict[str, object]]]:
@@ -294,3 +531,119 @@ class NNexusClient:
                 "setPolicy", fields={"objectid": str(object_id), "policy": policy}
             )
         )
+
+
+class NNexusClientPool:
+    """A bounded pool of independent :class:`NNexusClient` connections.
+
+    For callers that want concurrency through many connections rather
+    than (or on top of) pipelining one — the HTTP gateway's executor
+    threads, or fan-out against a legacy server that never echoes
+    ``reqid``.  Clients are created lazily up to ``size``;
+    :meth:`connection` blocks while all are checked out, which is the
+    pool's back-pressure: it never grows past its bound.
+
+    >>> pool = NNexusClientPool(host, port, size=4)       # doctest: +SKIP
+    >>> with pool.connection() as client:
+    ...     client.ping()
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 4,
+        *,
+        timeout: float = 10.0,
+        retry: RetryPolicy | None = None,
+        tracer: NullTracer | None = None,
+        pipeline: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self._host = host
+        self._port = port
+        self._size = size
+        self._timeout = timeout
+        self._retry = retry
+        self._tracer = tracer
+        self._pipeline = pipeline
+        self._sleep = sleep
+        self._slots = threading.BoundedSemaphore(size)
+        self._idle_lock = threading.Lock()
+        self._idle: list[NNexusClient] = []
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @contextlib.contextmanager
+    def connection(self) -> Iterator[NNexusClient]:
+        """Check a client out for the duration of the ``with`` body.
+
+        The client is returned to the pool afterwards even if the body
+        raised — a broken connection repairs itself on its next call,
+        so there is nothing to quarantine.
+        """
+        client = self._checkout()
+        try:
+            yield client
+        finally:
+            self._checkin(client)
+
+    def _checkout(self) -> NNexusClient:
+        self._slots.acquire()
+        try:
+            with self._idle_lock:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                client = self._idle.pop() if self._idle else None
+            if client is None:
+                client = self._make()
+            return client
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def _checkin(self, client: NNexusClient) -> None:
+        try:
+            with self._idle_lock:
+                returned = not self._closed
+                if returned:
+                    self._idle.append(client)
+            if not returned:
+                client.close()
+        finally:
+            self._slots.release()
+
+    def _make(self) -> NNexusClient:
+        return NNexusClient(
+            self._host,
+            self._port,
+            timeout=self._timeout,
+            retry=self._retry,
+            sleep=self._sleep,
+            tracer=self._tracer,
+            pipeline=self._pipeline,
+        )
+
+    def close(self) -> None:
+        """Close every idle client; checked-out ones close on check-in."""
+        with self._idle_lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+    def __enter__(self) -> "NNexusClientPool":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

@@ -2,9 +2,9 @@
 
 "NNexus could be deployed as a web service to allow third parties to
 link arbitrary documents to particular corpora" — this module is that
-deployment: a small HTTP server (stdlib ``http.server``) exposing the
-linker as JSON endpoints, suitable as a drop-in backend for a blog
-plugin or an on-demand text-linking bookmarklet.
+deployment: an ``asyncio`` HTTP/1.1 server exposing the linker as JSON
+endpoints, suitable as a drop-in backend for a blog plugin or an
+on-demand text-linking bookmarklet.
 
 Endpoints
 ---------
@@ -18,17 +18,28 @@ Endpoints
 ``POST /annotations`` {"text", "classes": [...]}        -> W3C Web Annotations
 ``GET  /entry/<id>``                   -> entry metadata + rendered HTML
 
+Architecture: one event loop owns every socket — it parses requests,
+writes responses, and keeps connections alive across requests
+(HTTP/1.1 keep-alive, so a busy caller pays the TCP+parse setup once,
+not per request).  The blocking linker work runs OFF the loop: routed
+requests are handed to a bounded thread pool where the synchronous
+``_Handler.do_GET``/``do_POST`` route bodies run under the same
+admission control, readers-writer lock, and tracing as before.  Probes
+(``/health``, ``/ready``, ``/metrics``, ``/debug/traces``) answer
+inline on the loop — they touch no locks, so a saturated executor
+cannot starve liveness checks, scrapes, or trace forensics.
+
 With a :class:`~repro.obs.trace.Tracer` installed, every non-probe
 request runs inside a root span continuing the inbound W3C
 ``traceparent`` header when present, and responses carry
-``x-request-id`` (the trace id) and ``traceparent`` headers.  The
-``/debug/traces`` endpoints answer outside admission control, like
-``/metrics``, so forensics stay available under load.
+``x-request-id`` (the trace id) and ``traceparent`` headers.
 
 Errors come back as ``{"error": ...}`` with a 4xx status.  When more
 than ``max_in_flight`` requests are in flight, or the gateway has been
 marked not-ready (e.g. while draining for shutdown), work is shed with
-**503** and a ``Retry-After`` header instead of queueing unboundedly.
+**503** and a ``Retry-After`` header instead of queueing unboundedly —
+the executor's dispatch slots are bounded too, so a request burst is
+refused on the loop rather than piling up behind the thread pool.
 
 The gateway shares the linker with whatever else holds it; mutations
 stay on the XML socket API (the write path), keeping this surface
@@ -38,10 +49,15 @@ the socket server's ``rwlock`` to coordinate with its write path.
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import json
 import re
+import socket
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from http.client import responses as _HTTP_REASONS
 from time import perf_counter
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
@@ -67,26 +83,76 @@ _RENDERERS = {
 _ENTRY_PATH = re.compile(r"^/entry/(\d+)$")
 _TRACE_PATH = re.compile(r"^/debug/traces(?:/([0-9a-fA-F]+))?$")
 _MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADERS = 100
+#: Per-read deadline once a request has started arriving (slow-loris).
+_HEADER_TIMEOUT = 10.0
+_BODY_TIMEOUT = 30.0
 
 _ACCESS_LOG = get_logger("nnexus.http")
 
 
-class _Handler(BaseHTTPRequestHandler):
-    server: "NNexusHttpGateway"
-    protocol_version = "HTTP/1.1"
+@dataclass
+class _HttpRequest:
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str]
+    body: bytes
 
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        # http.server writes bare lines to stderr per request; route
-        # them through the structured logger instead.  DEBUG level
-        # keeps the default console quiet (the old behaviour silenced
-        # them outright) while `--log-level debug` gets access lines
-        # stamped with the active trace id.
-        if _ACCESS_LOG.enabled_for("debug"):
-            _ACCESS_LOG.debug(
-                "http.access",
-                client=self.address_string(),
-                message=format % args,
-            )
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.1":
+            return connection != "close"
+        return connection == "keep-alive"
+
+
+@dataclass
+class _HttpResponse:
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def serialize(self, keep_alive: bool) -> bytes:
+        reason = _HTTP_REASONS.get(self.status, "")
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        if not keep_alive:
+            headers["Connection"] = "close"
+        head = "".join(
+            [f"HTTP/1.1 {self.status} {reason}\r\n"]
+            + [f"{name}: {value}\r\n" for name, value in headers.items()]
+            + ["\r\n"]
+        )
+        return head.encode("latin-1") + self.body
+
+
+def _is_probe(path: str) -> bool:
+    """Routes that answer inline on the loop, outside admission."""
+    return (
+        path in ("/health", "/ready", "/metrics")
+        or _TRACE_PATH.match(path) is not None
+    )
+
+
+class _Handler:
+    """Synchronous route logic for one HTTP exchange.
+
+    The ``do_GET``/``do_POST`` bodies deliberately mirror the old
+    ``http.server`` handler: admission, spans, and error mapping all
+    live here, and the REP104 (handlers open a span) and REP105
+    (response-surface extraction) analyses keep their handles on the
+    same function names.  Instead of writing to a socket, ``_send_json``
+    records the outcome in :attr:`response`; the event loop serializes
+    and writes it.
+    """
+
+    def __init__(self, server: "NNexusHttpGateway", request: _HttpRequest) -> None:
+        self.server = server
+        self.request = request
+        self.path = request.target
+        self.headers = request.headers
+        self.response: _HttpResponse | None = None
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -99,22 +165,17 @@ class _Handler(BaseHTTPRequestHandler):
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         span = current_span()
+        headers = {"Content-Type": "application/json; charset=utf-8"}
         if span is not None and span.is_recording:
             span.set_attribute("http_status", status)
             if status >= 500:
                 span.set_status("error", f"http {status}")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        if span is not None and span.is_recording:
             # The trace id doubles as the request id; the traceparent
             # header lets a browser/client continue the same trace.
-            self.send_header("x-request-id", span.trace_id)
-            self.send_header("traceparent", span.traceparent())
-        for name, value in (extra_headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+            headers["x-request-id"] = span.trace_id
+            headers["traceparent"] = span.traceparent()
+        headers.update(extra_headers or {})
+        self.response = _HttpResponse(status=status, headers=headers, body=body)
 
     def _send_unavailable(self, reason: str) -> None:
         rec = self.server.linker.metrics
@@ -127,10 +188,9 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _read_json(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length", "0"))
-        if length <= 0 or length > _MAX_BODY:
+        raw = self.request.body
+        if not raw or len(raw) > _MAX_BODY:
             raise ValueError("request body required (and under 8 MiB)")
-        raw = self.rfile.read(length)
         payload = json.loads(raw)
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
@@ -148,7 +208,7 @@ class _Handler(BaseHTTPRequestHandler):
             name, traceparent=self.headers.get("traceparent"), path=path
         )
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
+    def do_GET(self) -> None:  # noqa: N802 - parity with the http.server API
         # Liveness, readiness, metrics and trace forensics answer
         # outside admission control: a saturated server is still
         # *alive*, and probes, scrapes and debugging must keep working
@@ -175,11 +235,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if path == "/metrics":
             body = render_prometheus(self.server.metrics_snapshot()).encode("utf-8")
-            self.send_response(200)
-            self.send_header("Content-Type", _PROM_CONTENT_TYPE)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            self.response = _HttpResponse(
+                status=200, headers={"Content-Type": _PROM_CONTENT_TYPE}, body=body
+            )
             return
         trace_match = _TRACE_PATH.match(path)
         if trace_match:
@@ -203,7 +261,7 @@ class _Handler(BaseHTTPRequestHandler):
             except (NNexusError, ValueError) as exc:
                 self._send_json({"error": str(exc)}, status=400)
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def do_POST(self) -> None:  # noqa: N802 - parity with the http.server API
         path = urlsplit(self.path).path
         with self._request_span("http.POST", path):
             try:
@@ -243,8 +301,15 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json({"traces": trc.recent_traces(limit)})
 
 
-class NNexusHttpGateway(ThreadingHTTPServer):
-    """Read-only HTTP facade over a shared linker.
+class NNexusHttpGateway:
+    """Read-only HTTP facade over a shared linker (asyncio, keep-alive).
+
+    The constructor binds the listening socket (so an occupied port
+    fails loudly, before any thread starts); :meth:`serve_forever` runs
+    the event loop and blocks until :meth:`shutdown`.  The lifecycle
+    mirrors ``socketserver`` — ``serve_forever`` on a thread, then
+    ``shutdown()`` followed by ``server_close()`` — so callers of the
+    old thread-per-connection gateway drop in unchanged.
 
     Parameters
     ----------
@@ -262,10 +327,10 @@ class NNexusHttpGateway(ThreadingHTTPServer):
     tracer:
         Tracer recording per-request root spans (default: the linker's
         own tracer, so one ``NNexus(tracer=...)`` wires the stack).
+    keepalive_timeout:
+        Seconds an idle keep-alive connection may sit between requests
+        before the gateway closes it.
     """
-
-    daemon_threads = True
-    allow_reuse_address = True
 
     def __init__(
         self,
@@ -277,19 +342,40 @@ class NNexusHttpGateway(ThreadingHTTPServer):
         retry_after: int = 1,
         rwlock: ReadersWriterLock | None = None,
         tracer: NullTracer | None = None,
+        keepalive_timeout: float = 75.0,
     ) -> None:
-        super().__init__((host, port), _Handler)
         self.linker = linker
         self.tracer = tracer if tracer is not None else linker.tracer
         self.admission = AdmissionController(max_in_flight)
         self.retry_after = retry_after
+        self.keepalive_timeout = keepalive_timeout
         self._rwlock = rwlock if rwlock is not None else ReadersWriterLock()
         self._ready = threading.Event()
         self._ready.set()
+        # A few threads beyond the admission bound: when every admitted
+        # slot is occupied, the spare threads are what run the shed path
+        # (admission.admit() raising -> 503) instead of queueing.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_in_flight + 4, thread_name_prefix="nnexus-http"
+        )
+        # Dispatch bound == worker count, so the executor's internal
+        # queue never grows: a burst past it is refused on the loop.
+        self._dispatch_slots = threading.BoundedSemaphore(max_in_flight + 4)
+        self._serving = threading.Event()
+        self._started = threading.Event()
+        self._done = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._close_once = threading.Lock()
+        self._closed = False
+        # Bind last: everything above must exist before server_close()
+        # could be asked to clean up after a failed bind.
+        self._listen_sock = socket.create_server((host, port))
 
     @property
     def address(self) -> tuple[str, int]:
-        host, port = self.server_address[:2]
+        host, port = self._listen_sock.getsockname()[:2]
         return str(host), int(port)
 
     # ------------------------------------------------------------------
@@ -305,6 +391,190 @@ class NNexusHttpGateway(ThreadingHTTPServer):
             self._ready.set()
         else:
             self._ready.clear()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the accept loop; blocks the caller until :meth:`shutdown`."""
+        self._serving.set()
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                self._loop = None
+                loop.close()
+                self._done.set()
+
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._on_connection, sock=self._listen_sock
+        )
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # start_server's per-connection tasks are not children of
+            # this coroutine; reap them explicitly or they (and their
+            # sockets) would outlive the loop.
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    def shutdown(self) -> None:
+        """Stop the loop and close every connection; blocks until done."""
+        if not self._serving.is_set():
+            return  # serve_forever never ran; nothing to stop
+        self._started.wait(timeout=5.0)
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # the loop already finished on its own
+        self._done.wait(timeout=10.0)
+
+    def server_close(self) -> None:
+        """Release the listening socket and reap the worker threads."""
+        self.shutdown()  # no-op unless something is still serving
+        with self._close_once:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._listen_sock.close()
+        except OSError:
+            pass
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling (event loop)
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._handle_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ValueError as exc:
+                    # Malformed request: answer 400 and drop the
+                    # connection — the stream offset is untrustworthy.
+                    error = _HttpResponse(
+                        status=400,
+                        headers={"Content-Type": "application/json; charset=utf-8"},
+                        body=json.dumps({"error": str(exc)}).encode("utf-8"),
+                    )
+                    writer.write(error.serialize(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._respond(request)
+                keep_alive = request.keep_alive
+                if _ACCESS_LOG.enabled_for("debug"):
+                    _ACCESS_LOG.debug(
+                        "http.access",
+                        client=str(peer),
+                        message=f"{request.method} {request.target} "
+                        f"{response.status}",
+                    )
+                writer.write(response.serialize(keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, TimeoutError):
+            pass  # peer went away mid-exchange; nothing left to answer
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _HttpRequest | None:
+        """Parse one HTTP/1.x request; None on clean EOF or idle expiry."""
+        try:
+            line = await asyncio.wait_for(reader.readline(), self.keepalive_timeout)
+        except asyncio.TimeoutError:
+            return None  # idle keep-alive connection: close quietly
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ValueError(f"bad request line {line!r:.100}")
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), _HEADER_TIMEOUT)
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= _MAX_HEADERS:
+                raise ValueError("too many headers")
+            text = raw.decode("latin-1").rstrip("\r\n")
+            name, sep, value = text.partition(":")
+            if not sep:
+                raise ValueError(f"bad header line {text!r:.100}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError as exc:
+            raise ValueError("bad content-length") from exc
+        if length < 0 or length > _MAX_BODY:
+            raise ValueError("request body must be under 8 MiB")
+        body = b""
+        if length:
+            body = await asyncio.wait_for(reader.readexactly(length), _BODY_TIMEOUT)
+        return _HttpRequest(
+            method=method, target=target, version=version, headers=headers, body=body
+        )
+
+    async def _respond(self, request: _HttpRequest) -> _HttpResponse:
+        handler = _Handler(self, request)
+        if request.method == "GET" and _is_probe(urlsplit(request.target).path):
+            # Probes take no locks and must outlive executor saturation.
+            handler.do_GET()
+        elif request.method in ("GET", "POST"):
+            if not self._dispatch_slots.acquire(blocking=False):
+                handler._send_unavailable("gateway dispatch queue is full")
+            else:
+                try:
+                    work = handler.do_GET if request.method == "GET" else handler.do_POST
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(self._executor, work)
+                except RuntimeError:
+                    # The executor shut down while this request raced
+                    # in; refuse it the same way admission would.
+                    handler._send_unavailable("gateway is shutting down")
+                finally:
+                    self._dispatch_slots.release()
+        else:
+            handler._send_json(
+                {"error": f"method {request.method} not allowed"}, status=405
+            )
+        if handler.response is None:  # pragma: no cover — routes always answer
+            handler._send_json({"error": "handler produced no response"}, status=500)
+            assert handler.response is not None
+        return handler.response
 
     # ------------------------------------------------------------------
     # Operations (concurrent reads under the readers-writer lock)
@@ -410,8 +680,12 @@ def serve_http(
 ) -> NNexusHttpGateway:
     """Start the gateway on a daemon thread; returns the bound server.
 
-    Keyword arguments are forwarded to :class:`NNexusHttpGateway`
-    (``max_in_flight``, ``retry_after``, ``rwlock``, ``tracer``).
+    The listening socket is bound (and listening) before this returns,
+    so ``gateway.address`` is immediately connectable — early requests
+    queue in the accept backlog until the loop picks them up.  Keyword
+    arguments are forwarded to :class:`NNexusHttpGateway`
+    (``max_in_flight``, ``retry_after``, ``rwlock``, ``tracer``,
+    ``keepalive_timeout``).
     """
     gateway = NNexusHttpGateway(linker, host=host, port=port, **kwargs)
     thread = threading.Thread(target=gateway.serve_forever, daemon=True)

@@ -37,6 +37,17 @@ understand it continue the caller's trace and stamp the response with
 a ``traceid`` field.  Servers and clients that predate the field
 ignore it — it is an ordinary optional field, so the wire format is
 unchanged.
+
+Any request may also carry an optional ``reqid`` field: an opaque
+client-chosen token that a pipelining-aware server echoes back on the
+response, so one connection can carry many requests in flight at once
+and match responses that complete out of order.  Like ``traceparent``
+it is additive: servers that predate the field ignore it, clients that
+never send it get responses in strict FIFO order exactly as before.
+Read methods tagged with a ``reqid`` may be answered out of order;
+mutations always execute and answer in arrival order per connection.
+See ``docs/wire-protocol.md`` ("Pipelining") for the full ordering
+contract.
 """
 
 from __future__ import annotations

@@ -24,7 +24,14 @@ Operational hardening (see ``docs/architecture.md``):
   ``traceparent`` field when present) and answers with a ``traceid``
   field; ``getTrace``/``getRecentTraces`` retrieve recorded traces and,
   like ``/metrics`` scraping, bypass admission control so forensics
-  stay available during overload.
+  stay available during overload;
+* pipelining — a request tagged with a ``reqid`` field and naming a
+  read method is dispatched to a bounded executor instead of blocking
+  the connection's reader loop, so one connection can carry many
+  requests in flight; responses (tagged with the request's ``reqid``)
+  may complete out of order.  Mutations, untagged requests, and
+  fault-injected requests stay on the serial FIFO path, so legacy
+  clients see exactly the old one-at-a-time behaviour.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import socket
 import socketserver
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.errors import (
     DeadlineExceededError,
@@ -71,6 +79,9 @@ WRITE_METHODS = frozenset({"addObject", "updateObject", "removeObject", "setPoli
 #: Debug methods served outside admission control and draining (like
 #: ``/metrics`` scraping) — they read only the tracer's own ring.
 DEBUG_METHODS = frozenset({"getTrace", "getRecentTraces"})
+#: Methods a ``reqid``-tagged request may run out of order: everything
+#: that does not mutate linker state.  Writes keep per-connection FIFO.
+PIPELINED_METHODS = READ_METHODS | DEBUG_METHODS
 
 _LOG = get_logger("nnexus.server")
 
@@ -122,34 +133,113 @@ class _DeadlineRecv:
         return chunk
 
 
+class _ResponseWriter:
+    """Serializes frame writes to one socket.
+
+    With pipelining, executor workers and the reader loop both answer
+    on the same socket; interleaving two ``sendall`` calls would
+    corrupt the frame stream, so every response goes through this
+    per-connection mutex.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._lock = threading.Lock()
+
+    def send(self, payload: bytes) -> bool:
+        """Write one framed response; False when the peer is gone."""
+        with self._lock:
+            try:
+                # This lock exists precisely to serialize this send: it
+                # guards only the socket (never linker state), so one
+                # slow peer stalls its own connection, nothing else.
+                self._sock.sendall(payload)  # lint: disable=REP101
+                return True
+            except OSError:
+                return False
+
+    def send_response(self, response: protocol.Response) -> bool:
+        return self.send(protocol.frame(protocol.encode_response(response)))
+
+
+class _InFlight:
+    """Counts a connection's pipelined requests still executing, so the
+    reader can drain them before tearing the connection down."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._count = 0
+
+    def enter(self) -> None:
+        with self._cond:
+            self._count += 1
+
+    def exit(self) -> None:
+        with self._cond:
+            self._count -= 1
+            self._cond.notify_all()
+
+    def drain(self, timeout: float | None) -> bool:
+        with self._cond:
+            return self._cond.wait_for(lambda: self._count == 0, timeout=timeout)
+
+
 class _Handler(socketserver.BaseRequestHandler):
-    """One connection; handles a stream of framed requests."""
+    """One connection; a reader loop demuxing a stream of framed requests.
+
+    Untagged or mutating requests execute inline (FIFO, exactly the
+    pre-pipelining behaviour); ``reqid``-tagged read requests are handed
+    to the server's bounded executor and answer out of order.
+    """
 
     server: "NNexusServer"
 
     def handle(self) -> None:
         sock: socket.socket = self.request
+        # Frames are small and latency-bound; Nagle + delayed ACK can
+        # stall a pipelined connection for tens of milliseconds.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         recv = _DeadlineRecv(
             sock, self.server.idle_timeout, self.server.request_timeout
         )
+        writer = _ResponseWriter(sock)
+        inflight = _InFlight()
+        try:
+            self._reader_loop(sock, recv, writer, inflight)
+        finally:
+            # Never close the socket under a worker still writing: wait
+            # for in-flight pipelined responses to flush (bounded).
+            inflight.drain(self.server.pipeline_drain_timeout)
+
+    def _reader_loop(
+        self,
+        sock: socket.socket,
+        recv: _DeadlineRecv,
+        writer: _ResponseWriter,
+        inflight: _InFlight,
+    ) -> None:
         while True:
             recv.reset()
             try:
                 message = protocol.read_frame(recv)
             except TimeoutError:
                 if recv.mid_frame:
-                    # The request started but never finished: tell the
+                    # The request started but never finished.  Requests
+                    # already dispatched are unaffected: let their
+                    # tagged responses flush first, then tell the
                     # client its deadline passed (best effort — the
-                    # stream is desynchronized, so close afterwards).
-                    self._try_send(
-                        sock,
+                    # inbound stream is desynchronized, so close
+                    # afterwards; the error carries no reqid and
+                    # pipelined clients count it as unmatched).
+                    inflight.drain(self.server.pipeline_drain_timeout)
+                    writer.send_response(
                         protocol.Response(
                             status="error",
                             method="unknown",
                             error="request deadline exceeded",
                             code="deadline",
                             retryable=True,
-                        ),
+                        )
                     )
                 return
             except (ProtocolError, ConnectionError, OSError):
@@ -171,11 +261,34 @@ class _Handler(socketserver.BaseRequestHandler):
                     code=fault.code,
                     retryable=fault.retryable,
                 )
-                if not self._try_send(sock, injected):
+                if not writer.send_response(injected):
                     return
                 continue
 
-            reply = self.server.dispatch_message(message)
+            # Decode once, up front: the reader must see the method and
+            # reqid to route, and dispatch reuses the same parse.
+            # Undecodable frames answer on the serial path (the
+            # dispatcher turns the parse failure into a bad-request).
+            request: protocol.Request | None
+            try:
+                request = protocol.decode_request(message)
+            except Exception:  # noqa: BLE001 - answered as bad-request below
+                request = None
+
+            if (
+                fault is None
+                and request is not None
+                and request.fields.get("reqid")
+                and request.method in PIPELINED_METHODS
+            ):
+                if not self.server.submit_pipelined(request, writer, inflight):
+                    # Executor backlog is full: shed in the reader, with
+                    # the same retryable overloaded contract as admission.
+                    if not writer.send(self.server.shed_pipelined(request)):
+                        return
+                continue
+
+            reply = self.server.dispatch_message(message, request=request)
             payload = protocol.frame(reply)
             if fault is not None:  # truncate / corrupt, then sever
                 try:
@@ -183,18 +296,8 @@ class _Handler(socketserver.BaseRequestHandler):
                 except OSError:
                     pass
                 return
-            try:
-                sock.sendall(payload)
-            except OSError:
+            if not writer.send(payload):
                 return
-
-    @staticmethod
-    def _try_send(sock: socket.socket, response: protocol.Response) -> bool:
-        try:
-            sock.sendall(protocol.frame(protocol.encode_response(response)))
-            return True
-        except OSError:
-            return False
 
 
 class NNexusServer(socketserver.ThreadingTCPServer):
@@ -222,6 +325,16 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         linker's own tracer, so one ``NNexus(tracer=...)`` wires the
         whole stack; pass explicitly to trace the server with an
         untraced linker (or vice versa).
+    pipeline_workers:
+        Executor threads shared by every connection's ``reqid``-tagged
+        read requests (default ``min(32, max_in_flight)``).  The
+        executor is what lets one connection keep many requests in
+        flight; untagged and mutating requests never use it.
+    pipeline_depth:
+        Bound on pipelined requests submitted-but-unfinished across the
+        server (default ``max_in_flight``).  Beyond it the reader loop
+        sheds with a retryable ``overloaded`` error instead of queueing
+        unboundedly behind the executor.
     """
 
     daemon_threads = True
@@ -238,8 +351,9 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         idle_timeout: float | None = 300.0,
         faults: FaultInjector | None = None,
         tracer: NullTracer | None = None,
+        pipeline_workers: int | None = None,
+        pipeline_depth: int | None = None,
     ) -> None:
-        super().__init__((host, port), _Handler)
         self.linker = linker
         self.tracer = tracer if tracer is not None else linker.tracer
         self.rwlock = ReadersWriterLock()
@@ -248,6 +362,25 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         self.idle_timeout = idle_timeout
         self.faults = faults if faults is not None else FaultInjector()
         self._draining = threading.Event()
+        self.pipeline_workers = (
+            pipeline_workers if pipeline_workers else min(32, max_in_flight)
+        )
+        self.pipeline_depth = (
+            pipeline_depth if pipeline_depth else max_in_flight
+        )
+        #: How long connection teardown waits for in-flight pipelined
+        #: responses to flush before closing the socket under them.
+        self.pipeline_drain_timeout: float = 10.0
+        self._pipeline_slots = threading.Semaphore(self.pipeline_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.pipeline_workers,
+            thread_name_prefix="nnexus-pipeline",
+        )
+        self._executor_lock = threading.Lock()
+        self._executor_closed = False
+        # Bind last: a failed bind calls server_close(), which must find
+        # the executor attributes above already in place to reap them.
+        super().__init__((host, port), _Handler)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -273,24 +406,102 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         self.server_close()
         return drained
 
+    def server_close(self) -> None:
+        super().server_close()
+        # Idempotent (shutdown_gracefully and test fixtures may both
+        # call it); waits so no worker outlives its socket.
+        with self._executor_lock:
+            if self._executor_closed:
+                return
+            self._executor_closed = True
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Pipelined dispatch
+    # ------------------------------------------------------------------
+    def submit_pipelined(
+        self,
+        request: protocol.Request,
+        writer: _ResponseWriter,
+        inflight: _InFlight,
+    ) -> bool:
+        """Hand one ``reqid``-tagged read to the executor.
+
+        Returns False when the pipeline backlog is at ``pipeline_depth``
+        (the caller sheds) or the server is closing.  The executor
+        worker runs the ordinary dispatch — admission control, the
+        readers-writer lock, tracing — and writes the tagged response
+        through the connection's serialized writer.
+        """
+        if not self._pipeline_slots.acquire(blocking=False):
+            return False
+        inflight.enter()
+
+        def work() -> None:
+            try:
+                reply = self.dispatch_message("", request=request)
+                writer.send(protocol.frame(reply))
+            finally:
+                self._pipeline_slots.release()
+                inflight.exit()
+
+        try:
+            self._executor.submit(work)
+        except RuntimeError:  # executor already shut down
+            self._pipeline_slots.release()
+            inflight.exit()
+            return False
+        return True
+
+    def shed_pipelined(self, request: protocol.Request) -> bytes:
+        """The framed overloaded reply for a shed pipelined request."""
+        rec = self.linker.metrics
+        if rec.enabled:
+            rec.inc(
+                "nnexus_server_requests_total",
+                method=request.method,
+                status="error",
+            )
+            rec.inc("nnexus_server_errors_total", code="overloaded")
+            rec.inc("nnexus_server_shed_total")
+        response = protocol.Response(
+            status="error",
+            method=request.method,
+            error=f"pipeline backlog is full ({self.pipeline_depth} deep)",
+            code="overloaded",
+            retryable=True,
+        )
+        reqid = request.fields.get("reqid", "")
+        if reqid:
+            response.fields["reqid"] = reqid
+        return protocol.frame(protocol.encode_response(response))
+
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
-    def dispatch_message(self, message: str) -> str:
+    def dispatch_message(
+        self, message: str, request: protocol.Request | None = None
+    ) -> str:
         """Decode, execute and encode one request (errors become XML).
 
         With tracing enabled the whole dispatch runs inside a root span
         continuing the request's optional ``traceparent`` field, and
         both ok and error responses carry a ``traceid`` field so the
-        caller can fetch the trace afterwards.
+        caller can fetch the trace afterwards.  A pre-decoded
+        ``request`` skips the parse (the reader loop already decoded
+        the frame to route it); responses echo the request's ``reqid``
+        field when present so pipelined clients can match them.
         """
         method = "unknown"
+        reqid = ""
         rec = self.linker.metrics
         trc = self.tracer
         span = NULL_SPAN
         try:
-            request = protocol.decode_request(message)
+            if request is None:
+                request = protocol.decode_request(message)
             method = request.method
+            reqid = request.fields.get("reqid", "")
             if trc.enabled:
                 span = trc.start_trace(
                     f"server.{method}",
@@ -317,6 +528,10 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             )
             if span.is_recording:
                 span.set_status("error", f"{code}: {exc}")
+        if reqid:
+            # Echoed on ok and error responses alike: an unmatched
+            # error reply would strand the pipelined caller's waiter.
+            response.fields.setdefault("reqid", reqid)
         if span.is_recording:
             # Stamped on errors too: a failed request's trace is the one
             # the caller most wants to retrieve.
