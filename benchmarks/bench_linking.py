@@ -13,6 +13,7 @@ Usage::
     python benchmarks/bench_linking.py --validate BENCH_linking.json
     python benchmarks/bench_linking.py --overhead           # metrics cost
     python benchmarks/bench_linking.py --trace-overhead     # tracing cost
+    python benchmarks/bench_linking.py --profile-overhead   # profiler cost
     python benchmarks/bench_linking.py --smoke --gate BENCH_linking.json
     python benchmarks/bench_linking.py --smoke --paging-check  # paged-map gate
 
@@ -39,6 +40,7 @@ from repro.obs.bench import (  # noqa: E402
     check_regression,
     measure_metrics_overhead,
     measure_paging,
+    measure_profile_overhead,
     measure_tracing_overhead,
     run_linking_bench,
     validate_report,
@@ -63,6 +65,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-overhead", action="store_true",
                         help="measure tracer-on vs tracer-off cold-pass time and "
                              "verify the renderings are bit-identical")
+    parser.add_argument("--profile-overhead", action="store_true",
+                        help="measure profiler+accounting-on vs off cold-pass "
+                             "time, verify the renderings are bit-identical and "
+                             "the sampler captured stacks")
+    parser.add_argument("--profile-out", type=str, metavar="PATH", default="",
+                        help="with --profile-overhead, also write the collapsed-"
+                             "stack profile (flamegraph input) to PATH")
     parser.add_argument("--gate", type=str, metavar="PATH", default="",
                         help="fail if the run's steer share regresses vs this baseline report")
     parser.add_argument("--paging-check", action="store_true",
@@ -123,6 +132,25 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
 
+    if args.profile_overhead:
+        overhead = measure_profile_overhead(params)
+        collapsed = overhead.pop("collapsed", "")
+        print(json.dumps(overhead, indent=2))
+        if args.profile_out:
+            Path(args.profile_out).write_text(collapsed, encoding="utf-8")
+            print(f"wrote collapsed-stack profile to {args.profile_out}")
+        failed = False
+        if not overhead["renderings_identical"]:
+            print("profile overhead check: renderings differ between the "
+                  "plain and profiled runs — profiling/accounting must not "
+                  "change output bytes", file=sys.stderr)
+            failed = True
+        if overhead["profile_samples"] == 0:
+            print("profile overhead check: the sampler captured no stacks "
+                  "during the profiled pass", file=sys.stderr)
+            failed = True
+        return 1 if failed else 0
+
     # Load the gate baseline up front: --out may overwrite the same file.
     gate_baseline = None
     if args.gate:
@@ -163,6 +191,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"hit rate {paging['hit_rate']:.3f}, "
                 f"identical={paging['renderings_identical']}, "
                 f"peak RSS {paging['peak_rss_kb']:,} KiB"
+            )
+        if report["resources"]:
+            resources = report["resources"]
+            total = sum(c["bytes"] for c in resources["components"].values())
+            print(
+                f"resources: {total:,} estimated bytes across "
+                f"{len(resources['components'])} components, "
+                f"within_2x={resources['within_2x']}, "
+                f"profiler {resources['profiler']['samples']} samples / "
+                f"{resources['profiler']['distinct_stacks']} stacks"
             )
 
     if gate_baseline is not None:

@@ -17,6 +17,14 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.obs.memory import (
+    estimate_container,
+    estimate_dict_entry,
+    estimate_object,
+    estimate_set_entry,
+    estimate_str,
+)
+
 __all__ = ["CacheEntry", "RenderCache", "DEFAULT_FORMAT"]
 
 #: Format assumed when callers don't say (the common HTML path).
@@ -32,6 +40,22 @@ class CacheEntry:
     valid: bool = True
     version: int = 0
     fmt: str = DEFAULT_FORMAT
+
+
+def _entry_cost(entry: CacheEntry) -> int:
+    """Incremental byte estimate for one cached rendering.
+
+    Covers the rendering payload, the entry shell, the ``(id, fmt)``
+    key tuple and the slots it occupies in ``_entries``/``_formats``.
+    """
+    return (
+        estimate_str(entry.rendered)
+        + estimate_str(entry.fmt)
+        + estimate_container(2)  # the (object_id, fmt) key tuple
+        + estimate_object(5)  # CacheEntry with five fields
+        + estimate_dict_entry()  # _entries slot
+        + estimate_set_entry()  # _formats membership
+    )
 
 
 class RenderCache:
@@ -51,6 +75,11 @@ class RenderCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Incremental byte estimate, maintained on mutation only (the
+        # read path never touches it); folded into metrics_snapshot as
+        # nnexus_memory_bytes{component="render_cache"} at scrape time
+        # and reconciled against a deep sample by the memory accountant.
+        self.estimated_bytes = 0
 
     def put(self, object_id: int, rendered: str, fmt: str = DEFAULT_FORMAT) -> CacheEntry:
         """Store a fresh rendering, bumping that (id, fmt) slot's version."""
@@ -60,8 +89,11 @@ class RenderCache:
         entry = CacheEntry(
             object_id=object_id, rendered=rendered, valid=True, version=version, fmt=fmt
         )
+        if previous is not None:
+            self.estimated_bytes -= _entry_cost(previous)
         self._entries[key] = entry
         self._formats[object_id].add(fmt)
+        self.estimated_bytes += _entry_cost(entry)
         return entry
 
     def restore(
@@ -80,8 +112,12 @@ class RenderCache:
         entry = CacheEntry(
             object_id=object_id, rendered=rendered, valid=valid, version=1, fmt=fmt
         )
+        previous = self._entries.get((object_id, fmt))
+        if previous is not None:
+            self.estimated_bytes -= _entry_cost(previous)
         self._entries[(object_id, fmt)] = entry
         self._formats[object_id].add(fmt)
+        self.estimated_bytes += _entry_cost(entry)
         return entry
 
     def get(self, object_id: int, fmt: str = DEFAULT_FORMAT) -> str | None:
@@ -122,7 +158,9 @@ class RenderCache:
     def drop(self, object_id: int) -> None:
         """Forget an entry's every format (e.g. after object removal)."""
         for fmt in self._formats.pop(object_id, ()):
-            self._entries.pop((object_id, fmt), None)
+            entry = self._entries.pop((object_id, fmt), None)
+            if entry is not None:
+                self.estimated_bytes -= _entry_cost(entry)
 
     def invalid_ids(self) -> list[int]:
         """Object ids with at least one rendering awaiting re-linking."""
@@ -148,6 +186,11 @@ class RenderCache:
         """Empty the cache (counters are preserved)."""
         self._entries.clear()
         self._formats.clear()
+        self.estimated_bytes = 0
+
+    def memory_roots(self) -> tuple[object, ...]:
+        """Live structures for the memory accountant's deep sampler."""
+        return (self._entries, self._formats)
 
     def counter_snapshot(self) -> dict[str, int]:
         """Hit/miss/invalidation totals for the metrics exporter."""

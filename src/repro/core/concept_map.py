@@ -31,6 +31,14 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence, T
 
 from repro.core.models import ConceptLabel
 from repro.core.morphology import canonicalize_phrase
+from repro.obs.memory import (
+    estimate_container,
+    estimate_dict_entry,
+    estimate_object,
+    estimate_set_entry,
+    estimate_str,
+    estimate_strs,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.persistence.api import CorpusStorage
@@ -59,6 +67,46 @@ def label_segment(first_word: str) -> int:
     with it the on-disk ``labels`` table layout — is deterministic.
     """
     return zlib.crc32(first_word.encode("utf-8")) % LABEL_SEGMENT_COUNT
+
+
+# -- incremental byte-accounting costs (memory accountant) -------------
+#
+# Word strings are shared between labels (and with the tuples that hold
+# them), so charging them per label modestly overstates versus the
+# deduplicating deep sampler — acceptable for a capacity signal, and
+# bounded because per-label container overhead dominates.
+
+# A ConceptChain shell (instance + labels dict + by_length list +
+# _length_counts dict) plus its slot in the owning chain dict.
+_CHAIN_COST = estimate_object(3) + 64 + 56 + 64 + estimate_dict_entry()
+
+# An empty owners set is surprisingly heavy in CPython (~216 bytes).
+_OWNERS_SET_SHELL = 216
+
+
+def _label_cost(words: tuple[str, ...]) -> int:
+    """A new label key: tuple + word payloads + owners set + dict slots."""
+    return (
+        estimate_container(len(words))
+        + estimate_strs(words)
+        + _OWNERS_SET_SHELL
+        + estimate_dict_entry()  # chain.labels slot
+        + estimate_dict_entry()  # by_length/_length_counts amortized
+    )
+
+
+def _chains_cost(chains: dict[str, "ConceptChain"]) -> int:
+    """Byte estimate of one resident segment's chain dict.
+
+    Runs once per segment fault, in the same O(segment) pass the fault
+    already paid to load the rows — never on the probe path.
+    """
+    total = 64  # the segment's chain dict shell
+    for first_word, chain in chains.items():
+        total += _CHAIN_COST + estimate_str(first_word)
+        for words, owners in chain.labels.items():
+            total += _label_cost(words) + len(owners) * estimate_set_entry()
+    return total
 
 
 @dataclass
@@ -128,6 +176,10 @@ class ConceptMap:
         # so the memory-resident hot path pays no extra indirection; the
         # paged subclass swaps in a segment-faulting lookup.
         self._probe_lookup: Callable[[str], ConceptChain | None] = self._chains.get
+        # Incremental byte estimate of the resident chains, maintained
+        # on mutation only; the paged subclass tracks resident segments
+        # instead (see PagedConceptMap.estimated_bytes).
+        self._est_bytes = 0
 
     def __getstate__(self) -> dict[str, Any]:
         # The bound ``dict.get`` probe hook is not picklable (process-
@@ -160,13 +212,19 @@ class ConceptMap:
         chain = self._chains.get(words[0])
         if chain is None:
             chain = self._chains[words[0]] = ConceptChain()
+            self._est_bytes += _CHAIN_COST + estimate_str(words[0])
         owners = chain.labels.get(words)
         if owners is None:
             chain.labels[words] = {object_id}
             chain._note_label_added(len(words))
-        else:
+            self._est_bytes += _label_cost(words) + estimate_set_entry()
+        elif object_id not in owners:
             owners.add(object_id)
-        self._object_labels[object_id].add(words)
+            self._est_bytes += estimate_set_entry()
+        reverse = self._object_labels[object_id]
+        if words not in reverse:
+            reverse.add(words)
+            self._est_bytes += estimate_set_entry()
 
     def remove_object(self, object_id: int) -> set[tuple[str, ...]]:
         """Drop every label registered by ``object_id``.
@@ -180,19 +238,24 @@ class ConceptMap:
         """
         removed_entirely: set[tuple[str, ...]] = set()
         for words in self._object_labels.pop(object_id, set()):
+            self._est_bytes -= estimate_set_entry()  # the reverse-index slot
             chain = self._chains.get(words[0])
             if chain is None:
                 continue
             owners = chain.labels.get(words)
             if owners is None:
                 continue
-            owners.discard(object_id)
+            if object_id in owners:
+                owners.discard(object_id)
+                self._est_bytes -= estimate_set_entry()
             if not owners:
                 del chain.labels[words]
                 chain._note_label_removed(len(words))
                 removed_entirely.add(words)
+                self._est_bytes -= _label_cost(words)
             if not chain.labels:
                 del self._chains[words[0]]
+                self._est_bytes -= _CHAIN_COST + estimate_str(words[0])
         return removed_entirely
 
     # ------------------------------------------------------------------
@@ -286,6 +349,14 @@ class ConceptMap:
     def object_count(self) -> int:
         return len(self._object_labels)
 
+    def estimated_bytes(self) -> int:
+        """Incremental byte estimate of the resident label structures."""
+        return self._est_bytes
+
+    def memory_roots(self) -> tuple[object, ...]:
+        """Live structures for the memory accountant's deep sampler."""
+        return (self._chains, self._object_labels)
+
     def stats(self) -> dict[str, int | float]:
         """Index-shape statistics (useful in scalability experiments)."""
         chain_sizes = [len(chain.labels) for chain in self._chains.values()]
@@ -346,6 +417,12 @@ class PagedConceptMap(ConceptMap):
         self._hits = 0
         self._evictions = 0
         self._peak_resident = 0
+        # Byte estimate per resident segment (computed once at fault
+        # time, adjusted in place by mutations, dropped on eviction) and
+        # the running total across segments.
+        self._segment_bytes: dict[int, int] = {}
+        self._resident_bytes = 0
+        self._peak_resident_bytes = 0
         self._probe_lookup = self._paged_lookup
 
     def __getstate__(self) -> dict[str, Any]:
@@ -371,12 +448,19 @@ class PagedConceptMap(ConceptMap):
                 return chains
             # Evict before inserting so residency never exceeds the bound.
             while self._max_resident and len(self._resident) >= self._max_resident:
-                self._resident.popitem(last=False)
+                evicted, _ = self._resident.popitem(last=False)
+                self._resident_bytes -= self._segment_bytes.pop(evicted, 0)
                 self._evictions += 1
             chains = self._load_segment(segment)
             self._resident[segment] = chains
+            cost = _chains_cost(chains)
+            self._segment_bytes[segment] = cost
+            self._resident_bytes += cost
             self._faults += 1
             self._peak_resident = max(self._peak_resident, len(self._resident))
+            self._peak_resident_bytes = max(
+                self._peak_resident_bytes, self._resident_bytes
+            )
             return chains
 
     def _load_segment(self, segment: int) -> dict[str, ConceptChain]:
@@ -393,6 +477,34 @@ class PagedConceptMap(ConceptMap):
                 owners.add(object_id)
         return chains
 
+    def _account_segment(self, segment: int, delta: int) -> None:
+        """Apply a mutation's byte delta to a resident segment's estimate.
+
+        Caller holds ``_paging_lock``.  The segment is always resident
+        when a mutation touches it (write-allocate), but guard anyway:
+        an unaccounted segment swallows the delta rather than drifting
+        the total.
+        """
+        if delta and segment in self._segment_bytes:
+            self._segment_bytes[segment] += delta
+            self._resident_bytes += delta
+            self._peak_resident_bytes = max(
+                self._peak_resident_bytes, self._resident_bytes
+            )
+
+    def estimated_bytes(self) -> int:
+        """Bytes held by the *resident* segments (the paged working set)."""
+        with self._paging_lock:
+            return self._resident_bytes
+
+    def memory_roots(self) -> tuple[object, ...]:
+        # Snapshot the LRU shell so the deep walk never iterates a dict
+        # being mutated by a concurrent fault; the chain dicts inside
+        # are shared (mutations to them are serialized by the caller's
+        # writer lock).
+        with self._paging_lock:
+            return (dict(self._resident),)
+
     def paging_snapshot(self) -> dict[str, int | float]:
         """Fault/hit/eviction counters and residency of the segment cache."""
         with self._paging_lock:
@@ -405,6 +517,8 @@ class PagedConceptMap(ConceptMap):
                 "resident": len(self._resident),
                 "peak_resident": self._peak_resident,
                 "max_resident": self._max_resident,
+                "resident_bytes": self._resident_bytes,
+                "peak_resident_bytes": self._peak_resident_bytes,
             }
 
     # ------------------------------------------------------------------
@@ -412,35 +526,48 @@ class PagedConceptMap(ConceptMap):
     # ------------------------------------------------------------------
     def add_canonical(self, words: tuple[str, ...], object_id: int) -> None:
         with self._paging_lock:
-            chains = self._segment_chains(label_segment(words[0]))
+            segment = label_segment(words[0])
+            chains = self._segment_chains(segment)
+            delta = 0
             chain = chains.get(words[0])
             if chain is None:
                 chain = chains[words[0]] = ConceptChain()
+                delta += _CHAIN_COST + estimate_str(words[0])
             owners = chain.labels.get(words)
             if owners is None:
                 chain.labels[words] = {object_id}
                 chain._note_label_added(len(words))
-            else:
+                delta += _label_cost(words) + estimate_set_entry()
+            elif object_id not in owners:
                 owners.add(object_id)
+                delta += estimate_set_entry()
+            self._account_segment(segment, delta)
 
     def remove_object(self, object_id: int) -> set[tuple[str, ...]]:
         removed_entirely: set[tuple[str, ...]] = set()
         with self._paging_lock:
             for words in self._storage.load_object_labels(object_id):
-                chains = self._segment_chains(label_segment(words[0]))
+                segment = label_segment(words[0])
+                chains = self._segment_chains(segment)
+                delta = 0
                 chain = chains.get(words[0])
                 if chain is None:
                     continue
                 owners = chain.labels.get(words)
                 if owners is None:
                     continue
-                owners.discard(object_id)
+                if object_id in owners:
+                    owners.discard(object_id)
+                    delta -= estimate_set_entry()
                 if not owners:
                     del chain.labels[words]
                     chain._note_label_removed(len(words))
                     removed_entirely.add(words)
+                    delta -= _label_cost(words)
                 if not chain.labels:
                     del chains[words[0]]
+                    delta -= _CHAIN_COST + estimate_str(words[0])
+                self._account_segment(segment, delta)
         return removed_entirely
 
     # ------------------------------------------------------------------

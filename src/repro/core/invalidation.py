@@ -27,8 +27,44 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.morphology import canonicalize_phrase
 from repro.core.tokenizer import Tokenizer
+from repro.obs.memory import (
+    estimate_container,
+    estimate_dict_entry,
+    estimate_set_entry,
+    estimate_str,
+)
 
 __all__ = ["InvalidationIndex", "IndexStats"]
+
+def _per_posting_cost() -> int:
+    """One slot in a gram's postings set plus the gram's slot in the
+    owning object's phrase Counter (count ints are mostly interned
+    small ints, folded into the slot constants)."""
+    return estimate_set_entry() + estimate_dict_entry()
+
+
+#: Cost of a brand-new corpus-wide gram key: its ``_postings`` and
+#: ``_occurrences`` slots plus an empty postings-set shell.  The key
+#: tuple itself is charged per object (see :func:`_per_gram_cost`) —
+#: the corpus tables just reference the first contributor's tuple.
+_NEW_KEY_COST = 2 * estimate_dict_entry() + 216
+
+
+def _per_gram_cost(gram: tuple[str, ...], count: int) -> int:
+    """Cost of one distinct gram *within one object's* phrase Counter.
+
+    Tokenization materializes a fresh string per word position and a
+    fresh tuple per distinct gram, none of them interned, so every
+    object pays for its own copies even when the text repeats across
+    the corpus.  Word-position strings are charged on 1-grams (each
+    position contributes exactly one 1-gram occurrence, so ``count``
+    equals the number of position strings); longer grams share the
+    position strings and add only their tuple shell.
+    """
+    cost = estimate_container(len(gram))
+    if len(gram) == 1:
+        cost += count * estimate_str(gram[0])
+    return cost
 
 
 @dataclass(frozen=True)
@@ -93,6 +129,10 @@ class InvalidationIndex:
         # signatures) off these events so reclassification can never
         # leave a stale signature behind.
         self._listeners: list[Callable[[int], None]] = []
+        # Incremental byte estimate, updated only in index_object /
+        # remove_object (symmetric add/subtract, so it cannot drift);
+        # reconciled against a deep sample by the memory accountant.
+        self.estimated_bytes = 0
 
     def add_listener(self, callback: Callable[[int], None]) -> None:
         """Call ``callback(object_id)`` on every index/remove of an object.
@@ -117,9 +157,16 @@ class InvalidationIndex:
         words = self._tokenizer.tokenize(text).canonical_words()
         grams = _ngrams(words, self.max_phrase_length)
         self._object_phrases[object_id] = grams
+        added = estimate_dict_entry(96)  # _object_phrases slot + Counter shell
+        per_posting = _per_posting_cost()
         for gram, count in grams.items():
+            added += _per_gram_cost(gram, count)
+            if gram not in self._postings:
+                added += _NEW_KEY_COST
             self._postings[gram].add(object_id)
             self._occurrences[gram] += count
+            added += per_posting
+        self.estimated_bytes += added
         self._notify(object_id)
 
     def remove_object(self, object_id: int) -> None:
@@ -127,15 +174,21 @@ class InvalidationIndex:
         grams = self._object_phrases.pop(object_id, None)
         if grams is None:
             return
+        removed = estimate_dict_entry(96)
+        per_posting = _per_posting_cost()
         for gram, count in grams.items():
+            removed += _per_gram_cost(gram, count)
             posting = self._postings.get(gram)
             if posting is not None:
                 posting.discard(object_id)
                 if not posting:
                     del self._postings[gram]
+                    removed += _NEW_KEY_COST
             self._occurrences[gram] -= count
             if self._occurrences[gram] <= 0:
                 del self._occurrences[gram]
+            removed += per_posting
+        self.estimated_bytes -= removed
         self._notify(object_id)
 
     # ------------------------------------------------------------------
@@ -182,6 +235,10 @@ class InvalidationIndex:
     @property
     def object_count(self) -> int:
         return len(self._object_phrases)
+
+    def memory_roots(self) -> tuple[object, ...]:
+        """Live structures for the memory accountant's deep sampler."""
+        return (self._postings, self._occurrences, self._object_phrases)
 
     def stats(self) -> IndexStats:
         """Index-shape statistics (key counts, posting totals)."""

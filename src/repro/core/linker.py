@@ -23,7 +23,8 @@ may need re-linking.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from time import perf_counter
+from platform import python_version
+from time import monotonic, perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.cache import RenderCache
@@ -44,6 +45,15 @@ from repro.core.morphology import canonicalize_phrase
 from repro.core.policies import LinkingPolicyTable
 from repro.core.render import render_annotations, render_html, render_markdown
 from repro.core.tokenizer import Tokenizer
+from repro.obs.memory import (
+    MemoryAccountant,
+    deep_sizeof,
+    estimate_container,
+    estimate_dict_entry,
+    estimate_object,
+    estimate_str,
+    estimate_strs,
+)
 from repro.obs.metrics import NULL_RECORDER, NullRecorder, merge_series
 from repro.obs.trace import NULL_TRACER, NullTracer
 from repro.ontology.scheme import ClassificationScheme
@@ -153,6 +163,13 @@ class NNexus:
         Requires a durable backend with ``supports_labels``; the cold
         start then restores objects *without* materializing their
         labels — segments fault in as probes touch them.
+    memory_reconcile_sec:
+        ``None`` (default) deep-reconciles the per-component memory
+        estimates only on demand (``resource_stats(deep=True)``, i.e.
+        the ``getResourceStats`` wire method with ``deep=1``).  A
+        positive interval arms a daemon thread in the
+        :class:`~repro.obs.memory.MemoryAccountant` that reconciles
+        periodically; stop it with ``linker.accountant.stop()``.
     """
 
     def __init__(
@@ -166,6 +183,7 @@ class NNexus:
         tracer: NullTracer | None = None,
         storage: CorpusStorage | None = None,
         map_cache_segments: int | None = None,
+        memory_reconcile_sec: float | None = None,
     ) -> None:
         self.config = config or NNexusConfig()
         self.scheme = scheme
@@ -251,8 +269,53 @@ class NNexus:
         self._signatures: dict[int, tuple[int, ...]] = {}
         self._invalidation.add_listener(self._drop_signature)
 
+        #: Monotonic construction instant, for ``nnexus_uptime_seconds``.
+        self._started_monotonic = monotonic()
+        #: Incremental byte estimate of the private object store, kept
+        #: symmetric in add/remove_object so it cannot drift.
+        self._objects_bytes = 0
+        #: Per-component memory accountant (objects store, concept-map
+        #: resident segments, invalidation index, render cache, trace
+        #: ring, metrics registry).  Components report cheap plain-int
+        #: estimates; ``resource_stats(deep=True)`` or the optional
+        #: reconciler thread deep-samples the same graphs and reports
+        #: the estimate/deep ratio the bench gates at 2x.
+        self.accountant = MemoryAccountant(
+            reconcile_interval_sec=memory_reconcile_sec
+        )
+        self._register_memory_components()
+        self.accountant.start()
+
         if self.storage.durable:
             self._cold_start()
+
+    def _register_memory_components(self) -> None:
+        acc = self.accountant
+        acc.register("objects", lambda: self._objects_bytes, lambda: (self._objects,))
+        acc.register(
+            "map_segments",
+            self._concept_map.estimated_bytes,
+            self._concept_map.memory_roots,
+        )
+        acc.register(
+            "invalidation",
+            lambda: self._invalidation.estimated_bytes,
+            self._invalidation.memory_roots,
+        )
+        acc.register(
+            "render_cache",
+            lambda: self._cache.estimated_bytes,
+            self._cache.memory_roots,
+        )
+        acc.register(
+            "trace_ring", self.tracer.estimated_bytes, self.tracer.memory_roots
+        )
+        # The metrics registry has no mutation hook to maintain an
+        # incremental counter from, so its "estimate" is a deep walk of
+        # a point-in-time snapshot — O(series), run at scrape time only.
+        # No deep_roots: sizing the same snapshot twice would make the
+        # reconcile ratio a tautology.
+        acc.register("metrics", lambda: deep_sizeof((self.metrics.snapshot(),)))
 
     # ------------------------------------------------------------------
     # Durable storage plumbing
@@ -387,7 +450,16 @@ class NNexus:
         # to the parent; worker snapshots run memory-only.
         if getattr(state.get("storage"), "durable", False):
             state["storage"] = MemoryBackend()
+        # The accountant holds a lock, maybe a reconciler thread, and
+        # closures over this linker; workers rebuild their own inert one
+        # in __setstate__.
+        state.pop("accountant", None)
         return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self.accountant = MemoryAccountant()
+        self._register_memory_components()
 
     # ------------------------------------------------------------------
     # Corpus maintenance
@@ -413,6 +485,7 @@ class NNexus:
             classes=list(obj.classes),
         )
         self._objects[obj.object_id] = obj
+        self._objects_bytes += _object_cost(obj)
         new_labels: list[tuple[str, ...]] = []
         if self._cold_restoring and isinstance(self._concept_map, PagedConceptMap):
             # Cold start with a paged map: the labels are already in the
@@ -457,6 +530,7 @@ class NNexus:
         obj = self._objects.pop(object_id, None)
         if obj is None:
             raise UnknownObjectError(object_id)
+        self._objects_bytes -= _object_cost(obj)
         defined = self._concept_map.labels_for_object(object_id)
         self._concept_map.remove_object(object_id)
         self._policies.remove(object_id)
@@ -495,6 +569,9 @@ class NNexus:
         """Attach a linking policy to a stored entry (Section 2.4)."""
         self._check_writable()
         obj = self.get_object(object_id)
+        self._objects_bytes += estimate_str(policy_text) - estimate_str(
+            obj.linking_policy
+        )
         obj.linking_policy = policy_text
         self._policies.set_policy(object_id, policy_text)
         # Policies change which links are legal corpus-wide; entries that
@@ -982,8 +1059,35 @@ class NNexus:
             "storage": self.storage.backend_name,
             "map_cache_segments": self.map_cache_segments,
             "read_only": self.read_only,
+            "version": _repro_version(),
+            "uptime_seconds": round(self.uptime_seconds(), 3),
             "stats": self.stats.snapshot(),
         }
+
+    def uptime_seconds(self) -> float:
+        """Seconds since this linker was constructed (monotonic clock)."""
+        return monotonic() - self._started_monotonic
+
+    def resource_stats(self, deep: bool = False) -> dict[str, Any]:
+        """Resource-accounting snapshot (the ``getResourceStats`` body).
+
+        ``deep=True`` forces a reconcile first: every registered
+        component's live object graph is deep-sampled with
+        :func:`~repro.obs.memory.deep_sizeof` and the estimate/deep
+        ratio reported alongside the cheap incremental estimates.
+        """
+        if deep:
+            self.accountant.reconcile()
+        out: dict[str, Any] = {
+            "version": _repro_version(),
+            "uptime_seconds": self.uptime_seconds(),
+            "objects": len(self._objects),
+            "concepts": self.concept_count(),
+            "memory": self.accountant.snapshot(),
+        }
+        if isinstance(self._concept_map, PagedConceptMap):
+            out["paging"] = self._concept_map.paging_snapshot()
+        return out
 
     def metrics_snapshot(self) -> dict[str, list[dict[str, Any]]]:
         """Unified metrics view: recorder series + cache and corpus series.
@@ -1042,7 +1146,64 @@ class NNexus:
                 ("nnexus_map_peak_resident_segments", {}, paging["peak_resident"]),
                 ("nnexus_map_cache_segments", {}, paging["max_resident"]),
             ]
+        memory = self.accountant.sample()
+        peaks = self.accountant.peaks()
+        for component in sorted(memory):
+            size = memory[component]
+            gauges += [
+                ("nnexus_memory_bytes", {"component": component}, size),
+                (
+                    "nnexus_memory_peak_bytes",
+                    {"component": component},
+                    peaks.get(component, size),
+                ),
+            ]
+        gauges += [
+            (
+                "nnexus_build_info",
+                {"version": _repro_version(), "python": python_version()},
+                1,
+            ),
+            ("nnexus_uptime_seconds", {}, self.uptime_seconds()),
+        ]
         return merge_series(self.metrics.snapshot(), counters=counters, gauges=gauges)
+
+
+_VERSION: str | None = None
+
+
+def _repro_version() -> str:
+    # Imported lazily: the repro package __init__ imports repro.core, so
+    # a top-level import here would be circular.
+    global _VERSION
+    if _VERSION is None:
+        from repro import __version__
+
+        _VERSION = __version__
+    return _VERSION
+
+
+def _object_cost(obj: CorpusObject) -> int:
+    """Incremental byte estimate for one stored :class:`CorpusObject`.
+
+    Covers the instance and its attribute dict, every string payload,
+    the three metadata list shells, and the slot the object occupies in
+    the linker's ``_objects`` dict (plus its boxed id key).
+    """
+    return (
+        estimate_object(8)
+        + estimate_str(obj.title)
+        + estimate_str(obj.text)
+        + estimate_str(obj.domain)
+        + estimate_str(obj.linking_policy)
+        + estimate_strs(obj.defines)
+        + estimate_strs(obj.synonyms)
+        + estimate_strs(obj.classes)
+        + estimate_container(len(obj.defines), base=56)
+        + estimate_container(len(obj.synonyms), base=56)
+        + estimate_container(len(obj.classes), base=56)
+        + estimate_dict_entry(28)
+    )
 
 
 def _canonical_labels(obj: CorpusObject) -> list[tuple[str, ...]]:

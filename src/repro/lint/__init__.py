@@ -17,7 +17,8 @@ REP102    transaction-discipline      journal writes are atomic and routed
 REP103    resource-hygiene            close on every raised path; chunk
                                       interpolated SQL IN lists
 REP104    observability-discipline    no print(); handlers open spans;
-                                      null-object pattern on hot paths
+                                      null-object pattern on hot paths;
+                                      durations from monotonic clocks
 REP105    wire-additivity             response keys only grow vs. the
                                       checked-in schema snapshot
 ========  ==========================  ======================================
@@ -40,7 +41,12 @@ from repro.lint.engine import (
     run_rules,
 )
 from repro.lint.lock_rules import LockHygieneRule
-from repro.lint.obs_rules import HandlerSpanRule, NullPatternRule, PrintBanRule
+from repro.lint.obs_rules import (
+    HandlerSpanRule,
+    MonotonicClockRule,
+    NullPatternRule,
+    PrintBanRule,
+)
 from repro.lint.resource_rules import BoundedInListRule, CloseOnRaiseRule
 from repro.lint.transaction_rules import BackendTransactionRule, JournalDisciplineRule
 from repro.lint.wire_rules import (
@@ -67,6 +73,7 @@ __all__ = [
     "HandlerSpanRule",
     "JournalDisciplineRule",
     "LockHygieneRule",
+    "MonotonicClockRule",
     "NullPatternRule",
     "PrintBanRule",
     "WireAdditivityRule",
@@ -84,5 +91,6 @@ def all_rules(schema_path: Path | None = None) -> list[Rule]:
         PrintBanRule(),
         HandlerSpanRule(),
         NullPatternRule(),
+        MonotonicClockRule(),
         WireAdditivityRule(schema_path=schema_path),
     ]

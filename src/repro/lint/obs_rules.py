@@ -1,6 +1,6 @@
 """REP104 — observability discipline.
 
-Three invariants, each one a lesson from the tracing/metrics PRs:
+Four invariants, each one a lesson from the tracing/metrics PRs:
 
 * **No ``print()``** in library code (``server``/``core``/
   ``persistence``/``obs`` modules).  Operational output goes through
@@ -20,6 +20,14 @@ Three invariants, each one a lesson from the tracing/metrics PRs:
   multiply — the rule flags ``ast.If`` tests comparing tracer/metrics
   names against ``None`` while leaving the constructor-site ternary
   (``ast.IfExp``) alone.
+* **Durations come from a monotonic clock.**  ``time.time()`` is wall
+  time: NTP steps it backwards and forwards, so a latency histogram
+  fed from a wall-clock delta can record negative or wildly wrong
+  observations.  The rule flags subtractions with a ``time.time()``
+  (or bare imported ``time()``) call as an operand; timestamps that
+  are *recorded* rather than differenced (e.g. a span's wall-clock
+  ``start_ts``) are fine and not flagged.  Use ``time.monotonic()``
+  or ``time.perf_counter()`` for anything subtracted.
 """
 
 from __future__ import annotations
@@ -29,7 +37,12 @@ from typing import Iterator
 
 from repro.lint.engine import Finding, Rule, SourceModule, dotted_name
 
-__all__ = ["PrintBanRule", "HandlerSpanRule", "NullPatternRule"]
+__all__ = [
+    "PrintBanRule",
+    "HandlerSpanRule",
+    "NullPatternRule",
+    "MonotonicClockRule",
+]
 
 #: Functions that are wire-facing request handlers.
 _HANDLER_NAMES = frozenset({"dispatch_message", "do_GET", "do_POST"})
@@ -147,3 +160,39 @@ class NullPatternRule(Rule):
                 "normalize to NULL_TRACER/NULL_RECORDER at construction "
                 f"and gate with `if {name}.enabled:` instead",
             )
+
+
+def _is_wall_clock_call(node: ast.AST) -> bool:
+    """True for ``time.time()`` or a bare imported ``time()`` call.
+
+    Exact names only: ``self.time()`` or ``loop.time()`` are methods
+    with their own (usually monotonic) semantics and must not match.
+    """
+    if not isinstance(node, ast.Call) or node.args or node.keywords:
+        return False
+    name = dotted_name(node.func)
+    return name in ("time", "time.time")
+
+
+class MonotonicClockRule(Rule):
+    code = "REP104"
+    name = "monotonic-clock"
+    description = "durations are differences of a monotonic clock, not time.time()"
+    roles = frozenset({"server", "core", "persistence", "obs"})
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        # Only subtraction is flagged: a *recorded* wall-clock stamp
+        # (``span.start_ts = time()``) is legitimate — it is deltas
+        # that NTP steps corrupt.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Sub):
+                continue
+            if _is_wall_clock_call(node.left) or _is_wall_clock_call(node.right):
+                yield module.finding(
+                    self.code,
+                    node,
+                    "duration computed by differencing time.time(): wall "
+                    "clocks step under NTP, producing negative or wrong "
+                    "intervals; use time.monotonic() (or perf_counter) "
+                    "for anything subtracted",
+                )

@@ -26,6 +26,12 @@ from repro.obs.logging import (
     configure_logging,
     get_logger,
 )
+from repro.obs.memory import (
+    NULL_ACCOUNTANT,
+    MemoryAccountant,
+    NullMemoryAccountant,
+    deep_sizeof,
+)
 from repro.obs.metrics import (
     NULL_RECORDER,
     Histogram,
@@ -35,6 +41,7 @@ from repro.obs.metrics import (
     empty_snapshot,
     merge_series,
 )
+from repro.obs.profile import NULL_PROFILER, NullProfiler, SamplingProfiler
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
 from repro.obs.trace import (
     NULL_SPAN,
@@ -50,6 +57,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "NULL_ACCOUNTANT",
+    "MemoryAccountant",
+    "NullMemoryAccountant",
+    "deep_sizeof",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "SamplingProfiler",
     "NULL_RECORDER",
     "Histogram",
     "HistogramSummary",

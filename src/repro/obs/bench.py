@@ -28,7 +28,9 @@ from repro.core.batch import BatchLinker
 from repro.core.concept_map import LABEL_SEGMENT_COUNT
 from repro.core.linker import NNexus
 from repro.corpus.generator import GeneratorParams, load_or_generate
+from repro.obs.memory import within_ratio
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SamplingProfiler
 from repro.obs.trace import NullTracer, Tracer
 from repro.persistence import open_storage
 
@@ -37,6 +39,7 @@ __all__ = [
     "run_linking_bench",
     "measure_metrics_overhead",
     "measure_tracing_overhead",
+    "measure_profile_overhead",
     "measure_persistence",
     "measure_paging",
     "validate_report",
@@ -44,12 +47,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "STAGES",
     "SMOKE_ENTRIES",
+    "RESOURCE_COMPONENTS",
+    "MEMORY_RATIO_BOUND",
     "SCALING_WORKER_COUNTS",
     "STEER_SHARE_RELATIVE_TOLERANCE",
     "STEER_SHARE_ABSOLUTE_TOLERANCE",
 ]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Pipeline stages the report must cover when metrics are enabled.
 STAGES = ("tokenize", "match", "policy", "steer", "render")
@@ -60,6 +65,21 @@ SMOKE_ENTRIES = 120
 
 #: Worker counts measured by the batch-scaling section (process mode).
 SCALING_WORKER_COUNTS = (1, 2, 4)
+
+#: Components the resources section must account for (the linker
+#: registers exactly these with its MemoryAccountant).
+RESOURCE_COMPONENTS = (
+    "objects",
+    "map_segments",
+    "invalidation",
+    "render_cache",
+    "trace_ring",
+    "metrics",
+)
+
+#: The incremental memory estimates must stay within this factor of
+#: the deep (getsizeof-walk) sample, both ways, on the bench corpus.
+MEMORY_RATIO_BOUND = 2.0
 
 #: Regression-gate tolerances on the steer share of the cold pass: a
 #: run regresses only when it exceeds the baseline share by BOTH >25%
@@ -90,6 +110,11 @@ class BenchParams:
     #: is byte-identical to the unbounded run; disabled by the overhead
     #: comparison runs.
     paging: bool = True
+    #: Measure per-component memory accounting (incremental estimates
+    #: reconciled against a deep getsizeof walk, gated within 2x) and
+    #: smoke the sampling profiler over a render pass; disabled by the
+    #: overhead comparison runs.
+    resources: bool = True
 
     @classmethod
     def smoke_params(cls, seed: int = 20090612, metrics: bool = True) -> "BenchParams":
@@ -196,6 +221,14 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
                 "p99_ms": summary.p99 * 1000.0,
             }
 
+    # Last on purpose: the profiler smoke re-renders cache-cleared
+    # slices (a run-dependent number of passes), which would pollute
+    # the stage histograms the steer-share gate reads if it ran before
+    # they were snapshotted.
+    resources: dict[str, Any] = {}
+    if params.resources:
+        resources = _measure_resources(linker, object_ids)
+
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "linking",
@@ -207,6 +240,7 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
             "scaling": params.scaling,
             "persistence": params.persistence,
             "paging": params.paging,
+            "resources": params.resources,
         },
         "corpus": {
             "objects": len(linker),
@@ -234,7 +268,69 @@ def run_linking_bench(params: BenchParams | None = None) -> dict[str, Any]:
         "batch_scaling": batch_scaling,
         "persistence": persistence,
         "paging": paging,
+        "resources": resources,
         "stages": stages,
+    }
+
+
+def _measure_resources(linker: NNexus, object_ids: list[int]) -> dict[str, Any]:
+    """Memory-accounting reconcile plus a sampling-profiler smoke pass.
+
+    The reconcile compares every component's incremental byte estimate
+    against a deep ``getsizeof`` walk of its live graph at the moment
+    the corpus is fully ingested and rendered — the additive steady
+    state the 2x bound is defined over (after mass removals CPython's
+    never-shrinking dict tables make deep exceed any honest estimate).
+
+    The profiler smoke re-renders part of the corpus cold (cache
+    cleared) under a 1ms sampler and reports the aggregate; CI gates
+    ``samples > 0`` so a silently dead sampler thread cannot pass.
+    """
+    sizes = linker.accountant.sample()
+    peaks = linker.accountant.peaks()
+    reconcile = linker.accountant.reconcile()
+    components: dict[str, Any] = {}
+    for name in sorted(sizes):
+        entry: dict[str, Any] = {
+            "bytes": int(sizes[name]),
+            "peak_bytes": int(peaks.get(name, sizes[name])),
+        }
+        if name in reconcile:
+            entry["deep_bytes"] = float(reconcile[name]["deep"])
+            entry["ratio"] = float(reconcile[name]["ratio"])
+        components[name] = entry
+
+    profiler = SamplingProfiler(interval_sec=0.001)
+    profiler.start()
+    start = perf_counter()
+    try:
+        # Repeat cold render slices until at least one sample lands (a
+        # single slice can finish inside one sampling interval on fast
+        # hardware); the deadline bounds the worst case.
+        deadline = start + 2.0
+        while True:
+            linker.cache.clear()
+            for object_id in object_ids[:200]:
+                linker.render_object(object_id)
+            if profiler.snapshot(max_stacks=1)["samples"] > 0:
+                break
+            if perf_counter() > deadline:
+                break
+    finally:
+        profiler.stop()
+    elapsed = perf_counter() - start
+    snapshot = profiler.snapshot(max_stacks=25)
+
+    return {
+        "components": components,
+        "ratio_bound": MEMORY_RATIO_BOUND,
+        "within_2x": within_ratio(reconcile, bound=MEMORY_RATIO_BOUND),
+        "profiler": {
+            "interval_ms": 1.0,
+            "elapsed_sec": elapsed,
+            "samples": int(snapshot["samples"]),
+            "distinct_stacks": int(snapshot["distinct_stacks"]),
+        },
     }
 
 
@@ -411,11 +507,13 @@ def measure_metrics_overhead(params: BenchParams | None = None) -> dict[str, flo
     params = params or BenchParams.smoke_params()
     baseline = run_linking_bench(
         BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke,
-                    metrics=False, scaling=False, persistence=False, paging=False)
+                    metrics=False, scaling=False, persistence=False, paging=False,
+                    resources=False)
     )
     instrumented = run_linking_bench(
         BenchParams(entries=params.entries, seed=params.seed, smoke=params.smoke,
-                    metrics=True, scaling=False, persistence=False, paging=False)
+                    metrics=True, scaling=False, persistence=False, paging=False,
+                    resources=False)
     )
     base = baseline["throughput"]["cold_elapsed_sec"]
     inst = instrumented["throughput"]["cold_elapsed_sec"]
@@ -465,6 +563,57 @@ def measure_tracing_overhead(params: BenchParams | None = None) -> dict[str, Any
     }
 
 
+def measure_profile_overhead(params: BenchParams | None = None) -> dict[str, Any]:
+    """Cold-pass wall time and output hash with profiling/accounting active.
+
+    Mirrors :func:`measure_tracing_overhead` for the resource-
+    observability layer: the baseline pass runs a plain linker (null
+    profiler, accountant idle), the instrumented pass runs under a 1ms
+    :class:`~repro.obs.profile.SamplingProfiler` with the memory
+    accountant deep-reconciling every 50ms.  ``renderings_identical``
+    MUST be true — profiling and accounting observe, they never touch
+    output bytes — and ``profile_samples`` must be positive, proving
+    the sampler actually ran.  CI gates both via
+    ``bench_linking.py --profile-overhead``.
+    """
+    params = params or BenchParams.smoke_params()
+
+    def cold_pass(reconcile_sec: float | None) -> tuple[float, str]:
+        corpus = load_or_generate(
+            GeneratorParams(n_entries=params.entries, seed=params.seed)
+        )
+        linker = NNexus(scheme=corpus.scheme, memory_reconcile_sec=reconcile_sec)
+        linker.add_objects(corpus.objects)
+        object_ids = [obj.object_id for obj in corpus.objects]
+        digest = hashlib.sha256()
+        start = perf_counter()
+        for object_id in object_ids:
+            digest.update(linker.render_object(object_id).encode("utf-8"))
+        elapsed = perf_counter() - start
+        linker.accountant.stop()
+        return elapsed, digest.hexdigest()
+
+    baseline_sec, baseline_sha = cold_pass(None)
+    profiler = SamplingProfiler(interval_sec=0.001)
+    profiler.start()
+    try:
+        profiled_sec, profiled_sha = cold_pass(0.05)
+    finally:
+        profiler.stop()
+    snapshot = profiler.snapshot(max_stacks=25)
+    return {
+        "baseline_sec": baseline_sec,
+        "profiled_sec": profiled_sec,
+        "overhead_ratio": (profiled_sec / baseline_sec) if baseline_sec else 0.0,
+        "baseline_sha256": baseline_sha,
+        "profiled_sha256": profiled_sha,
+        "renderings_identical": baseline_sha == profiled_sha,
+        "profile_samples": int(snapshot["samples"]),
+        "profile_stacks": int(snapshot["distinct_stacks"]),
+        "collapsed": profiler.collapsed(),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Schema validation (CI gates every emitted artifact through this)
 # ---------------------------------------------------------------------------
@@ -480,6 +629,7 @@ _SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
         "scaling": bool,
         "persistence": bool,
         "paging": bool,
+        "resources": bool,
     },
     "corpus": {"objects": int, "concepts": int, "tokens": int},
     "throughput": {
@@ -540,6 +690,18 @@ _STAGE_FIELDS: dict[str, type | tuple[type, ...]] = {
     "p50_ms": _NUMBER,
     "p95_ms": _NUMBER,
     "p99_ms": _NUMBER,
+}
+
+_RESOURCE_COMPONENT_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "bytes": int,
+    "peak_bytes": int,
+}
+
+_RESOURCE_PROFILER_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "interval_ms": _NUMBER,
+    "elapsed_sec": _NUMBER,
+    "samples": int,
+    "distinct_stacks": int,
 }
 
 
@@ -619,6 +781,53 @@ def validate_report(report: Any) -> list[str]:
                 "paging.peak_within_bound is false — resident segments "
                 "exceeded the configured cache bound"
             )
+
+    resources_on = isinstance(report.get("params"), dict) and report["params"].get(
+        "resources"
+    )
+    resources = report.get("resources")
+    if not isinstance(resources, dict):
+        problems.append("missing or non-object section 'resources'")
+    elif resources_on:
+        components = resources.get("components")
+        if not isinstance(components, dict):
+            problems.append("resources.components must be an object")
+        else:
+            for name in RESOURCE_COMPONENTS:
+                body = components.get(name)
+                if not isinstance(body, dict):
+                    problems.append(
+                        f"resources.components.{name} missing — the linker "
+                        "must account for every component"
+                    )
+                    continue
+                for field, kinds in _RESOURCE_COMPONENT_FIELDS.items():
+                    value = body.get(field)
+                    if not isinstance(value, kinds) or isinstance(value, bool):
+                        problems.append(
+                            f"resources.components.{name}.{field} must be "
+                            f"{kinds}, got {value!r}"
+                        )
+        if resources.get("within_2x") is not True:
+            problems.append(
+                "resources.within_2x must be true — an incremental memory "
+                "estimate drifted beyond 2x of the deep sample"
+            )
+        profiler = resources.get("profiler")
+        if not isinstance(profiler, dict):
+            problems.append("resources.profiler must be an object")
+        else:
+            for field, kinds in _RESOURCE_PROFILER_FIELDS.items():
+                value = profiler.get(field)
+                if not isinstance(value, kinds) or isinstance(value, bool):
+                    problems.append(
+                        f"resources.profiler.{field} must be {kinds}, got {value!r}"
+                    )
+            if profiler.get("samples") == 0:
+                problems.append(
+                    "resources.profiler.samples is 0 — the sampling profiler "
+                    "never captured a stack during the smoke pass"
+                )
 
     scaling_on = isinstance(report.get("params"), dict) and report["params"].get("scaling")
     batch_scaling = report.get("batch_scaling")

@@ -77,6 +77,44 @@ _CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
     "nnexus_current_span", default=None
 )
 
+#: Estimated shell cost of one empty trace record in the ring (record
+#: dict + spans list + ring slot + trace-id string).
+_TRACE_RECORD_BASE = 420
+
+
+def _value_cost(value: Any) -> int:
+    """Cheap byte estimate of one JSON-shaped span value."""
+    if isinstance(value, str):
+        return 50 + len(value)
+    if isinstance(value, bool):
+        return 0  # shared singletons
+    if isinstance(value, (int, float)):
+        return 28
+    if isinstance(value, dict):
+        total = 64
+        for key, inner in value.items():
+            total += 30 + _value_cost(key) + _value_cost(inner)
+        return total
+    if isinstance(value, (list, tuple)):
+        total = 56 + 8 * len(value)
+        for inner in value:
+            total += _value_cost(inner)
+        return total
+    return 48
+
+
+def _span_cost(data: dict[str, Any]) -> int:
+    """Byte estimate of one finished span dict in the ring.
+
+    Key strings are interned literals shared across every span, so only
+    the dict-slot shells and the per-span values are charged — keeping
+    the estimate aligned with what the deduplicating deep sampler sees.
+    """
+    total = 64 + 8  # dict shell + spans-list slot
+    for value in data.values():
+        total += 30 + _value_cost(value)
+    return total
+
 
 def current_span() -> "Span | None":
     """The span the calling context is inside of, or ``None``."""
@@ -336,6 +374,12 @@ class NullTracer:
     def recent_traces(self, limit: int = 20) -> list[dict[str, Any]]:
         return []
 
+    def estimated_bytes(self) -> int:
+        return 0
+
+    def memory_roots(self) -> tuple[object, ...]:
+        return ()
+
 
 #: Shared inert tracer — the default for every instrumented component.
 NULL_TRACER = NullTracer()
@@ -381,6 +425,10 @@ class Tracer(NullTracer):
         self._metrics = metrics if metrics is not None else NULL_RECORDER
         self._sinks: list[Callable[[dict[str, Any]], None]] = []
         self._logger = None  # lazy: repro.obs.logging imports this module
+        # Incremental byte estimate of the trace ring: per-trace costs
+        # accumulate as spans land, leave with their trace on eviction.
+        self._trace_bytes: dict[str, int] = {}
+        self._est_bytes = 0
 
     # -- id generation ---------------------------------------------------
     def _new_id(self, bits: int) -> str:
@@ -482,8 +530,11 @@ class Tracer(NullTracer):
                     "spans": [],
                     "dropped_spans": 0,
                 }
+                self._trace_bytes[trace_id] = _TRACE_RECORD_BASE
+                self._est_bytes += _TRACE_RECORD_BASE
                 while len(self._traces) > self._max_traces:
-                    self._traces.popitem(last=False)
+                    evicted_id, _ = self._traces.popitem(last=False)
+                    self._est_bytes -= self._trace_bytes.pop(evicted_id, 0)
 
     def _finish(self, span: Span) -> None:
         data = span.as_dict()
@@ -495,6 +546,11 @@ class Tracer(NullTracer):
                     record["dropped_spans"] += 1
                 else:
                     record["spans"].append(data)
+                    cost = _span_cost(data)
+                    self._trace_bytes[span.trace_id] = (
+                        self._trace_bytes.get(span.trace_id, 0) + cost
+                    )
+                    self._est_bytes += cost
                 if span.is_root:
                     record["complete"] = True
                     record["duration"] = max(
@@ -581,6 +637,21 @@ class Tracer(NullTracer):
     def trace_count(self) -> int:
         with self._lock:
             return len(self._traces)
+
+    def estimated_bytes(self) -> int:
+        """Incremental byte estimate of the in-memory trace ring."""
+        with self._lock:
+            return self._est_bytes
+
+    def memory_roots(self) -> tuple[object, ...]:
+        """Live ring structures for the memory accountant's deep sampler.
+
+        The ring shell is snapshotted under the lock; the per-trace
+        records inside are shared and may gain spans mid-walk, which
+        the deep sampler tolerates.
+        """
+        with self._lock:
+            return (dict(self._traces),)
 
 
 # ---------------------------------------------------------------------------

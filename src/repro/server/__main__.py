@@ -16,8 +16,13 @@ server counters; ``--trace`` records request-scoped span trees
 (retrievable via ``getTrace``/``getRecentTraces`` and
 ``GET /debug/traces``); ``--trace-jsonl PATH`` streams every finished
 span to a JSONL file; ``--slow-ms N`` flushes any request slower than
-N milliseconds as a ``slow_request`` forensics log record.  All output
-goes through the structured logger (``--log-level``, ``--log-json``).
+N milliseconds as a ``slow_request`` forensics log record;
+``--profile`` runs the background sampling profiler (retrieve via
+``getProfile`` or ``GET /debug/profile``); ``--memory-reconcile-sec``
+arms the periodic deep reconcile of the per-component memory
+estimates (always available on demand via ``getResourceStats`` with
+``deep=1``).  All output goes through the structured logger
+(``--log-level``, ``--log-json``).
 
 With a durable ``--backend``, ``--map-cache-segments N`` pages the
 concept map lazily out of the labels table instead of holding every
@@ -43,13 +48,15 @@ from repro.server.server import NNexusServer
 from repro.storage.engine import SYNC_POLICIES
 
 
-def _close_startup(gateway, exporter, storage) -> None:
+def _close_startup(gateway, exporter, storage, profiler=None) -> None:
     """Release everything a failed startup opened, tolerating None."""
     if gateway is not None:
         gateway.shutdown()
         gateway.server_close()
     if exporter is not None:
         exporter.close()
+    if profiler is not None:
+        profiler.stop()
     storage.close()
 
 
@@ -91,6 +98,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--slow-ms", type=float, default=0.0,
                         help="flush requests slower than this many milliseconds "
                              "as slow_request forensics records (implies --trace)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the background sampling profiler (retrieve "
+                             "via getProfile or GET /debug/profile)")
+    parser.add_argument("--profile-interval-ms", type=float, default=5.0,
+                        metavar="MS",
+                        help="sampling interval for --profile")
+    parser.add_argument("--memory-reconcile-sec", type=float, default=None,
+                        metavar="SEC",
+                        help="deep-reconcile the per-component memory "
+                             "estimates every SEC seconds (default: only on "
+                             "getResourceStats with deep=1)")
     parser.add_argument("--log-level", default="info",
                         choices=("debug", "info", "warning", "error"),
                         help="structured log threshold (debug includes "
@@ -130,6 +148,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--map-cache-segments must be >= 0 (0 = unbounded)")
     if args.pipeline_workers is not None and args.pipeline_workers < 1:
         parser.error("--pipeline-workers must be >= 1")
+    if args.profile_interval_ms <= 0:
+        parser.error("--profile-interval-ms must be > 0")
+    if args.memory_reconcile_sec is not None and args.memory_reconcile_sec <= 0:
+        parser.error("--memory-reconcile-sec must be > 0")
 
     configure_logging(
         level=args.log_level, fmt="json" if args.log_json else "console"
@@ -137,6 +159,12 @@ def main(argv: list[str] | None = None) -> int:
     log = get_logger("nnexus.server")
 
     metrics = MetricsRegistry() if args.metrics else None
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler(interval_sec=args.profile_interval_ms / 1000.0)
+        profiler.start()
     tracing = args.trace or bool(args.trace_jsonl) or args.slow_ms > 0
     tracer = None
     exporter = None
@@ -151,6 +179,8 @@ def main(argv: list[str] | None = None) -> int:
                 tracer.add_sink(exporter)
             except BaseException:
                 exporter.close()
+                if profiler is not None:
+                    profiler.stop()
                 raise
     try:
         storage = open_storage(
@@ -162,6 +192,8 @@ def main(argv: list[str] | None = None) -> int:
         log.error("server.storage_corrupt", path=exc.path, reason=exc.reason)
         if exporter is not None:
             exporter.close()
+        if profiler is not None:
+            profiler.stop()
         return 1
     # Everything between opening the storage and entering the serve
     # loop can raise (corpus load, port binding); close what we opened
@@ -174,6 +206,7 @@ def main(argv: list[str] | None = None) -> int:
             tracer=tracer,
             storage=storage,
             map_cache_segments=args.map_cache_segments,
+            memory_reconcile_sec=args.memory_reconcile_sec,
         )
         if len(linker):
             # The backend restored a corpus: don't double-seed on top of it.
@@ -197,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
             request_timeout=args.request_timeout,
             idle_timeout=args.idle_timeout,
             pipeline_workers=args.pipeline_workers,
+            profiler=profiler,
         )
         host, port = server.address
         log.info(
@@ -208,6 +242,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         if args.metrics:
             log.info("server.metrics_enabled", endpoints="getMetrics, http /metrics")
+        if profiler is not None:
+            log.info(
+                "server.profiler_enabled",
+                interval_ms=args.profile_interval_ms,
+                endpoints="getProfile, http /debug/profile",
+            )
         if tracing:
             log.info(
                 "server.tracing_enabled",
@@ -223,6 +263,7 @@ def main(argv: list[str] | None = None) -> int:
                 port=args.http_port,
                 max_in_flight=args.max_in_flight,
                 rwlock=server.rwlock,
+                profiler=profiler,
             )
             log.info(
                 "server.gateway_listening",
@@ -233,10 +274,10 @@ def main(argv: list[str] | None = None) -> int:
         # Typically an occupied port: a clean operator error, not a
         # traceback.
         log.error("server.startup_failed", error=str(exc))
-        _close_startup(gateway, exporter, storage)
+        _close_startup(gateway, exporter, storage, profiler)
         return 1
     except BaseException:
-        _close_startup(gateway, exporter, storage)
+        _close_startup(gateway, exporter, storage, profiler)
         raise
     try:
         server.serve_forever()
@@ -249,6 +290,9 @@ def main(argv: list[str] | None = None) -> int:
         if gateway is not None:
             gateway.shutdown()
             gateway.server_close()
+        if profiler is not None:
+            profiler.stop()
+        linker.accountant.stop()
         if exporter is not None:
             exporter.close()
         if storage.durable:

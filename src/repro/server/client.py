@@ -489,6 +489,30 @@ class NNexusClient:
         )
         return json.loads(response.fields.get("traces", "[]"))
 
+    def get_resource_stats(self, deep: bool = False) -> dict[str, object]:
+        """Per-component memory accounting and server saturation counters.
+
+        ``deep=True`` asks the server to deep-sample every component's
+        live object graph first, so the reply carries estimate-vs-deep
+        reconcile ratios (see :mod:`repro.obs.memory`).
+        """
+        fields = {"deep": "1"} if deep else {}
+        response = self._call(protocol.Request("getResourceStats", fields=fields))
+        return json.loads(response.fields.get("resources", "{}"))
+
+    def get_profile(self, limit: int | None = None) -> dict[str, object]:
+        """The server's aggregated sampling profile (JSON form)."""
+        fields = {"limit": str(limit)} if limit is not None else {}
+        response = self._call(protocol.Request("getProfile", fields=fields))
+        return json.loads(response.fields.get("profile", "{}"))
+
+    def get_profile_collapsed(self) -> str:
+        """The profile as collapsed flamegraph text (``frame;frame count``)."""
+        response = self._call(
+            protocol.Request("getProfile", fields={"format": "collapsed"})
+        )
+        return response.fields.get("profile", "")
+
     def link_entry(
         self,
         text: str,

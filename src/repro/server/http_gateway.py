@@ -13,6 +13,7 @@ Endpoints
 ``GET  /metrics``                      -> Prometheus text exposition (never shed)
 ``GET  /debug/traces[?limit=N]``       -> recent traces (never shed)
 ``GET  /debug/traces/<trace_id>``      -> one trace's spans (never shed)
+``GET  /debug/profile[?format=collapsed][&limit=N]`` -> sampling profile (never shed)
 ``GET  /describe``                     -> corpus statistics
 ``POST /link``    {"text", "classes": [...], "format"} -> rendered body + links
 ``POST /annotations`` {"text", "classes": [...]}        -> W3C Web Annotations
@@ -25,9 +26,13 @@ not per request).  The blocking linker work runs OFF the loop: routed
 requests are handed to a bounded thread pool where the synchronous
 ``_Handler.do_GET``/``do_POST`` route bodies run under the same
 admission control, readers-writer lock, and tracing as before.  Probes
-(``/health``, ``/ready``, ``/metrics``, ``/debug/traces``) answer
-inline on the loop — they touch no locks, so a saturated executor
-cannot starve liveness checks, scrapes, or trace forensics.
+(``/health``, ``/ready``, ``/metrics``, ``/debug/traces``,
+``/debug/profile``) answer inline on the loop — they touch no locks,
+so a saturated executor cannot starve liveness checks, scrapes, or
+trace/profile forensics.  While serving, a periodic task on the loop
+measures event-loop lag (how late ``asyncio.sleep`` fires) into a
+``nnexus_loop_lag_seconds`` histogram — the saturation signal for the
+loop itself, which admission gauges cannot see.
 
 With a :class:`~repro.obs.trace.Tracer` installed, every non-probe
 request runs inside a root span continuing the inbound W3C
@@ -67,6 +72,7 @@ from repro.core.errors import NNexusError, OverloadedError, UnknownObjectError
 from repro.core.linker import NNexus
 from repro.core.render import render_annotations, render_html, render_markdown
 from repro.obs.logging import get_logger
+from repro.obs.profile import NULL_PROFILER, NullProfiler
 from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import NULL_SPAN, NullTracer, current_span
@@ -130,7 +136,7 @@ class _HttpResponse:
 def _is_probe(path: str) -> bool:
     """Routes that answer inline on the loop, outside admission."""
     return (
-        path in ("/health", "/ready", "/metrics")
+        path in ("/health", "/ready", "/metrics", "/debug/profile")
         or _TRACE_PATH.match(path) is not None
     )
 
@@ -243,6 +249,9 @@ class _Handler:
         if trace_match:
             self._serve_traces(trace_match.group(1), parts.query)
             return
+        if path == "/debug/profile":
+            self._serve_profile(parts.query)
+            return
         with self._request_span("http.GET", path):
             try:
                 with self.server.admission.admit():
@@ -300,6 +309,41 @@ class _Handler:
             return
         self._send_json({"traces": trc.recent_traces(limit)})
 
+    def _serve_profile(self, query: str) -> None:
+        profiler = self.server.profiler
+        if not profiler.enabled:
+            self._send_json({"error": "profiling is not enabled"}, status=404)
+            return
+        params = parse_qs(query)
+        fmt = params.get("format", ["json"])[0]
+        if fmt == "collapsed":
+            self.response = _HttpResponse(
+                status=200,
+                headers={"Content-Type": "text/plain; charset=utf-8"},
+                body=profiler.collapsed().encode("utf-8"),
+            )
+            return
+        if fmt != "json":
+            self._send_json({"error": f"unknown profile format {fmt!r}"}, status=400)
+            return
+        raw_limit = params.get("limit", [""])[0]
+        try:
+            limit = int(raw_limit) if raw_limit else None
+        except ValueError:
+            self._send_json({"error": f"bad limit {raw_limit!r}"}, status=400)
+            return
+        if limit is not None and limit < 1:
+            # A negative slice bound would silently drop the heaviest
+            # stacks instead of capping the count.
+            self._send_json({"error": f"bad limit {raw_limit!r}"}, status=400)
+            return
+        snapshot = (
+            profiler.snapshot(max_stacks=limit)
+            if limit is not None
+            else profiler.snapshot()
+        )
+        self._send_json(snapshot)
+
 
 class NNexusHttpGateway:
     """Read-only HTTP facade over a shared linker (asyncio, keep-alive).
@@ -330,6 +374,14 @@ class NNexusHttpGateway:
     keepalive_timeout:
         Seconds an idle keep-alive connection may sit between requests
         before the gateway closes it.
+    profiler:
+        A sampling profiler (see :mod:`repro.obs.profile`) served at
+        ``/debug/profile``.  Defaults to the inert
+        :data:`~repro.obs.profile.NULL_PROFILER` (the route answers
+        404).
+    loop_lag_interval:
+        Seconds between event-loop lag probes (the probe task only
+        runs when the linker's metrics recorder is enabled).
     """
 
     def __init__(
@@ -343,13 +395,19 @@ class NNexusHttpGateway:
         rwlock: ReadersWriterLock | None = None,
         tracer: NullTracer | None = None,
         keepalive_timeout: float = 75.0,
+        profiler: NullProfiler | None = None,
+        loop_lag_interval: float = 0.25,
     ) -> None:
         self.linker = linker
         self.tracer = tracer if tracer is not None else linker.tracer
-        self.admission = AdmissionController(max_in_flight)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.admission = AdmissionController(max_in_flight, metrics=linker.metrics)
         self.retry_after = retry_after
         self.keepalive_timeout = keepalive_timeout
-        self._rwlock = rwlock if rwlock is not None else ReadersWriterLock()
+        self.loop_lag_interval = loop_lag_interval
+        self._rwlock = (
+            rwlock if rwlock is not None else ReadersWriterLock(metrics=linker.metrics)
+        )
         self._ready = threading.Event()
         self._ready.set()
         # A few threads beyond the admission bound: when every admitted
@@ -415,10 +473,17 @@ class NNexusHttpGateway:
         server = await asyncio.start_server(
             self._on_connection, sock=self._listen_sock
         )
+        lag_probe: asyncio.Task | None = None
+        if self.linker.metrics.enabled:
+            lag_probe = asyncio.ensure_future(self._loop_lag_probe())
         self._started.set()
         try:
             await self._stop_event.wait()
         finally:
+            if lag_probe is not None:
+                lag_probe.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await lag_probe
             server.close()
             await server.wait_closed()
             # start_server's per-connection tasks are not children of
@@ -428,6 +493,25 @@ class NNexusHttpGateway:
                 task.cancel()
             if self._conn_tasks:
                 await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def _loop_lag_probe(self) -> None:
+        """Measure how late the loop runs a timed callback.
+
+        ``asyncio.sleep(interval)`` should wake after ``interval``;
+        every extra millisecond means ready callbacks (request parsing,
+        response writes, probe routes) were stuck behind something —
+        the one saturation signal the admission gauges cannot surface
+        because it lives in the loop itself, not in the thread pool.
+        """
+        rec = self.linker.metrics
+        loop = asyncio.get_running_loop()
+        interval = self.loop_lag_interval
+        while True:
+            before = loop.time()
+            await asyncio.sleep(interval)
+            lag = max(0.0, loop.time() - before - interval)
+            rec.observe("nnexus_loop_lag_seconds", lag)
+            rec.set_gauge("nnexus_loop_lag_last_seconds", lag)
 
     def shutdown(self) -> None:
         """Stop the loop and close every connection; blocks until done."""
@@ -580,15 +664,16 @@ class NNexusHttpGateway:
     # Operations (concurrent reads under the readers-writer lock)
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> dict[str, Any]:
-        """Linker metrics plus this gateway's own admission gauge."""
+        """Linker metrics plus this gateway's own saturation gauges."""
         snapshot = self.linker.metrics_snapshot()
-        snapshot["gauges"].append(
-            {
-                "name": "nnexus_http_in_flight",
-                "labels": {},
-                "value": float(self.admission.in_flight),
-            }
-        )
+        snapshot["gauges"] += [
+            {"name": name, "labels": {}, "value": float(value)}
+            for name, value in (
+                ("nnexus_http_in_flight", self.admission.in_flight),
+                ("nnexus_http_max_in_flight", self.admission.max_in_flight),
+                ("nnexus_rwlock_writers_waiting", self._rwlock.writers_waiting),
+            )
+        ]
         return snapshot
 
     def describe(self) -> dict[str, Any]:
@@ -685,7 +770,7 @@ def serve_http(
     queue in the accept backlog until the loop picks them up.  Keyword
     arguments are forwarded to :class:`NNexusHttpGateway`
     (``max_in_flight``, ``retry_after``, ``rwlock``, ``tracer``,
-    ``keepalive_timeout``).
+    ``keepalive_timeout``, ``profiler``, ``loop_lag_interval``).
     """
     gateway = NNexusHttpGateway(linker, host=host, port=port, **kwargs)
     thread = threading.Thread(target=gateway.serve_forever, daemon=True)

@@ -25,11 +25,17 @@ prefix, so arbitrary text payloads survive the socket unambiguously.
 
 Supported methods: ``linkEntry``, ``addObject``, ``updateObject``,
 ``removeObject``, ``setPolicy``, ``describe``, ``getMetrics``,
-``getTrace``, ``getRecentTraces``, ``ping``.  ``getMetrics`` answers
-with a single ``metrics`` field holding the JSON metrics snapshot (see
+``getTrace``, ``getRecentTraces``, ``getResourceStats``,
+``getProfile``, ``ping``.  ``getMetrics`` answers with a single
+``metrics`` field holding the JSON metrics snapshot (see
 :mod:`repro.obs.metrics`); ``getTrace``/``getRecentTraces`` answer
 with ``trace``/``traces`` fields holding JSON span records (see
-:mod:`repro.obs.trace`).
+:mod:`repro.obs.trace`); ``getResourceStats`` answers with a
+``resources`` field holding the JSON per-component memory accounting
+(see :mod:`repro.obs.memory`); ``getProfile`` answers with a
+``profile`` field holding the sampling profiler's aggregated stacks
+(JSON, or collapsed flamegraph text with ``format=collapsed`` — see
+:mod:`repro.obs.profile`).
 
 Any request may carry an optional ``traceparent`` field (W3C
 trace-context format, ``00-<trace_id>-<span_id>-01``); servers that
@@ -85,6 +91,8 @@ METHODS = (
     "getMetrics",
     "getTrace",
     "getRecentTraces",
+    "getResourceStats",
+    "getProfile",
     "ping",
 )
 

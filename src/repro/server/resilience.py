@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.errors import OverloadedError
+from repro.obs.metrics import NULL_RECORDER, NullRecorder
 
 __all__ = [
     "ReadersWriterLock",
@@ -44,16 +45,26 @@ class ReadersWriterLock:
     alone.  Arriving writers block *new* readers (writer preference), so
     a steady stream of ``linkEntry`` traffic cannot starve corpus
     mutations indefinitely.
+
+    Pass a metrics recorder to get contention telemetry: a
+    ``nnexus_rwlock_wait_seconds{mode="reader"|"writer"}`` histogram of
+    time spent blocked in acquisition (observed *after* the condition
+    is released, so recording never extends the critical section) and a
+    :attr:`writers_waiting` depth the server exports as a gauge.  With
+    the default null recorder every site is one attribute check.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: NullRecorder | None = None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        self.metrics = metrics if metrics is not None else NULL_RECORDER
 
     # -- reader side ----------------------------------------------------
     def acquire_read(self, timeout: float | None = None) -> bool:
+        recording = self.metrics.enabled
+        wait_started = time.monotonic() if recording else 0.0
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: not self._writer and self._writers_waiting == 0,
@@ -61,7 +72,13 @@ class ReadersWriterLock:
             )
             if ok:
                 self._readers += 1
-            return ok
+        if recording:
+            self.metrics.observe(
+                "nnexus_rwlock_wait_seconds",
+                time.monotonic() - wait_started,
+                mode="reader",
+            )
+        return ok
 
     def release_read(self) -> None:
         with self._cond:
@@ -71,6 +88,8 @@ class ReadersWriterLock:
 
     # -- writer side ----------------------------------------------------
     def acquire_write(self, timeout: float | None = None) -> bool:
+        recording = self.metrics.enabled
+        wait_started = time.monotonic() if recording else 0.0
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -80,9 +99,15 @@ class ReadersWriterLock:
                 )
                 if ok:
                     self._writer = True
-                return ok
             finally:
                 self._writers_waiting -= 1
+        if recording:
+            self.metrics.observe(
+                "nnexus_rwlock_wait_seconds",
+                time.monotonic() - wait_started,
+                mode="writer",
+            )
+        return ok
 
     def release_write(self) -> None:
         with self._cond:
@@ -111,6 +136,12 @@ class ReadersWriterLock:
         with self._cond:
             return self._readers
 
+    @property
+    def writers_waiting(self) -> int:
+        """Writers currently blocked in :meth:`acquire_write` (queue depth)."""
+        with self._cond:
+            return self._writers_waiting
+
 
 class AdmissionController:
     """Bound the number of in-flight requests; shed the overflow.
@@ -121,13 +152,16 @@ class AdmissionController:
     still has headroom to finish what it already accepted.
     """
 
-    def __init__(self, max_in_flight: int = 64) -> None:
+    def __init__(
+        self, max_in_flight: int = 64, metrics: NullRecorder | None = None
+    ) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         self.max_in_flight = max_in_flight
         self._lock = threading.Lock()
         self._in_flight = 0
         self._idle = threading.Condition(self._lock)
+        self.metrics = metrics if metrics is not None else NULL_RECORDER
 
     @property
     def in_flight(self) -> int:
@@ -135,11 +169,22 @@ class AdmissionController:
             return self._in_flight
 
     def try_enter(self) -> bool:
+        recording = self.metrics.enabled
+        wait_started = time.monotonic() if recording else 0.0
         with self._lock:
             if self._in_flight >= self.max_in_flight:
-                return False
-            self._in_flight += 1
-            return True
+                entered = False
+            else:
+                self._in_flight += 1
+                entered = True
+        if recording:
+            # Admission never queues (overflow is shed), so the wait is
+            # pure mutex contention — a leading indicator of saturation
+            # well before sheds start.
+            self.metrics.observe(
+                "nnexus_admission_wait_seconds", time.monotonic() - wait_started
+            )
+        return entered
 
     def exit(self) -> None:
         with self._lock:

@@ -53,6 +53,7 @@ from repro.core.errors import (
 from repro.core.linker import NNexus
 from repro.core.render import render_annotations, render_html, render_markdown
 from repro.obs.logging import get_logger
+from repro.obs.profile import NULL_PROFILER, NullProfiler
 from repro.obs.trace import NULL_SPAN, NullTracer
 from repro.server import protocol
 from repro.server.faults import FaultInjector
@@ -77,8 +78,12 @@ READ_METHODS = frozenset({"ping", "describe", "linkEntry", "getMetrics"})
 #: Methods that mutate linker state — they take the write lock.
 WRITE_METHODS = frozenset({"addObject", "updateObject", "removeObject", "setPolicy"})
 #: Debug methods served outside admission control and draining (like
-#: ``/metrics`` scraping) — they read only the tracer's own ring.
-DEBUG_METHODS = frozenset({"getTrace", "getRecentTraces"})
+#: ``/metrics`` scraping) — they read observability state (the
+#: tracer's ring, the memory accountant, the sampling profiler), never
+#: linker corpus state under the rwlock.
+DEBUG_METHODS = frozenset(
+    {"getTrace", "getRecentTraces", "getResourceStats", "getProfile"}
+)
 #: Methods a ``reqid``-tagged request may run out of order: everything
 #: that does not mutate linker state.  Writes keep per-connection FIFO.
 PIPELINED_METHODS = READ_METHODS | DEBUG_METHODS
@@ -335,6 +340,13 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         server (default ``max_in_flight``).  Beyond it the reader loop
         sheds with a retryable ``overloaded`` error instead of queueing
         unboundedly behind the executor.
+    profiler:
+        A sampling profiler (see :mod:`repro.obs.profile`) the
+        ``getProfile`` debug method reads from.  Defaults to the inert
+        :data:`~repro.obs.profile.NULL_PROFILER` (``getProfile``
+        answers ``bad-request``); pass a started
+        :class:`~repro.obs.profile.SamplingProfiler` to serve
+        aggregated stack profiles during overload forensics.
     """
 
     daemon_threads = True
@@ -353,11 +365,13 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         tracer: NullTracer | None = None,
         pipeline_workers: int | None = None,
         pipeline_depth: int | None = None,
+        profiler: NullProfiler | None = None,
     ) -> None:
         self.linker = linker
         self.tracer = tracer if tracer is not None else linker.tracer
-        self.rwlock = ReadersWriterLock()
-        self.admission = AdmissionController(max_in_flight)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.rwlock = ReadersWriterLock(metrics=linker.metrics)
+        self.admission = AdmissionController(max_in_flight, metrics=linker.metrics)
         self.request_timeout = request_timeout
         self.idle_timeout = idle_timeout
         self.faults = faults if faults is not None else FaultInjector()
@@ -372,6 +386,12 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         #: responses to flush before closing the socket under them.
         self.pipeline_drain_timeout: float = 10.0
         self._pipeline_slots = threading.Semaphore(self.pipeline_depth)
+        # Pipelined requests submitted but not finished (executor queue
+        # plus running workers) — the saturation gauge for the demux
+        # path.  Guarded by its own lock: the reader thread increments,
+        # worker threads decrement.
+        self._pipeline_count_lock = threading.Lock()
+        self._pipeline_in_flight = 0
         self._executor = ThreadPoolExecutor(
             max_workers=self.pipeline_workers,
             thread_name_prefix="nnexus-pipeline",
@@ -436,22 +456,44 @@ class NNexusServer(socketserver.ThreadingTCPServer):
         if not self._pipeline_slots.acquire(blocking=False):
             return False
         inflight.enter()
+        with self._pipeline_count_lock:
+            self._pipeline_in_flight += 1
+        rec = self.linker.metrics
+        submitted = time.monotonic() if rec.enabled else 0.0
 
         def work() -> None:
             try:
+                if rec.enabled:
+                    # Time from reader-loop submit to worker start: the
+                    # executor-queue wait, the demux path's saturation
+                    # histogram.
+                    rec.observe(
+                        "nnexus_pipeline_queue_wait_seconds",
+                        time.monotonic() - submitted,
+                    )
                 reply = self.dispatch_message("", request=request)
                 writer.send(protocol.frame(reply))
             finally:
                 self._pipeline_slots.release()
+                with self._pipeline_count_lock:
+                    self._pipeline_in_flight -= 1
                 inflight.exit()
 
         try:
             self._executor.submit(work)
         except RuntimeError:  # executor already shut down
             self._pipeline_slots.release()
+            with self._pipeline_count_lock:
+                self._pipeline_in_flight -= 1
             inflight.exit()
             return False
         return True
+
+    @property
+    def pipeline_in_flight(self) -> int:
+        """Pipelined requests submitted but not yet finished."""
+        with self._pipeline_count_lock:
+            return self._pipeline_in_flight
 
     def shed_pipelined(self, request: protocol.Request) -> bytes:
         """The framed overloaded reply for a shed pipelined request."""
@@ -554,6 +596,8 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             "getMetrics": self._get_metrics,
             "getTrace": self._get_trace,
             "getRecentTraces": self._get_recent_traces,
+            "getResourceStats": self._get_resource_stats,
+            "getProfile": self._get_profile,
         }.get(request.method)
         if handler is None:
             # Unknown methods must answer, not kill the handler thread.
@@ -579,13 +623,16 @@ class NNexusServer(socketserver.ThreadingTCPServer):
 
     def _get_metrics(self, request: protocol.Request) -> protocol.Response:
         snapshot = self.linker.metrics_snapshot()
-        snapshot["gauges"].append(
-            {
-                "name": "nnexus_server_in_flight",
-                "labels": {},
-                "value": float(self.admission.in_flight),
-            }
-        )
+        snapshot["gauges"] += [
+            {"name": name, "labels": {}, "value": float(value)}
+            for name, value in (
+                ("nnexus_server_in_flight", self.admission.in_flight),
+                ("nnexus_server_max_in_flight", self.admission.max_in_flight),
+                ("nnexus_rwlock_writers_waiting", self.rwlock.writers_waiting),
+                ("nnexus_pipeline_in_flight", self.pipeline_in_flight),
+                ("nnexus_pipeline_depth_limit", self.pipeline_depth),
+            )
+        ]
         return protocol.Response(
             status="ok",
             method="getMetrics",
@@ -616,6 +663,57 @@ class NNexusServer(socketserver.ThreadingTCPServer):
             status="ok",
             method="getRecentTraces",
             fields={"traces": json.dumps(traces, sort_keys=True, default=str)},
+        )
+
+    def _get_resource_stats(self, request: protocol.Request) -> protocol.Response:
+        deep = request.fields.get("deep", "").strip().lower() in {"1", "true", "yes"}
+        stats = self.linker.resource_stats(deep=deep)
+        stats["server"] = {
+            "in_flight": self.admission.in_flight,
+            "max_in_flight": self.admission.max_in_flight,
+            "pipeline_in_flight": self.pipeline_in_flight,
+            "pipeline_depth": self.pipeline_depth,
+            "writers_waiting": self.rwlock.writers_waiting,
+            "draining": self.draining,
+        }
+        return protocol.Response(
+            status="ok",
+            method="getResourceStats",
+            fields={"resources": json.dumps(stats, sort_keys=True, default=str)},
+        )
+
+    def _get_profile(self, request: protocol.Request) -> protocol.Response:
+        if not self.profiler.enabled:
+            # Same contract as getTrace without tracing: a structured
+            # bad-request, not a dead connection.
+            raise ProtocolError("profiling is not enabled on this server")
+        fmt = request.fields.get("format", "json").strip() or "json"
+        if fmt == "collapsed":
+            return protocol.Response(
+                status="ok",
+                method="getProfile",
+                fields={"profile": self.profiler.collapsed(), "format": "collapsed"},
+            )
+        if fmt != "json":
+            raise ProtocolError(f"unknown profile format {fmt!r}")
+        raw_limit = request.fields.get("limit", "").strip()
+        try:
+            limit = int(raw_limit) if raw_limit else None
+        except ValueError as exc:
+            raise ProtocolError(f"bad limit {raw_limit!r}") from exc
+        if limit is not None and limit < 1:
+            # A negative slice bound would silently *drop* the heaviest
+            # stacks instead of capping the count.
+            raise ProtocolError(f"bad limit {raw_limit!r}")
+        snapshot = (
+            self.profiler.snapshot(max_stacks=limit)
+            if limit is not None
+            else self.profiler.snapshot()
+        )
+        return protocol.Response(
+            status="ok",
+            method="getProfile",
+            fields={"profile": json.dumps(snapshot, sort_keys=True), "format": "json"},
         )
 
     def _describe(self, request: protocol.Request) -> protocol.Response:

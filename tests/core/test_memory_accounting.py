@@ -1,0 +1,106 @@
+"""Linker-level memory accounting: components, reconcile bound, stats."""
+
+import pickle
+
+from repro.core.linker import NNexus
+from repro.corpus.planetmath_sample import sample_corpus
+from repro.obs.memory import within_ratio
+from repro.obs.metrics import MetricsRegistry
+from repro.ontology.msc import build_small_msc
+
+COMPONENTS = {
+    "objects",
+    "map_segments",
+    "invalidation",
+    "render_cache",
+    "trace_ring",
+    "metrics",
+}
+
+
+def _linker(metrics: bool = False) -> NNexus:
+    linker = NNexus(
+        scheme=build_small_msc(),
+        metrics=MetricsRegistry() if metrics else None,
+    )
+    linker.add_objects(sample_corpus())
+    for object_id in linker.object_ids():
+        linker.render_object(object_id)
+    return linker
+
+
+def test_every_component_is_registered() -> None:
+    linker = _linker()
+    assert set(linker.accountant.sample()) == COMPONENTS
+
+
+def test_estimates_track_mutations() -> None:
+    linker = _linker()
+    before = linker.accountant.sample()
+    assert before["objects"] > 0
+    assert before["map_segments"] > 0
+    assert before["invalidation"] > 0
+    assert before["render_cache"] > 0
+    first_id = linker.object_ids()[0]
+    linker.remove_object(first_id)
+    after = linker.accountant.sample()
+    assert after["objects"] < before["objects"]
+    # Peaks remember the high-watermark across the removal.
+    assert linker.accountant.peaks()["objects"] == before["objects"]
+
+
+def test_reconcile_stays_within_2x_on_populated_corpus() -> None:
+    linker = _linker()
+    report = linker.accountant.reconcile()
+    # Every deep-rooted component is reconciled; metrics is estimate-only.
+    assert set(report) == COMPONENTS - {"metrics"}
+    assert within_ratio(report, bound=2.0), report
+
+
+def test_resource_stats_shape_and_deep_toggle() -> None:
+    linker = _linker(metrics=True)
+    shallow = linker.resource_stats()
+    assert shallow["objects"] == len(linker)
+    assert shallow["uptime_seconds"] >= 0.0
+    assert set(shallow["memory"]["components"]) == COMPONENTS
+    assert shallow["memory"]["reconcile"] == {}
+    deep = linker.resource_stats(deep=True)
+    assert deep["memory"]["reconcile"], "deep=True must force a reconcile"
+    assert deep["memory"]["reconcile_age_sec"] is not None
+
+
+def test_memory_gauges_fold_into_metrics_snapshot() -> None:
+    linker = _linker(metrics=True)
+    snapshot = linker.metrics_snapshot()
+    gauge_names = {gauge["name"] for gauge in snapshot["gauges"]}
+    assert "nnexus_memory_bytes" in gauge_names
+    assert "nnexus_memory_peak_bytes" in gauge_names
+    assert "nnexus_build_info" in gauge_names
+    assert "nnexus_uptime_seconds" in gauge_names
+    components = {
+        gauge["labels"]["component"]
+        for gauge in snapshot["gauges"]
+        if gauge["name"] == "nnexus_memory_bytes"
+    }
+    assert components == COMPONENTS
+
+
+def test_describe_carries_version_and_uptime() -> None:
+    from repro import __version__
+
+    linker = _linker()
+    description = linker.describe()
+    assert description["version"] == __version__
+    assert description["uptime_seconds"] >= 0.0
+
+
+def test_pickled_linker_rebuilds_its_accountant() -> None:
+    linker = _linker()
+    clone = pickle.loads(pickle.dumps(linker))
+    sample = clone.accountant.sample()
+    assert set(sample) == COMPONENTS
+    # The clone's estimators are bound to the clone, not the parent.
+    parent_objects = linker.accountant.sample()["objects"]
+    clone.remove_object(clone.object_ids()[0])
+    assert clone.accountant.sample()["objects"] < parent_objects
+    assert linker.accountant.sample()["objects"] == parent_objects

@@ -1,4 +1,21 @@
-"""REP104 true-positive fixture: prints, span-less handler, None-chains."""
+"""REP104 true-positive fixture: prints, span-less handler, None-chains,
+wall-clock deltas."""
+
+import time
+from time import time  # noqa: F811 — fixture exercises both spellings
+
+
+def timed_call(fn):
+    start = time.time()
+    fn()
+    return time.time() - start  # finding: wall-clock delta as duration
+
+
+def timed_call_bare(fn):
+    start = time()
+    fn()
+    elapsed = time() - start  # finding: bare imported time() delta
+    return elapsed
 
 
 class Handler:

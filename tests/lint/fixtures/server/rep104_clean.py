@@ -1,6 +1,22 @@
-"""REP104 clean fixture: spans opened, null-object pattern, logger used."""
+"""REP104 clean fixture: spans opened, null-object pattern, logger used,
+monotonic durations."""
+
+from time import monotonic, time
 
 NULL_TRACER = object()
+
+
+class Span:
+    def __init__(self):
+        # Recording a wall-clock *timestamp* is fine: nothing is
+        # differenced, the value is display metadata.
+        self.start_ts = time()
+        self._started = monotonic()
+
+    def duration(self, loop):
+        # Monotonic deltas and loop.time() (asyncio's monotonic clock,
+        # a method call, not the time module) are the sanctioned shapes.
+        return (monotonic() - self._started) + (loop.time() - loop.time())
 
 
 def get_logger(name):

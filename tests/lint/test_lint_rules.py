@@ -11,6 +11,7 @@ from repro.lint import (
     HandlerSpanRule,
     JournalDisciplineRule,
     LockHygieneRule,
+    MonotonicClockRule,
     NullPatternRule,
     PrintBanRule,
     WireAdditivityRule,
@@ -108,19 +109,23 @@ class TestBoundedInListREP103:
 
 
 class TestObservabilityREP104:
-    def test_flags_print_spanless_handler_and_none_chain(self) -> None:
-        rules = [PrintBanRule(), HandlerSpanRule(), NullPatternRule()]
+    RULES = (PrintBanRule, HandlerSpanRule, NullPatternRule, MonotonicClockRule)
+
+    def test_flags_print_spanless_handler_none_chain_and_wall_delta(self) -> None:
+        rules = [cls() for cls in self.RULES]
         findings, _ = run_rules(
             [FIXTURES / "server" / "rep104_bad.py"], rules, root=FIXTURES
         )
         names = sorted(f.message.split()[0] for f in findings)
-        assert len(findings) == 3
+        assert len(findings) == 5
         assert any("print()" in f.message for f in findings), names
         assert any("never opens a span" in f.message for f in findings)
         assert any("NULL_TRACER" in f.message for f in findings)
+        wall = [f for f in findings if "time.time()" in f.message]
+        assert len(wall) == 2  # module-qualified and bare-imported delta
 
     def test_clean_shapes_pass_and_waiver_is_counted(self) -> None:
-        rules = [PrintBanRule(), HandlerSpanRule(), NullPatternRule()]
+        rules = [cls() for cls in self.RULES]
         findings, suppressed = run_rules(
             [FIXTURES / "server" / "rep104_clean.py"], rules, root=FIXTURES
         )

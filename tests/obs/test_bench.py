@@ -184,3 +184,41 @@ def test_check_regression_gates_on_steer_share() -> None:
     no_stages["stages"] = {}
     assert any("current report" in p for p in check_regression(no_stages, baseline))
     assert any("baseline report" in p for p in check_regression(baseline, no_stages))
+
+
+def test_resources_section_reconciles_and_profiles() -> None:
+    report = run_linking_bench(_PARAMS)
+    resources = report["resources"]
+    assert set(resources["components"]) == {
+        "objects", "map_segments", "invalidation",
+        "render_cache", "trace_ring", "metrics",
+    }
+    for name, component in resources["components"].items():
+        assert component["bytes"] >= 0, name
+        assert component["peak_bytes"] >= component["bytes"], name
+    assert resources["within_2x"] is True
+    assert resources["profiler"]["samples"] > 0
+    assert resources["profiler"]["distinct_stacks"] > 0
+
+
+def test_profile_overhead_keeps_renderings_identical() -> None:
+    from repro.obs.bench import measure_profile_overhead
+
+    overhead = measure_profile_overhead(
+        BenchParams(entries=40, seed=7, smoke=True, metrics=False,
+                    scaling=False, persistence=False, paging=False,
+                    resources=False)
+    )
+    assert overhead["renderings_identical"] is True
+    assert overhead["profile_samples"] > 0
+    assert overhead["collapsed"].strip() != ""
+
+
+def test_resources_off_still_validates() -> None:
+    report = run_linking_bench(
+        BenchParams(entries=40, seed=7, smoke=True, metrics=True,
+                    scaling=False, persistence=False, paging=False,
+                    resources=False)
+    )
+    assert report["resources"] == {}
+    assert validate_report(report) == []

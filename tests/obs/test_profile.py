@@ -1,0 +1,165 @@
+"""Tests for the background sampling profiler."""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    MAX_STACK_DEPTH,
+    NULL_PROFILER,
+    NullProfiler,
+    SamplingProfiler,
+)
+
+_COLLAPSED_LINE = re.compile(r"^[^ ;][^ ]*(;[^ ]+)* \d+$")
+
+
+def _busy_thread(stop: threading.Event) -> threading.Thread:
+    def spin() -> None:
+        while not stop.is_set():
+            sum(range(500))
+
+    thread = threading.Thread(target=spin, name="busy", daemon=True)
+    thread.start()
+    return thread
+
+
+class TestNullProfiler:
+    def test_is_disabled_and_inert(self) -> None:
+        assert NULL_PROFILER.enabled is False
+        assert NULL_PROFILER.running is False
+        NULL_PROFILER.start()
+        assert NULL_PROFILER.running is False
+        assert NULL_PROFILER.sample_count() == 0
+        NULL_PROFILER.stop()
+
+    def test_snapshot_is_empty_but_well_formed(self) -> None:
+        snap = NULL_PROFILER.snapshot()
+        assert snap["enabled"] is False
+        assert snap["samples"] == 0
+        assert snap["stacks"] == []
+        assert snap["top"] == []
+        assert NULL_PROFILER.collapsed() == ""
+
+    def test_context_manager_shape(self) -> None:
+        with NullProfiler() as prof:
+            assert prof.running is False
+
+
+class TestSamplingProfiler:
+    def test_rejects_non_positive_interval(self) -> None:
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_sec=0.0)
+
+    def test_captures_stacks_from_other_threads(self) -> None:
+        stop = threading.Event()
+        busy = _busy_thread(stop)
+        profiler = SamplingProfiler(interval_sec=0.001)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while profiler.sample_count() < 5 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            busy.join()
+        snap = profiler.snapshot()
+        assert snap["enabled"] is True
+        assert snap["samples"] >= 5
+        assert snap["distinct_stacks"] >= 1
+        assert snap["duration_sec"] > 0.0
+        # The busy loop's frame must be attributed somewhere.
+        frames = [f for s in snap["stacks"] for f in s["frames"]]
+        assert any("spin" in frame for frame in frames)
+
+    def test_start_stop_are_idempotent_and_aggregate_survives(self) -> None:
+        profiler = SamplingProfiler(interval_sec=0.001)
+        profiler.start()
+        profiler.start()  # second start is a no-op, not a second thread
+        assert (
+            sum(
+                thread.name == "nnexus-profiler"
+                for thread in threading.enumerate()
+            )
+            == 1
+        )
+        deadline = time.monotonic() + 5.0
+        while profiler.sample_count() == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        profiler.stop()
+        profiler.stop()
+        samples = profiler.sample_count()
+        assert samples > 0
+        assert profiler.running is False
+        # A stopped profiler keeps its aggregate until reset().
+        assert profiler.snapshot()["samples"] == samples
+        profiler.reset()
+        assert profiler.sample_count() == 0
+        assert profiler.collapsed() == ""
+
+    def test_snapshot_sorts_by_weight_and_honours_max_stacks(self) -> None:
+        profiler = SamplingProfiler(interval_sec=0.001)
+        profiler._stacks = {
+            ("main", "a"): 3,
+            ("main", "b"): 7,
+            ("main", "c"): 5,
+        }
+        profiler._samples = 15
+        snap = profiler.snapshot(max_stacks=2)
+        assert snap["distinct_stacks"] == 3  # total, not truncated
+        assert [s["count"] for s in snap["stacks"]] == [7, 5]
+        assert snap["top"][0] == {"frame": "b", "count": 7}
+
+    def test_collapsed_format_is_flamegraph_consumable(self) -> None:
+        profiler = SamplingProfiler(interval_sec=0.001)
+        profiler._stacks = {
+            ("mod.root", "mod.leaf"): 2,
+            ("mod.root", "mod.other", "mod.deep"): 1,
+        }
+        text = profiler.collapsed()
+        lines = text.splitlines()
+        assert lines[0] == "mod.root;mod.leaf 2"
+        assert lines[1] == "mod.root;mod.other;mod.deep 1"
+        for line in lines:
+            assert _COLLAPSED_LINE.match(line), line
+
+    def test_stack_depth_is_bounded(self) -> None:
+        stop = threading.Event()
+
+        def recurse(depth: int) -> None:
+            if depth > 0:
+                recurse(depth - 1)
+            else:
+                stop.wait()
+
+        thread = threading.Thread(
+            target=recurse, args=(MAX_STACK_DEPTH * 2,), daemon=True
+        )
+        thread.start()
+        profiler = SamplingProfiler(interval_sec=0.001)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while profiler.sample_count() < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            thread.join()
+        for stack, _count in profiler.iter_stacks():
+            assert len(stack) <= MAX_STACK_DEPTH
+
+    def test_context_manager_profiles_scoped_work(self) -> None:
+        stop = threading.Event()
+        busy = _busy_thread(stop)
+        try:
+            with SamplingProfiler(interval_sec=0.001) as profiler:
+                assert profiler.running is True
+                time.sleep(0.05)
+            assert profiler.running is False
+        finally:
+            stop.set()
+            busy.join()

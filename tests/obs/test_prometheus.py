@@ -1,7 +1,29 @@
 """Tests for the Prometheus text exposition renderer."""
 
+import re
+import threading
+
 from repro.obs.metrics import MetricsRegistry, empty_snapshot, merge_series
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+def _parse_sample_names(text: str) -> list[tuple[str, list[str]]]:
+    """(metric name, label names) per sample line, asserting line shape."""
+    samples = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        body = line.rsplit(" ", 1)[0]
+        if "{" in body:
+            name, _, labels = body.partition("{")
+            label_names = re.findall(r'([a-zA-Z0-9_]+)="', labels)
+        else:
+            name, label_names = body, []
+        samples.append((name, label_names))
+    return samples
 
 
 def test_content_type_is_exposition_format_0_0_4() -> None:
@@ -70,3 +92,67 @@ def test_output_is_deterministic_and_newline_terminated() -> None:
 def test_integer_valued_floats_render_unadorned() -> None:
     snapshot = merge_series(empty_snapshot(), counters=[("n_total", {}, 7.0)])
     assert "n_total 7\n" in render_prometheus(snapshot)
+
+
+def test_full_stack_emits_only_valid_metric_and_label_names() -> None:
+    """Every name the linker stack exports must satisfy the Prometheus
+    grammar — an invalid name silently poisons a whole scrape."""
+    from repro.core.linker import NNexus
+    from repro.corpus.planetmath_sample import sample_corpus
+    from repro.ontology.msc import build_small_msc
+
+    linker = NNexus(scheme=build_small_msc(), metrics=MetricsRegistry())
+    linker.add_objects(sample_corpus())
+    for obj_id in list(linker.object_ids())[:5]:
+        linker.render_object(obj_id)
+    text = render_prometheus(linker.metrics_snapshot())
+    samples = _parse_sample_names(text)
+    assert samples, "instrumented linker produced no samples"
+    names = {name for name, _ in samples}
+    assert "nnexus_memory_bytes" in names
+    assert "nnexus_build_info" in names
+    assert "nnexus_uptime_seconds" in names
+    for name, label_names in samples:
+        assert _METRIC_NAME.fullmatch(name), name
+        for label in label_names:
+            assert _LABEL_NAME.fullmatch(label), (name, label)
+
+
+def test_ordering_is_deterministic_under_concurrent_updates() -> None:
+    """Renders taken while writers hammer the registry stay one sample
+    per line and sorted; identical snapshots render identical text."""
+    registry = MetricsRegistry()
+    stop = threading.Event()
+
+    def hammer(worker: int) -> None:
+        n = 0
+        while not stop.is_set():
+            registry.inc("hammer_total", worker=str(worker))
+            registry.set_gauge("hammer_gauge", n, worker=str(worker))
+            registry.observe("hammer_seconds", 0.001 * (n % 7), worker=str(worker))
+            n += 1
+
+    threads = [
+        threading.Thread(target=hammer, args=(worker,)) for worker in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(20):
+            text = render_prometheus(registry.snapshot())
+            samples = _parse_sample_names(text)
+            for name, _ in samples:
+                assert _METRIC_NAME.fullmatch(name), name
+            # Sample lines are grouped by metric and sorted within it.
+            counter_lines = [
+                line for line in text.splitlines()
+                if line.startswith("hammer_total{")
+            ]
+            assert counter_lines == sorted(counter_lines)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+    frozen = registry.snapshot()
+    assert render_prometheus(frozen) == render_prometheus(frozen)
